@@ -1,0 +1,206 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around f and returns what was printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestListCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("list", nil, 2, 0.2, 0, 42, "", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EQ", "5D_DS_Q19", "chain", "star"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("explain", []string{"EQ"}, 20, 0.2, 0, 42, "", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bouquet:", "Eq.8 bound", "IC1", "bouquet plans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"basic driver:", "optimized driver:", "subopt="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCommandBadQa(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("run", []string{"EQ"}, 10, 0.2, 0, 42, "0.1,0.2", true, "")
+	}); err == nil || !strings.Contains(err.Error(), "needs 1 values") {
+		t.Fatalf("dimension mismatch not rejected: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run("run", []string{"EQ"}, 10, 0.2, 0, 42, "zap", true, "")
+	}); err == nil {
+		t.Fatal("non-numeric -qa not rejected")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("frobnicate", nil, 0, 0.2, 0, 42, "", true, "")
+	}); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("unknown command accepted: %v", err)
+	}
+}
+
+func TestExplainNeedsWorkload(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run("explain", nil, 0, 0.2, 0, 42, "", true, "")
+	}); err == nil {
+		t.Fatal("explain without workload accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run("explain", []string{"ghost"}, 0, 0.2, 0, 42, "", true, "")
+	}); err == nil {
+		t.Fatal("explain of unknown workload accepted")
+	}
+}
+
+func TestFig3Command(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("fig3", nil, 25, 0.2, 0, 42, "", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IC step") || !strings.Contains(out, "bouquet plan") {
+		t.Errorf("fig3 output malformed:\n%s", out)
+	}
+}
+
+func TestSQLCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("sql", []string{"SELECT * FROM part, lineitem WHERE part.p_retailprice < sel(0.1)? AND part.p_partkey = lineitem.l_partkey"}, 15, 0.2, 0, 42, "", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parsed query", "bouquet:", "Eq.8 bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sql output missing %q", want)
+		}
+	}
+}
+
+func TestSQLCommandErrors(t *testing.T) {
+	// No error-prone predicate.
+	if _, err := capture(t, func() error {
+		return run("sql", []string{"SELECT * FROM part WHERE part.p_retailprice < sel(0.1)"}, 10, 0.2, 0, 42, "", true, "")
+	}); err == nil || !strings.Contains(err.Error(), "error-prone") {
+		t.Fatalf("dimension-less sql accepted: %v", err)
+	}
+	// Parse error.
+	if _, err := capture(t, func() error {
+		return run("sql", []string{"SELEC nope"}, 10, 0.2, 0, 42, "", true, "")
+	}); err == nil {
+		t.Fatal("bad sql accepted")
+	}
+}
+
+func TestDimsCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("dims", []string{"3D_DS_Q96"}, 4, 0.2, 0, 42, "", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dimension sensitivities", "max cost swing", "keep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dims output missing %q", want)
+		}
+	}
+}
+
+func TestDiagramCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("diagram", []string{"EQ2D"}, 10, 0.2, 0, 42, "", true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"plan diagram", "region skew", "gini"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram output missing %q", want)
+		}
+	}
+	// Non-2-D workloads are rejected.
+	if _, err := capture(t, func() error {
+		return run("diagram", []string{"EQ"}, 10, 0.2, 0, 42, "", true, "")
+	}); err == nil {
+		t.Fatal("1-D diagram accepted")
+	}
+}
+
+func TestCompileArtifactAndRunFromIt(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/eq.bouquet.json"
+	if _, err := capture(t, func() error {
+		return run("compile", []string{"EQ"}, 20, 0.2, 0, 42, "", true, path)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, path)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "basic driver:") {
+		t.Errorf("artifact run output malformed:\n%s", out)
+	}
+	// Missing artifact file errors cleanly.
+	if _, err := capture(t, func() error {
+		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, dir+"/ghost.json")
+	}); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+	// compile without -o rejected.
+	if _, err := capture(t, func() error {
+		return run("compile", []string{"EQ"}, 20, 0.2, 0, 42, "", true, "")
+	}); err == nil {
+		t.Fatal("compile without -o accepted")
+	}
+}

@@ -1,0 +1,42 @@
+// Command bouquetd serves the plan-bouquet library over HTTP (see
+// internal/server for the API): compile bouquets from SQL text, execute
+// traced runs, inspect contours, export artifacts, render plan diagrams.
+//
+//	bouquetd -addr :8080 -catalog tpch -sf 1.0
+//
+//	curl -s localhost:8080/compile -d '{"sql":"SELECT * FROM part, lineitem
+//	  WHERE part.p_retailprice < sel(0.1)?
+//	  AND part.p_partkey = lineitem.l_partkey"}'
+//	curl -s localhost:8080/run -d '{"id":"b1","qa":[0.05]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/catalog"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	schema := flag.String("catalog", "tpch", "catalog shape: tpch or tpcds")
+	sf := flag.Float64("sf", 1.0, "catalog scale factor")
+	flag.Parse()
+
+	var cat *catalog.Catalog
+	switch *schema {
+	case "tpch":
+		cat = catalog.TPCHLike(catalog.ScaleFactor(*sf))
+	case "tpcds":
+		cat = catalog.TPCDSLike(catalog.ScaleFactor(*sf))
+	default:
+		log.Fatalf("bouquetd: unknown catalog %q (tpch or tpcds)", *schema)
+	}
+
+	srv := server.New(cat)
+	fmt.Printf("bouquetd: serving %s-shaped catalog on %s\n", *schema, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Plan Bouquets: Query
+// Processing without Selectivity Estimation" (Dutt & Haritsa, SIGMOD 2014).
+//
+// The library lives under internal/: the paper's contribution in
+// internal/core (bouquet compilation and the basic/optimized run-time
+// drivers), and every substrate it depends on — catalog, query model,
+// PCM cost models, plan trees, a System-R optimizer with selectivity
+// injection, ESS grids, POSP plan diagrams, isocost contours, anorexic
+// reduction, the SEER baseline, a Volcano executor with budgeted/spilled
+// execution, synthetic data generation, robustness metrics, benchmark
+// workloads, and the experiment harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// Entry points: cmd/bouquet (CLI), examples/ (runnable walkthroughs), and
+// bench_test.go in this directory (one benchmark per paper table/figure).
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

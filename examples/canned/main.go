@@ -1,0 +1,66 @@
+// Canned: the deployment story the paper sketches for form-based query
+// workloads (§4.2) — compile the bouquet offline, persist it, and let every
+// later session load the artifact and execute immediately, skipping the
+// expensive POSP identification entirely.
+//
+//	go run ./examples/canned
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/anorexic"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+func main() {
+	w := workload.EQ2D(24)
+	coster := cost.NewCoster(w.Query, w.Model)
+	opt := optimizer.New(coster)
+
+	// Offline: compile and persist (in a real deployment this JSON goes
+	// to disk next to the canned query definition).
+	t0 := time.Now()
+	compiled, err := core.Compile(opt, w.Space, core.CompileOptions{Lambda: anorexic.DefaultLambda})
+	if err != nil {
+		log.Fatal(err)
+	}
+	compileTime := time.Since(t0)
+
+	var artifact bytes.Buffer
+	if err := compiled.Save(&artifact); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline compile: %v (%d optimizer calls) → artifact %.1f KiB\n",
+		compileTime.Round(time.Millisecond), opt.Calls(), float64(artifact.Len())/1024)
+
+	// Online: a fresh session loads the artifact — no POSP generation.
+	opt.ResetCalls()
+	t0 = time.Now()
+	loaded, err := core.Load(&artifact, coster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online load: %v (%d optimizer calls)\n", time.Since(t0).Round(time.Microsecond), opt.Calls())
+	fmt.Println(loaded)
+
+	// Execute the canned query at a few "form inputs" (different actual
+	// selectivities); the guarantee and the traces come from the loaded
+	// artifact alone.
+	fmt.Printf("guaranteed MSO: %.1f\n\n", loaded.BoundMSO())
+	for _, qa := range []ess.Point{
+		{0.001, loaded.Space.Dim(1).Hi * 0.01},
+		{0.2, loaded.Space.Dim(1).Hi * 0.5},
+		{0.9, loaded.Space.Dim(1).Hi * 0.9},
+	} {
+		e := loaded.RunOptimized(qa)
+		fmt.Printf("q_a=%v:\n  %s\n", qa, e)
+	}
+}

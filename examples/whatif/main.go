@@ -1,0 +1,95 @@
+// Whatif: plan-diagram exploration. Renders a 2-D plan diagram as ASCII
+// art — which plan is optimal where in the selectivity space — then applies
+// the anorexic reduction and shows how a handful of plans, each allowed a
+// 20% cost slack, swallows the full parametric optimal set. This is the
+// compile-time machinery (§4) the bouquet is built from.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/anorexic"
+	"repro/internal/catalog"
+	"repro/internal/contour"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/posp"
+	"repro/internal/query"
+)
+
+func main() {
+	cat := catalog.TPCHLike(1.0)
+	// A 2-D space: one selection selectivity, one join selectivity.
+	q, err := query.NewBuilder("whatif", cat).
+		Relation("part").Relation("lineitem").Relation("orders").
+		SelectionPred("part", "p_retailprice", 0.10, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), true).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), false).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := ess.NewSpace(q, []int{24, 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	coster := cost.NewCoster(q, cost.Postgres())
+	opt := optimizer.New(coster)
+	diagram := posp.Generate(opt, space, 0)
+	fmt.Println(diagram)
+	fmt.Println("\nplan diagram (x: join selectivity →, y: selection selectivity ↑):")
+	render(diagram, nil)
+
+	// Anorexic reduction over the full space at λ = 20%.
+	flats := make([]int, space.NumPoints())
+	optCost := make([]float64, space.NumPoints())
+	candidates := map[int]bool{}
+	for f := range flats {
+		flats[f] = f
+		optCost[f] = diagram.Cost(f)
+		candidates[diagram.PlanID(f)] = true
+	}
+	var cands []int
+	for pid := range candidates {
+		cands = append(cands, pid)
+	}
+	matrix := posp.CostMatrix(diagram, coster, 0)
+	red, err := anorexic.Reduce(flats, optCost, cands, matrix, anorexic.DefaultLambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter anorexic reduction (λ=%.0f%%): %d plans → %d plans\n",
+		anorexic.DefaultLambda*100, diagram.NumPlans(), red.Cardinality())
+	render(diagram, red.AssignAt)
+
+	// And the isocost contours that the bouquet executes along.
+	cmin, cmax := diagram.CostBounds()
+	ladder, err := contour.NewLadder(cmin, cmax, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contours, err := contour.Identify(diagram, ladder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nisocost ladder: %d doubling steps over Cmax/Cmin = %.0f\n", ladder.NumSteps(), cmax/cmin)
+	for _, c := range contours {
+		fmt.Printf("  IC%-2d budget %-12.4g contour locations %-4d plans %v\n",
+			c.K, c.Budget, len(c.Flats), c.PlanIDs)
+	}
+}
+
+// render draws the diagram via the library renderer; assign overrides the
+// plan at each location when non-nil.
+func render(d *posp.Diagram, assign map[int]int) {
+	out, err := d.RenderASCII(assign, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

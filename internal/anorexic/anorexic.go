@@ -1,0 +1,140 @@
+// Package anorexic implements cost-bounded plan-diagram reduction
+// ("anorexic reduction", Harish et al. VLDB 2007 — reference [15] of the
+// bouquet paper): a plan is allowed to "swallow" another plan's
+// ESS locations if its cost there stays within a (1+λ) factor of the
+// optimal, shrinking the plan set to a small absolute number.
+//
+// The bouquet construction applies it per isocost contour (§4.3) to drive
+// the contour plan density ρ — and hence the MSO guarantee 4·(1+λ)·ρ —
+// down to practical values (§3.3, Table 1).
+package anorexic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultLambda is the paper's standard swallow threshold (20%).
+const DefaultLambda = 0.20
+
+// Reduction is the outcome of a reduction over a set of ESS locations.
+type Reduction struct {
+	// Lambda is the swallow threshold used.
+	Lambda float64
+	// Retained are the surviving plan IDs, ascending.
+	Retained []int
+	// AssignAt maps each reduced location (flat index) to the retained
+	// plan chosen for it.
+	AssignAt map[int]int
+}
+
+// Cardinality returns the number of retained plans.
+func (r Reduction) Cardinality() int { return len(r.Retained) }
+
+// Reduce performs a greedy set-cover reduction over the given locations.
+//
+//   - flats: the ESS locations to cover (e.g. one contour, or the full grid);
+//   - optCost[flat]: the optimal cost at each location;
+//   - candidates: plan IDs eligible for retention (typically the distinct
+//     optimal plans at the locations);
+//   - planCost[planID][flat]: the abstract cost of each candidate everywhere
+//     (posp.CostMatrix);
+//   - lambda: the swallow threshold.
+//
+// A candidate covers a location if its cost there is within (1+λ)× optimal.
+// Greedy iterations retain the candidate covering the most uncovered
+// locations (ties broken by lower total cost over the remaining locations,
+// then by plan ID, keeping the outcome deterministic). Every location is
+// coverable by construction: its own optimal plan is a candidate.
+func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float64, lambda float64) (Reduction, error) {
+	if lambda < 0 {
+		return Reduction{}, fmt.Errorf("anorexic: negative lambda %g", lambda)
+	}
+	red := Reduction{Lambda: lambda, AssignAt: make(map[int]int, len(flats))}
+	if len(flats) == 0 {
+		return red, nil
+	}
+
+	// covers[ci] = set of location positions candidate ci covers.
+	covers := make([][]int, len(candidates))
+	for ci, pid := range candidates {
+		if pid < 0 || pid >= len(planCost) {
+			return Reduction{}, fmt.Errorf("anorexic: candidate plan %d outside cost matrix", pid)
+		}
+		for li, flat := range flats {
+			if planCost[pid][flat] <= (1+lambda)*optCost[flat]*(1+1e-12) {
+				covers[ci] = append(covers[ci], li)
+			}
+		}
+	}
+
+	uncovered := make(map[int]bool, len(flats))
+	for li := range flats {
+		uncovered[li] = true
+	}
+
+	for len(uncovered) > 0 {
+		bestCi, bestGain := -1, 0
+		bestTotal := 0.0
+		for ci := range candidates {
+			gain := 0
+			total := 0.0
+			for _, li := range covers[ci] {
+				if uncovered[li] {
+					gain++
+					total += planCost[candidates[ci]][flats[li]]
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			better := gain > bestGain ||
+				(gain == bestGain && total < bestTotal) ||
+				(gain == bestGain && total == bestTotal && bestCi >= 0 && candidates[ci] < candidates[bestCi])
+			if bestCi < 0 || better {
+				bestCi, bestGain, bestTotal = ci, gain, total
+			}
+		}
+		if bestCi < 0 {
+			return Reduction{}, fmt.Errorf("anorexic: %d locations not coverable by any candidate", len(uncovered))
+		}
+		pid := candidates[bestCi]
+		red.Retained = append(red.Retained, pid)
+		for _, li := range covers[bestCi] {
+			if uncovered[li] {
+				delete(uncovered, li)
+				red.AssignAt[flats[li]] = pid
+			}
+		}
+	}
+
+	sort.Ints(red.Retained)
+	// Reassign every location to its cheapest retained plan (the greedy
+	// pass assigns first-covered, which may not be cheapest).
+	for li, flat := range flats {
+		best, bestCost := -1, 0.0
+		for _, pid := range red.Retained {
+			c := planCost[pid][flat]
+			if c <= (1+lambda)*optCost[flat]*(1+1e-12) && (best < 0 || c < bestCost) {
+				best, bestCost = pid, c
+			}
+		}
+		if best < 0 {
+			return Reduction{}, fmt.Errorf("anorexic: internal: location %d lost coverage", flats[li])
+		}
+		red.AssignAt[flat] = best
+	}
+	return red, nil
+}
+
+// Verify checks the reduction's (1+λ) guarantee over its locations,
+// returning the first violation.
+func Verify(red Reduction, optCost []float64, planCost [][]float64) error {
+	for flat, pid := range red.AssignAt {
+		if planCost[pid][flat] > (1+red.Lambda)*optCost[flat]*(1+1e-9) {
+			return fmt.Errorf("anorexic: plan %d at location %d costs %g > (1+λ)·%g",
+				pid, flat, planCost[pid][flat], optCost[flat])
+		}
+	}
+	return nil
+}

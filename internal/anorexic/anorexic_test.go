@@ -1,0 +1,202 @@
+package anorexic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthetic builds a cost matrix for nPlans plans over nLocs locations:
+// each location's optimal plan is location%nPlans, and plan p's cost at
+// location l is opt(l) · penalty(p, l).
+func synthetic(nPlans, nLocs int, penalty func(p, l int) float64) (flats []int, optCost []float64, cands []int, m [][]float64) {
+	flats = make([]int, nLocs)
+	optCost = make([]float64, nLocs)
+	m = make([][]float64, nPlans)
+	for p := range m {
+		m[p] = make([]float64, nLocs)
+	}
+	for l := 0; l < nLocs; l++ {
+		flats[l] = l
+		optCost[l] = 100 + float64(l)
+		for p := 0; p < nPlans; p++ {
+			m[p][l] = optCost[l] * penalty(p, l)
+		}
+	}
+	for p := 0; p < nPlans; p++ {
+		cands = append(cands, p)
+	}
+	return flats, optCost, cands, m
+}
+
+func TestReduceToSinglePlan(t *testing.T) {
+	// One plan is within λ everywhere: reduction must retain only it.
+	flats, opt, cands, m := synthetic(4, 20, func(p, l int) float64 {
+		if p == 2 {
+			return 1.1 // always within 20%
+		}
+		if p == l%4 {
+			return 1.0
+		}
+		return 3.0
+	})
+	red, err := Reduce(flats, opt, cands, m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Cardinality() != 1 || red.Retained[0] != 2 {
+		t.Fatalf("retained = %v, want [2]", red.Retained)
+	}
+	if err := Verify(red, opt, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceZeroLambdaKeepsOptimal(t *testing.T) {
+	// λ = 0 with strictly separated costs: nothing can swallow anything.
+	flats, opt, cands, m := synthetic(3, 9, func(p, l int) float64 {
+		if p == l%3 {
+			return 1.0
+		}
+		return 1.5
+	})
+	red, err := Reduce(flats, opt, cands, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Cardinality() != 3 {
+		t.Fatalf("retained %d plans, want all 3", red.Cardinality())
+	}
+	// Each location keeps its own optimal plan.
+	for l, flat := range flats {
+		if red.AssignAt[flat] != l%3 {
+			t.Fatalf("location %d assigned %d", flat, red.AssignAt[flat])
+		}
+	}
+}
+
+func TestReduceEmptyInput(t *testing.T) {
+	red, err := Reduce(nil, nil, nil, nil, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Cardinality() != 0 || len(red.AssignAt) != 0 {
+		t.Fatal("empty input should reduce to nothing")
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	flats, opt, _, m := synthetic(2, 4, func(p, l int) float64 { return 1 })
+	if _, err := Reduce(flats, opt, []int{0}, m, -0.5); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := Reduce(flats, opt, []int{7}, m, 0.2); err == nil {
+		t.Error("candidate outside matrix should fail")
+	}
+	// Uncoverable: candidates that are never within (1+λ).
+	bad := [][]float64{{1e9, 1e9, 1e9, 1e9}, nil}
+	if _, err := Reduce(flats, opt, []int{0}, bad, 0.2); err == nil {
+		t.Error("uncoverable locations should fail")
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	flats, opt, cands, m := synthetic(6, 40, func(p, l int) float64 {
+		if p == l%6 {
+			return 1.0
+		}
+		return 1.0 + rng.Float64()*2
+	})
+	a, err := Reduce(flats, opt, cands, m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reduce(flats, opt, cands, m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Retained) != len(b.Retained) {
+		t.Fatal("nondeterministic retention")
+	}
+	for i := range a.Retained {
+		if a.Retained[i] != b.Retained[i] {
+			t.Fatal("nondeterministic retention order")
+		}
+	}
+	for f, p := range a.AssignAt {
+		if b.AssignAt[f] != p {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+}
+
+func TestAssignmentPicksCheapestRetained(t *testing.T) {
+	// Two plans both within λ at a location: the assignment must pick
+	// the cheaper one.
+	flats := []int{0, 1}
+	opt := []float64{100, 100}
+	m := [][]float64{{100, 119}, {119, 100}}
+	red, err := Reduce(flats, opt, []int{0, 1}, m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Cardinality() != 1 {
+		// Either plan covers both; greedy keeps one.
+		t.Fatalf("retained = %v", red.Retained)
+	}
+	kept := red.Retained[0]
+	for _, f := range flats {
+		if red.AssignAt[f] != kept {
+			t.Fatal("assignment inconsistent with retention")
+		}
+	}
+}
+
+// TestReduceGuaranteeProperty: for random cost structures, the reduction
+// always (a) covers every location within (1+λ), (b) retains no more plans
+// than candidates, and (c) retains at most the trivially sufficient count.
+func TestReduceGuaranteeProperty(t *testing.T) {
+	f := func(seed int64, lambdaSeed float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lambda := 0.05 + 0.5*abs1(lambdaSeed)
+		nPlans := 2 + rng.Intn(8)
+		nLocs := 5 + rng.Intn(40)
+		flats, opt, cands, m := synthetic(nPlans, nLocs, func(p, l int) float64 {
+			if p == l%nPlans {
+				return 1.0
+			}
+			return 1.0 + rng.Float64()*3
+		})
+		red, err := Reduce(flats, opt, cands, m, lambda)
+		if err != nil {
+			return false
+		}
+		if red.Cardinality() > nPlans {
+			return false
+		}
+		return Verify(red, opt, m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs1(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	for v > 1 {
+		v /= 2
+	}
+	return v
+}
+
+func TestVerifyCatchesViolation(t *testing.T) {
+	red := Reduction{Lambda: 0.2, Retained: []int{0}, AssignAt: map[int]int{0: 0}}
+	opt := []float64{100}
+	m := [][]float64{{150}} // 1.5x > 1.2x
+	if err := Verify(red, opt, m); err == nil {
+		t.Fatal("Verify missed a violation")
+	}
+}

@@ -1,0 +1,233 @@
+package catalog
+
+import "fmt"
+
+// This file builds the synthetic benchmark catalogs. They mirror the
+// *shapes* of TPC-H and TPC-DS — a few large fact tables fanning out to
+// progressively smaller dimension tables with PK-FK chains — at laptop
+// scale. The bouquet evaluation only depends on join-graph geometry and the
+// Cmax/Cmin cost gradient, both of which these catalogs reproduce
+// (see DESIGN.md §1).
+
+// ScaleFactor scales the row counts of a benchmark catalog. 1.0 is the
+// default evaluation scale (≈2M rows in the largest fact table).
+type ScaleFactor float64
+
+func scaled(sf ScaleFactor, base int64) int64 {
+	v := int64(float64(base) * float64(sf))
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+// TPCHLike builds a TPC-H-shaped catalog: the classic
+// region→nation→{customer,supplier}→orders→lineitem←{part,partsupp}
+// hierarchy. Column names follow TPC-H conventions so the paper's example
+// query EQ reads naturally.
+func TPCHLike(sf ScaleFactor) *Catalog {
+	c := NewCatalog()
+
+	c.AddRelation(&Relation{
+		Name: "region", Card: scaled(sf, 5), TupleWidth: 120,
+		Columns: []Column{
+			{Name: "r_regionkey", Type: TypeKey, DistinctCount: scaled(sf, 5)},
+			{Name: "r_name", Type: TypeInt, DistinctCount: scaled(sf, 5)},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "nation", Card: scaled(sf, 25), TupleWidth: 128,
+		Columns: []Column{
+			{Name: "n_nationkey", Type: TypeKey, DistinctCount: scaled(sf, 25)},
+			{Name: "n_regionkey", Type: TypeForeignKey, Refs: "region", DistinctCount: scaled(sf, 5)},
+			{Name: "n_name", Type: TypeInt, DistinctCount: scaled(sf, 25)},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "supplier", Card: scaled(sf, 10_000), TupleWidth: 160,
+		Columns: []Column{
+			{Name: "s_suppkey", Type: TypeKey, DistinctCount: scaled(sf, 10_000)},
+			{Name: "s_nationkey", Type: TypeForeignKey, Refs: "nation", DistinctCount: scaled(sf, 25)},
+			{Name: "s_acctbal", Type: TypeInt, DistinctCount: 10_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "customer", Card: scaled(sf, 150_000), TupleWidth: 180,
+		Columns: []Column{
+			{Name: "c_custkey", Type: TypeKey, DistinctCount: scaled(sf, 150_000)},
+			{Name: "c_nationkey", Type: TypeForeignKey, Refs: "nation", DistinctCount: scaled(sf, 25)},
+			{Name: "c_mktsegment", Type: TypeInt, DistinctCount: 5},
+			{Name: "c_acctbal", Type: TypeInt, DistinctCount: 10_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "part", Card: scaled(sf, 200_000), TupleWidth: 156,
+		Columns: []Column{
+			{Name: "p_partkey", Type: TypeKey, DistinctCount: scaled(sf, 200_000)},
+			{Name: "p_retailprice", Type: TypeInt, DistinctCount: 100_000},
+			{Name: "p_brand", Type: TypeInt, DistinctCount: 25},
+			{Name: "p_type", Type: TypeInt, DistinctCount: 150},
+			{Name: "p_size", Type: TypeInt, DistinctCount: 50},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "partsupp", Card: scaled(sf, 800_000), TupleWidth: 144,
+		Columns: []Column{
+			{Name: "ps_partkey", Type: TypeForeignKey, Refs: "part", DistinctCount: scaled(sf, 200_000)},
+			{Name: "ps_suppkey", Type: TypeForeignKey, Refs: "supplier", DistinctCount: scaled(sf, 10_000)},
+			{Name: "ps_supplycost", Type: TypeInt, DistinctCount: 100_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "orders", Card: scaled(sf, 1_500_000), TupleWidth: 104,
+		Columns: []Column{
+			{Name: "o_orderkey", Type: TypeKey, DistinctCount: scaled(sf, 1_500_000)},
+			{Name: "o_custkey", Type: TypeForeignKey, Refs: "customer", DistinctCount: scaled(sf, 150_000)},
+			{Name: "o_orderdate", Type: TypeInt, DistinctCount: 2_400},
+			{Name: "o_totalprice", Type: TypeInt, DistinctCount: 1_000_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "lineitem", Card: scaled(sf, 6_000_000), TupleWidth: 112,
+		Columns: []Column{
+			{Name: "l_orderkey", Type: TypeForeignKey, Refs: "orders", DistinctCount: scaled(sf, 1_500_000)},
+			{Name: "l_partkey", Type: TypeForeignKey, Refs: "part", DistinctCount: scaled(sf, 200_000)},
+			{Name: "l_suppkey", Type: TypeForeignKey, Refs: "supplier", DistinctCount: scaled(sf, 10_000)},
+			{Name: "l_shipdate", Type: TypeInt, DistinctCount: 2_500},
+			{Name: "l_quantity", Type: TypeInt, DistinctCount: 50},
+			{Name: "l_extendedprice", Type: TypeInt, DistinctCount: 1_000_000},
+		},
+	})
+
+	c.IndexAllColumns()
+	return c
+}
+
+// TPCDSLike builds a TPC-DS-shaped catalog: a snowflaked retail schema with
+// store/web/catalog sales facts and shared dimensions. Only the relations
+// the evaluation workloads touch are modelled.
+func TPCDSLike(sf ScaleFactor) *Catalog {
+	c := NewCatalog()
+
+	c.AddRelation(&Relation{
+		Name: "date_dim", Card: scaled(sf, 73_000), TupleWidth: 140,
+		Columns: []Column{
+			{Name: "d_date_sk", Type: TypeKey, DistinctCount: scaled(sf, 73_000)},
+			{Name: "d_year", Type: TypeInt, DistinctCount: 200},
+			{Name: "d_moy", Type: TypeInt, DistinctCount: 12},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "item", Card: scaled(sf, 102_000), TupleWidth: 280,
+		Columns: []Column{
+			{Name: "i_item_sk", Type: TypeKey, DistinctCount: scaled(sf, 102_000)},
+			{Name: "i_category", Type: TypeInt, DistinctCount: 10},
+			{Name: "i_manufact_id", Type: TypeInt, DistinctCount: 1_000},
+			{Name: "i_brand_id", Type: TypeInt, DistinctCount: 950},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "customer_demographics", Card: scaled(sf, 1_920_800), TupleWidth: 42,
+		Columns: []Column{
+			{Name: "cd_demo_sk", Type: TypeKey, DistinctCount: scaled(sf, 1_920_800)},
+			{Name: "cd_gender", Type: TypeInt, DistinctCount: 2},
+			{Name: "cd_marital_status", Type: TypeInt, DistinctCount: 5},
+			{Name: "cd_education_status", Type: TypeInt, DistinctCount: 7},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "customer_address", Card: scaled(sf, 1_000_000), TupleWidth: 110,
+		Columns: []Column{
+			{Name: "ca_address_sk", Type: TypeKey, DistinctCount: scaled(sf, 1_000_000)},
+			{Name: "ca_state", Type: TypeInt, DistinctCount: 52},
+			{Name: "ca_zip", Type: TypeInt, DistinctCount: 100_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "customer", Card: scaled(sf, 2_000_000), TupleWidth: 132,
+		Columns: []Column{
+			{Name: "c_customer_sk", Type: TypeKey, DistinctCount: scaled(sf, 2_000_000)},
+			{Name: "c_current_cdemo_sk", Type: TypeForeignKey, Refs: "customer_demographics", DistinctCount: scaled(sf, 1_920_800)},
+			{Name: "c_current_addr_sk", Type: TypeForeignKey, Refs: "customer_address", DistinctCount: scaled(sf, 1_000_000)},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "store", Card: scaled(sf, 1_000), TupleWidth: 260,
+		Columns: []Column{
+			{Name: "s_store_sk", Type: TypeKey, DistinctCount: scaled(sf, 1_000)},
+			{Name: "s_state", Type: TypeInt, DistinctCount: 30},
+			{Name: "s_gmt_offset", Type: TypeInt, DistinctCount: 5},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "store_sales", Card: scaled(sf, 8_000_000), TupleWidth: 100,
+		Columns: []Column{
+			{Name: "ss_sold_date_sk", Type: TypeForeignKey, Refs: "date_dim", DistinctCount: scaled(sf, 73_000)},
+			{Name: "ss_item_sk", Type: TypeForeignKey, Refs: "item", DistinctCount: scaled(sf, 102_000)},
+			{Name: "ss_customer_sk", Type: TypeForeignKey, Refs: "customer", DistinctCount: scaled(sf, 2_000_000)},
+			{Name: "ss_cdemo_sk", Type: TypeForeignKey, Refs: "customer_demographics", DistinctCount: scaled(sf, 1_920_800)},
+			{Name: "ss_store_sk", Type: TypeForeignKey, Refs: "store", DistinctCount: scaled(sf, 1_000)},
+			{Name: "ss_promo_sk", Type: TypeForeignKey, Refs: "promotion", DistinctCount: scaled(sf, 1_500)},
+			{Name: "ss_sales_price", Type: TypeInt, DistinctCount: 20_000},
+			{Name: "ss_quantity", Type: TypeInt, DistinctCount: 100},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "catalog_sales", Card: scaled(sf, 4_000_000), TupleWidth: 120,
+		Columns: []Column{
+			{Name: "cs_sold_date_sk", Type: TypeForeignKey, Refs: "date_dim", DistinctCount: scaled(sf, 73_000)},
+			{Name: "cs_item_sk", Type: TypeForeignKey, Refs: "item", DistinctCount: scaled(sf, 102_000)},
+			{Name: "cs_bill_customer_sk", Type: TypeForeignKey, Refs: "customer", DistinctCount: scaled(sf, 2_000_000)},
+			{Name: "cs_bill_cdemo_sk", Type: TypeForeignKey, Refs: "customer_demographics", DistinctCount: scaled(sf, 1_920_800)},
+			{Name: "cs_promo_sk", Type: TypeForeignKey, Refs: "promotion", DistinctCount: scaled(sf, 1_500)},
+			{Name: "cs_sales_price", Type: TypeInt, DistinctCount: 20_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "web_sales", Card: scaled(sf, 2_000_000), TupleWidth: 130,
+		Columns: []Column{
+			{Name: "ws_sold_date_sk", Type: TypeForeignKey, Refs: "date_dim", DistinctCount: scaled(sf, 73_000)},
+			{Name: "ws_item_sk", Type: TypeForeignKey, Refs: "item", DistinctCount: scaled(sf, 102_000)},
+			{Name: "ws_bill_customer_sk", Type: TypeForeignKey, Refs: "customer", DistinctCount: scaled(sf, 2_000_000)},
+			{Name: "ws_sales_price", Type: TypeInt, DistinctCount: 20_000},
+		},
+	})
+	c.AddRelation(&Relation{
+		Name: "promotion", Card: scaled(sf, 1_500), TupleWidth: 124,
+		Columns: []Column{
+			{Name: "p_promo_sk", Type: TypeKey, DistinctCount: scaled(sf, 1_500)},
+			{Name: "p_channel_email", Type: TypeInt, DistinctCount: 2},
+		},
+	})
+
+	c.IndexAllColumns()
+	return c
+}
+
+// Validate checks referential consistency of foreign keys: every
+// TypeForeignKey column must name an existing relation that has a TypeKey
+// column. It returns a descriptive error for the first violation found.
+func (c *Catalog) Validate() error {
+	for _, rel := range c.Relations() {
+		for _, col := range rel.Columns {
+			if col.Type != TypeForeignKey {
+				continue
+			}
+			target := c.Relation(col.Refs)
+			if target == nil {
+				return fmt.Errorf("catalog: %s.%s references unknown relation %q", rel.Name, col.Name, col.Refs)
+			}
+			hasPK := false
+			for _, tc := range target.Columns {
+				if tc.Type == TypeKey {
+					hasPK = true
+					break
+				}
+			}
+			if !hasPK {
+				return fmt.Errorf("catalog: %s.%s references relation %q without a primary key", rel.Name, col.Name, col.Refs)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package contour_test
+
+import (
+	"fmt"
+
+	"repro/internal/contour"
+)
+
+// ExampleNewLadder builds the paper's doubling isocost ladder over a cost
+// range spanning a factor of 100.
+func ExampleNewLadder() {
+	ladder, err := contour.NewLadder(10, 1000, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ladder.Steps)
+	fmt.Println("budget for cost 75 is step", ladder.StepFor(75))
+	// Output:
+	// [10 20 40 80 160 320 640 1280]
+	// budget for cost 75 is step 4
+}

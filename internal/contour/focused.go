@@ -1,0 +1,133 @@
+package contour
+
+import (
+	"math"
+
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/posp"
+)
+
+// FocusStats reports the compile-time overheads of contour-focused POSP
+// generation (§6.1): how many optimizer calls the band approach needed
+// versus the exhaustive grid.
+type FocusStats struct {
+	// OptimizerCalls is the number of selectivity-injected
+	// optimizations performed.
+	OptimizerCalls int
+	// GridPoints is the total grid cardinality (what an exhaustive
+	// generation would have cost).
+	GridPoints int
+}
+
+// SavingsFactor returns GridPoints / OptimizerCalls.
+func (s FocusStats) SavingsFactor() float64 {
+	if s.OptimizerCalls == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.GridPoints) / float64(s.OptimizerCalls)
+}
+
+// Focused generates a sparse plan diagram covering a narrow band of
+// locations around each isocost contour, per the paper's recursive
+// hypercube subdivision (§4.2): starting from the full space, a hypercube
+// is split when some IC step's cost lies within the range established by
+// the corners of its principal diagonal; recursion stops at small cubes,
+// which are optimized exhaustively. The interior of the regions between
+// contours is never optimized.
+//
+// The returned diagram covers (at least) every contour location of the
+// corresponding exhaustive diagram, which tests assert.
+func Focused(opt *optimizer.Optimizer, space *ess.Space, l Ladder) (*posp.Diagram, FocusStats) {
+	d := posp.NewDiagram(space)
+	g := &focusGen{opt: opt, space: space, ladder: l, diagram: d}
+
+	lo := make([]int, space.Dims())
+	hi := make([]int, space.Dims())
+	for dim := 0; dim < space.Dims(); dim++ {
+		hi[dim] = space.Dim(dim).Res - 1
+	}
+	g.recurse(lo, hi)
+
+	return d, FocusStats{OptimizerCalls: g.calls, GridPoints: space.NumPoints()}
+}
+
+type focusGen struct {
+	opt     *optimizer.Optimizer
+	space   *ess.Space
+	ladder  Ladder
+	diagram *posp.Diagram
+	calls   int
+}
+
+// costAt optimizes the location (memoized through the diagram).
+func (g *focusGen) costAt(coord []int) float64 {
+	flat := g.space.Flat(coord)
+	if g.diagram.Covered(flat) {
+		return g.diagram.Cost(flat)
+	}
+	p := g.space.PointAtCoord(coord)
+	res := g.opt.Optimize(g.space.Sels(p))
+	g.calls++
+	g.diagram.Set(flat, res.Plan, res.Cost)
+	return res.Cost
+}
+
+// recurse processes the hypercube [lo, hi] (inclusive coordinates).
+func (g *focusGen) recurse(lo, hi []int) {
+	cLo := g.costAt(lo)
+	cHi := g.costAt(hi)
+
+	// Does any IC step cross this cube's diagonal cost range?
+	crossed := false
+	for _, s := range g.ladder.Steps {
+		if cLo <= s && s <= cHi {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		return
+	}
+
+	// Find the longest splittable side.
+	split, width := -1, 1
+	for dim := range lo {
+		if w := hi[dim] - lo[dim]; w > width {
+			split, width = dim, w
+		}
+	}
+	if split < 0 {
+		// Small cube crossed by a contour: optimize every location.
+		g.fillCube(lo, hi)
+		return
+	}
+
+	mid := (lo[split] + hi[split]) / 2
+	hiA := append([]int{}, hi...)
+	hiA[split] = mid
+	loB := append([]int{}, lo...)
+	loB[split] = mid
+	g.recurse(lo, hiA)
+	g.recurse(loB, hi)
+}
+
+// fillCube optimizes every location of a small cube.
+func (g *focusGen) fillCube(lo, hi []int) {
+	coord := append([]int{}, lo...)
+	for {
+		g.costAt(coord)
+		d := len(coord) - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] <= hi[d] {
+				break
+			}
+			coord[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

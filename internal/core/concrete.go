@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// ConcreteStep is one real plan execution on the engine.
+type ConcreteStep struct {
+	Step
+	// Wall is the wall-clock duration of the execution.
+	Wall time.Duration
+	// Rows is the number of rows the driven node produced.
+	Rows int64
+}
+
+// ConcreteExecution is the outcome of a bouquet run on real data.
+type ConcreteExecution struct {
+	// Steps is the execution sequence.
+	Steps []ConcreteStep
+	// TotalCost is the summed charged cost, in model units.
+	TotalCost float64
+	// Wall is the total wall-clock time.
+	Wall time.Duration
+	// Completed reports whether the query finished.
+	Completed bool
+	// ResultRows is the final result cardinality.
+	ResultRows int64
+	// Learned is the discovered q_run at completion, per ESS dimension.
+	Learned []float64
+}
+
+// NumExecs returns the number of plan executions.
+func (e ConcreteExecution) NumExecs() int { return len(e.Steps) }
+
+// ConcreteRunner drives a compiled bouquet against a real execution engine,
+// discovering the actual selectivities through budgeted (and spilled)
+// executions — no ground truth is consulted; everything the run-time knows
+// comes from the engine's tuple counters.
+type ConcreteRunner struct {
+	// B is the compiled bouquet.
+	B *Bouquet
+	// Engine executes plans over the generated tables.
+	Engine *exec.Engine
+}
+
+// RunBasic executes the basic algorithm (Fig. 7) on the engine.
+func (r *ConcreteRunner) RunBasic() ConcreteExecution {
+	var out ConcreteExecution
+	for _, c := range r.B.Contours {
+		for _, pid := range c.PlanIDs {
+			if r.executeGeneric(&out, c, pid) {
+				return out
+			}
+		}
+	}
+	// Defensive terminal execution (q_a beyond the last contour can
+	// only happen when realized data selectivities exceed the space's
+	// terminus): run the last contour's plans unbudgeted.
+	last := r.B.Contours[len(r.B.Contours)-1]
+	pid := last.PlanIDs[0]
+	res, wall := r.timedRun(pid, exec.Options{Budget: math.Inf(1)})
+	out.Steps = append(out.Steps, ConcreteStep{
+		Step: Step{Contour: last.K + 1, PlanID: pid, Dim: -1, Budget: math.Inf(1), Spent: res.CostUsed, Completed: true},
+		Wall: wall, Rows: res.RowsOut,
+	})
+	out.TotalCost += res.CostUsed
+	out.Wall += wall
+	out.Completed = true
+	out.ResultRows = res.RowsOut
+	return out
+}
+
+// RunOptimized executes the optimized algorithm (Fig. 13) on the engine:
+// AxisPlans plan choice, spilled budgeted executions, selectivity learning
+// from tuple counters, pincer elimination, and early contour change.
+func (r *ConcreteRunner) RunOptimized() ConcreteExecution {
+	b := r.B
+	var out ConcreteExecution
+	st := &runState{qrun: b.Space.Origin().Clone(), learned: make([]bool, b.Space.Dims())}
+
+	for _, c := range b.Contours {
+		if r.runContourConcrete(&out, c, st) {
+			out.Learned = st.qrun
+			return out
+		}
+	}
+	// Beyond the last contour: finish unbudgeted with the cheapest
+	// surviving plan at q_run.
+	pid, _ := r.cheapestAt(b.Contours[len(b.Contours)-1].PlanIDs, st)
+	res, wall := r.timedRun(pid, exec.Options{Budget: math.Inf(1)})
+	out.Steps = append(out.Steps, ConcreteStep{
+		Step: Step{Contour: len(b.Contours) + 1, PlanID: pid, Dim: -1, Budget: math.Inf(1), Spent: res.CostUsed, Completed: true},
+		Wall: wall, Rows: res.RowsOut,
+	})
+	out.TotalCost += res.CostUsed
+	out.Wall += wall
+	out.Completed = true
+	out.ResultRows = res.RowsOut
+	out.Learned = st.qrun
+	return out
+}
+
+func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, st *runState) bool {
+	b := r.B
+	remaining := make(map[int]bool, len(c.PlanIDs))
+	spilled := make(map[int]bool, len(c.PlanIDs))
+	for _, pid := range c.PlanIDs {
+		remaining[pid] = true
+	}
+	for {
+		if b.optCostAtFloor(st.qrun) > c.RawBudget {
+			return false // early contour change
+		}
+		qrunSels := cost.Selectivities(b.Space.Sels(st.qrun))
+		for pid := range remaining {
+			if b.Coster.Cost(b.Diagram.Plan(pid), qrunSels) > c.Budget {
+				delete(remaining, pid) // pincer elimination
+			}
+		}
+		if len(remaining) == 0 {
+			return false
+		}
+
+		var cands []axisCandidate
+		for _, cand := range b.axisPlans(st, c) {
+			if remaining[cand.planID] && !spilled[cand.planID] {
+				cands = append(cands, cand)
+			}
+		}
+		if len(cands) > 0 {
+			cand := pickCandidate(cands)
+			spilled[cand.planID] = true
+			dim := b.Query.DimOf(cand.learnID)
+			p := b.Diagram.Plan(cand.planID)
+			res, wall := r.timedRun(cand.planID, exec.Options{Budget: c.Budget, Spill: true, SpillPred: cand.learnID})
+			sel, exact := r.learnFromStats(cand.planID, cand.learnID, st, res)
+			if sel > st.qrun[dim] {
+				st.qrun[dim] = sel
+			}
+			if exact {
+				st.learned[dim] = true
+			} else {
+				delete(remaining, cand.planID)
+			}
+			out.Steps = append(out.Steps, ConcreteStep{
+				Step: Step{Contour: c.K, PlanID: cand.planID, Dim: dim, Budget: c.Budget, Spent: res.CostUsed, Completed: exact},
+				Wall: wall, Rows: res.RowsOut,
+			})
+			out.TotalCost += res.CostUsed
+			out.Wall += wall
+			if exact && spillNode(p, cand.learnID) == p {
+				// The error node is the plan root: the completed
+				// "spilled" subtree was the whole plan, so the
+				// query result is already in hand.
+				out.Completed = true
+				out.ResultRows = res.RowsOut
+				return true
+			}
+			continue
+		}
+
+		// Generic cost-limited execution, preferring the contour's
+		// covering plan near q_run.
+		pid := b.genericPick(c, st, remaining, qrunSels)
+		if r.executeGenericState(out, c, pid, st) {
+			return true
+		}
+		delete(remaining, pid)
+	}
+}
+
+// cheapestAt returns the plan from ids cheapest at q_run (deterministic
+// ties by plan ID).
+func (r *ConcreteRunner) cheapestAt(ids []int, st *runState) (int, float64) {
+	sels := cost.Selectivities(r.B.Space.Sels(st.qrun))
+	best, bestCost := -1, math.Inf(1)
+	for _, id := range ids {
+		c := r.B.Coster.Cost(r.B.Diagram.Plan(id), sels)
+		if c < bestCost || (c == bestCost && id < best) {
+			best, bestCost = id, c
+		}
+	}
+	return best, bestCost
+}
+
+// executeGeneric runs plan pid cost-limited under contour c, appending the
+// step and reporting completion.
+func (r *ConcreteRunner) executeGeneric(out *ConcreteExecution, c Contour, pid int) bool {
+	res, wall := r.timedRun(pid, exec.Options{Budget: c.Budget})
+	step := ConcreteStep{
+		Step: Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: res.CostUsed, Completed: res.Completed},
+		Wall: wall, Rows: res.RowsOut,
+	}
+	out.Steps = append(out.Steps, step)
+	out.TotalCost += res.CostUsed
+	out.Wall += wall
+	if res.Completed {
+		out.Completed = true
+		out.ResultRows = res.RowsOut
+	}
+	return res.Completed
+}
+
+// executeGenericState is executeGeneric for the optimized driver (q_run is
+// reported on completion but generic runs do not update it — only spilled
+// executions learn, keeping the first-quadrant invariant airtight).
+func (r *ConcreteRunner) executeGenericState(out *ConcreteExecution, c Contour, pid int, st *runState) bool {
+	return r.executeGeneric(out, c, pid)
+}
+
+func (r *ConcreteRunner) timedRun(pid int, opts exec.Options) (exec.Result, time.Duration) {
+	t0 := time.Now()
+	res := r.Engine.Run(r.B.Diagram.Plan(pid), opts)
+	return res, time.Since(t0)
+}
+
+// learnFromStats derives the running selectivity lower bound for predID
+// from a spilled execution's tuple counters (§5.2):
+//
+//   - selection predicate at a scan: pass-count / |R| with |R| the exact
+//     relation cardinality — a sound lower bound even for partial scans;
+//   - join predicate: match-count / (|outer| · |inner|); completed inputs
+//     use exact drained counts, incomplete outer cardinalities fall back
+//     to the error-free estimate, exactly as the paper divides by |S|e·|L'|e.
+//
+// exact is true when the spilled subtree ran to completion, in which case
+// the bound is the true selectivity.
+func (r *ConcreteRunner) learnFromStats(pid, predID int, st *runState, res exec.Result) (float64, bool) {
+	b := r.B
+	p := b.Diagram.Plan(pid)
+	node := spillNode(p, predID)
+	stats := res.Stats[node]
+	if stats == nil {
+		return 0, false
+	}
+	pred := b.Query.Predicate(predID)
+	cat := b.Query.Catalog
+
+	if pred.Kind == query.Selection {
+		card := float64(cat.MustRelation(pred.Left.Relation).Card)
+		return float64(stats.PassBy[predID]) / card, res.Completed
+	}
+
+	if pred.Kind == query.AntiJoin {
+		// The pass fraction of outer rows surviving the NOT EXISTS.
+		outer := r.fullRows(node.Left, st, res)
+		if outer <= 0 {
+			return 0, false
+		}
+		return float64(stats.PassBy[predID]) / outer, res.Completed
+	}
+
+	// Join predicate: establish the two input cardinalities.
+	var outerRows, innerRows float64
+	switch node.Op {
+	case plan.OpIndexNLJoin:
+		innerRows = float64(cat.MustRelation(node.Relation).Card)
+		outerRows = r.fullRows(node.Left, st, res)
+	case plan.OpHashJoin, plan.OpMergeJoin:
+		outerRows = r.fullRows(node.Left, st, res)
+		innerRows = r.fullRows(node.Right, st, res)
+	default:
+		return 0, false
+	}
+	if outerRows <= 0 || innerRows <= 0 {
+		return 0, false
+	}
+	return float64(stats.Matches) / (outerRows * innerRows), res.Completed
+}
+
+// fullRows returns the total output cardinality of a subtree: the exact
+// drained count when the subtree completed, otherwise the cost model's
+// estimate at q_run (error-free inputs by AxisPlans' deep-node preference).
+func (r *ConcreteRunner) fullRows(n *plan.Node, st *runState, res exec.Result) float64 {
+	if stats := res.Stats[n]; stats != nil && stats.Done {
+		return float64(stats.Out)
+	}
+	sels := cost.Selectivities(r.B.Space.Sels(st.qrun))
+	return r.B.Coster.Rows(n, sels)
+}
+
+// Explain renders the execution for reports.
+func (e ConcreteExecution) Explain() string {
+	s := ""
+	for _, st := range e.Steps {
+		mark := "partial"
+		if st.Completed {
+			mark = "done"
+		}
+		kind := "generic"
+		if st.Dim >= 0 {
+			kind = fmt.Sprintf("spill(dim %d)", st.Dim)
+		}
+		s += fmt.Sprintf("IC%-2d plan %-3d %-12s budget %10.4g spent %10.4g rows %8d wall %8s [%s]\n",
+			st.Contour, st.PlanID, kind, st.Budget, st.Spent, st.Rows, st.Wall.Round(time.Microsecond), mark)
+	}
+	s += fmt.Sprintf("total cost %.4g wall %s execs %d rows %d\n", e.TotalCost, e.Wall.Round(time.Millisecond), e.NumExecs(), e.ResultRows)
+	return s
+}

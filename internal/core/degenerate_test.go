@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+)
+
+// Degenerate spaces probe the corner paths of the compile and run-time
+// machinery: single-point grids, flat cost surfaces (one ladder step), and
+// minimum resolutions.
+
+func TestSinglePointSpace(t *testing.T) {
+	q := query1D(t)
+	space, err := ess.NewSpaceWithDims(q, []ess.Dim{{PredID: 0, Lo: 0.1, Hi: 0.1, Res: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+	b, err := Compile(opt, space, CompileOptions{Lambda: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cmin == Cmax: the ladder has exactly one step and one plan.
+	if b.Ladder.NumSteps() != 1 {
+		t.Fatalf("ladder has %d steps", b.Ladder.NumSteps())
+	}
+	if b.Cardinality() != 1 || b.MaxDensity() != 1 {
+		t.Fatalf("degenerate bouquet: |B|=%d ρ=%d", b.Cardinality(), b.MaxDensity())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Running at the only location completes on the first contour with
+	// sub-optimality bounded by the anorexic slack alone.
+	e := b.RunBasic(ess.Point{0.1})
+	if !e.Completed || e.NumExecs() != 1 {
+		t.Fatalf("degenerate run: %+v", e)
+	}
+	if e.SubOpt() > 1.2+1e-9 {
+		t.Fatalf("degenerate SubOpt %g", e.SubOpt())
+	}
+	eo := b.RunOptimized(ess.Point{0.1})
+	if !eo.Completed {
+		t.Fatal("optimized degenerate run failed")
+	}
+}
+
+func TestTwoPointSpace(t *testing.T) {
+	q := query1D(t)
+	space, err := ess.NewSpace(q, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+	b, err := Compile(opt, space, CompileOptions{Lambda: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		if e := b.RunBasic(space.PointAt(f)); !e.Completed || e.SubOpt() > b.BoundMSO()*(1+1e-9) {
+			t.Fatalf("point %d: %+v", f, e)
+		}
+	}
+}
+
+func TestMixedResolutionSpace(t *testing.T) {
+	// One dimension at full resolution, another collapsed to a single
+	// value: the bouquet must treat the collapsed one as a constant.
+	q := query2D(t)
+	dims := []ess.Dim{
+		{PredID: q.ErrorDims()[0], Lo: 1e-4, Hi: 1, Res: 12},
+		{PredID: q.ErrorDims()[1], Lo: 2e-6, Hi: 2e-6, Res: 1},
+	}
+	space, err := ess.NewSpaceWithDims(q, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+	b, err := Compile(opt, space, CompileOptions{Lambda: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < space.NumPoints(); f++ {
+		e := b.RunBasic(space.PointAt(f))
+		if !e.Completed || e.SubOpt() > b.BoundMSO()*(1+1e-9) {
+			t.Fatalf("mixed-res point %d: subopt %g bound %g", f, e.SubOpt(), b.BoundMSO())
+		}
+		eo := b.RunOptimized(space.PointAt(f))
+		if !eo.Completed {
+			t.Fatalf("optimized failed at %d", f)
+		}
+	}
+}
+
+func TestLargeRatioSingleStep(t *testing.T) {
+	// A huge ladder ratio collapses the ladder to very few steps; the
+	// guarantee degrades (r²/(r−1) grows) but correctness must not.
+	b, _ := compileFor(t, query1D(t), 30, CompileOptions{Ratio: 64, Lambda: 0.2})
+	if len(b.Contours) > 3 {
+		t.Fatalf("ratio 64 still produced %d contours", len(b.Contours))
+	}
+	space := b.Space
+	for f := 0; f < space.NumPoints(); f++ {
+		if e := b.RunBasic(space.PointAt(f)); !e.Completed {
+			t.Fatalf("no completion at %d", f)
+		}
+	}
+}

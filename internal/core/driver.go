@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/ess"
+)
+
+// Step records one (possibly partial) plan execution of a bouquet run.
+type Step struct {
+	// Contour is the 1-based isocost step index the execution ran under.
+	Contour int
+	// PlanID is the diagram ID of the executed plan.
+	PlanID int
+	// Dim is the ESS dimension a spilled execution was learning, or -1
+	// for a generic (full-plan) execution.
+	Dim int
+	// Budget is the cost limit the execution ran under.
+	Budget float64
+	// Spent is the cost actually charged.
+	Spent float64
+	// Completed reports whether the driven (sub)plan ran to completion
+	// within the budget.
+	Completed bool
+}
+
+// Execution is the outcome of one bouquet run at one query location.
+type Execution struct {
+	// Steps is the full execution sequence, in order.
+	Steps []Step
+	// TotalCost is the summed cost of all steps (exploration overheads
+	// included), i.e. c_b(q_a) of §2.
+	TotalCost float64
+	// OptCost is the oracle cost c_oa(q_a), the SubOpt denominator.
+	OptCost float64
+	// Completed reports whether the query finished (always true for
+	// in-space locations; kept for harness assertions).
+	Completed bool
+}
+
+// SubOpt returns SubOpt(*, q_a) = TotalCost / OptCost (Eq. 1 adapted to
+// the bouquet per §2).
+func (e Execution) SubOpt() float64 { return e.TotalCost / e.OptCost }
+
+// NumExecs returns the number of plan executions (partial + final).
+func (e Execution) NumExecs() int { return len(e.Steps) }
+
+// String renders a compact trace like "IC3:P2(✓)".
+func (e Execution) String() string {
+	var sb strings.Builder
+	for i, s := range e.Steps {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		mark := "…"
+		if s.Completed {
+			mark = "✓"
+		}
+		fmt.Fprintf(&sb, "IC%d:P%d(%s)", s.Contour, s.PlanID, mark)
+	}
+	fmt.Fprintf(&sb, " cost=%.4g subopt=%.2f", e.TotalCost, e.SubOpt())
+	return sb.String()
+}
+
+// truth captures the simulated ground truth of one query instance: the
+// full selectivity assignment at the actual location q_a.
+type truth struct {
+	qa   ess.Point
+	sels cost.Selectivities
+	opt  float64
+}
+
+func (b *Bouquet) truthAt(qa ess.Point) truth {
+	sels := cost.Selectivities(b.Space.Sels(qa))
+	// The oracle cost: optimal plan cost at q_a. The diagram stores it
+	// for grid points under the perfect model; for off-grid points or a
+	// divergent actual model, the cheapest diagram plan at q_a priced
+	// with the actual model is the reference (the POSP covers the
+	// space).
+	flat := b.Space.NearestFlat(qa)
+	opt := b.Diagram.Cost(flat)
+	if b.actual != nil || !b.Diagram.Covered(flat) || !onGrid(b.Space, qa, flat) {
+		opt = math.Inf(1)
+		for _, p := range b.Diagram.Plans() {
+			if c := b.execCost(p, sels); c < opt {
+				opt = c
+			}
+		}
+	}
+	return truth{qa: qa, sels: sels, opt: opt}
+}
+
+func onGrid(s *ess.Space, p ess.Point, flat int) bool {
+	g := s.PointAt(flat)
+	for d := range p {
+		if math.Abs(p[d]-g[d]) > 1e-12*g[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBasic simulates the basic bouquet algorithm (Fig. 7) at the actual
+// location qa: contour by contour, execute each contour plan under the
+// contour budget until one completes. A plan "completes" iff its full cost
+// at q_a is within the budget; otherwise the whole budget is spent and the
+// intermediate results jettisoned.
+func (b *Bouquet) RunBasic(qa ess.Point) Execution {
+	return b.RunBasicFrom(qa, nil)
+}
+
+// RunBasicFrom is RunBasic leveraging an initial seed location known to be
+// a component-wise *underestimate* of q_a (§8: when estimates are apriori
+// guaranteed to be underestimates, the bouquet can skip the contours below
+// the seed instead of starting at the origin). A nil seed starts at IC1.
+// The MSO guarantee is preserved for any valid (dominated) seed; a seed
+// that overestimates q_a voids it, exactly as the paper cautions.
+func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
+	t := b.truthAt(qa)
+	var e Execution
+	e.OptCost = t.opt
+	start := 0
+	if seed != nil {
+		c := b.optCostAtFloor(seed)
+		for start < len(b.Contours)-1 && b.Contours[start].RawBudget < c {
+			start++
+		}
+	}
+	for _, c := range b.Contours[start:] {
+		for _, pid := range c.PlanIDs {
+			full := b.execCost(b.Diagram.Plan(pid), t.sels)
+			if full <= c.Budget {
+				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
+				e.TotalCost += full
+				e.Completed = true
+				return e
+			}
+			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
+			e.TotalCost += c.Budget
+		}
+	}
+	// q_a exceeded every contour: only possible for off-grid locations
+	// beyond the terminus; finish with the cheapest bouquet plan,
+	// unbudgeted.
+	best, bestCost := -1, math.Inf(1)
+	for _, pid := range b.PlanIDs {
+		if c := b.execCost(b.Diagram.Plan(pid), t.sels); c < bestCost {
+			best, bestCost = pid, c
+		}
+	}
+	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: math.Inf(1), Spent: bestCost, Completed: true})
+	e.TotalCost += bestCost
+	e.Completed = true
+	return e
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+)
+
+// TestFocusedCompileMatchesGuarantees: compiling from the contour band only
+// (§4.2's production mode) must preserve completion and the MSO guarantee,
+// with strictly fewer optimizer calls than the exhaustive grid at high
+// resolution.
+func TestFocusedCompile(t *testing.T) {
+	q := query2D(t)
+	space, err := ess.NewSpace(q, []int{24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+
+	opt.ResetCalls()
+	focused, err := Compile(opt, space, CompileOptions{Lambda: 0.2, Focused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	focusedCalls := opt.Calls()
+	if cov := focused.Diagram.Coverage(); cov >= 1.0 {
+		t.Fatalf("focused compile covered the whole grid (%.2f)", cov)
+	}
+	if int(focusedCalls) >= space.NumPoints() {
+		t.Fatalf("focused compile used %d calls for %d points", focusedCalls, space.NumPoints())
+	}
+	if err := focused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	dense, err := Compile(opt, space, CompileOptions{Lambda: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The focused bouquet's guarantee stays within a modest factor of
+	// the dense one's (extra band contour points can inflate ρ a bit).
+	if focused.BoundMSO() > dense.BoundMSO()*2 {
+		t.Fatalf("focused bound %g far above dense %g", focused.BoundMSO(), dense.BoundMSO())
+	}
+
+	// Every grid location completes under the focused bouquet within
+	// its own Eq. 8 bound, for both drivers.
+	bound := focused.BoundMSO()
+	for f := 0; f < space.NumPoints(); f++ {
+		qa := space.PointAt(f)
+		e := focused.RunBasic(qa)
+		if !e.Completed {
+			t.Fatalf("focused basic failed at %d", f)
+		}
+		if e.SubOpt() > bound*(1+1e-9) {
+			t.Fatalf("focused basic SubOpt %g at %d exceeds bound %g", e.SubOpt(), f, bound)
+		}
+		eo := focused.RunOptimized(qa)
+		if !eo.Completed {
+			t.Fatalf("focused optimized failed at %d", f)
+		}
+	}
+}
+
+// TestIdentifySparseSuperset: sparse contour identification over the band
+// yields a superset of the dense contours' locations per step.
+func TestIdentifySparseSuperset(t *testing.T) {
+	q := query2D(t)
+	space, err := ess.NewSpace(q, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+	focused, err := Compile(opt, space, CompileOptions{Lambda: -1, Focused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Compile(opt, space, CompileOptions{Ratio: focused.Ladder.R, Lambda: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(focused.Contours) != len(dense.Contours) {
+		t.Fatalf("contour counts differ: %d vs %d", len(focused.Contours), len(dense.Contours))
+	}
+	for k := range dense.Contours {
+		sparseSet := map[int]bool{}
+		for _, f := range focused.Contours[k].Flats {
+			sparseSet[f] = true
+		}
+		for _, f := range dense.Contours[k].Flats {
+			if !sparseSet[f] {
+				t.Fatalf("IC%d: dense contour location %d missing from sparse identification", k+1, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/plan"
+)
+
+// equivalenceSlack is the cost closeness within which AxisPlans candidates
+// form one "equivalence group" (§5.1); from the cheapest group the plan
+// with the deepest error-prone node is picked.
+const equivalenceSlack = 0.2
+
+// runState is the mutable run-time state of an optimized bouquet execution:
+// the running location q_run and which dimensions are exactly known. The
+// first-quadrant invariant — q_run ≤ q_a component-wise — is maintained by
+// only ever recording selectivity lower bounds (§5.2).
+type runState struct {
+	qrun    ess.Point
+	learned []bool
+}
+
+// allLearned reports whether every dimension is known exactly.
+func (r *runState) allLearned() bool {
+	for _, l := range r.learned {
+		if !l {
+			return false
+		}
+	}
+	return true
+}
+
+// axisCandidate is one AxisPlans candidate: the plan at the intersection of
+// the current contour with the axis through q_run along dim.
+type axisCandidate struct {
+	dim     int
+	planID  int
+	cost    float64 // plan cost at q_run (budget headroom heuristic)
+	depth   int     // depth of the learnable error node (deeper = better)
+	learnID int     // predicate the spilled execution would learn
+}
+
+// axisPlans computes the AxisPlans candidate set (§5.1) at state st on
+// contour c: for each unlearned dimension, walk the grid line through
+// q_run's floor coordinates along that dimension to the last in-budget
+// location (the axis–contour intersection) and take the plan covering the
+// nearest contour point.
+func (b *Bouquet) axisPlans(st *runState, c Contour) []axisCandidate {
+	space := b.Space
+	base := space.Coord(space.FloorFlat(st.qrun))
+	var out []axisCandidate
+	for d := 0; d < space.Dims(); d++ {
+		if st.learned[d] {
+			continue
+		}
+		coord := append([]int{}, base...)
+		// Last covered in-budget coordinate along dimension d.
+		// Uncovered locations (sparse/focused diagrams) are skipped:
+		// the walk keeps going until a covered location exceeds the
+		// budget, landing on the band around the contour.
+		axis := -1
+		for k := base[d]; k < space.Dim(d).Res; k++ {
+			coord[d] = k
+			flat := space.Flat(coord)
+			if !b.Diagram.Covered(flat) {
+				continue
+			}
+			if b.Diagram.Cost(flat) <= c.RawBudget {
+				axis = k
+			} else {
+				break
+			}
+		}
+		if axis < 0 {
+			// Even the floor exceeds the budget on this axis:
+			// the contour is already crossed here.
+			continue
+		}
+		coord[d] = axis
+		pid, ok := b.contourPlanNear(c, coord)
+		if !ok {
+			continue
+		}
+		cand := axisCandidate{dim: d, planID: pid}
+		p := b.Diagram.Plan(pid)
+		cand.learnID, cand.depth = b.learnablePred(p, st)
+		if cand.learnID < 0 {
+			continue // nothing this plan can soundly learn
+		}
+		cand.cost = b.Coster.Cost(p, b.Space.Sels(st.qrun))
+		out = append(out, cand)
+	}
+	return out
+}
+
+// contourPlanNear maps a grid coordinate to the covering reduced plan of
+// the nearest contour location (by L1 coordinate distance, ties to the
+// lower flat for determinism). Results are memoized per (contour, location)
+// since grid-wide metric sweeps hit the same axis points repeatedly.
+func (b *Bouquet) contourPlanNear(c Contour, coord []int) (int, bool) {
+	if len(c.Flats) == 0 {
+		return 0, false
+	}
+	key := uint64(c.K)<<40 | uint64(b.Space.Flat(coord))
+	if v, ok := b.nearCache.Load(key); ok {
+		return v.(int), true
+	}
+	space := b.Space
+	best, bestDist := -1, math.MaxInt64
+	for _, f := range c.Flats {
+		fc := space.Coord(f)
+		dist := 0
+		for d := range fc {
+			if fc[d] > coord[d] {
+				dist += fc[d] - coord[d]
+			} else {
+				dist += coord[d] - fc[d]
+			}
+		}
+		if dist < bestDist || (dist == bestDist && f < best) {
+			best, bestDist = f, dist
+		}
+	}
+	pid := c.AssignAt[best]
+	b.nearCache.Store(key, pid)
+	return pid, true
+}
+
+// learnablePred returns the error-prone predicate of p that a spilled
+// execution can soundly learn — the *deepest* unlearned error node, whose
+// subtree therefore contains no other unlearned error predicates — along
+// with its depth. A predicate sharing its node with another unlearned
+// error predicate is not soundly learnable (the tuple counts conflate the
+// two selectivities, §5.2) and is skipped. Returns (-1, 0) when p has no
+// learnable predicate.
+func (b *Bouquet) learnablePred(p *plan.Node, st *runState) (predID, depth int) {
+	predID, depth = -1, -1
+	for d, id := range b.Query.ErrorDims() {
+		if st.learned[d] {
+			continue
+		}
+		dep, ok := p.PredDepth(id)
+		if !ok || dep <= depth {
+			continue
+		}
+		if n := spillNode(p, id); n != nil && b.nodeSharesUnlearned(n, id, st) {
+			continue
+		}
+		predID, depth = id, dep
+	}
+	if predID < 0 {
+		return -1, 0
+	}
+	return predID, depth
+}
+
+// nodeSharesUnlearned reports whether node n applies an unlearned error
+// predicate other than pred.
+func (b *Bouquet) nodeSharesUnlearned(n *plan.Node, pred int, st *runState) bool {
+	for _, id := range n.Preds {
+		if id == pred {
+			continue
+		}
+		if d := b.Query.DimOf(id); d >= 0 && !st.learned[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// pickCandidate applies the §5.1 heuristic: sort candidates by cost at
+// q_run, form the cheapest equivalence group (within equivalenceSlack),
+// and pick the group's candidate with the deepest error node.
+func pickCandidate(cands []axisCandidate) axisCandidate {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].planID < cands[j].planID
+	})
+	limit := cands[0].cost * (1 + equivalenceSlack)
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.cost > limit {
+			break
+		}
+		if c.depth > best.depth || (c.depth == best.depth && c.planID < best.planID) {
+			best = c
+		}
+	}
+	return best
+}
+
+// spillNode returns the subtree of p rooted at the node applying pred:
+// the spilled plan P̃ of §5.3 executes exactly this subtree, with the
+// pipeline broken (and downstream starved) immediately above it.
+func spillNode(p *plan.Node, pred int) *plan.Node {
+	var found *plan.Node
+	p.Walk(func(n *plan.Node) {
+		for _, id := range n.Preds {
+			if id == pred {
+				found = n
+			}
+		}
+	})
+	return found
+}
+
+// simulateSpill models a budgeted spilled execution of the subtree under
+// ground truth t, learning dimension dim: if the subtree's full cost fits
+// the budget the dimension is learned exactly (= q_a's value); otherwise
+// the learned lower bound is the largest selectivity s such that the
+// subtree, priced with dim at s, stays within budget. Monotonicity of the
+// cost in s makes binary search exact enough; the result is clamped to
+// [current q_run, q_a] so the first-quadrant invariant is preserved.
+func (b *Bouquet) simulateSpill(sub *plan.Node, dim int, st *runState, t truth, budget float64) (spent float64, exact bool) {
+	predID := b.Query.ErrorDims()[dim]
+
+	// The subtree executes against actual selectivities: all its error
+	// predicates are either dim itself or already-learned (== q_a).
+	sels := t.sels.Clone()
+	full := b.execCost(sub, sels)
+	if full <= budget {
+		return full, true
+	}
+
+	// Partial execution: find the selectivity frontier reached.
+	lo, hi := 0.0, t.qa[dim]
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		sels[predID] = mid
+		if b.execCost(sub, sels) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo > st.qrun[dim] {
+		st.qrun[dim] = lo
+	}
+	return budget, false
+}
+
+// RunOptimized simulates the optimized bouquet algorithm (Fig. 13) at the
+// actual location qa, with q_run tracking, AxisPlans plan selection,
+// spill-driven selectivity learning, and early contour change.
+func (b *Bouquet) RunOptimized(qa ess.Point) Execution {
+	return b.RunOptimizedFrom(qa, nil)
+}
+
+// RunOptimizedFrom is RunOptimized with an initial seed location known to
+// be a component-wise underestimate of q_a (§8): q_run starts at the seed
+// rather than the origin, so low contours are skipped by the early-change
+// test. A nil seed starts at the origin. Overestimating seeds void the
+// first-quadrant invariant, as the paper cautions.
+func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
+	t := b.truthAt(qa)
+	var e Execution
+	e.OptCost = t.opt
+
+	st := &runState{qrun: b.Space.Origin().Clone(), learned: make([]bool, b.Space.Dims())}
+	for d := range st.qrun {
+		if seed != nil && seed[d] > st.qrun[d] {
+			st.qrun[d] = seed[d]
+		}
+		if qa[d] <= st.qrun[d] {
+			// q_a at (or below) the start on this axis: nothing
+			// left to discover there.
+			st.qrun[d] = qa[d]
+			st.learned[d] = true
+		}
+	}
+
+	for ci := 0; ci < len(b.Contours); ci++ {
+		if b.runContour(&e, b.Contours[ci], st, t) {
+			return e
+		}
+	}
+
+	// Beyond the last contour (off-grid q_a past the terminus, or every
+	// plan eliminated under a divergent actual model): finish with the
+	// cheapest bouquet plan, unbudgeted.
+	best, bestCost := -1, math.Inf(1)
+	for _, pid := range b.PlanIDs {
+		if cst := b.execCost(b.Diagram.Plan(pid), t.sels); cst < bestCost {
+			best, bestCost = pid, cst
+		}
+	}
+	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: math.Inf(1), Spent: bestCost, Completed: true})
+	e.TotalCost += bestCost
+	e.Completed = true
+	return e
+}
+
+// runContour processes one contour of the optimized algorithm and reports
+// whether the query completed. Per contour, each plan is executed at most
+// twice (once spilled, once generically); plans are eliminated without
+// execution when their abstract cost at q_run already exceeds the budget —
+// the first-quadrant invariant q_run ≤ q_a plus PCM certifies they cannot
+// complete at q_a either (§5.1's pincer elimination). The contour is left
+// when either q_run provably crossed it, or every plan has been eliminated
+// or has failed.
+func (b *Bouquet) runContour(e *Execution, c Contour, st *runState, t truth) bool {
+	remaining := make(map[int]bool, len(c.PlanIDs))
+	spilled := make(map[int]bool, len(c.PlanIDs))
+	for _, pid := range c.PlanIDs {
+		remaining[pid] = true
+	}
+
+	for {
+		// Early contour change (Fig. 13): the optimal cost at (the
+		// floor of) q_run already exceeds this step, so q_a lies
+		// beyond the contour.
+		if b.optCostAtFloor(st.qrun) > c.RawBudget {
+			return false
+		}
+
+		if st.allLearned() {
+			// q_run == q_a: the contour plans' *estimated* costs
+			// are exactly computable; under a perfect cost model
+			// abstract costing alone proves completion or
+			// crossing. With a divergent actual model the
+			// estimate-chosen plan is executed and may still fail
+			// within budget, in which case it is eliminated and
+			// the next survivor tried.
+			pid, est := b.cheapestOn(remaining, t.sels)
+			if pid < 0 || est > c.Budget {
+				return false
+			}
+			full := b.execCost(b.Diagram.Plan(pid), t.sels)
+			if full <= c.Budget {
+				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
+				e.TotalCost += full
+				e.Completed = true
+				return true
+			}
+			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
+			e.TotalCost += c.Budget
+			delete(remaining, pid)
+			continue
+		}
+
+		// Pincer elimination: drop plans whose cost at q_run already
+		// exceeds the budget.
+		qrunSels := cost.Selectivities(b.Space.Sels(st.qrun))
+		for pid := range remaining {
+			if b.Coster.Cost(b.Diagram.Plan(pid), qrunSels) > c.Budget {
+				delete(remaining, pid)
+			}
+		}
+		if len(remaining) == 0 {
+			// Every contour plan is certified to fail at q_a.
+			return false
+		}
+
+		// Prefer a spilled learning execution chosen by AxisPlans,
+		// restricted to plans not yet spilled on this contour.
+		var cands []axisCandidate
+		for _, cand := range b.axisPlans(st, c) {
+			if remaining[cand.planID] && !spilled[cand.planID] {
+				cands = append(cands, cand)
+			}
+		}
+
+		if len(cands) > 0 {
+			cand := pickCandidate(cands)
+			p := b.Diagram.Plan(cand.planID)
+			sub := spillNode(p, cand.learnID)
+			dim := b.Query.DimOf(cand.learnID)
+			spilled[cand.planID] = true
+
+			spent, exact := b.simulateSpill(sub, dim, st, t, c.Budget)
+			if exact {
+				st.qrun[dim] = t.qa[dim]
+				st.learned[dim] = true
+			} else {
+				// The spilled subtree failed within the
+				// budget, so the full plan would too.
+				delete(remaining, cand.planID)
+			}
+			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: cand.planID, Dim: dim, Budget: c.Budget, Spent: spent, Completed: exact})
+			e.TotalCost += spent
+			continue
+		}
+
+		// No learnable spill left: execute one surviving plan
+		// generically, cost-limited (Fig. 7 semantics for this one
+		// plan). Prefer the plan covering q_run's contour region —
+		// the one the coverage guarantee speaks for if q_a is near
+		// q_run — falling back to the cheapest at q_run.
+		pid := b.genericPick(c, st, remaining, qrunSels)
+		full := b.execCost(b.Diagram.Plan(pid), t.sels)
+		if full <= c.Budget {
+			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
+			e.TotalCost += full
+			e.Completed = true
+			return true
+		}
+		delete(remaining, pid)
+		e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
+		e.TotalCost += c.Budget
+	}
+}
+
+// genericPick chooses the surviving plan for a generic cost-limited
+// execution: the contour's covering plan near q_run when it survives,
+// otherwise the cheapest surviving plan at q_run (ties by plan ID).
+func (b *Bouquet) genericPick(c Contour, st *runState, remaining map[int]bool, qrunSels cost.Selectivities) int {
+	if near, ok := b.contourPlanNear(c, b.Space.Coord(b.Space.FloorFlat(st.qrun))); ok && remaining[near] {
+		return near
+	}
+	pid := -1
+	bestCost := math.Inf(1)
+	for id := range remaining {
+		v := b.Coster.Cost(b.Diagram.Plan(id), qrunSels)
+		if v < bestCost || (v == bestCost && id < pid) {
+			pid, bestCost = id, v
+		}
+	}
+	return pid
+}
+
+// cheapestOn returns the surviving plan with the lowest *estimated* cost at
+// the given selectivities (ties by plan ID).
+func (b *Bouquet) cheapestOn(remaining map[int]bool, sels cost.Selectivities) (pid int, cst float64) {
+	pid, cst = -1, math.Inf(1)
+	for id := range remaining {
+		v := b.Coster.Cost(b.Diagram.Plan(id), sels)
+		if v < cst || (v == cst && id < pid) {
+			pid, cst = id, v
+		}
+	}
+	return pid, cst
+}

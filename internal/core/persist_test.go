@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestBouquetSaveLoadRoundTrip(t *testing.T) {
+	q := query2D(t)
+	b, opt := compileFor(t, q, 10, CompileOptions{Lambda: 0.2})
+
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, opt.Coster())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural identity.
+	if loaded.Cardinality() != b.Cardinality() || loaded.MaxDensity() != b.MaxDensity() {
+		t.Fatalf("cardinality/density differ after round trip")
+	}
+	if len(loaded.Contours) != len(b.Contours) {
+		t.Fatalf("contour counts differ")
+	}
+	if loaded.BoundMSO() != b.BoundMSO() {
+		t.Fatalf("bound differs: %g vs %g", loaded.BoundMSO(), b.BoundMSO())
+	}
+	for i := range b.Contours {
+		if b.Contours[i].Budget != loaded.Contours[i].Budget ||
+			len(b.Contours[i].Flats) != len(loaded.Contours[i].Flats) {
+			t.Fatalf("contour %d differs", i)
+		}
+	}
+
+	// Behavioural identity: identical execution traces everywhere.
+	space := b.Space
+	for f := 0; f < space.NumPoints(); f += 3 {
+		qa := space.PointAt(f)
+		a, c := b.RunBasic(qa), loaded.RunBasic(qa)
+		if a.TotalCost != c.TotalCost || a.NumExecs() != c.NumExecs() {
+			t.Fatalf("basic runs differ at %d after round trip", f)
+		}
+		ao, co := b.RunOptimized(qa), loaded.RunOptimized(qa)
+		if ao.TotalCost != co.TotalCost || ao.NumExecs() != co.NumExecs() {
+			t.Fatalf("optimized runs differ at %d after round trip", f)
+		}
+	}
+}
+
+func TestLoadRejectsWrongQuery(t *testing.T) {
+	b, _ := compileFor(t, query2D(t), 8, CompileOptions{Lambda: 0.2})
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := cost.NewCoster(query1D(t), cost.Postgres())
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil ||
+		!strings.Contains(err.Error(), "compiled for query") {
+		t.Fatalf("wrong-query load accepted: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	coster := cost.NewCoster(query1D(t), cost.Postgres())
+	if _, err := Load(strings.NewReader("not json"), coster); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"query":"core1d","numPreds":3,"ratio":0.5}`), coster); err == nil {
+		t.Fatal("invalid ratio accepted")
+	}
+}
+
+func TestLoadRejectsCorruptedContours(t *testing.T) {
+	b, opt := compileFor(t, query1D(t), 8, CompileOptions{Lambda: 0.2})
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a plan reference beyond the plan count.
+	s := buf.String()
+	corrupted := strings.Replace(s, `"assignPlans":[`, `"assignPlans":[9999,`, 1)
+	if corrupted == s {
+		t.Skip("no assignment array found to corrupt")
+	}
+	if _, err := Load(strings.NewReader(corrupted), opt.Coster()); err == nil {
+		t.Fatal("corrupted plan reference accepted")
+	}
+}
+
+func TestValidateOnCompileAndLoad(t *testing.T) {
+	b, opt := compileFor(t, query2D(t), 10, CompileOptions{Lambda: 0.2})
+	if err := b.Validate(); err != nil {
+		t.Fatalf("fresh compile fails validation: %v", err)
+	}
+	bp, _ := compileFor(t, query2D(t), 10, CompileOptions{Lambda: -1})
+	if err := bp.Validate(); err != nil {
+		t.Fatalf("POSP-configuration compile fails validation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, opt.Coster()); err != nil {
+		t.Fatalf("round trip fails validation: %v", err)
+	}
+}

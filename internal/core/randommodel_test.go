@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+)
+
+// randomModel draws a cost model with every parameter scaled by a random
+// factor in [0.2, 5]: an "engine" we have never tuned for. PCM holds by
+// construction for any positive parameters, so Theorem 3's guarantee must
+// survive arbitrary models.
+func randomModel(rng *rand.Rand) cost.Model {
+	scale := func(v float64) float64 { return v * (0.2 + 4.8*rng.Float64()) }
+	p := cost.PostgresParams()
+	return cost.Model{Name: "random", P: cost.Params{
+		SeqPageCost:       scale(p.SeqPageCost),
+		RandomPageCost:    scale(p.RandomPageCost),
+		CPUTupleCost:      scale(p.CPUTupleCost),
+		CPUIndexTupleCost: scale(p.CPUIndexTupleCost),
+		CPUOperatorCost:   scale(p.CPUOperatorCost),
+		HashQualCost:      scale(p.HashQualCost),
+		SortCmpCost:       scale(p.SortCmpCost),
+		WorkMemBytes:      scale(p.WorkMemBytes),
+		SpillPageCost:     scale(p.SpillPageCost),
+	}}
+}
+
+// randomCatalog draws random relation cardinalities spanning three orders
+// of magnitude.
+func randomCatalog(rng *rand.Rand) *catalog.Catalog {
+	c := catalog.NewCatalog()
+	card := func(lo, hi int64) int64 { return lo + rng.Int63n(hi-lo) }
+	c.AddRelation(&catalog.Relation{
+		Name: "dim", Card: card(100, 5_000), TupleWidth: 1 + rng.Int63n(300),
+		Columns: []catalog.Column{
+			{Name: "d_id", Type: catalog.TypeKey, DistinctCount: 1},
+			{Name: "d_v", Type: catalog.TypeInt, DistinctCount: 100},
+		},
+	})
+	c.AddRelation(&catalog.Relation{
+		Name: "fact", Card: card(10_000, 500_000), TupleWidth: 1 + rng.Int63n(300),
+		Columns: []catalog.Column{
+			{Name: "f_dim", Type: catalog.TypeForeignKey, Refs: "dim", DistinctCount: 1},
+			{Name: "f_v", Type: catalog.TypeInt, DistinctCount: 1_000},
+		},
+	})
+	c.MustRelation("dim").Columns[0].DistinctCount = c.MustRelation("dim").Card
+	c.MustRelation("fact").Columns[0].DistinctCount = c.MustRelation("dim").Card
+	c.IndexAllColumns()
+	return c
+}
+
+// TestTheorem3OnRandomModels stress-tests the MSO guarantee across many
+// randomly drawn cost models and catalogs — the bound is a property of the
+// construction, not of our tuned parameters.
+func TestTheorem3OnRandomModels(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		cat := randomCatalog(rng)
+		q := query.NewBuilder("rnd", cat).
+			Relation("dim").Relation("fact").
+			SelectionPred("dim", "d_v", 0.1, true).
+			SelectionPred("fact", "f_v", 0.1, true).
+			JoinPred("dim", "d_id", "fact", "f_dim", query.PKFKSel(cat, "dim"), false).
+			MustBuild()
+		space, err := ess.NewSpace(q, []int{10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := randomModel(rng)
+		opt := optimizer.New(cost.NewCoster(q, model))
+		b, err := Compile(opt, space, CompileOptions{Lambda: 0.2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bound := b.BoundMSO()
+		for f := 0; f < space.NumPoints(); f++ {
+			e := b.RunBasic(space.PointAt(f))
+			if !e.Completed {
+				t.Fatalf("trial %d: no completion at %d", trial, f)
+			}
+			if e.SubOpt() > bound*(1+1e-9) {
+				t.Fatalf("trial %d (model %+v): SubOpt %g at %d exceeds bound %g",
+					trial, model.P, e.SubOpt(), f, bound)
+			}
+		}
+	}
+}
+
+// TestRandomModelsRatioSweep also varies the ladder ratio under random
+// models: the closed-form guarantee ρ(1+λ)r²/(r−1) must hold for every r.
+func TestRandomModelsRatioSweep(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(7_000 + trial)))
+		cat := randomCatalog(rng)
+		q := query.NewBuilder("rnd", cat).
+			Relation("dim").Relation("fact").
+			SelectionPred("fact", "f_v", 0.1, true).
+			JoinPred("dim", "d_id", "fact", "f_dim", query.PKFKSel(cat, "dim"), true).
+			MustBuild()
+		space, err := ess.NewSpace(q, []int{8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimizer.New(cost.NewCoster(q, randomModel(rng)))
+		for _, r := range []float64{1.7, 2, 3.1} {
+			b, err := Compile(opt, space, CompileOptions{Ratio: r, Lambda: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			closed := b.TheoreticalMSO()
+			for f := 0; f < space.NumPoints(); f++ {
+				if so := b.RunBasic(space.PointAt(f)).SubOpt(); so > closed*(1+1e-9) {
+					t.Fatalf("trial %d r=%g: SubOpt %g exceeds %g", trial, r, so, closed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package cost implements the optimizer cost models: PCM-compliant
+// (plan-cost-monotonic) analytic cost functions for every physical operator
+// in internal/plan, parameterised so that two independent "engines" — a
+// PostgreSQL-flavoured model and a commercial-flavoured model — can drive
+// the same optimizer (paper §6.8 / Fig. 19).
+//
+// The central type is Coster, which prices a plan tree at an arbitrary
+// selectivity assignment. This is the paper's "abstract plan costing"
+// combined with "selectivity injection" (§4.2, §5.4): the two optimizer
+// capabilities the entire bouquet construction rests on.
+//
+// Every cost term has a non-negative coefficient on a quantity that is
+// monotonically non-decreasing in every predicate selectivity, so plan
+// costs are monotone over the ESS — the PCM assumption of §2, enforced by
+// property tests.
+package cost
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Params are the knobs of a cost model, in the spirit of PostgreSQL's
+// cost GUCs.
+type Params struct {
+	// SeqPageCost is the cost of a sequential page read.
+	SeqPageCost float64
+	// RandomPageCost is the cost of a random page read.
+	RandomPageCost float64
+	// CPUTupleCost is the cost of emitting/processing one tuple.
+	CPUTupleCost float64
+	// CPUIndexTupleCost is the cost of one index-entry traversal.
+	CPUIndexTupleCost float64
+	// CPUOperatorCost is the cost of one predicate/operator evaluation.
+	CPUOperatorCost float64
+	// HashQualCost is the per-probe cost of a hash-table lookup.
+	HashQualCost float64
+	// SortCmpCost is the per-comparison cost of sorting.
+	SortCmpCost float64
+	// WorkMemBytes is the memory available to a hash or sort before it
+	// spills to disk.
+	WorkMemBytes float64
+	// SpillPageCost is the cost of writing+reading one spilled page.
+	SpillPageCost float64
+}
+
+// PostgresParams returns parameters mirroring PostgreSQL 8.4 defaults
+// (seq_page_cost=1, random_page_cost=4, cpu_tuple_cost=0.01,
+// cpu_index_tuple_cost=0.005, cpu_operator_cost=0.0025, work_mem=1MB).
+func PostgresParams() Params {
+	return Params{
+		SeqPageCost:       1.0,
+		RandomPageCost:    4.0,
+		CPUTupleCost:      0.01,
+		CPUIndexTupleCost: 0.005,
+		CPUOperatorCost:   0.0025,
+		HashQualCost:      0.005,
+		SortCmpCost:       0.0025,
+		WorkMemBytes:      1 << 20,
+		SpillPageCost:     2.0,
+	}
+}
+
+// CommercialParams returns an independently tuned parameter set standing in
+// for the paper's commercial engine "COM": cheaper random I/O (SSD-oriented
+// buffer pool assumptions), pricier CPU, larger work memory — which shifts
+// every operator crossover point, exercising the claim that the bouquet
+// results are not artifacts of one cost model.
+func CommercialParams() Params {
+	return Params{
+		SeqPageCost:       1.0,
+		RandomPageCost:    2.5,
+		CPUTupleCost:      0.02,
+		CPUIndexTupleCost: 0.004,
+		CPUOperatorCost:   0.004,
+		HashQualCost:      0.012,
+		SortCmpCost:       0.002,
+		WorkMemBytes:      8 << 20,
+		SpillPageCost:     2.4,
+	}
+}
+
+// Model is a named parameter set.
+type Model struct {
+	// Name identifies the model in reports ("postgres", "commercial").
+	Name string
+	// P are the cost parameters.
+	P Params
+}
+
+// Postgres returns the PostgreSQL-flavoured model.
+func Postgres() Model { return Model{Name: "postgres", P: PostgresParams()} }
+
+// Commercial returns the commercial-flavoured model.
+func Commercial() Model { return Model{Name: "commercial", P: CommercialParams()} }
+
+// Selectivities assigns a selectivity to every predicate of a query,
+// indexed by predicate ID.
+type Selectivities []float64
+
+// Clone returns a copy.
+func (s Selectivities) Clone() Selectivities {
+	out := make(Selectivities, len(s))
+	copy(out, s)
+	return out
+}
+
+// DefaultSels returns the query's default selectivity assignment:
+// every predicate at its DefaultSel.
+func DefaultSels(q *query.Query) Selectivities {
+	preds := q.Predicates()
+	out := make(Selectivities, len(preds))
+	for i, p := range preds {
+		out[i] = p.DefaultSel
+	}
+	return out
+}
+
+// NodeCost carries the cost annotations of one plan node at one
+// selectivity assignment.
+type NodeCost struct {
+	// Node is the annotated operator.
+	Node *plan.Node
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// Width is the output tuple width in bytes.
+	Width float64
+	// SelfCost is the cost charged by this operator alone.
+	SelfCost float64
+	// TotalCost is SelfCost plus the children's TotalCost.
+	TotalCost float64
+}
+
+// Coster prices plans for one query under one model. It is safe for
+// concurrent use: all state is read-only after construction.
+type Coster struct {
+	q     *query.Query
+	model Model
+
+	// perturb, when non-nil, multiplies each node's SelfCost by a
+	// node-specific factor; used to model bounded cost-model errors
+	// (§3.4). It must return values in [1/(1+δ), 1+δ].
+	perturb func(n *plan.Node) float64
+}
+
+// NewCoster returns a Coster for q under model.
+func NewCoster(q *query.Query, model Model) *Coster {
+	return &Coster{q: q, model: model}
+}
+
+// Query returns the query this Coster prices plans for.
+func (c *Coster) Query() *query.Query { return c.q }
+
+// Model returns the cost model in use.
+func (c *Coster) Model() Model { return c.model }
+
+// WithPerturbation returns a copy of c whose per-node costs are multiplied
+// by a deterministic factor drawn from [1/(1+delta), 1+delta], keyed by the
+// node's fingerprint and seed. This realises the paper's "bounded modeling
+// errors" regime (§3.4): the estimated cost of any plan is within a δ error
+// factor of its actual cost.
+func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
+	if delta < 0 {
+		panic("cost: negative delta")
+	}
+	cp := *c
+	cp.perturb = func(n *plan.Node) float64 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|", seed)
+		h.Write([]byte(n.Fingerprint()))
+		// Map hash to u in [0,1), then to a log-uniform factor in
+		// [1/(1+δ), 1+δ] so under- and over-estimation are symmetric.
+		u := float64(h.Sum64()%1_000_003) / 1_000_003.0
+		lo, hi := math.Log(1/(1+delta)), math.Log(1+delta)
+		return math.Exp(lo + u*(hi-lo))
+	}
+	return &cp
+}
+
+// Cost returns the total cost of root at the given selectivities.
+func (c *Coster) Cost(root *plan.Node, sels Selectivities) float64 {
+	nc := c.costNode(root, sels)
+	return nc.TotalCost
+}
+
+// Rows returns the output cardinality of root at the given selectivities.
+func (c *Coster) Rows(root *plan.Node, sels Selectivities) float64 {
+	nc := c.costNode(root, sels)
+	return nc.Rows
+}
+
+// Detail returns per-node cost annotations in post-order (children before
+// parents); the last element is the root.
+func (c *Coster) Detail(root *plan.Node, sels Selectivities) []NodeCost {
+	var out []NodeCost
+	c.detail(root, sels, &out)
+	return out
+}
+
+func (c *Coster) detail(n *plan.Node, sels Selectivities, out *[]NodeCost) NodeCost {
+	var left, right NodeCost
+	if n.Left != nil {
+		left = c.detail(n.Left, sels, out)
+	}
+	if n.Right != nil {
+		right = c.detail(n.Right, sels, out)
+	}
+	nc := c.costOne(n, left, right, sels)
+	*out = append(*out, nc)
+	return nc
+}
+
+// costNode computes the NodeCost of n recursively without materializing the
+// post-order list.
+func (c *Coster) costNode(n *plan.Node, sels Selectivities) NodeCost {
+	var left, right NodeCost
+	if n.Left != nil {
+		left = c.costNode(n.Left, sels)
+	}
+	if n.Right != nil {
+		right = c.costNode(n.Right, sels)
+	}
+	return c.costOne(n, left, right, sels)
+}
+
+// selOf returns the selectivity of predicate id under sels, falling back to
+// the predicate default when sels is short (defensive; builders always pass
+// full-length assignments).
+func (c *Coster) selOf(id int, sels Selectivities) float64 {
+	if id < len(sels) {
+		return sels[id]
+	}
+	return c.q.Predicate(id).DefaultSel
+}
+
+// pagesFor converts a (rows, width) volume into page counts under the
+// catalog page size.
+func (c *Coster) pagesFor(rows, width float64) float64 {
+	ps := float64(c.q.Catalog.PageSize)
+	pages := rows * width / ps
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// costOne prices a single operator given its (already priced) children.
+func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities) NodeCost {
+	p := c.model.P
+	var nc NodeCost
+	nc.Node = n
+
+	switch n.Op {
+	case plan.OpSeqScan:
+		rel := c.q.Catalog.MustRelation(n.Relation)
+		card := float64(rel.Card)
+		pages := float64(rel.Pages(c.q.Catalog.PageSize))
+		outRows := card
+		for _, id := range n.Preds {
+			outRows *= c.selOf(id, sels)
+		}
+		nc.Rows = outRows
+		nc.Width = float64(rel.TupleWidth)
+		nc.SelfCost = pages*p.SeqPageCost +
+			card*p.CPUTupleCost +
+			card*float64(len(n.Preds))*p.CPUOperatorCost
+
+	case plan.OpIndexScan:
+		rel := c.q.Catalog.MustRelation(n.Relation)
+		card := float64(rel.Card)
+		// The driving predicate is the one on the indexed column;
+		// remaining predicates are residual filters on fetched rows.
+		drivingSel, residSel, residCount := 1.0, 1.0, 0
+		for _, id := range n.Preds {
+			pr := c.q.Predicate(id)
+			if pr.Left.Column == n.IndexColumn && pr.Left.Relation == n.Relation {
+				drivingSel *= c.selOf(id, sels)
+			} else {
+				residSel *= c.selOf(id, sels)
+				residCount++
+			}
+		}
+		matched := card * drivingSel
+		nc.Rows = matched * residSel
+		nc.Width = float64(rel.TupleWidth)
+		descent := math.Log2(card+1) * p.CPUIndexTupleCost
+		idx := c.q.Catalog.Index(n.Relation, n.IndexColumn)
+		var fetch float64
+		if idx != nil && idx.Clustered {
+			fetch = c.pagesFor(matched, float64(rel.TupleWidth)) * p.SeqPageCost
+		} else {
+			// One random heap page per matching row: the
+			// uncapped form keeps the cost strictly monotone and
+			// maximises the Cmax/Cmin gradient ("hard-nut"
+			// environments, §6).
+			fetch = matched * p.RandomPageCost
+		}
+		nc.SelfCost = descent +
+			matched*p.CPUIndexTupleCost +
+			fetch +
+			matched*float64(residCount)*p.CPUOperatorCost +
+			matched*p.CPUTupleCost
+
+	case plan.OpIndexNLJoin:
+		rel := c.q.Catalog.MustRelation(n.Relation)
+		innerCard := float64(rel.Card)
+		// Partition preds: join predicates determine matches per
+		// probe; selection predicates on the inner relation are
+		// residual filters.
+		joinSel, filterSel, filterCount := 1.0, 1.0, 0
+		for _, id := range n.Preds {
+			pr := c.q.Predicate(id)
+			if pr.Kind == query.Join {
+				joinSel *= c.selOf(id, sels)
+			} else {
+				filterSel *= c.selOf(id, sels)
+				filterCount++
+			}
+		}
+		probes := left.Rows
+		matchesPerProbe := joinSel * innerCard
+		matches := probes * matchesPerProbe
+		nc.Rows = matches * filterSel
+		nc.Width = left.Width + float64(rel.TupleWidth)
+		descent := math.Log2(innerCard+1) * p.CPUIndexTupleCost
+		idx := c.q.Catalog.Index(n.Relation, n.IndexColumn)
+		perMatch := p.RandomPageCost
+		if idx != nil && idx.Clustered {
+			perMatch = p.SeqPageCost
+		}
+		nc.SelfCost = probes*descent +
+			matches*(p.CPUIndexTupleCost+perMatch) +
+			matches*float64(filterCount)*p.CPUOperatorCost +
+			nc.Rows*p.CPUTupleCost
+		nc.TotalCost = left.TotalCost + nc.SelfCost
+
+	case plan.OpHashJoin:
+		joinSel := 1.0
+		for _, id := range n.Preds {
+			joinSel *= c.selOf(id, sels)
+		}
+		nc.Rows = joinSel * left.Rows * right.Rows
+		nc.Width = left.Width + right.Width
+		build := right.Rows * (p.CPUOperatorCost + p.CPUTupleCost)
+		probe := left.Rows * p.HashQualCost
+		emit := nc.Rows * p.CPUTupleCost
+		spill := 0.0
+		if bytes := right.Rows * right.Width; bytes > p.WorkMemBytes {
+			// Multi-batch (Grace) hash join: both inputs are
+			// written out and re-read once.
+			spill = (c.pagesFor(left.Rows, left.Width) +
+				c.pagesFor(right.Rows, right.Width)) * p.SpillPageCost
+		}
+		nc.SelfCost = build + probe + emit + spill
+
+	case plan.OpMergeJoin:
+		joinSel := 1.0
+		for _, id := range n.Preds {
+			joinSel *= c.selOf(id, sels)
+		}
+		nc.Rows = joinSel * left.Rows * right.Rows
+		nc.Width = left.Width + right.Width
+		sortCost := c.sortCost(left) + c.sortCost(right)
+		merge := (left.Rows + right.Rows) * p.CPUOperatorCost
+		emit := nc.Rows * p.CPUTupleCost
+		nc.SelfCost = sortCost + merge + emit
+
+	case plan.OpAggregate:
+		nc.Rows = 1
+		nc.Width = 8
+		nc.SelfCost = left.Rows*p.CPUOperatorCost + p.CPUTupleCost
+
+	case plan.OpGroupAggregate:
+		// Hash aggregate: groups bounded by the column's distinct count
+		// and the input cardinality (both bounds monotone).
+		col := c.q.Catalog.MustRelation(n.Relation).Column(n.IndexColumn)
+		groups := left.Rows
+		if col != nil && float64(col.DistinctCount) < groups {
+			groups = float64(col.DistinctCount)
+		}
+		nc.Rows = groups
+		nc.Width = 16
+		nc.SelfCost = left.Rows*(p.CPUOperatorCost+p.HashQualCost) + groups*p.CPUTupleCost
+
+	case plan.OpAntiJoin:
+		// NOT EXISTS: the predicate's selectivity is the outer pass
+		// fraction (the §2 axis flip), so output — and hence cost —
+		// is monotone increasing in the ESS value.
+		rel := c.q.Catalog.MustRelation(n.Relation)
+		innerCard := float64(rel.Card)
+		passFrac := c.selOf(n.Preds[0], sels)
+		nc.Rows = left.Rows * passFrac
+		nc.Width = left.Width
+		build := innerCard * (p.CPUOperatorCost + p.CPUTupleCost)
+		probe := left.Rows * p.HashQualCost
+		emit := nc.Rows * p.CPUTupleCost
+		nc.SelfCost = build + probe + emit
+
+	default:
+		panic(fmt.Sprintf("cost: unknown operator %v", n.Op))
+	}
+
+	if c.perturb != nil {
+		nc.SelfCost *= c.perturb(n)
+	}
+	nc.TotalCost = nc.SelfCost + left.TotalCost + right.TotalCost
+	return nc
+}
+
+// Explain renders the plan EXPLAIN-style: the indented operator tree with
+// estimated rows, per-operator self cost and cumulative cost at the given
+// selectivities — what the paper's abstract-plan-costing hook surfaces to a
+// DBA inspecting a bouquet plan.
+func (c *Coster) Explain(root *plan.Node, sels Selectivities) string {
+	byNode := make(map[*plan.Node]NodeCost)
+	for _, nc := range c.Detail(root, sels) {
+		byNode[nc.Node] = nc
+	}
+	var sb strings.Builder
+	var rec func(n *plan.Node, depth int)
+	rec = func(n *plan.Node, depth int) {
+		nc := byNode[n]
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Op.String())
+		if n.Relation != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(n.Relation)
+			if n.IndexColumn != "" {
+				fmt.Fprintf(&sb, "(%s)", n.IndexColumn)
+			}
+		}
+		fmt.Fprintf(&sb, "  rows=%.0f self=%.4g total=%.4g", nc.Rows, nc.SelfCost, nc.TotalCost)
+		if len(n.Preds) > 0 {
+			fmt.Fprintf(&sb, " preds=%v", n.Preds)
+		}
+		sb.WriteByte('\n')
+		if n.Left != nil {
+			rec(n.Left, depth+1)
+		}
+		if n.Right != nil {
+			rec(n.Right, depth+1)
+		}
+	}
+	rec(root, 0)
+	return sb.String()
+}
+
+// sortCost prices sorting one input of a merge join, including external
+// sort spill passes when the input exceeds work memory.
+func (c *Coster) sortCost(in NodeCost) float64 {
+	p := c.model.P
+	rows := in.Rows
+	if rows < 2 {
+		return 0
+	}
+	cmp := rows * math.Log2(rows) * p.SortCmpCost
+	bytes := rows * in.Width
+	if bytes <= p.WorkMemBytes {
+		return cmp
+	}
+	// External merge sort: one spill pass per merge level.
+	pages := c.pagesFor(rows, in.Width)
+	passes := math.Ceil(math.Log2(bytes/p.WorkMemBytes)) + 1
+	if passes < 1 {
+		passes = 1
+	}
+	return cmp + pages*passes*p.SpillPageCost
+}

@@ -1,0 +1,357 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// fixture builds a 3-relation chain query (selection on part, two PK-FK
+// joins) over the TPC-H shape, plus a family of plans covering every
+// operator.
+type fixture struct {
+	q      *query.Query
+	coster *Coster
+	plans  []*plan.Node
+}
+
+func newFixture(t testing.TB, model Model) *fixture {
+	t.Helper()
+	cat := catalog.TPCHLike(0.01)
+	q := query.NewBuilder("fx", cat).
+		Relation("part").Relation("lineitem").Relation("orders").
+		SelectionPred("part", "p_retailprice", 0.1, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), true).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), true).
+		MustBuild()
+
+	scanP := plan.NewSeqScan("part", []int{0})
+	idxP := plan.NewIndexScan("part", "p_retailprice", []int{0})
+	scanL := plan.NewSeqScan("lineitem", nil)
+	scanO := plan.NewSeqScan("orders", nil)
+
+	plans := []*plan.Node{
+		plan.NewHashJoin(plan.NewHashJoin(scanL, scanP, []int{1}), scanO, []int{2}),
+		plan.NewMergeJoin(plan.NewMergeJoin(scanL, idxP, []int{1}), scanO, []int{2}),
+		plan.NewIndexNLJoin(plan.NewIndexNLJoin(idxP, "lineitem", "l_partkey", []int{1}), "orders", "o_orderkey", []int{2}),
+		plan.NewHashJoin(plan.NewMergeJoin(scanO, scanL, []int{2}), scanP, []int{1}),
+	}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fixture{q: q, coster: NewCoster(q, model), plans: plans}
+}
+
+func TestCostPositiveAndFinite(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	for i, p := range fx.plans {
+		c := fx.coster.Cost(p, sels)
+		if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+			t.Errorf("plan %d cost = %v", i, c)
+		}
+	}
+}
+
+// TestPCMProperty is the core invariant of the whole reproduction: plan
+// cost is monotonically non-decreasing in every predicate selectivity
+// (§2's Plan Cost Monotonicity), checked with testing/quick over random
+// selectivity pairs for every operator mix.
+func TestPCMProperty(t *testing.T) {
+	for _, model := range []Model{Postgres(), Commercial()} {
+		fx := newFixture(t, model)
+		check := func(planIdx int) func(s0a, s1a, s2a, bump float64) bool {
+			p := fx.plans[planIdx%len(fx.plans)]
+			return func(s0a, s1a, s2a, bump float64) bool {
+				lo := Selectivities{clamp01(s0a), clampJoin(s1a), clampJoin(s2a)}
+				hi := lo.Clone()
+				// Bump one random dimension upward.
+				d := int(math.Mod(math.Abs(bump)*1000, 3))
+				if d < 0 || d > 2 { // NaN/Inf inputs
+					d = 0
+				}
+				hi[d] = hi[d] * (1 + math.Mod(math.Abs(bump), 3))
+				if math.IsNaN(hi[d]) || math.IsInf(hi[d], 0) {
+					hi[d] = lo[d]
+				}
+				if d == 0 && hi[d] > 1 {
+					hi[d] = 1
+				}
+				return fx.coster.Cost(p, hi) >= fx.coster.Cost(p, lo)*(1-1e-12)
+			}
+		}
+		for pi := range fx.plans {
+			if err := quick.Check(check(pi), &quick.Config{MaxCount: 300}); err != nil {
+				t.Errorf("model %s plan %d violates PCM: %v", model.Name, pi, err)
+			}
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	v = math.Abs(v)
+	v = math.Mod(v, 1)
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return v
+}
+
+func clampJoin(v float64) float64 {
+	return clamp01(v) * 1e-3
+}
+
+func TestDetailConsistency(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	for i, p := range fx.plans {
+		det := fx.coster.Detail(p, sels)
+		if len(det) != p.NumNodes() {
+			t.Fatalf("plan %d: detail has %d entries, plan has %d nodes", i, len(det), p.NumNodes())
+		}
+		root := det[len(det)-1]
+		if root.Node != p {
+			t.Fatalf("plan %d: last detail entry is not the root", i)
+		}
+		if got := fx.coster.Cost(p, sels); math.Abs(got-root.TotalCost) > 1e-9*got {
+			t.Fatalf("plan %d: Cost %g != Detail root total %g", i, got, root.TotalCost)
+		}
+		// Total = sum of self costs.
+		var sum float64
+		for _, nc := range det {
+			if nc.SelfCost < 0 {
+				t.Fatalf("plan %d: negative self cost %g", i, nc.SelfCost)
+			}
+			sum += nc.SelfCost
+		}
+		if math.Abs(sum-root.TotalCost) > 1e-9*sum {
+			t.Fatalf("plan %d: Σself %g != total %g", i, sum, root.TotalCost)
+		}
+	}
+}
+
+func TestRowsMatchSelectivityAlgebra(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	cat := fx.q.Catalog
+	sels := Selectivities{0.2, 1e-4, 2e-5}
+	partCard := float64(cat.MustRelation("part").Card)
+	liCard := float64(cat.MustRelation("lineitem").Card)
+	ordCard := float64(cat.MustRelation("orders").Card)
+	want := partCard * liCard * ordCard * sels[0] * sels[1] * sels[2]
+	for i, p := range fx.plans {
+		got := fx.coster.Rows(p, sels)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("plan %d rows = %g, want %g (cardinality must be plan-invariant)", i, got, want)
+		}
+	}
+}
+
+func TestIndexVersusSeqScanCrossover(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	seq := plan.NewSeqScan("part", []int{0})
+	idx := plan.NewIndexScan("part", "p_retailprice", []int{0})
+	sels := DefaultSels(fx.q)
+
+	sels[0] = 1e-4
+	if fx.coster.Cost(idx, sels) >= fx.coster.Cost(seq, sels) {
+		t.Error("index scan should win at very low selectivity")
+	}
+	sels[0] = 0.9
+	if fx.coster.Cost(idx, sels) <= fx.coster.Cost(seq, sels) {
+		t.Error("sequential scan should win at high selectivity")
+	}
+}
+
+func TestJoinOperatorCrossover(t *testing.T) {
+	// NL should win when the outer is tiny; HJ when it is large.
+	fx := newFixture(t, Postgres())
+	idxP := plan.NewIndexScan("part", "p_retailprice", []int{0})
+	nl := plan.NewIndexNLJoin(idxP, "lineitem", "l_partkey", []int{1})
+	hj := plan.NewHashJoin(plan.NewSeqScan("lineitem", nil), plan.NewSeqScan("part", []int{0}), []int{1})
+	sels := DefaultSels(fx.q)
+
+	sels[0] = 1e-4
+	if fx.coster.Cost(nl, sels) >= fx.coster.Cost(hj, sels) {
+		t.Error("NL join should win with a tiny outer")
+	}
+	sels[0] = 1.0
+	if fx.coster.Cost(nl, sels) <= fx.coster.Cost(hj, sels) {
+		t.Error("hash join should win with a large outer")
+	}
+}
+
+func TestModelsDiffer(t *testing.T) {
+	pg := newFixture(t, Postgres())
+	com := newFixture(t, Commercial())
+	sels := DefaultSels(pg.q)
+	same := true
+	for i := range pg.plans {
+		a := pg.coster.Cost(pg.plans[i], sels)
+		b := com.coster.Cost(com.plans[i], sels)
+		if math.Abs(a-b) > 1e-9*a {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("commercial model prices identically to postgres model")
+	}
+}
+
+func TestPerturbationBounds(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	delta := 0.4
+	sels := DefaultSels(fx.q)
+	rng := rand.New(rand.NewSource(7))
+	for seed := uint64(0); seed < 20; seed++ {
+		pert := fx.coster.WithPerturbation(delta, seed)
+		for _, p := range fx.plans {
+			s := sels.Clone()
+			s[0] = clamp01(rng.Float64())
+			base := fx.coster.Cost(p, s)
+			got := pert.Cost(p, s)
+			if got < base/(1+delta)*(1-1e-9) || got > base*(1+delta)*(1+1e-9) {
+				t.Fatalf("seed %d: perturbed cost %g outside [%g, %g]",
+					seed, got, base/(1+delta), base*(1+delta))
+			}
+		}
+	}
+}
+
+func TestPerturbationDeterministic(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	a := fx.coster.WithPerturbation(0.4, 11)
+	b := fx.coster.WithPerturbation(0.4, 11)
+	c := fx.coster.WithPerturbation(0.4, 12)
+	for _, p := range fx.plans {
+		if a.Cost(p, sels) != b.Cost(p, sels) {
+			t.Fatal("same seed must perturb identically")
+		}
+	}
+	diff := false
+	for _, p := range fx.plans {
+		if a.Cost(p, sels) != c.Cost(p, sels) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should perturb differently")
+	}
+}
+
+func TestPerturbationPreservesPCM(t *testing.T) {
+	// The perturbation is a per-node constant factor, so PCM survives.
+	fx := newFixture(t, Postgres())
+	pert := fx.coster.WithPerturbation(0.4, 3)
+	f := func(s0, s1, s2 float64, d uint8) bool {
+		lo := Selectivities{clamp01(s0), clampJoin(s1), clampJoin(s2)}
+		hi := lo.Clone()
+		dim := int(d) % 3
+		hi[dim] *= 2
+		if dim == 0 && hi[dim] > 1 {
+			hi[dim] = 1
+		}
+		for _, p := range fx.plans {
+			if pert.Cost(p, hi) < pert.Cost(p, lo)*(1-1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDeltaPanics(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithPerturbation(-1) should panic")
+		}
+	}()
+	fx.coster.WithPerturbation(-1, 0)
+}
+
+func TestDefaultSels(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	if len(sels) != fx.q.NumPredicates() {
+		t.Fatalf("DefaultSels length %d", len(sels))
+	}
+	for i, p := range fx.q.Predicates() {
+		if sels[i] != p.DefaultSel {
+			t.Fatalf("sels[%d] = %g, want %g", i, sels[i], p.DefaultSel)
+		}
+	}
+}
+
+func TestSelectivitiesClone(t *testing.T) {
+	s := Selectivities{1, 2, 3}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] == 9 {
+		t.Fatal("Clone aliased the original")
+	}
+}
+
+func TestSpillKicksInForLargeBuilds(t *testing.T) {
+	// A hash join whose build side exceeds work_mem must cost strictly
+	// more than a same-shape join under unbounded memory.
+	fx := newFixture(t, Postgres())
+	big := Model{Name: "bigmem", P: PostgresParams()}
+	big.P.WorkMemBytes = 1e15
+	unbounded := NewCoster(fx.q, big)
+	hj := fx.plans[0]
+	sels := DefaultSels(fx.q)
+	if fx.coster.Cost(hj, sels) <= unbounded.Cost(hj, sels) {
+		t.Error("spilling hash join should cost more than in-memory")
+	}
+}
+
+func TestClusteredIndexCheaperThanUnclustered(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	// p_partkey is clustered (key column); p_retailprice is not.
+	q := query.NewBuilder("cl", cat).
+		Relation("part").
+		SelectionPred("part", "p_partkey", 0.1, true).
+		SelectionPred("part", "p_retailprice", 0.1, true).
+		MustBuild()
+	coster := NewCoster(q, Postgres())
+	clustered := plan.NewIndexScan("part", "p_partkey", []int{0, 1})
+	unclustered := plan.NewIndexScan("part", "p_retailprice", []int{0, 1})
+	sels := Selectivities{0.1, 0.1}
+	if coster.Cost(clustered, sels) >= coster.Cost(unclustered, sels) {
+		t.Error("clustered index scan should be cheaper at equal selectivity")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	out := fx.coster.Explain(fx.plans[0], sels)
+	for _, want := range []string{"HJ", "SeqScan lineitem", "rows=", "self=", "total=", "preds="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+	// The root line carries the full plan cost.
+	firstLine := strings.SplitN(out, "\n", 2)[0]
+	want := fmt.Sprintf("total=%.4g", fx.coster.Cost(fx.plans[0], sels))
+	if !strings.Contains(firstLine, want) {
+		t.Errorf("root total mismatch: %s (want %s)", firstLine, want)
+	}
+	// Indentation reflects depth.
+	if !strings.Contains(out, "\n  ") {
+		t.Error("children not indented")
+	}
+}

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+)
+
+// referenceCount evaluates the fixture query independently of the Volcano
+// engine: filter part by the selection bound, then fold the equi-joins
+// through hash maps. It is the differential-testing oracle.
+func referenceCount(db *data.Database, bound int64) int64 {
+	part := db.Table("part")
+	li := db.Table("lineitem")
+	orders := db.Table("orders")
+
+	// part keys passing the selection.
+	pass := make(map[int64]bool)
+	for i := 0; i < part.NumRows(); i++ {
+		if part.Value(i, "p_price") < bound {
+			pass[part.Value(i, "p_id")] = true
+		}
+	}
+	// orders keys (dense, but stay schema-agnostic).
+	ord := make(map[int64]int64)
+	for i := 0; i < orders.NumRows(); i++ {
+		ord[orders.Value(i, "o_id")]++
+	}
+	var count int64
+	for i := 0; i < li.NumRows(); i++ {
+		if !pass[li.Value(i, "l_part")] {
+			continue
+		}
+		count += ord[li.Value(i, "l_order")]
+	}
+	return count
+}
+
+// TestDifferentialRandomPlans runs the optimizer at random selectivity
+// points over randomly generated databases, executes every chosen plan on
+// the engine, and cross-checks the result cardinality against the
+// independent reference evaluator. Plan shapes vary with the injected
+// selectivities (index vs seq scans, NL vs hash vs merge joins, join
+// orders), so this sweeps the operator matrix far beyond the hand-built
+// fixtures.
+func TestDifferentialRandomPlans(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+
+		cat := catalog.NewCatalog()
+		partCard := int64(100 + rng.Intn(400))
+		orderCard := int64(200 + rng.Intn(800))
+		liCard := int64(1000 + rng.Intn(4000))
+		cat.AddRelation(&catalog.Relation{
+			Name: "part", Card: partCard, TupleWidth: 32,
+			Columns: []catalog.Column{
+				{Name: "p_id", Type: catalog.TypeKey, DistinctCount: partCard},
+				{Name: "p_price", Type: catalog.TypeInt, DistinctCount: 100},
+			},
+		})
+		cat.AddRelation(&catalog.Relation{
+			Name: "orders", Card: orderCard, TupleWidth: 24,
+			Columns: []catalog.Column{
+				{Name: "o_id", Type: catalog.TypeKey, DistinctCount: orderCard},
+			},
+		})
+		cat.AddRelation(&catalog.Relation{
+			Name: "lineitem", Card: liCard, TupleWidth: 40,
+			Columns: []catalog.Column{
+				{Name: "l_part", Type: catalog.TypeForeignKey, Refs: "part", DistinctCount: partCard},
+				{Name: "l_order", Type: catalog.TypeForeignKey, Refs: "orders", DistinctCount: orderCard},
+			},
+		})
+		cat.IndexAllColumns()
+
+		db := data.Generate(cat, nil, map[string]data.Spec{
+			"lineitem": {MatchFrac: map[string]float64{
+				"l_part":  0.2 + 0.8*rng.Float64(),
+				"l_order": 0.2 + 0.8*rng.Float64(),
+			}},
+		}, int64(trial))
+
+		q := query.NewBuilder("diffq", cat).
+			Relation("part").Relation("lineitem").Relation("orders").
+			SelectionPred("part", "p_price", 0.3, true).
+			JoinPred("part", "p_id", "lineitem", "l_part", query.PKFKSel(cat, "part"), true).
+			JoinPred("lineitem", "l_order", "orders", "o_id", query.PKFKSel(cat, "orders"), true).
+			MustBuild()
+
+		selTarget := 0.05 + 0.9*rng.Float64()
+		bound, _ := db.SelectionBound("part", "p_price", selTarget)
+		eng, err := NewEngine(q, db, cost.Postgres(), map[int]int64{0: bound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceCount(db, bound)
+
+		opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+		seen := map[string]bool{}
+		for probe := 0; probe < 6; probe++ {
+			sels := cost.Selectivities{
+				math.Pow(10, -3*rng.Float64()),
+				math.Pow(10, -3*rng.Float64()) / float64(partCard),
+				math.Pow(10, -3*rng.Float64()) / float64(orderCard),
+			}
+			p := opt.Optimize(sels).Plan
+			if seen[p.Fingerprint()] {
+				continue
+			}
+			seen[p.Fingerprint()] = true
+			res := eng.Run(p, Options{})
+			if !res.Completed {
+				t.Fatalf("trial %d: unbudgeted run failed for %s", trial, p)
+			}
+			if res.RowsOut != want {
+				t.Fatalf("trial %d: plan %s produced %d rows, reference says %d",
+					trial, p, res.RowsOut, want)
+			}
+		}
+		if len(seen) < 2 {
+			continue // a degenerate instance may have one dominant plan
+		}
+	}
+}
+
+// TestDifferentialBudgetsNeverChangeResults: for the plans above, a
+// generous budget yields the same rows as no budget at all.
+func TestDifferentialBudgetsNeverChangeResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	fx := newFixture(t)
+	opt := optimizer.New(cost.NewCoster(fx.q, cost.Postgres()))
+	for probe := 0; probe < 10; probe++ {
+		sels := cost.Selectivities{
+			math.Pow(10, -3*rng.Float64()),
+			math.Pow(10, -3*rng.Float64()) / 500,
+			math.Pow(10, -3*rng.Float64()) / 1000,
+		}
+		p := opt.Optimize(sels).Plan
+		free := fx.eng.Run(p, Options{})
+		capped := fx.eng.Run(p, Options{Budget: free.CostUsed * 1.01})
+		if !capped.Completed || capped.RowsOut != free.RowsOut {
+			t.Fatalf("probe %d: budgeted run diverged (%d vs %d rows)", probe, capped.RowsOut, free.RowsOut)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package exec is a Volcano-style (iterator) execution engine over the
+// synthetic tables of internal/data. It provides the three run-time
+// capabilities the bouquet mechanism needs from an engine (paper §5.4):
+//
+//   - cost-limited partial execution: every operator charges its work in
+//     the *same cost units as the optimizer's cost model*, and execution
+//     aborts as soon as the accumulated charge exceeds the budget;
+//   - node-granularity instrumentation: per-operator tuple counters,
+//     including per-predicate pass counts, from which running selectivity
+//     lower bounds are derived (§5.2);
+//   - spilled execution: the pipeline is broken immediately after a chosen
+//     predicate's node, starving all downstream operators, so the entire
+//     budget is spent learning that predicate's selectivity (§5.3).
+//
+// Charging in model units makes the engine a "perfect cost model" engine by
+// construction; a δ-perturbed charger reproduces §3.4's bounded modeling
+// errors.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// ErrBudgetExceeded is returned when an execution exhausts its cost budget.
+var ErrBudgetExceeded = errors.New("exec: cost budget exceeded")
+
+// NodeStats are the instrumentation counters of one operator.
+type NodeStats struct {
+	// Out is the number of tuples the operator has emitted.
+	Out int64
+	// Matches, for join operators, counts tuples matching the join
+	// predicates before any residual selection filters — the count used
+	// for join-selectivity learning.
+	Matches int64
+	// PassBy, for scan operators, counts per selection predicate the
+	// rows passing that predicate (evaluated independently, no
+	// short-circuit), keyed by predicate ID.
+	PassBy map[int]int64
+	// InTuples counts tuples consumed from the outer/left input.
+	InTuples int64
+	// InputsDone reports whether the operator's inputs were fully
+	// drained (precondition for exact selectivity learning).
+	InputsDone bool
+	// Done reports whether the operator itself ran to completion.
+	Done bool
+}
+
+// Result is the outcome of one (possibly partial) plan execution.
+type Result struct {
+	// Completed reports whether the plan ran to completion within
+	// budget.
+	Completed bool
+	// CostUsed is the total cost charged, in model units.
+	CostUsed float64
+	// RowsOut is the number of rows produced by the driven node (the
+	// plan root, or the spill node in spill mode).
+	RowsOut int64
+	// Stats maps each plan node to its counters.
+	Stats map[*plan.Node]*NodeStats
+}
+
+// Options configure one execution.
+type Options struct {
+	// Budget is the cost limit in model units; +Inf or 0 means
+	// unlimited.
+	Budget float64
+	// Spill selects spill mode: only the subtree up to and including
+	// the node applying SpillPred executes; downstream operators are
+	// starved (§5.3).
+	Spill bool
+	// SpillPred is the predicate whose node the spilled execution
+	// drives (meaningful only when Spill is set).
+	SpillPred int
+	// Perturb, when non-nil, scales each node's charges (bounded
+	// modeling error, §3.4). Must return values in [1/(1+δ), 1+δ].
+	Perturb func(*plan.Node) float64
+}
+
+// Engine executes plans for one query over one database.
+type Engine struct {
+	q        *query.Query
+	db       *data.Database
+	params   cost.Params
+	bindings map[int]int64 // selection predicate ID -> "col < bound" constant
+}
+
+// NewEngine builds an engine. bindings must supply the comparison constant
+// for every selection predicate of the query (see Database.SelectionBound).
+func NewEngine(q *query.Query, db *data.Database, model cost.Model, bindings map[int]int64) (*Engine, error) {
+	for _, p := range q.Predicates() {
+		if p.Kind == query.Selection {
+			if _, ok := bindings[p.ID]; !ok {
+				return nil, fmt.Errorf("exec: no binding for selection predicate %d (%s)", p.ID, p)
+			}
+		}
+	}
+	return &Engine{q: q, db: db, params: model.P, bindings: bindings}, nil
+}
+
+// Run executes root under opts.
+func (e *Engine) Run(root *plan.Node, opts Options) Result {
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	m := &meter{budget: budget}
+	res := Result{Stats: make(map[*plan.Node]*NodeStats)}
+
+	driven := root
+	if opts.Spill {
+		n := findPredNode(root, opts.SpillPred)
+		if n == nil {
+			panic(fmt.Sprintf("exec: plan does not apply predicate %d", opts.SpillPred))
+		}
+		driven = n
+	}
+
+	b := &builder{e: e, m: m, stats: res.Stats, perturb: opts.Perturb}
+	it, _ := b.build(driven)
+
+	err := it.open()
+	if err == nil {
+		st := res.Stats[driven]
+		for {
+			_, ok, nerr := it.next()
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if !ok {
+				st.Done = true
+				break
+			}
+		}
+	}
+	it.close()
+
+	res.CostUsed = m.used
+	res.RowsOut = res.Stats[driven].Out
+	res.Completed = err == nil
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		panic(err) // internal invariant violation, not an expected runtime condition
+	}
+	return res
+}
+
+// findPredNode returns the node applying predicate id, preferring the
+// deepest occurrence (predicates are applied exactly once in valid plans).
+func findPredNode(root *plan.Node, id int) *plan.Node {
+	var found *plan.Node
+	root.Walk(func(n *plan.Node) {
+		for _, p := range n.Preds {
+			if p == id {
+				found = n
+			}
+		}
+	})
+	return found
+}
+
+// meter accumulates cost charges against a budget.
+type meter struct {
+	used   float64
+	budget float64
+}
+
+func (m *meter) charge(c float64) error {
+	m.used += c
+	if m.used > m.budget {
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// row is an executed tuple: values aligned with a schema.
+type row []int64
+
+// schema names the columns of a row as (relation, column) pairs.
+type schema []query.ColumnRef
+
+func (s schema) offset(rel, col string) int {
+	for i, c := range s {
+		if c.Relation == rel && c.Column == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("exec: column %s.%s not in schema", rel, col))
+}
+
+// iterator is the Volcano operator interface.
+type iterator interface {
+	open() error
+	next() (row, bool, error)
+	close()
+}
+
+// builder assembles the iterator tree for a plan.
+type builder struct {
+	e       *Engine
+	m       *meter
+	stats   map[*plan.Node]*NodeStats
+	perturb func(*plan.Node) float64
+}
+
+func (b *builder) statsFor(n *plan.Node) *NodeStats {
+	st := &NodeStats{PassBy: make(map[int]int64)}
+	b.stats[n] = st
+	return st
+}
+
+// factor returns the node's charge multiplier.
+func (b *builder) factor(n *plan.Node) float64 {
+	if b.perturb == nil {
+		return 1
+	}
+	return b.perturb(n)
+}
+
+func (b *builder) build(n *plan.Node) (iterator, schema) {
+	switch n.Op {
+	case plan.OpSeqScan:
+		return b.buildSeqScan(n)
+	case plan.OpIndexScan:
+		return b.buildIndexScan(n)
+	case plan.OpIndexNLJoin:
+		return b.buildIndexNL(n)
+	case plan.OpHashJoin:
+		return b.buildHashJoin(n)
+	case plan.OpMergeJoin:
+		return b.buildMergeJoin(n)
+	case plan.OpAggregate:
+		return b.buildAggregate(n)
+	case plan.OpAntiJoin:
+		return b.buildAntiJoin(n)
+	case plan.OpGroupAggregate:
+		return b.buildGroupAggregate(n)
+	default:
+		panic(fmt.Sprintf("exec: unknown operator %v", n.Op))
+	}
+}
+
+// relSchema returns the schema of a base relation.
+func (b *builder) relSchema(relName string) schema {
+	rel := b.e.q.Catalog.MustRelation(relName)
+	s := make(schema, len(rel.Columns))
+	for i, c := range rel.Columns {
+		s[i] = query.ColumnRef{Relation: relName, Column: c.Name}
+	}
+	return s
+}
+
+// predSplit partitions a node's predicate IDs into join and selection
+// predicates.
+func (b *builder) predSplit(ids []int) (joins, sels []int) {
+	for _, id := range ids {
+		if b.e.q.Predicate(id).Kind == query.Join {
+			joins = append(joins, id)
+		} else {
+			sels = append(sels, id)
+		}
+	}
+	return joins, sels
+}

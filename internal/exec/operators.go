@@ -1,0 +1,959 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// ---------------------------------------------------------------------------
+// Sequential scan
+
+type seqScan struct {
+	b     *builder
+	n     *plan.Node
+	st    *NodeStats
+	sch   schema
+	f     float64 // charge factor
+	preds []scanPred
+
+	tbl         tableRef
+	pos         int
+	rowsPerPage int
+	width       int
+}
+
+// scanPred is a bound selection predicate: "col < bound", or
+// "col ≥ bound" when negated.
+type scanPred struct {
+	id      int
+	off     int
+	bound   int64
+	negated bool
+}
+
+// eval applies the predicate to a value.
+func (sp scanPred) eval(v int64) bool {
+	if sp.negated {
+		return v >= sp.bound
+	}
+	return v < sp.bound
+}
+
+// tableRef narrows data.Table to what operators need, easing testing.
+type tableRef struct {
+	numRows int
+	col     func(i int) []int64 // columnar access by schema offset
+}
+
+func (b *builder) buildSeqScan(n *plan.Node) (iterator, schema) {
+	sch := b.relSchema(n.Relation)
+	tbl := b.e.db.Table(n.Relation)
+	rel := b.e.q.Catalog.MustRelation(n.Relation)
+	rpp := int(b.e.q.Catalog.PageSize / rel.TupleWidth)
+	if rpp < 1 {
+		rpp = 1
+	}
+	s := &seqScan{
+		b: b, n: n, st: b.statsFor(n), sch: sch, f: b.factor(n),
+		rowsPerPage: rpp, width: len(sch),
+	}
+	s.tbl = tableRef{numRows: tbl.NumRows(), col: func(i int) []int64 {
+		return tbl.Column(sch[i].Column)
+	}}
+	for _, id := range n.Preds {
+		p := b.e.q.Predicate(id)
+		s.preds = append(s.preds, scanPred{
+			id:      id,
+			off:     sch.offset(p.Left.Relation, p.Left.Column),
+			bound:   b.e.bindings[id],
+			negated: p.Negated,
+		})
+	}
+	return s, sch
+}
+
+func (s *seqScan) open() error { return nil }
+
+func (s *seqScan) next() (row, bool, error) {
+	p := s.b.e.params
+	for s.pos < s.tbl.numRows {
+		i := s.pos
+		s.pos++
+		charge := p.CPUTupleCost + float64(len(s.preds))*p.CPUOperatorCost
+		if i%s.rowsPerPage == 0 {
+			charge += p.SeqPageCost
+		}
+		if err := s.b.m.charge(charge * s.f); err != nil {
+			return nil, false, err
+		}
+		s.st.InTuples++
+		// Evaluate every predicate independently (no short-circuit,
+		// matching the cost model) and count per-predicate passes for
+		// selectivity learning.
+		pass := true
+		for _, sp := range s.preds {
+			if sp.eval(s.tbl.col(sp.off)[i]) {
+				s.st.PassBy[sp.id]++
+			} else {
+				pass = false
+			}
+		}
+		if !pass {
+			continue
+		}
+		out := make(row, s.width)
+		for c := 0; c < s.width; c++ {
+			out[c] = s.tbl.col(c)[i]
+		}
+		s.st.Out++
+		return out, true, nil
+	}
+	s.st.InputsDone = true
+	s.st.Done = true
+	return nil, false, nil
+}
+
+func (s *seqScan) close() {}
+
+// ---------------------------------------------------------------------------
+// Index scan
+
+type indexScan struct {
+	b   *builder
+	n   *plan.Node
+	st  *NodeStats
+	sch schema
+	f   float64
+
+	driving scanPred   // predicate on the indexed column
+	resid   []scanPred // remaining predicates
+	order   []int32    // row ids sorted by the indexed column
+	col     func(i int) []int64
+	width   int
+	pos     int
+	perPage float64
+	opened  bool
+}
+
+func (b *builder) buildIndexScan(n *plan.Node) (iterator, schema) {
+	sch := b.relSchema(n.Relation)
+	tbl := b.e.db.Table(n.Relation)
+	s := &indexScan{
+		b: b, n: n, st: b.statsFor(n), sch: sch, f: b.factor(n),
+		width: len(sch),
+		col: func(i int) []int64 {
+			return tbl.Column(sch[i].Column)
+		},
+	}
+	found := false
+	for _, id := range n.Preds {
+		p := b.e.q.Predicate(id)
+		sp := scanPred{
+			id:      id,
+			off:     sch.offset(p.Left.Relation, p.Left.Column),
+			bound:   b.e.bindings[id],
+			negated: p.Negated,
+		}
+		if !found && p.Left.Column == n.IndexColumn {
+			s.driving = sp
+			found = true
+		} else {
+			s.resid = append(s.resid, sp)
+		}
+	}
+	if !found {
+		panic("exec: index scan without a predicate on its index column")
+	}
+	s.order = tbl.SortedBy(n.IndexColumn)
+	idx := b.e.q.Catalog.Index(n.Relation, n.IndexColumn)
+	if idx != nil && idx.Clustered {
+		s.perPage = b.e.params.SeqPageCost
+	} else {
+		s.perPage = b.e.params.RandomPageCost
+	}
+	return s, sch
+}
+
+func (s *indexScan) open() error {
+	p := s.b.e.params
+	descent := math.Log2(float64(len(s.order))+1) * p.CPUIndexTupleCost
+	s.opened = true
+	if s.driving.negated {
+		// "col ≥ bound": matches are the suffix of the sorted order;
+		// position at the first qualifying entry.
+		drv := s.col(s.driving.off)
+		s.pos = sort.Search(len(s.order), func(i int) bool {
+			return drv[s.order[i]] >= s.driving.bound
+		})
+	}
+	return s.b.m.charge(descent * s.f)
+}
+
+func (s *indexScan) next() (row, bool, error) {
+	p := s.b.e.params
+	drv := s.col(s.driving.off)
+	for s.pos < len(s.order) {
+		rid := s.order[s.pos]
+		if !s.driving.negated && drv[rid] >= s.driving.bound {
+			// Sorted order: no further matches for "col < bound".
+			s.pos = len(s.order)
+			break
+		}
+		s.pos++
+		s.st.InTuples++
+		s.st.PassBy[s.driving.id]++
+		charge := p.CPUIndexTupleCost + s.perPage +
+			float64(len(s.resid))*p.CPUOperatorCost + p.CPUTupleCost
+		if err := s.b.m.charge(charge * s.f); err != nil {
+			return nil, false, err
+		}
+		pass := true
+		for _, sp := range s.resid {
+			if sp.eval(s.col(sp.off)[rid]) {
+				s.st.PassBy[sp.id]++
+			} else {
+				pass = false
+			}
+		}
+		if !pass {
+			continue
+		}
+		out := make(row, s.width)
+		for c := 0; c < s.width; c++ {
+			out[c] = s.col(c)[rid]
+		}
+		s.st.Out++
+		return out, true, nil
+	}
+	s.st.InputsDone = true
+	s.st.Done = true
+	return nil, false, nil
+}
+
+func (s *indexScan) close() {}
+
+// ---------------------------------------------------------------------------
+// Join predicate binding
+
+// joinKey resolves one equi-join predicate to offsets in the combined or
+// per-side schemas.
+type joinKey struct {
+	id       int
+	leftOff  int // offset in the left/outer schema
+	rightOff int // offset in the right/inner schema
+}
+
+// bindJoinKeys resolves join predicate IDs against two child schemas.
+func (b *builder) bindJoinKeys(ids []int, left, right schema) []joinKey {
+	keys := make([]joinKey, 0, len(ids))
+	for _, id := range ids {
+		p := b.e.q.Predicate(id)
+		k := joinKey{id: id}
+		if contains(left, p.Left) {
+			k.leftOff = left.offset(p.Left.Relation, p.Left.Column)
+			k.rightOff = right.offset(p.Right.Relation, p.Right.Column)
+		} else {
+			k.leftOff = left.offset(p.Right.Relation, p.Right.Column)
+			k.rightOff = right.offset(p.Left.Relation, p.Left.Column)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func contains(s schema, c interface{ String() string }) bool {
+	want := c.String()
+	for _, sc := range s {
+		if sc.String() == want {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Index nested-loops join
+
+type indexNL struct {
+	b   *builder
+	n   *plan.Node
+	st  *NodeStats
+	f   float64
+	out schema
+
+	outer    iterator
+	outerSch schema
+
+	innerCols func(i int) []int64 // by inner-schema offset
+	innerSch  schema
+	probe     map[int64][]int32
+	innerN    int
+
+	keys    []joinKey  // first is the probed key
+	filters []scanPred // inner selection predicates (offsets in inner schema)
+
+	perMatch float64
+
+	cur     row     // current outer row
+	matches []int32 // pending inner matches for cur
+	mi      int
+}
+
+func (b *builder) buildIndexNL(n *plan.Node) (iterator, schema) {
+	outer, outerSch := b.build(n.Left)
+	innerSch := b.relSchema(n.Relation)
+	tbl := b.e.db.Table(n.Relation)
+
+	joins, sels := b.predSplit(n.Preds)
+	keys := b.bindJoinKeys(joins, outerSch, innerSch)
+	// The probed key must be the one on the index column; reorder.
+	for i, k := range keys {
+		p := b.e.q.Predicate(k.id)
+		col := p.Left
+		if p.Left.Relation != n.Relation {
+			col = p.Right
+		}
+		if col.Relation == n.Relation && col.Column == n.IndexColumn {
+			keys[0], keys[i] = keys[i], keys[0]
+			break
+		}
+	}
+
+	j := &indexNL{
+		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
+		outer: outer, outerSch: outerSch,
+		innerSch: innerSch,
+		innerCols: func(i int) []int64 {
+			return tbl.Column(innerSch[i].Column)
+		},
+		probe:  tbl.HashOn(n.IndexColumn),
+		innerN: tbl.NumRows(),
+		keys:   keys,
+	}
+	for _, id := range sels {
+		p := b.e.q.Predicate(id)
+		j.filters = append(j.filters, scanPred{
+			id:      id,
+			off:     innerSch.offset(p.Left.Relation, p.Left.Column),
+			bound:   b.e.bindings[id],
+			negated: p.Negated,
+		})
+	}
+	idx := b.e.q.Catalog.Index(n.Relation, n.IndexColumn)
+	if idx != nil && idx.Clustered {
+		j.perMatch = b.e.params.SeqPageCost
+	} else {
+		j.perMatch = b.e.params.RandomPageCost
+	}
+	j.out = append(append(schema{}, outerSch...), innerSch...)
+	return j, j.out
+}
+
+func (j *indexNL) open() error { return j.outer.open() }
+
+func (j *indexNL) next() (row, bool, error) {
+	p := j.b.e.params
+	for {
+		// Drain pending matches of the current outer row.
+		for j.mi < len(j.matches) {
+			rid := j.matches[j.mi]
+			j.mi++
+			charge := p.CPUIndexTupleCost + j.perMatch
+			if err := j.b.m.charge(charge * j.f); err != nil {
+				return nil, false, err
+			}
+			// Residual join predicates beyond the probed key.
+			ok := true
+			for _, k := range j.keys[1:] {
+				if err := j.b.m.charge(p.CPUOperatorCost * j.f); err != nil {
+					return nil, false, err
+				}
+				if j.cur[k.leftOff] != j.innerCols(k.rightOff)[rid] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			j.st.Matches++
+			// Inner selection filters.
+			for _, fp := range j.filters {
+				if err := j.b.m.charge(p.CPUOperatorCost * j.f); err != nil {
+					return nil, false, err
+				}
+				if !fp.eval(j.innerCols(fp.off)[rid]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if err := j.b.m.charge(p.CPUTupleCost * j.f); err != nil {
+				return nil, false, err
+			}
+			out := make(row, len(j.out))
+			copy(out, j.cur)
+			for c := range j.innerSch {
+				out[len(j.outerSch)+c] = j.innerCols(c)[rid]
+			}
+			j.st.Out++
+			return out, true, nil
+		}
+		// Fetch the next outer row and probe.
+		r, ok, err := j.outer.next()
+		if err != nil || !ok {
+			if err == nil {
+				j.st.InputsDone = true
+				j.st.Done = true
+			}
+			return nil, false, err
+		}
+		j.st.InTuples++
+		descent := math.Log2(float64(j.innerN)+1) * p.CPUIndexTupleCost
+		if err := j.b.m.charge(descent * j.f); err != nil {
+			return nil, false, err
+		}
+		j.cur = r
+		j.matches = j.probe[r[j.keys[0].leftOff]]
+		j.mi = 0
+	}
+}
+
+func (j *indexNL) close() { j.outer.close() }
+
+// ---------------------------------------------------------------------------
+// Hash join
+
+type hashJoin struct {
+	b   *builder
+	n   *plan.Node
+	st  *NodeStats
+	f   float64
+	out schema
+
+	left, right   iterator
+	leftSch       schema
+	rightSch      schema
+	keys          []joinKey
+	table         map[int64][]row
+	builtRows     int64
+	spillCharged  bool
+	leftPageRows  float64
+	rightPageRows float64
+
+	cur     row
+	matches []row
+	mi      int
+}
+
+func (b *builder) buildHashJoin(n *plan.Node) (iterator, schema) {
+	left, leftSch := b.build(n.Left)
+	right, rightSch := b.build(n.Right)
+	joins, sels := b.predSplit(n.Preds)
+	if len(sels) > 0 {
+		panic("exec: hash join with selection predicates")
+	}
+	j := &hashJoin{
+		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
+		left: left, right: right, leftSch: leftSch, rightSch: rightSch,
+		keys: b.bindJoinKeys(joins, leftSch, rightSch),
+	}
+	j.out = append(append(schema{}, leftSch...), rightSch...)
+	ps := float64(b.e.q.Catalog.PageSize)
+	// Approximate row widths by 8 bytes per column for spill accounting.
+	j.leftPageRows = ps / (8 * float64(len(leftSch)))
+	j.rightPageRows = ps / (8 * float64(len(rightSch)))
+	return j, j.out
+}
+
+func (j *hashJoin) open() error {
+	if err := j.left.open(); err != nil {
+		return err
+	}
+	if err := j.right.open(); err != nil {
+		return err
+	}
+	// Build phase: drain the right child.
+	p := j.b.e.params
+	j.table = make(map[int64][]row)
+	for {
+		r, ok, err := j.right.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := j.b.m.charge((p.CPUOperatorCost + p.CPUTupleCost) * j.f); err != nil {
+			return err
+		}
+		j.table[r[j.keys[0].rightOff]] = append(j.table[r[j.keys[0].rightOff]], r)
+		j.builtRows++
+	}
+	// Grace-join spill: if the build side exceeds work memory, charge
+	// the write+read of both inputs' pages (right now, left as probed).
+	if float64(j.builtRows)*8*float64(len(j.rightSch)) > p.WorkMemBytes {
+		pages := math.Ceil(float64(j.builtRows) / j.rightPageRows)
+		if pages < 1 {
+			pages = 1
+		}
+		if err := j.b.m.charge(pages * p.SpillPageCost * j.f); err != nil {
+			return err
+		}
+		j.spillCharged = true
+	}
+	return nil
+}
+
+func (j *hashJoin) next() (row, bool, error) {
+	p := j.b.e.params
+	for {
+		for j.mi < len(j.matches) {
+			m := j.matches[j.mi]
+			j.mi++
+			ok := true
+			for _, k := range j.keys[1:] {
+				if err := j.b.m.charge(p.CPUOperatorCost * j.f); err != nil {
+					return nil, false, err
+				}
+				if j.cur[k.leftOff] != m[k.rightOff] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			j.st.Matches++
+			if err := j.b.m.charge(p.CPUTupleCost * j.f); err != nil {
+				return nil, false, err
+			}
+			out := make(row, len(j.out))
+			copy(out, j.cur)
+			copy(out[len(j.leftSch):], m)
+			j.st.Out++
+			return out, true, nil
+		}
+		r, ok, err := j.left.next()
+		if err != nil || !ok {
+			if err == nil {
+				j.st.InputsDone = true
+				j.st.Done = true
+			}
+			return nil, false, err
+		}
+		j.st.InTuples++
+		charge := p.HashQualCost
+		if j.spillCharged && j.st.InTuples%int64(j.leftPageRows+1) == 0 {
+			charge += p.SpillPageCost
+		}
+		if err := j.b.m.charge(charge * j.f); err != nil {
+			return nil, false, err
+		}
+		j.cur = r
+		j.matches = j.table[r[j.keys[0].leftOff]]
+		j.mi = 0
+	}
+}
+
+func (j *hashJoin) close() {
+	j.left.close()
+	j.right.close()
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge join
+
+type mergeJoin struct {
+	b   *builder
+	n   *plan.Node
+	st  *NodeStats
+	f   float64
+	out schema
+
+	left, right iterator
+	leftSch     schema
+	rightSch    schema
+	keys        []joinKey
+
+	lrows, rrows []row
+	li, ri       int
+
+	// Current equal-key group cross product.
+	group   []row // right rows sharing the current key
+	gi      int
+	curLeft row
+}
+
+func (b *builder) buildMergeJoin(n *plan.Node) (iterator, schema) {
+	left, leftSch := b.build(n.Left)
+	right, rightSch := b.build(n.Right)
+	joins, sels := b.predSplit(n.Preds)
+	if len(sels) > 0 {
+		panic("exec: merge join with selection predicates")
+	}
+	j := &mergeJoin{
+		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
+		left: left, right: right, leftSch: leftSch, rightSch: rightSch,
+		keys: b.bindJoinKeys(joins, leftSch, rightSch),
+	}
+	j.out = append(append(schema{}, leftSch...), rightSch...)
+	return j, j.out
+}
+
+// drainSorted materializes and sorts one input, charging ~n·log2(n)
+// comparison costs plus external-sort spill I/O, mirroring Coster.sortCost.
+// Charges accrue incrementally per drained row (Σ log2(i) ≈ n·log2 n), so a
+// budget abort fires promptly rather than after a lump-sum sort charge.
+func (j *mergeJoin) drainSorted(it iterator, key int, width int) ([]row, error) {
+	p := j.b.e.params
+	rowBytes := 8 * float64(width)
+	pageRows := float64(j.b.e.q.Catalog.PageSize) / rowBytes
+	var rows []row
+	for {
+		r, ok, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+		n := float64(len(rows))
+		charge := math.Log2(n+1) * p.SortCmpCost
+		if bytes := n * rowBytes; bytes > p.WorkMemBytes {
+			// External sort: approximate the per-pass spill I/O
+			// by charging each overflowing row its share of the
+			// current pass count.
+			passes := math.Ceil(math.Log2(bytes/p.WorkMemBytes)) + 1
+			charge += passes * p.SpillPageCost / pageRows
+		}
+		if err := j.b.m.charge(charge * j.f); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a][key] < rows[b][key] })
+	return rows, nil
+}
+
+func (j *mergeJoin) open() error {
+	if err := j.left.open(); err != nil {
+		return err
+	}
+	if err := j.right.open(); err != nil {
+		return err
+	}
+	var err error
+	if j.lrows, err = j.drainSorted(j.left, j.keys[0].leftOff, len(j.leftSch)); err != nil {
+		return err
+	}
+	if j.rrows, err = j.drainSorted(j.right, j.keys[0].rightOff, len(j.rightSch)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (j *mergeJoin) next() (row, bool, error) {
+	p := j.b.e.params
+	lk, rk := j.keys[0].leftOff, j.keys[0].rightOff
+	for {
+		// Emit from the current group cross product.
+		for j.gi < len(j.group) {
+			m := j.group[j.gi]
+			j.gi++
+			ok := true
+			for _, k := range j.keys[1:] {
+				if err := j.b.m.charge(p.CPUOperatorCost * j.f); err != nil {
+					return nil, false, err
+				}
+				if j.curLeft[k.leftOff] != m[k.rightOff] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			j.st.Matches++
+			if err := j.b.m.charge(p.CPUTupleCost * j.f); err != nil {
+				return nil, false, err
+			}
+			out := make(row, len(j.out))
+			copy(out, j.curLeft)
+			copy(out[len(j.leftSch):], m)
+			j.st.Out++
+			return out, true, nil
+		}
+
+		// Advance: if the current left row's key equals the group's
+		// key, move to the next left row and replay the group.
+		if j.group != nil && j.li < len(j.lrows) {
+			j.li++
+			j.st.InTuples++
+			if j.li < len(j.lrows) && j.lrows[j.li][lk] == j.curLeft[lk] {
+				j.curLeft = j.lrows[j.li]
+				j.gi = 0
+				continue
+			}
+			j.group = nil
+		}
+
+		if j.li >= len(j.lrows) || j.ri >= len(j.rrows) {
+			j.st.InputsDone = true
+			j.st.Done = true
+			return nil, false, nil
+		}
+
+		// Merge step: align keys.
+		lv, rv := j.lrows[j.li][lk], j.rrows[j.ri][rk]
+		if err := j.b.m.charge(p.CPUOperatorCost * j.f); err != nil {
+			return nil, false, err
+		}
+		switch {
+		case lv < rv:
+			j.li++
+			j.st.InTuples++
+		case lv > rv:
+			j.ri++
+		default:
+			// Collect the right group with this key.
+			start := j.ri
+			for j.ri < len(j.rrows) && j.rrows[j.ri][rk] == rv {
+				j.ri++
+			}
+			j.group = j.rrows[start:j.ri]
+			j.curLeft = j.lrows[j.li]
+			j.gi = 0
+		}
+	}
+}
+
+func (j *mergeJoin) close() {
+	j.left.close()
+	j.right.close()
+}
+
+// ---------------------------------------------------------------------------
+// Scalar aggregate
+
+// aggregate drains its child and emits a single row [count, sum(first col)],
+// mirroring the decision-support COUNT/SUM root.
+type aggregate struct {
+	b     *builder
+	n     *plan.Node
+	st    *NodeStats
+	f     float64
+	child iterator
+
+	done  bool
+	count int64
+	sum   int64
+}
+
+func (b *builder) buildAggregate(n *plan.Node) (iterator, schema) {
+	child, childSch := b.build(n.Left)
+	a := &aggregate{b: b, n: n, st: b.statsFor(n), f: b.factor(n), child: child}
+	_ = childSch
+	out := schema{{Relation: "", Column: "count"}, {Relation: "", Column: "sum"}}
+	return a, out
+}
+
+func (a *aggregate) open() error { return a.child.open() }
+
+func (a *aggregate) next() (row, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	p := a.b.e.params
+	for {
+		r, ok, err := a.child.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		a.st.InTuples++
+		if err := a.b.m.charge(p.CPUOperatorCost * a.f); err != nil {
+			return nil, false, err
+		}
+		a.count++
+		if len(r) > 0 {
+			a.sum += r[0]
+		}
+	}
+	if err := a.b.m.charge(p.CPUTupleCost * a.f); err != nil {
+		return nil, false, err
+	}
+	a.done = true
+	a.st.InputsDone = true
+	a.st.Done = true
+	a.st.Out = 1
+	return row{a.count, a.sum}, true, nil
+}
+
+func (a *aggregate) close() { a.child.close() }
+
+// ---------------------------------------------------------------------------
+// Hash anti-join (NOT EXISTS)
+
+// antiJoin builds a hash set over the inner relation's column, then streams
+// outer rows, emitting those with no match. PassBy counts the survivors per
+// the anti predicate, giving the run-time a sound lower bound on the pass
+// fraction even mid-budget (§5.2 learning applied to the §2 existential
+// case).
+type antiJoin struct {
+	b   *builder
+	n   *plan.Node
+	st  *NodeStats
+	f   float64
+	out schema
+
+	outer    iterator
+	outerOff int
+	innerSet map[int64]bool
+	innerN   int
+	pred     int
+	built    bool
+}
+
+func (b *builder) buildAntiJoin(n *plan.Node) (iterator, schema) {
+	outer, outerSch := b.build(n.Left)
+	p := b.e.q.Predicate(n.Preds[0])
+	tbl := b.e.db.Table(n.Relation)
+	j := &antiJoin{
+		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
+		out:      outerSch,
+		outer:    outer,
+		outerOff: outerSch.offset(p.Left.Relation, p.Left.Column),
+		innerN:   tbl.NumRows(),
+		pred:     n.Preds[0],
+	}
+	vals := tbl.Column(n.IndexColumn)
+	j.innerSet = make(map[int64]bool, len(vals))
+	for _, v := range vals {
+		j.innerSet[v] = true
+	}
+	return j, outerSch
+}
+
+func (j *antiJoin) open() error {
+	if err := j.outer.open(); err != nil {
+		return err
+	}
+	// Build-phase charge for hashing the inner relation.
+	p := j.b.e.params
+	j.built = true
+	return j.b.m.charge(float64(j.innerN) * (p.CPUOperatorCost + p.CPUTupleCost) * j.f)
+}
+
+func (j *antiJoin) next() (row, bool, error) {
+	p := j.b.e.params
+	for {
+		r, ok, err := j.outer.next()
+		if err != nil || !ok {
+			if err == nil {
+				j.st.InputsDone = true
+				j.st.Done = true
+			}
+			return nil, false, err
+		}
+		j.st.InTuples++
+		if err := j.b.m.charge(p.HashQualCost * j.f); err != nil {
+			return nil, false, err
+		}
+		if j.innerSet[r[j.outerOff]] {
+			continue // a match exists: the NOT EXISTS fails
+		}
+		j.st.PassBy[j.pred]++
+		j.st.Matches++
+		if err := j.b.m.charge(p.CPUTupleCost * j.f); err != nil {
+			return nil, false, err
+		}
+		j.st.Out++
+		return r, true, nil
+	}
+}
+
+func (j *antiJoin) close() { j.outer.close() }
+
+// ---------------------------------------------------------------------------
+// Grouped hash aggregate
+
+// groupAggregate drains its child into a hash of per-group counts, then
+// emits one (group, count) row per distinct grouping value, in ascending
+// group order for determinism.
+type groupAggregate struct {
+	b     *builder
+	n     *plan.Node
+	st    *NodeStats
+	f     float64
+	child iterator
+	off   int
+
+	built  bool
+	groups map[int64]int64
+	order  []int64
+	pos    int
+}
+
+func (b *builder) buildGroupAggregate(n *plan.Node) (iterator, schema) {
+	child, childSch := b.build(n.Left)
+	g := &groupAggregate{
+		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
+		child: child,
+		off:   childSch.offset(n.Relation, n.IndexColumn),
+	}
+	out := schema{
+		{Relation: n.Relation, Column: n.IndexColumn},
+		{Relation: "", Column: "count"},
+	}
+	return g, out
+}
+
+func (g *groupAggregate) open() error { return g.child.open() }
+
+func (g *groupAggregate) next() (row, bool, error) {
+	p := g.b.e.params
+	if !g.built {
+		g.groups = make(map[int64]int64)
+		for {
+			r, ok, err := g.child.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			g.st.InTuples++
+			if err := g.b.m.charge((p.CPUOperatorCost + p.HashQualCost) * g.f); err != nil {
+				return nil, false, err
+			}
+			g.groups[r[g.off]]++
+		}
+		g.order = make([]int64, 0, len(g.groups))
+		for k := range g.groups {
+			g.order = append(g.order, k)
+		}
+		sort.Slice(g.order, func(a, b int) bool { return g.order[a] < g.order[b] })
+		g.built = true
+	}
+	if g.pos >= len(g.order) {
+		g.st.InputsDone = true
+		g.st.Done = true
+		return nil, false, nil
+	}
+	k := g.order[g.pos]
+	g.pos++
+	if err := g.b.m.charge(p.CPUTupleCost * g.f); err != nil {
+		return nil, false, err
+	}
+	g.st.Out++
+	return row{k, g.groups[k]}, true, nil
+}
+
+func (g *groupAggregate) close() { g.child.close() }

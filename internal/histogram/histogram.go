@@ -1,0 +1,141 @@
+// Package histogram provides equi-depth column histograms: the classical
+// statistic that makes single-column predicate selectivities "accurately
+// estimable with current techniques" — the paper's §8 justification for
+// classifying base-relation predicates as error-free while join
+// selectivities remain the ESS dimensions.
+//
+// The reproduction uses histograms to derive the error-free DefaultSel
+// values of runtime workloads from data samples, and its tests quantify
+// the estimation error against exact counts on uniform and Zipf-skewed
+// columns (small for selections — exactly why the paper's uncertainty
+// taxonomy puts them in the "no/low uncertainty" bucket).
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is an equi-depth (equi-height) histogram over an integer
+// column: bucket boundaries chosen so each bucket holds (approximately)
+// the same number of rows.
+type Histogram struct {
+	// bounds[i] is the upper bound (inclusive) of bucket i; buckets
+	// partition the value range in sorted order.
+	bounds []int64
+	// counts[i] is the exact number of rows in bucket i.
+	counts []int64
+	// total is the row count.
+	total int64
+	// min is the smallest value observed.
+	min int64
+}
+
+// Build constructs an equi-depth histogram with at most buckets buckets
+// over the column values.
+func Build(values []int64, buckets int) (*Histogram, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("histogram: no values")
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: need at least one bucket")
+	}
+	sorted := append([]int64{}, values...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+
+	h := &Histogram{total: int64(len(sorted)), min: sorted[0]}
+	per := len(sorted) / buckets
+	if per < 1 {
+		per = 1
+	}
+	for start := 0; start < len(sorted); {
+		end := start + per
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		// Extend the bucket through ties so boundaries fall between
+		// distinct values (keeps estimates exact at boundaries).
+		for end < len(sorted) && sorted[end] == sorted[end-1] {
+			end++
+		}
+		h.bounds = append(h.bounds, sorted[end-1])
+		h.counts = append(h.counts, int64(end-start))
+		start = end
+	}
+	return h, nil
+}
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.bounds) }
+
+// Total returns the row count the histogram summarises.
+func (h *Histogram) Total() int64 { return h.total }
+
+// EstimateLess estimates the selectivity of "col < bound": full buckets
+// below the bound plus a uniform-within-bucket interpolation of the
+// straddling bucket.
+func (h *Histogram) EstimateLess(bound int64) float64 {
+	if bound <= h.min {
+		return 0
+	}
+	var rows float64
+	lo := h.min
+	for i, ub := range h.bounds {
+		if bound > ub {
+			rows += float64(h.counts[i])
+			lo = ub + 1
+			continue
+		}
+		// Straddling bucket: interpolate within [lo, ub].
+		width := float64(ub-lo) + 1
+		frac := float64(bound-lo) / width
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		rows += float64(h.counts[i]) * frac
+		break
+	}
+	sel := rows / float64(h.total)
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// EstimateGreaterEq estimates the selectivity of "col ≥ bound" — the
+// negated form used by the §2 axis flip.
+func (h *Histogram) EstimateGreaterEq(bound int64) float64 {
+	return 1 - h.EstimateLess(bound)
+}
+
+// BoundForSelectivity inverts the histogram: the constant c such that
+// "col < c" is estimated to have the target selectivity. It is how a
+// workload generator positions an error-free predicate at a wanted
+// selectivity without scanning the data.
+func (h *Histogram) BoundForSelectivity(target float64) int64 {
+	if target <= 0 {
+		return h.min
+	}
+	if target >= 1 {
+		return h.bounds[len(h.bounds)-1] + 1
+	}
+	want := target * float64(h.total)
+	var acc float64
+	lo := h.min
+	for i, ub := range h.bounds {
+		c := float64(h.counts[i])
+		if acc+c < want {
+			acc += c
+			lo = ub + 1
+			continue
+		}
+		// Interpolate inside this bucket.
+		width := float64(ub-lo) + 1
+		frac := (want - acc) / c
+		return lo + int64(frac*width)
+	}
+	return h.bounds[len(h.bounds)-1] + 1
+}

@@ -1,0 +1,256 @@
+// Package metrics computes the paper's robustness statistics (§2) over a
+// discretized ESS:
+//
+//	SubOpt(qe, qa)  = c_oe(qa) / c_oa(qa)                      (Eq. 1)
+//	SubOptworst(qa) = max_qe SubOpt(qe, qa)                    (Eq. 2)
+//	MSO             = max_qa SubOptworst(qa)                   (Eq. 3)
+//	ASO             = avg over (qe, qa) of SubOpt               (Eq. 4)
+//	MH              = max_qa (SubOpt(*,qa)/SubOptworst(qa) − 1) (Eq. 5)
+//
+// Estimated and actual locations are uniformly and independently
+// distributed over the grid, per the paper's framework. Single-plan
+// strategies (native optimizer, SEER) are described by an Assignment: the
+// plan executed when the optimizer's estimate lands at each location. The
+// bouquet is described by its per-q_a execution cost c_b(q_a), with the
+// estimate a "don't care".
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/posp"
+)
+
+// Assignment maps each ESS grid location (as the *estimated* location) to
+// the diagram plan ID that strategy executes.
+type Assignment []int
+
+// NativeAssignment is the conventional optimizer: at estimate qe, run the
+// plan optimal at qe.
+func NativeAssignment(d *posp.Diagram) Assignment {
+	n := d.Space().NumPoints()
+	a := make(Assignment, n)
+	for f := 0; f < n; f++ {
+		a[f] = d.PlanID(f)
+	}
+	return a
+}
+
+// ReplacedAssignment composes an assignment with a plan substitution map
+// (SEER: run rep[plan] instead of plan).
+func ReplacedAssignment(base Assignment, rep []int) Assignment {
+	a := make(Assignment, len(base))
+	for f, pid := range base {
+		a[f] = rep[pid]
+	}
+	return a
+}
+
+// Stats are the single-plan-strategy robustness statistics for one
+// assignment over one diagram.
+type Stats struct {
+	// MSO is the global worst-case sub-optimality (Eq. 3).
+	MSO float64
+	// MSOAtQe and MSOAtQa locate the worst (qe, qa) pair.
+	MSOAtQe, MSOAtQa int
+	// ASO is the average sub-optimality (Eq. 4).
+	ASO float64
+	// WorstPerQa is SubOptworst(qa) per grid location (Eq. 2).
+	WorstPerQa []float64
+	// PlanCardinality is the number of distinct plans the assignment
+	// uses.
+	PlanCardinality int
+}
+
+// Compute evaluates a single-plan strategy. planCost is
+// posp.CostMatrix(d, …); d must be fully covered.
+func Compute(d *posp.Diagram, planCost [][]float64, assign Assignment) (Stats, error) {
+	n := d.Space().NumPoints()
+	if len(assign) != n {
+		return Stats{}, fmt.Errorf("metrics: assignment covers %d of %d locations", len(assign), n)
+	}
+
+	// Group estimates by chosen plan: SubOptworst and ASO then cost
+	// O(|plans|·|grid|) instead of O(|grid|²).
+	planCount := make(map[int]int)
+	for _, pid := range assign {
+		if pid < 0 {
+			return Stats{}, fmt.Errorf("metrics: assignment has uncovered location")
+		}
+		planCount[pid]++
+	}
+
+	st := Stats{WorstPerQa: make([]float64, n), PlanCardinality: len(planCount)}
+	// Representative estimate location per plan (for MSOAtQe reporting).
+	repQe := make(map[int]int, len(planCount))
+	for f := n - 1; f >= 0; f-- {
+		repQe[assign[f]] = f
+	}
+
+	var sumSubOpt float64
+	for qa := 0; qa < n; qa++ {
+		opt := d.Cost(qa)
+		worst, worstPid := 0.0, -1
+		var sumOverQe float64
+		for pid, cnt := range planCount {
+			so := planCost[pid][qa] / opt
+			sumOverQe += so * float64(cnt)
+			if so > worst {
+				worst, worstPid = so, pid
+			}
+		}
+		st.WorstPerQa[qa] = worst
+		sumSubOpt += sumOverQe
+		if worst > st.MSO {
+			st.MSO = worst
+			st.MSOAtQa = qa
+			st.MSOAtQe = repQe[worstPid]
+		}
+	}
+	st.ASO = sumSubOpt / float64(n) / float64(n)
+	return st, nil
+}
+
+// BouquetStats are the bouquet-side statistics: the estimate is a "don't
+// care", so per-q_a sub-optimality is a scalar, not a max over estimates.
+type BouquetStats struct {
+	// MSO is max_qa SubOpt(*, qa).
+	MSO float64
+	// MSOAtQa locates the worst actual location.
+	MSOAtQa int
+	// ASO is the average SubOpt(*, qa) over the grid.
+	ASO float64
+	// SubOptPerQa is SubOpt(*, qa) per grid location.
+	SubOptPerQa []float64
+	// AvgExecs is the mean number of (partial + final) plan executions
+	// per query.
+	AvgExecs float64
+}
+
+// Runner produces the bouquet execution sub-optimality and execution count
+// at one grid location (RunBasic / RunOptimized wrapped by the caller).
+type Runner func(flat int) (subOpt float64, execs int)
+
+// ComputeBouquet sweeps the grid with runner, in parallel.
+func ComputeBouquet(n int, runner Runner, workers int) BouquetStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := BouquetStats{SubOptPerQa: make([]float64, n), MSOAtQa: -1}
+	execs := make([]int, n)
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range work {
+				st.SubOptPerQa[f], execs[f] = runner(f)
+			}
+		}()
+	}
+	for f := 0; f < n; f++ {
+		work <- f
+	}
+	close(work)
+	wg.Wait()
+
+	var sum float64
+	var sumExecs int
+	for f, so := range st.SubOptPerQa {
+		sum += so
+		sumExecs += execs[f]
+		if so > st.MSO {
+			st.MSO, st.MSOAtQa = so, f
+		}
+	}
+	st.ASO = sum / float64(n)
+	st.AvgExecs = float64(sumExecs) / float64(n)
+	return st
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of the per-location
+// sub-optimalities, by nearest-rank on a sorted copy. Useful alongside
+// MSO/ASO: the paper's "average within 4x of the PIC" claims are about the
+// body of the distribution, not just its mean.
+func Percentile(perQa []float64, p float64) float64 {
+	if len(perQa) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]float64{}, perQa...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// MaxHarm evaluates Eq. 5: the worst relative regret of the bouquet versus
+// the native strategy's worst case, plus the fraction of locations where
+// any harm occurs. MH ≤ 0 means the bouquet never performs worse than the
+// native worst case anywhere.
+func MaxHarm(bouquetPerQa, nativeWorstPerQa []float64) (mh float64, harmedFrac float64) {
+	mh = math.Inf(-1)
+	harmed := 0
+	for qa := range bouquetPerQa {
+		h := bouquetPerQa[qa]/nativeWorstPerQa[qa] - 1
+		if h > mh {
+			mh = h
+		}
+		if h > 0 {
+			harmed++
+		}
+	}
+	return mh, float64(harmed) / float64(len(bouquetPerQa))
+}
+
+// ImprovementBucket is one decade bucket of Fig. 16's robustness
+// distribution.
+type ImprovementBucket struct {
+	// Label describes the improvement range, e.g. "[10x, 100x)".
+	Label string
+	// Frac is the fraction of ESS locations in the bucket.
+	Frac float64
+}
+
+// ImprovementDistribution buckets, per q_a, the enhanced-robustness factor
+// SubOptworst(qa) / SubOpt(*, qa) into decades (…, [0.1,1), [1,10),
+// [10,100), …), reproducing Fig. 16.
+func ImprovementDistribution(nativeWorstPerQa, bouquetPerQa []float64) []ImprovementBucket {
+	counts := map[int]int{}
+	for qa := range bouquetPerQa {
+		ratio := nativeWorstPerQa[qa] / bouquetPerQa[qa]
+		dec := int(math.Floor(math.Log10(ratio)))
+		counts[dec]++
+	}
+	lo, hi := math.MaxInt32, math.MinInt32
+	for d := range counts {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	var out []ImprovementBucket
+	total := float64(len(bouquetPerQa))
+	for d := lo; d <= hi; d++ {
+		out = append(out, ImprovementBucket{
+			Label: fmt.Sprintf("[1e%d,1e%d)", d, d+1),
+			Frac:  float64(counts[d]) / total,
+		})
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/posp"
+	"repro/internal/query"
+)
+
+// handDiagram builds a tiny fully controlled diagram: 3 locations, 2 plans.
+// Plan 0 optimal at {0,1}, plan 1 at {2}.
+//
+//	cost matrix:      loc0  loc1  loc2
+//	  plan 0:          10    20    90
+//	  plan 1:          40    30    30
+func handDiagram(t *testing.T) (*posp.Diagram, [][]float64) {
+	t.Helper()
+	cat := catalog.TPCHLike(0.01)
+	q := query.NewBuilder("mq", cat).
+		Relation("part").
+		SelectionPred("part", "p_retailprice", 0.1, true).
+		MustBuild()
+	space, err := ess.NewSpace(q, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := posp.NewDiagram(space)
+	planA := plan.NewIndexScan("part", "p_retailprice", []int{0})
+	planB := plan.NewSeqScan("part", []int{0})
+	d.Set(0, planA, 10)
+	d.Set(1, planA, 20)
+	d.Set(2, planB, 30)
+	m := [][]float64{{10, 20, 90}, {40, 30, 30}}
+	return d, m
+}
+
+func TestComputeHandChecked(t *testing.T) {
+	d, m := handDiagram(t)
+	st, err := Compute(d, m, NativeAssignment(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SubOptworst per qa: qa0: max(10/10, 40/10)=4; qa1: max(20/20,30/20)=1.5;
+	// qa2: max(90/30, 30/30)=3.
+	want := []float64{4, 1.5, 3}
+	for i, w := range want {
+		if math.Abs(st.WorstPerQa[i]-w) > 1e-12 {
+			t.Errorf("WorstPerQa[%d] = %g, want %g", i, st.WorstPerQa[i], w)
+		}
+	}
+	if st.MSO != 4 || st.MSOAtQa != 0 {
+		t.Errorf("MSO = %g at %d", st.MSO, st.MSOAtQa)
+	}
+	// The worst estimate chooses plan 1, whose region is {2}.
+	if st.MSOAtQe != 2 {
+		t.Errorf("MSOAtQe = %d, want 2", st.MSOAtQe)
+	}
+	// ASO: qe uniform over {0,1,2} → plan0 twice, plan1 once.
+	// qa0: (2·1 + 4)/3 = 2; qa1: (2·1 + 1.5)/3 ≈ 1.1667; qa2: (2·3+1)/3 ≈ 2.333.
+	wantASO := (2.0 + 7.0/6.0 + 7.0/3.0) / 3
+	if math.Abs(st.ASO-wantASO) > 1e-12 {
+		t.Errorf("ASO = %g, want %g", st.ASO, wantASO)
+	}
+	if st.PlanCardinality != 2 {
+		t.Errorf("PlanCardinality = %d", st.PlanCardinality)
+	}
+}
+
+func TestReplacedAssignment(t *testing.T) {
+	d, m := handDiagram(t)
+	nat := NativeAssignment(d)
+	// Replace plan 1 with plan 0 everywhere.
+	rep := ReplacedAssignment(nat, []int{0, 0})
+	st, err := Compute(d, m, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCardinality != 1 {
+		t.Fatalf("cardinality = %d after total replacement", st.PlanCardinality)
+	}
+	// Only plan 0 used: worst per qa = plan0 cost / opt.
+	if st.MSO != 3 { // 90/30 at qa2
+		t.Fatalf("MSO = %g, want 3", st.MSO)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	d, m := handDiagram(t)
+	if _, err := Compute(d, m, Assignment{0}); err == nil {
+		t.Error("short assignment should fail")
+	}
+	if _, err := Compute(d, m, Assignment{-1, 0, 0}); err == nil {
+		t.Error("uncovered assignment should fail")
+	}
+}
+
+func TestComputeBouquetAggregation(t *testing.T) {
+	subopts := []float64{1, 2, 5, 4}
+	execs := []int{1, 2, 3, 2}
+	st := ComputeBouquet(4, func(f int) (float64, int) {
+		return subopts[f], execs[f]
+	}, 2)
+	if st.MSO != 5 || st.MSOAtQa != 2 {
+		t.Fatalf("MSO = %g at %d", st.MSO, st.MSOAtQa)
+	}
+	if st.ASO != 3 {
+		t.Fatalf("ASO = %g", st.ASO)
+	}
+	if st.AvgExecs != 2 {
+		t.Fatalf("AvgExecs = %g", st.AvgExecs)
+	}
+	for i, s := range st.SubOptPerQa {
+		if s != subopts[i] {
+			t.Fatal("per-qa values lost")
+		}
+	}
+}
+
+func TestMaxHarm(t *testing.T) {
+	bouquet := []float64{2, 3, 8}
+	natWorst := []float64{4, 3, 4}
+	mh, frac := MaxHarm(bouquet, natWorst)
+	if math.Abs(mh-1.0) > 1e-12 { // 8/4 - 1
+		t.Fatalf("MH = %g, want 1", mh)
+	}
+	if math.Abs(frac-1.0/3) > 1e-12 {
+		t.Fatalf("harmed frac = %g, want 1/3", frac)
+	}
+	// No harm case.
+	mh, frac = MaxHarm([]float64{1, 1}, []float64{10, 10})
+	if mh >= 0 || frac != 0 {
+		t.Fatalf("harmless case: MH=%g frac=%g", mh, frac)
+	}
+}
+
+func TestImprovementDistribution(t *testing.T) {
+	natWorst := []float64{100, 1000, 10, 1}
+	bouquet := []float64{1, 1, 1, 1}
+	buckets := ImprovementDistribution(natWorst, bouquet)
+	total := 0.0
+	for _, b := range buckets {
+		total += b.Frac
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("fractions sum to %g", total)
+	}
+	// Ratios 100, 1000, 10, 1 → decades 2, 3, 1, 0: four buckets of 25%.
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	for _, b := range buckets {
+		if math.Abs(b.Frac-0.25) > 1e-12 {
+			t.Fatalf("bucket %v, want 0.25 each", b)
+		}
+	}
+	if buckets[0].Label != "[1e0,1e1)" {
+		t.Fatalf("label = %s", buckets[0].Label)
+	}
+}
+
+// TestEndToEndAgainstDirectDefinition cross-checks the grouped O(|P|·n)
+// computation against the direct O(n²) double loop on a real diagram.
+func TestEndToEndAgainstDirectDefinition(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q := query.NewBuilder("e2e", cat).
+		Relation("part").Relation("lineitem").
+		SelectionPred("part", "p_retailprice", 0.1, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), true).
+		MustBuild()
+	space, err := ess.NewSpace(q, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coster := cost.NewCoster(q, cost.Postgres())
+	opt := optimizer.New(coster)
+	d := posp.Generate(opt, space, 0)
+	m := posp.CostMatrix(d, coster, 0)
+	assign := NativeAssignment(d)
+	st, err := Compute(d, m, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := space.NumPoints()
+	var directMSO, directSum float64
+	for qe := 0; qe < n; qe++ {
+		for qa := 0; qa < n; qa++ {
+			so := m[assign[qe]][qa] / d.Cost(qa)
+			directSum += so
+			if so > directMSO {
+				directMSO = so
+			}
+		}
+	}
+	if math.Abs(st.MSO-directMSO) > 1e-9*directMSO {
+		t.Fatalf("MSO %g != direct %g", st.MSO, directMSO)
+	}
+	if directASO := directSum / float64(n*n); math.Abs(st.ASO-directASO) > 1e-9*directASO {
+		t.Fatalf("ASO %g != direct %g", st.ASO, directASO)
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	cat := catalog.TPCHLike(0.01)
+	q := query.NewBuilder("bench", cat).
+		Relation("part").Relation("lineitem").
+		SelectionPred("part", "p_retailprice", 0.1, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), true).
+		MustBuild()
+	space, err := ess.NewSpace(q, []int{20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coster := cost.NewCoster(q, cost.Postgres())
+	opt := optimizer.New(coster)
+	d := posp.Generate(opt, space, 0)
+	m := posp.CostMatrix(d, coster, 0)
+	assign := NativeAssignment(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(d, m, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	cases := map[float64]float64{0: 1, 0.2: 1, 0.5: 3, 0.8: 4, 0.95: 5, 1: 5}
+	for p, want := range cases {
+		if got := Percentile(vals, p); got != want {
+			t.Errorf("Percentile(%.2f) = %g, want %g", p, got, want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty input should yield NaN")
+	}
+	// Out-of-range p clamps.
+	if Percentile(vals, -1) != 1 || Percentile(vals, 2) != 5 {
+		t.Error("clamping failed")
+	}
+	// Input not mutated.
+	if vals[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}

@@ -1,0 +1,301 @@
+// Package optimizer implements a System-R style cost-based query optimizer:
+// dynamic programming over connected relation subsets, with access-path and
+// physical-join-operator selection driven by the cost model.
+//
+// Its defining capability for the bouquet technique is selectivity
+// injection (§4.2): Optimize takes an explicit selectivity assignment and
+// returns the plan that is optimal *at that assignment*. Repeated calls
+// across the ESS grid produce the parametric optimal set of plans (POSP).
+//
+// The optimizer deliberately mirrors a conventional engine: it picks the
+// single cheapest plan per subset and breaks ties deterministically, so the
+// same inputs always yield the same plan (a prerequisite for the paper's
+// repeatability claim).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Optimizer enumerates plans for one query under one Coster. It is safe
+// for concurrent use; per-call state lives on the stack.
+type Optimizer struct {
+	q      *query.Query
+	coster *cost.Coster
+
+	rels    []string       // relation names, index = bit position
+	relBit  map[string]int // name -> bit position
+	adj     []uint64       // adjacency bitmask per relation
+	selPred [][]int        // selection predicate IDs per relation
+
+	calls atomic.Int64
+}
+
+// New builds an optimizer for coster's query. It panics if the query has
+// more than 64 relations (bitmask representation).
+func New(coster *cost.Coster) *Optimizer {
+	q := coster.Query()
+	rels := q.Relations()
+	if len(rels) > 64 {
+		panic("optimizer: too many relations")
+	}
+	o := &Optimizer{
+		q:       q,
+		coster:  coster,
+		rels:    rels,
+		relBit:  make(map[string]int, len(rels)),
+		adj:     make([]uint64, len(rels)),
+		selPred: make([][]int, len(rels)),
+	}
+	for i, r := range rels {
+		o.relBit[r] = i
+	}
+	for _, p := range q.Predicates() {
+		switch p.Kind {
+		case query.Selection:
+			i := o.relBit[p.Left.Relation]
+			o.selPred[i] = append(o.selPred[i], p.ID)
+		case query.Join, query.AntiJoin:
+			l := o.relBit[p.Left.Relation]
+			r := o.relBit[p.Right.Relation]
+			o.adj[l] |= 1 << uint(r)
+			o.adj[r] |= 1 << uint(l)
+		}
+	}
+	return o
+}
+
+// Query returns the optimizer's query.
+func (o *Optimizer) Query() *query.Query { return o.q }
+
+// Coster returns the cost model binding.
+func (o *Optimizer) Coster() *cost.Coster { return o.coster }
+
+// Calls returns the number of Optimize invocations so far; the POSP
+// generators use it to report compile-time overheads (§6.1).
+func (o *Optimizer) Calls() int64 { return o.calls.Load() }
+
+// ResetCalls zeroes the invocation counter.
+func (o *Optimizer) ResetCalls() { o.calls.Store(0) }
+
+// Result is an optimization outcome: the chosen plan and its cost at the
+// injected selectivities.
+type Result struct {
+	// Plan is the cheapest plan found.
+	Plan *plan.Node
+	// Cost is Plan's total cost at the injected selectivities.
+	Cost float64
+}
+
+type memoEntry struct {
+	node *plan.Node
+	cost float64
+	rows float64
+	wide float64
+}
+
+// Optimize returns the optimal plan and cost at the injected selectivity
+// assignment. sels must cover every predicate ID of the query.
+func (o *Optimizer) Optimize(sels cost.Selectivities) Result {
+	o.calls.Add(1)
+	if len(sels) < o.q.NumPredicates() {
+		panic(fmt.Sprintf("optimizer: selectivity assignment has %d entries, query has %d predicates",
+			len(sels), o.q.NumPredicates()))
+	}
+	n := len(o.rels)
+	full := uint64(1)<<uint(n) - 1
+	memo := make([]memoEntry, full+1)
+
+	// Base case: single relations — access path selection.
+	for i := 0; i < n; i++ {
+		memo[1<<uint(i)] = o.bestAccessPath(i, sels)
+	}
+
+	// Inductive case: subsets in increasing popcount order. Iterating
+	// masks in increasing numeric order suffices: every proper submask
+	// of m is numerically smaller than m.
+	for m := uint64(1); m <= full; m++ {
+		if bits.OnesCount64(m) < 2 || !o.connectedMask(m) {
+			continue
+		}
+		best := memoEntry{cost: math.Inf(1)}
+		// Enumerate ordered splits (left=probe/outer, right=build/inner).
+		for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
+			left, right := sub, m&^sub
+			if memo[left].node == nil || memo[right].node == nil {
+				continue
+			}
+			preds := o.joinPredsBetween(left, right)
+			if len(preds) == 0 {
+				continue // would be a Cartesian product
+			}
+			o.considerJoins(&best, memo[left], memo[right], right, preds, sels)
+		}
+		memo[m] = best
+	}
+
+	final := memo[full]
+	if final.node == nil {
+		panic(fmt.Sprintf("optimizer: no plan for query %s", o.q.Name))
+	}
+	if col, ok := o.q.GroupBy(); ok {
+		g := o.entryFor(plan.NewGroupAggregate(final.node, col.Relation, col.Column), sels)
+		return Result{Plan: g.node, Cost: g.cost}
+	}
+	if o.q.Aggregate() {
+		agg := o.entryFor(plan.NewAggregate(final.node), sels)
+		return Result{Plan: agg.node, Cost: agg.cost}
+	}
+	return Result{Plan: final.node, Cost: final.cost}
+}
+
+// bestAccessPath picks the cheapest access path for relation index i:
+// a sequential scan or an index scan driven by one of its selection
+// predicates.
+func (o *Optimizer) bestAccessPath(i int, sels cost.Selectivities) memoEntry {
+	rel := o.rels[i]
+	preds := o.selPred[i]
+
+	best := o.entryFor(plan.NewSeqScan(rel, preds), sels)
+	for _, id := range preds {
+		col := o.q.Predicate(id).Left.Column
+		if !o.q.Catalog.HasIndex(rel, col) {
+			continue
+		}
+		cand := o.entryFor(plan.NewIndexScan(rel, col, preds), sels)
+		best = o.cheaper(best, cand)
+	}
+	return best
+}
+
+// considerJoins evaluates every physical join of left⋈right and updates
+// best in place. rightMask identifies the right side so single-relation
+// inners can be turned into index nested-loops probes.
+func (o *Optimizer) considerJoins(best *memoEntry, left, right memoEntry, rightMask uint64, preds []int, sels cost.Selectivities) {
+	// An anti-join predicate admits exactly one shape: the inner base
+	// relation alone on the right, consumed by a hash anti-join.
+	for _, id := range preds {
+		p := o.q.Predicate(id)
+		if p.Kind != query.AntiJoin {
+			continue
+		}
+		if len(preds) == 1 && bits.OnesCount64(rightMask) == 1 &&
+			o.rels[bits.TrailingZeros64(rightMask)] == p.Right.Relation {
+			anti := o.entryFor(plan.NewAntiJoin(left.node, p.Right.Relation, p.Right.Column, id), sels)
+			*best = o.cheaper(*best, anti)
+		}
+		return // no generic join operator applies to anti predicates
+	}
+
+	hj := o.entryFor(plan.NewHashJoin(left.node, right.node, preds), sels)
+	*best = o.cheaper(*best, hj)
+
+	mj := o.entryFor(plan.NewMergeJoin(left.node, right.node, preds), sels)
+	*best = o.cheaper(*best, mj)
+
+	// Index nested loops: inner must be a single base relation with an
+	// index on (one of) the join columns. The inner's selection
+	// predicates fold into the join node as residual filters.
+	if bits.OnesCount64(rightMask) == 1 {
+		ri := bits.TrailingZeros64(rightMask)
+		innerRel := o.rels[ri]
+		for _, id := range preds {
+			p := o.q.Predicate(id)
+			var col string
+			switch innerRel {
+			case p.Left.Relation:
+				col = p.Left.Column
+			case p.Right.Relation:
+				col = p.Right.Column
+			default:
+				continue
+			}
+			if !o.q.Catalog.HasIndex(innerRel, col) {
+				continue
+			}
+			all := append(append([]int{}, preds...), o.selPred[ri]...)
+			nl := o.entryFor(plan.NewIndexNLJoin(left.node, innerRel, col, all), sels)
+			*best = o.cheaper(*best, nl)
+		}
+	}
+}
+
+// entryFor prices a candidate plan.
+func (o *Optimizer) entryFor(n *plan.Node, sels cost.Selectivities) memoEntry {
+	nc := o.coster.Detail(n, sels)
+	root := nc[len(nc)-1]
+	return memoEntry{node: n, cost: root.TotalCost, rows: root.Rows, wide: root.Width}
+}
+
+// cheaper returns the lower-cost entry, breaking exact ties by fingerprint
+// so optimization is deterministic.
+func (o *Optimizer) cheaper(a, b memoEntry) memoEntry {
+	switch {
+	case b.node == nil:
+		return a
+	case a.node == nil:
+		return b
+	case b.cost < a.cost:
+		return b
+	case b.cost > a.cost:
+		return a
+	case b.node.Fingerprint() < a.node.Fingerprint():
+		return b
+	default:
+		return a
+	}
+}
+
+// joinPredsBetween returns the join (and anti-join) predicate IDs
+// connecting the two relation masks.
+func (o *Optimizer) joinPredsBetween(left, right uint64) []int {
+	var out []int
+	for _, p := range o.q.Predicates() {
+		if p.Kind == query.Selection {
+			continue
+		}
+		l := uint64(1) << uint(o.relBit[p.Left.Relation])
+		r := uint64(1) << uint(o.relBit[p.Right.Relation])
+		if (left&l != 0 && right&r != 0) || (left&r != 0 && right&l != 0) {
+			out = append(out, p.ID)
+		}
+	}
+	return out
+}
+
+// connectedMask reports whether the relations in m form a connected
+// subgraph of the join graph.
+func (o *Optimizer) connectedMask(m uint64) bool {
+	if m == 0 {
+		return false
+	}
+	start := uint64(1) << uint(bits.TrailingZeros64(m))
+	seen := start
+	frontier := start
+	for frontier != 0 {
+		next := uint64(0)
+		f := frontier
+		for f != 0 {
+			i := bits.TrailingZeros64(f)
+			f &^= 1 << uint(i)
+			next |= o.adj[i] & m &^ seen
+		}
+		seen |= next
+		frontier = next
+	}
+	return seen == m
+}
+
+// AbstractCost prices an arbitrary (externally supplied) plan at the given
+// selectivities: the paper's "abstract plan costing" capability (§5.4),
+// used to re-cost bouquet plans at every ESS location.
+func (o *Optimizer) AbstractCost(p *plan.Node, sels cost.Selectivities) float64 {
+	return o.coster.Cost(p, sels)
+}

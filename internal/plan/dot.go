@@ -1,0 +1,44 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan as a Graphviz digraph, one box per operator with its
+// relation/index annotations and applied predicate IDs — handy for
+// inspecting bouquet plans outside the terminal (`dot -Tsvg`).
+func (n *Node) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	var rec func(m *Node) int
+	rec = func(m *Node) int {
+		me := id
+		id++
+		label := m.Op.String()
+		if m.Relation != "" {
+			label += "\\n" + m.Relation
+			if m.IndexColumn != "" {
+				label += "." + m.IndexColumn
+			}
+		}
+		if len(m.Preds) > 0 {
+			label += fmt.Sprintf("\\npreds %v", m.Preds)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", me, label)
+		if m.Left != nil {
+			child := rec(m.Left)
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", me, child)
+		}
+		if m.Right != nil {
+			child := rec(m.Right)
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", me, child)
+		}
+		return me
+	}
+	rec(n)
+	sb.WriteString("}\n")
+	return sb.String()
+}

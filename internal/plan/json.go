@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeJSON is the serialized form of a Node. Operators are stored by their
+// stable string names so the format survives Op renumbering.
+type nodeJSON struct {
+	Op          string    `json:"op"`
+	Relation    string    `json:"relation,omitempty"`
+	IndexColumn string    `json:"indexColumn,omitempty"`
+	Preds       []int     `json:"preds,omitempty"`
+	Left        *nodeJSON `json:"left,omitempty"`
+	Right       *nodeJSON `json:"right,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSON(n))
+}
+
+func toJSON(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Op:          n.Op.String(),
+		Relation:    n.Relation,
+		IndexColumn: n.IndexColumn,
+		Preds:       append([]int{}, n.Preds...),
+		Left:        toJSON(n.Left),
+		Right:       toJSON(n.Right),
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded plan is validated
+// structurally before being accepted.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	decoded, err := fromJSON(&j)
+	if err != nil {
+		return err
+	}
+	if err := decoded.Validate(); err != nil {
+		return fmt.Errorf("plan: decoded plan invalid: %w", err)
+	}
+	*n = *decoded
+	return nil
+}
+
+func opFromString(s string) (Op, error) {
+	for _, op := range []Op{OpSeqScan, OpIndexScan, OpIndexNLJoin, OpHashJoin, OpMergeJoin, OpAggregate, OpAntiJoin, OpGroupAggregate} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown operator %q", s)
+}
+
+func fromJSON(j *nodeJSON) (*Node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	op, err := opFromString(j.Op)
+	if err != nil {
+		return nil, err
+	}
+	left, err := fromJSON(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := fromJSON(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		Op:          op,
+		Relation:    j.Relation,
+		IndexColumn: j.IndexColumn,
+		Preds:       normPreds(j.Preds),
+		Left:        left,
+		Right:       right,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package posp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/ess"
+)
+
+// CostMatrix prices every diagram plan at every grid location:
+// m[planID][flat] = cost of plan planID at location flat. It is the shared
+// input of the anorexic reducer, the SEER baseline, and the sub-optimality
+// metrics — all of which compare foreign plan costs across the ESS.
+//
+// Computation parallelises over plans; each plan costing walks its tree
+// once per location (the paper's abstract-plan-costing capability).
+func CostMatrix(d *Diagram, coster *cost.Coster, workers int) [][]float64 {
+	space := d.Space()
+	n := space.NumPoints()
+	plans := d.Plans()
+	m := make([][]float64, len(plans))
+
+	// Pre-materialize the selectivity assignment per location so worker
+	// goroutines share it read-only.
+	sels := make([]cost.Selectivities, n)
+	space.ForEach(func(flat int, p ess.Point) {
+		sels[flat] = space.Sels(p)
+	})
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pid := range work {
+				costs := make([]float64, n)
+				for flat := 0; flat < n; flat++ {
+					costs[flat] = coster.Cost(plans[pid], sels[flat])
+				}
+				m[pid] = costs
+			}
+		}()
+	}
+	for pid := range plans {
+		work <- pid
+	}
+	close(work)
+	wg.Wait()
+	return m
+}

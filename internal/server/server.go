@@ -1,0 +1,310 @@
+// Package server exposes the bouquet library over a small HTTP/JSON API:
+// compile bouquets from SQL text, execute traced runs at chosen actual
+// selectivities, inspect contours, export compiled artifacts, and render
+// 2-D plan diagrams. cmd/bouquetd serves it; tests drive it with httptest.
+//
+// The API is deliberately minimal — a demonstration harness for the
+// library, not a DBMS endpoint. All state is in-memory and per-process.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/anorexic"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+)
+
+// Server holds compiled bouquets keyed by id.
+type Server struct {
+	cat *catalog.Catalog
+
+	mu       sync.Mutex
+	bouquets map[string]*core.Bouquet
+	nextID   int
+}
+
+// New builds a server compiling against cat.
+func New(cat *catalog.Catalog) *Server {
+	return &Server{cat: cat, bouquets: make(map[string]*core.Bouquet)}
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("GET /bouquets", s.handleList)
+	mux.HandleFunc("GET /bouquets/{id}", s.handleGet)
+	mux.HandleFunc("GET /bouquets/{id}/export", s.handleExport)
+	mux.HandleFunc("GET /bouquets/{id}/diagram", s.handleDiagram)
+	mux.HandleFunc("POST /run", s.handleRun)
+	return mux
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type compileRequest struct {
+	// SQL is the query text (internal/sqlparse syntax).
+	SQL string `json:"sql"`
+	// Res is the per-dimension grid resolution (0 = default for D).
+	Res int `json:"res"`
+	// Lambda is the anorexic threshold (0 means the paper's 0.2;
+	// negative disables the reduction).
+	Lambda *float64 `json:"lambda"`
+	// Ratio is the isocost ladder ratio (0 = the optimal 2).
+	Ratio float64 `json:"ratio"`
+	// Focused compiles from the contour band only (§4.2).
+	Focused bool `json:"focused"`
+}
+
+type bouquetSummary struct {
+	ID        string  `json:"id"`
+	Query     string  `json:"query"`
+	Dims      int     `json:"dims"`
+	Plans     int     `json:"plans"`
+	Contours  int     `json:"contours"`
+	Rho       int     `json:"rho"`
+	BoundMSO  float64 `json:"boundMso"`
+	Guarantee float64 `json:"guarantee"`
+}
+
+func (s *Server) summarize(id string, b *core.Bouquet) bouquetSummary {
+	return bouquetSummary{
+		ID:        id,
+		Query:     b.Query.String(),
+		Dims:      b.Space.Dims(),
+		Plans:     b.Cardinality(),
+		Contours:  len(b.Contours),
+		Rho:       b.MaxDensity(),
+		BoundMSO:  b.BoundMSO(),
+		Guarantee: b.TheoreticalMSO(),
+	}
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		jsonError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	q, err := sqlparse.Parse("api", s.cat, req.SQL)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Dims() == 0 {
+		jsonError(w, http.StatusBadRequest, "query has no error-prone predicates; mark one with '?'")
+		return
+	}
+	res := req.Res
+	if res <= 0 {
+		res = ess.DefaultResolution(q.Dims())
+	}
+	space, err := ess.NewSpace(q, []int{res})
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lambda := anorexic.DefaultLambda
+	if req.Lambda != nil {
+		lambda = *req.Lambda
+	}
+	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+	b, err := core.Compile(opt, space, core.CompileOptions{Lambda: lambda, Ratio: req.Ratio, Focused: req.Focused})
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("b%d", s.nextID)
+	s.bouquets[id] = b
+	s.mu.Unlock()
+	writeJSON(w, s.summarize(id, b))
+}
+
+func (s *Server) lookup(id string) (*core.Bouquet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bouquets[id]
+	return b, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.bouquets))
+	for id := range s.bouquets {
+		ids = append(ids, id)
+	}
+	bs := make(map[string]*core.Bouquet, len(ids))
+	for _, id := range ids {
+		bs[id] = s.bouquets[id]
+	}
+	s.mu.Unlock()
+
+	out := make([]bouquetSummary, 0, len(ids))
+	for id, b := range bs {
+		out = append(out, s.summarize(id, b))
+	}
+	writeJSON(w, out)
+}
+
+type contourInfo struct {
+	K        int     `json:"k"`
+	Budget   float64 `json:"budget"`
+	Density  int     `json:"density"`
+	Plans    []int   `json:"plans"`
+	Location int     `json:"locations"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no bouquet %q", r.PathValue("id"))
+		return
+	}
+	var contours []contourInfo
+	for _, c := range b.Contours {
+		contours = append(contours, contourInfo{
+			K: c.K, Budget: c.Budget, Density: c.Density(),
+			Plans: c.PlanIDs, Location: len(c.Flats),
+		})
+	}
+	writeJSON(w, map[string]interface{}{
+		"summary":  s.summarize(r.PathValue("id"), b),
+		"contours": contours,
+	})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no bouquet %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := b.Save(w); err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no bouquet %q", r.PathValue("id"))
+		return
+	}
+	var budgets []float64
+	for _, c := range b.Contours {
+		budgets = append(budgets, c.RawBudget)
+	}
+	out, err := b.Diagram.RenderASCII(nil, budgets)
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+type runRequest struct {
+	ID string `json:"id"`
+	// QA is the actual selectivity location, one value per dimension.
+	QA []float64 `json:"qa"`
+	// Optimized selects the Fig. 13 driver (default: basic, Fig. 7).
+	Optimized bool `json:"optimized"`
+	// Seed, when non-empty, starts from a guaranteed-underestimate
+	// location (§8).
+	Seed []float64 `json:"seed,omitempty"`
+}
+
+type runStep struct {
+	Contour   int     `json:"contour"`
+	Plan      int     `json:"plan"`
+	Dim       int     `json:"dim"`
+	Budget    float64 `json:"budget"`
+	Spent     float64 `json:"spent"`
+	Completed bool    `json:"completed"`
+}
+
+type runResponse struct {
+	TotalCost float64   `json:"totalCost"`
+	OptCost   float64   `json:"optCost"`
+	SubOpt    float64   `json:"subOpt"`
+	Execs     int       `json:"execs"`
+	Steps     []runStep `json:"steps"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	b, ok := s.lookup(req.ID)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no bouquet %q", req.ID)
+		return
+	}
+	if len(req.QA) != b.Space.Dims() {
+		jsonError(w, http.StatusBadRequest, "qa needs %d values", b.Space.Dims())
+		return
+	}
+	for d, v := range req.QA {
+		if v <= 0 || v > 1 {
+			jsonError(w, http.StatusBadRequest, "qa[%d] = %v out of (0,1]", d, v)
+			return
+		}
+	}
+	var seed ess.Point
+	if len(req.Seed) > 0 {
+		if len(req.Seed) != b.Space.Dims() {
+			jsonError(w, http.StatusBadRequest, "seed needs %d values", b.Space.Dims())
+			return
+		}
+		seed = req.Seed
+	}
+
+	var e core.Execution
+	if req.Optimized {
+		e = b.RunOptimizedFrom(req.QA, seed)
+	} else {
+		e = b.RunBasicFrom(req.QA, seed)
+	}
+	out := runResponse{
+		TotalCost: e.TotalCost,
+		OptCost:   e.OptCost,
+		SubOpt:    e.SubOpt(),
+		Execs:     e.NumExecs(),
+	}
+	for _, st := range e.Steps {
+		out.Steps = append(out.Steps, runStep{
+			Contour: st.Contour, Plan: st.PlanID, Dim: st.Dim,
+			Budget: st.Budget, Spent: st.Spent, Completed: st.Completed,
+		})
+	}
+	writeJSON(w, out)
+}

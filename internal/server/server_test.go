@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sqlparse"
+)
+
+const apiEQ2D = `
+	SELECT * FROM part, lineitem, orders
+	WHERE part.p_retailprice < sel(0.10)?
+	  AND part.p_partkey = lineitem.l_partkey sel(0.000005)?
+	  AND lineitem.l_orderkey = orders.o_orderkey`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(catalog.TPCHLike(0.05)).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func compileOne(t *testing.T, srv *httptest.Server, sql string, res int) bouquetSummary {
+	t.Helper()
+	resp, raw := postJSON(t, srv.URL+"/compile", compileRequest{SQL: sql, Res: res})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d: %v", resp.StatusCode, raw)
+	}
+	var sum bouquetSummary
+	reencode(t, raw, &sum)
+	return sum
+}
+
+func reencode(t *testing.T, raw interface{}, into interface{}) {
+	t.Helper()
+	data, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileAndRun(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 12)
+	if sum.Dims != 2 || sum.Plans == 0 || sum.BoundMSO <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	resp, raw := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %v", resp.StatusCode, raw)
+	}
+	var run runResponse
+	reencode(t, raw, &run)
+	if run.SubOpt < 1 || run.SubOpt > sum.BoundMSO*(1+1e-9) {
+		t.Fatalf("subOpt %g outside [1, bound %g]", run.SubOpt, sum.BoundMSO)
+	}
+	if run.Execs != len(run.Steps) || run.Execs == 0 {
+		t.Fatalf("steps inconsistent: %d vs %d", run.Execs, len(run.Steps))
+	}
+	if !run.Steps[len(run.Steps)-1].Completed {
+		t.Fatal("final step not completed")
+	}
+
+	// The optimized driver also answers within the bound.
+	resp, raw = postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}, Optimized: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimized run status %d: %v", resp.StatusCode, raw)
+	}
+}
+
+func TestRunWithSeed(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 12)
+	qa := []float64{0.2, 3e-6}
+	_, rawPlain := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: qa})
+	_, rawSeeded := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: qa, Seed: []float64{0.1, 1.5e-6}})
+	var plain, seeded runResponse
+	reencode(t, rawPlain, &plain)
+	reencode(t, rawSeeded, &seeded)
+	if seeded.TotalCost > plain.TotalCost {
+		t.Fatalf("seeded run (%g) worse than plain (%g)", seeded.TotalCost, plain.TotalCost)
+	}
+}
+
+func TestListAndGet(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 10)
+
+	resp, err := http.Get(srv.URL + "/bouquets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []bouquetSummary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != sum.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	resp2, err := http.Get(srv.URL + "/bouquets/" + sum.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var detail struct {
+		Summary  bouquetSummary `json:"summary"`
+		Contours []contourInfo  `json:"contours"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Contours) != sum.Contours {
+		t.Fatalf("contours = %d, want %d", len(detail.Contours), sum.Contours)
+	}
+}
+
+func TestExportIsLoadable(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 10)
+	resp, err := http.Get(fmt.Sprintf("%s/bouquets/%s/export", srv.URL, sum.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The exported artifact loads through core.Load against an
+	// equivalent coster.
+	cat := catalog.TPCHLike(0.05)
+	q, err := sqlparse.Parse("api", cat, apiEQ2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(resp.Body, cost.NewCoster(q, cost.Postgres()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cardinality() != sum.Plans {
+		t.Fatalf("loaded cardinality %d, want %d", loaded.Cardinality(), sum.Plans)
+	}
+}
+
+func TestDiagramEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 10)
+	resp, err := http.Get(fmt.Sprintf("%s/bouquets/%s/diagram", srv.URL, sum.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 10 || len(lines[0]) != 10 {
+		t.Fatalf("diagram shape %dx%d", len(lines), len(lines[0]))
+	}
+
+	// 1-D bouquets cannot be rendered.
+	one := compileOne(t, srv, `SELECT * FROM part WHERE part.p_retailprice < sel(0.1)?`, 10)
+	respBad, err := http.Get(fmt.Sprintf("%s/bouquets/%s/diagram", srv.URL, one.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respBad.Body.Close()
+	if respBad.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("1-D diagram status %d", respBad.StatusCode)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		name   string
+		url    string
+		body   interface{}
+		status int
+	}{
+		{"missing sql", "/compile", compileRequest{}, http.StatusBadRequest},
+		{"parse error", "/compile", compileRequest{SQL: "SELEC"}, http.StatusBadRequest},
+		{"no dims", "/compile", compileRequest{SQL: `SELECT * FROM part WHERE part.p_retailprice < sel(0.1)`}, http.StatusBadRequest},
+		{"unknown bouquet", "/run", runRequest{ID: "nope", QA: []float64{0.1}}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _ := postJSON(t, srv.URL+tc.url, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+		})
+	}
+
+	// Dimension mismatch and out-of-range qa.
+	sum := compileOne(t, srv, `SELECT * FROM part WHERE part.p_retailprice < sel(0.1)?`, 10)
+	if resp, _ := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{0.1, 0.2}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if resp, _ := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{7}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("out-of-range qa accepted")
+	}
+	if resp, err := http.Get(srv.URL + "/bouquets/ghost"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost lookup: %v %v", resp.StatusCode, err)
+	}
+}
+
+func TestConcurrentCompilesAndRuns(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 10)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			body, _ := json.Marshal(runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}})
+			resp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompileFocused(t *testing.T) {
+	srv := newTestServer(t)
+	resp, raw := postJSON(t, srv.URL+"/compile", compileRequest{SQL: apiEQ2D, Res: 16, Focused: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("focused compile status %d: %v", resp.StatusCode, raw)
+	}
+	var sum bouquetSummary
+	reencode(t, raw, &sum)
+	run := runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}}
+	resp, rawRun := postJSON(t, srv.URL+"/run", run)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("focused run status %d: %v", resp.StatusCode, rawRun)
+	}
+	var rr runResponse
+	reencode(t, rawRun, &rr)
+	if rr.SubOpt < 1 || rr.SubOpt > sum.BoundMSO*(1+1e-9) {
+		t.Fatalf("focused subOpt %g outside [1, %g]", rr.SubOpt, sum.BoundMSO)
+	}
+}

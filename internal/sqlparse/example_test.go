@@ -1,0 +1,27 @@
+package sqlparse_test
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// ExampleParse parses the paper's example query EQ (Figure 1) with its
+// price selectivity marked error-prone.
+func ExampleParse() {
+	cat := catalog.TPCHLike(1.0)
+	q, err := sqlparse.Parse("EQ", cat, `
+		SELECT * FROM part, lineitem, orders
+		WHERE part.p_retailprice < sel(0.10)?
+		  AND part.p_partkey = lineitem.l_partkey
+		  AND lineitem.l_orderkey = orders.o_orderkey`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	fmt.Printf("error dimensions: %d, shape: %s\n", q.Dims(), q.JoinGraphShape())
+	// Output:
+	// select * from part, lineitem, orders where part.p_retailprice < c? and part.p_partkey = lineitem.l_partkey and lineitem.l_orderkey = orders.o_orderkey
+	// error dimensions: 1, shape: chain(3)
+}

@@ -1,0 +1,44 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// FuzzParse checks the parser never panics and that accepted inputs yield
+// structurally valid queries. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzParse ./internal/sqlparse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		eqText,
+		`SELECT COUNT(*) FROM part WHERE part.p_retailprice < sel(0.5)?`,
+		`SELECT * FROM part WHERE part.p_retailprice >= sel(0.25)`,
+		`SELECT * FROM part, lineitem WHERE part.p_partkey = lineitem.l_partkey sel(0.001)?`,
+		`select`, `SELECT * FROM`, `SELECT * FROM part WHERE`, `???`,
+		`SELECT * FROM part WHERE part.p_retailprice < sel(1e309)`,
+		`SELECT * FROM part WHERE part.p_retailprice < sel(-1)`,
+		`SELECT * FROM part WHERE part.p_retailprice < sel(0..1)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cat := catalog.TPCHLike(0.01)
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse("fuzz", cat, input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if q == nil {
+			t.Fatal("nil query without error")
+		}
+		if len(q.Relations()) == 0 {
+			t.Fatal("accepted query without relations")
+		}
+		for _, p := range q.Predicates() {
+			if p.DefaultSel <= 0 || p.DefaultSel > 1 {
+				t.Fatalf("accepted predicate with selectivity %g", p.DefaultSel)
+			}
+		}
+	})
+}

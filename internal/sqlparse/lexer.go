@@ -1,0 +1,167 @@
+// Package sqlparse parses a SQL-like surface syntax into internal/query
+// queries, so workloads can be written the way the paper presents them
+// (Figure 1) rather than through builder calls:
+//
+//	SELECT * FROM part, lineitem, orders
+//	WHERE part.p_retailprice < sel(0.10)?
+//	  AND part.p_partkey = lineitem.l_partkey
+//	  AND lineitem.l_orderkey = orders.o_orderkey
+//
+// Semantics follow the reproduction's abstraction: a selection predicate's
+// constant is its *selectivity* (written sel(f)), a trailing '?' marks the
+// predicate error-prone (an ESS dimension), '>=' spells a negated
+// selection, and join predicates default to the clean PK-FK selectivity
+// when one side is a key column (an explicit sel(f) overrides). SELECT
+// COUNT(*) roots the plans at a scalar aggregate.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokStar
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLess
+	tokGreaterEq
+	tokEquals
+	tokQuestion
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokStar:
+		return "'*'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLess:
+		return "'<'"
+	case tokGreaterEq:
+		return "'>='"
+	case tokEquals:
+		return "'='"
+	case tokQuestion:
+		return "'?'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes the input; keywords are case-insensitive identifiers.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '*':
+			out = append(out, token{tokStar, "*", i})
+			i++
+		case c == ',':
+			out = append(out, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			out = append(out, token{tokDot, ".", i})
+			i++
+		case c == '(':
+			out = append(out, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, token{tokRParen, ")", i})
+			i++
+		case c == '<':
+			out = append(out, token{tokLess, "<", i})
+			i++
+		case c == '=':
+			out = append(out, token{tokEquals, "=", i})
+			i++
+		case c == '?':
+			out = append(out, token{tokQuestion, "?", i})
+			i++
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				out = append(out, token{tokGreaterEq, ">=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: position %d: '>' must be '>=' (selections are range predicates)", i)
+			}
+		case unicode.IsDigit(c):
+			j := i
+			seenDot := false
+			seenExp := false
+			for j < len(input) {
+				ch := input[j]
+				if ch >= '0' && ch <= '9' {
+					j++
+					continue
+				}
+				// A '.' is part of the number only when followed
+				// by a digit (so "0.5" lexes whole but trailing
+				// dots do not).
+				if ch == '.' && !seenDot && j+1 < len(input) && input[j+1] >= '0' && input[j+1] <= '9' {
+					seenDot = true
+					j++
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && !seenExp && j+1 < len(input) {
+					next := input[j+1]
+					if next == '-' || next == '+' || (next >= '0' && next <= '9') {
+						seenExp = true
+						j += 2
+						continue
+					}
+				}
+				break
+			}
+			out = append(out, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			out = append(out, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlparse: position %d: unexpected character %q", i, c)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(input)})
+	return out, nil
+}
+
+// isKeyword reports a case-insensitive identifier match.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,312 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Parse builds a query from its SQL-like text against a catalog.
+//
+// Grammar (keywords case-insensitive):
+//
+//	query      := SELECT target FROM rel (',' rel)* WHERE pred (AND pred)*
+//	target     := '*' | COUNT '(' '*' ')'
+//	pred       := colref op rhs ['?']
+//	op         := '<' | '>=' | '='
+//	rhs        := colref            (join predicate, '=' only)
+//	            | SEL '(' number ')' (selection selectivity; or join override)
+//	colref     := ident '.' ident
+//
+// For '=' joins between column references, an optional trailing
+// SEL(f) overrides the default selectivity; otherwise one side must be a
+// key column and the clean PK-FK selectivity 1/|PK| is used. A trailing '?'
+// marks the predicate error-prone.
+func Parse(name string, cat *catalog.Catalog, input string) (*query.Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat, b: query.NewBuilder(name, cat)}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.b.Build()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	cat  *catalog.Catalog
+	b    *query.Builder
+	rels map[string]bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: position %d: %s", t.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, p.errf(t, "expected %s, got %q", kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !t.isKeyword(kw) {
+		return p.errf(t, "expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parse() error {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return err
+	}
+	if err := p.parseTarget(); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	if err := p.parseFrom(); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return err
+	}
+	for {
+		if err := p.parsePredicate(); err != nil {
+			return err
+		}
+		if p.cur().isKeyword("AND") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.cur().isKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		ref, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		p.b.GroupByCol(ref.rel, ref.col)
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return p.errf(t, "trailing input %q", t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseTarget() error {
+	t := p.next()
+	switch {
+	case t.kind == tokStar:
+		return nil
+	case t.isKeyword("COUNT"):
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokStar); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		p.b.Aggregate()
+		return nil
+	default:
+		return p.errf(t, "expected '*' or COUNT(*), got %q", t.text)
+	}
+}
+
+func (p *parser) parseFrom() error {
+	p.rels = map[string]bool{}
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		p.b.Relation(t.text)
+		p.rels[t.text] = true
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// colRef is a parsed relation.column pair.
+type colRef struct {
+	rel, col string
+	tok      token
+}
+
+func (p *parser) parseColRef() (colRef, error) {
+	rel, err := p.expect(tokIdent)
+	if err != nil {
+		return colRef{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return colRef{}, err
+	}
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return colRef{}, err
+	}
+	return colRef{rel: rel.text, col: col.text, tok: rel}, nil
+}
+
+// parseSel parses SEL '(' number ')'.
+func (p *parser) parseSel() (float64, error) {
+	if err := p.expectKeyword("SEL"); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return 0, err
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return 0, p.errf(num, "bad selectivity %q: %v", num.text, err)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (p *parser) parsePredicate() error {
+	if p.cur().isKeyword("NOT") {
+		return p.parseAntiJoin()
+	}
+	left, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	op := p.next()
+	switch op.kind {
+	case tokLess, tokGreaterEq:
+		sel, err := p.parseSel()
+		if err != nil {
+			return err
+		}
+		errProne := p.eatQuestion()
+		if op.kind == tokLess {
+			p.b.SelectionPred(left.rel, left.col, sel, errProne)
+		} else {
+			p.b.NegatedSelectionPred(left.rel, left.col, sel, errProne)
+		}
+		return nil
+
+	case tokEquals:
+		right, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		sel, hasSel := 0.0, false
+		if p.cur().isKeyword("SEL") {
+			sel, err = p.parseSel()
+			if err != nil {
+				return err
+			}
+			hasSel = true
+		}
+		errProne := p.eatQuestion()
+		if !hasSel {
+			sel, err = p.defaultJoinSel(left, right)
+			if err != nil {
+				return err
+			}
+		}
+		p.b.JoinPred(left.rel, left.col, right.rel, right.col, sel, errProne)
+		return nil
+
+	default:
+		return p.errf(op, "expected '<', '>=' or '=', got %q", op.text)
+	}
+}
+
+// parseAntiJoin parses NOT EXISTS '(' outer.col '=' inner.col ')' SEL(f)
+// ['?'] — the existential predicate, whose SEL(f) is the default *pass
+// fraction* of outer rows (the §2 axis flip makes this the ESS value).
+func (p *parser) parseAntiJoin() error {
+	if err := p.expectKeyword("NOT"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("EXISTS"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	outer, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return err
+	}
+	inner, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if !p.cur().isKeyword("SEL") {
+		return p.errf(p.cur(), "NOT EXISTS needs an explicit pass fraction: annotate with SEL(f)")
+	}
+	sel, err := p.parseSel()
+	if err != nil {
+		return err
+	}
+	errProne := p.eatQuestion()
+	p.b.AntiJoinPred(outer.rel, outer.col, inner.rel, inner.col, sel, errProne)
+	return nil
+}
+
+func (p *parser) eatQuestion() bool {
+	if p.cur().kind == tokQuestion {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// defaultJoinSel derives the clean PK-FK selectivity when one side of an
+// equi-join is a key column.
+func (p *parser) defaultJoinSel(left, right colRef) (float64, error) {
+	for _, side := range []colRef{left, right} {
+		rel := p.cat.Relation(side.rel)
+		if rel == nil {
+			return 0, p.errf(side.tok, "unknown relation %q", side.rel)
+		}
+		col := rel.Column(side.col)
+		if col == nil {
+			return 0, p.errf(side.tok, "unknown column %s.%s", side.rel, side.col)
+		}
+		if col.Type == catalog.TypeKey {
+			return query.PKFKSel(p.cat, side.rel), nil
+		}
+	}
+	return 0, p.errf(left.tok,
+		"join %s.%s = %s.%s has no key side; annotate it with SEL(f)",
+		left.rel, left.col, right.rel, right.col)
+}

@@ -1,0 +1,240 @@
+package sqlparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+const eqText = `
+	SELECT * FROM part, lineitem, orders
+	WHERE part.p_retailprice < sel(0.10)?
+	  AND part.p_partkey = lineitem.l_partkey
+	  AND lineitem.l_orderkey = orders.o_orderkey`
+
+func TestParseEQ(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("EQ", cat, eqText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Relations(); len(got) != 3 || got[0] != "part" || got[2] != "orders" {
+		t.Fatalf("relations = %v", got)
+	}
+	if q.NumPredicates() != 3 || q.Dims() != 1 {
+		t.Fatalf("preds = %d, dims = %d", q.NumPredicates(), q.Dims())
+	}
+	sel := q.Predicate(0)
+	if sel.Kind != query.Selection || !sel.ErrorProne || sel.DefaultSel != 0.10 || sel.Negated {
+		t.Fatalf("selection predicate parsed as %+v", sel)
+	}
+	// Joins picked the PK-FK default.
+	j1 := q.Predicate(1)
+	if j1.Kind != query.Join || j1.ErrorProne {
+		t.Fatalf("join predicate parsed as %+v", j1)
+	}
+	if want := query.PKFKSel(cat, "part"); math.Abs(j1.DefaultSel-want) > 1e-15 {
+		t.Fatalf("join default sel = %g, want PKFK %g", j1.DefaultSel, want)
+	}
+	if q.Aggregate() {
+		t.Fatal("SELECT * should not be an aggregate")
+	}
+}
+
+func TestParseMatchesBuilder(t *testing.T) {
+	// Parsing EQ text yields the same query the builder constructs.
+	cat := catalog.TPCHLike(0.01)
+	parsed, err := Parse("EQ", cat, eqText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := query.NewBuilder("EQ", cat).
+		Relation("part").Relation("lineitem").Relation("orders").
+		SelectionPred("part", "p_retailprice", 0.10, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), false).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), false).
+		MustBuild()
+	if parsed.String() != built.String() {
+		t.Fatalf("parsed %q\nbuilt  %q", parsed.String(), built.String())
+	}
+}
+
+func TestParseCountAggregate(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("agg", cat, `SELECT COUNT(*) FROM part WHERE part.p_retailprice < sel(0.5)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Aggregate() {
+		t.Fatal("COUNT(*) did not set aggregate")
+	}
+}
+
+func TestParseNegatedSelection(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("neg", cat, `SELECT * FROM part WHERE part.p_retailprice >= sel(0.25)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Predicate(0)
+	if !p.Negated || p.DefaultSel != 0.25 || !p.ErrorProne {
+		t.Fatalf("negated predicate parsed as %+v", p)
+	}
+}
+
+func TestParseJoinSelOverride(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("cyc", cat, `
+		SELECT * FROM part, orders, lineitem
+		WHERE part.p_partkey = lineitem.l_partkey
+		  AND lineitem.l_orderkey = orders.o_orderkey
+		  AND part.p_size = orders.o_orderdate sel(0.001)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := q.Predicate(2)
+	if last.DefaultSel != 0.001 || !last.ErrorProne {
+		t.Fatalf("override parsed as %+v", last)
+	}
+	if got := q.JoinGraphShape(); got != "cycle(3)" {
+		t.Fatalf("shape = %s", got)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	if _, err := Parse("ci", cat, `select * from part where part.p_retailprice < SEL(0.1)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseScientificSelectivity(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("sci", cat, `SELECT * FROM part WHERE part.p_retailprice < sel(2.5e-3)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Predicate(0).DefaultSel != 2.5e-3 {
+		t.Fatalf("sel = %g", q.Predicate(0).DefaultSel)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	cases := []struct {
+		name, in, want string
+	}{
+		{"missing select", `FROM part WHERE x.y < sel(1)`, "expected SELECT"},
+		{"bad target", `SELECT x FROM part WHERE a.b < sel(1)`, "expected '*' or COUNT"},
+		{"missing where", `SELECT * FROM part`, "expected WHERE"},
+		{"bare column", `SELECT * FROM part WHERE p_retailprice < sel(0.1)`, "expected '.'"},
+		{"strict greater", `SELECT * FROM part WHERE part.p_retailprice > sel(0.1)`, "'>' must be '>='"},
+		{"selection needs sel()", `SELECT * FROM part WHERE part.p_retailprice < 0.1`, "expected SEL"},
+		{"join without key", `SELECT * FROM part, lineitem WHERE part.p_size = lineitem.l_quantity AND part.p_partkey = lineitem.l_partkey`, "no key side"},
+		{"unknown relation in FROM", `SELECT * FROM ghost WHERE ghost.x < sel(0.1)`, "unknown relation"},
+		{"unknown column", `SELECT * FROM part WHERE part.ghost < sel(0.1)`, "unknown column"},
+		{"bad selectivity range", `SELECT * FROM part WHERE part.p_retailprice < sel(7)`, "out of (0,1]"},
+		{"trailing garbage", `SELECT * FROM part WHERE part.p_retailprice < sel(0.1) HAVING`, "trailing input"},
+		{"dangling group", `SELECT * FROM part WHERE part.p_retailprice < sel(0.1) GROUP`, "expected BY"},
+		{"unterminated sel", `SELECT * FROM part WHERE part.p_retailprice < sel(0.1`, "expected ')'"},
+		{"stray char", `SELECT * FROM part WHERE part.p_retailprice < sel(0.1); DROP`, "unexpected character"},
+		{"disconnected", `SELECT * FROM part, orders WHERE part.p_retailprice < sel(0.1)`, "not connected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("q", cat, tc.in)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error = %v, want containing %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lex("a.b < sel(0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokDot, tokIdent, tokLess, tokIdent, tokLParen, tokNumber, tokRParen, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+	if toks[6].text != "0.5" {
+		t.Fatalf("number lexed as %q", toks[6].text)
+	}
+}
+
+// TestParsedQueryRunsEndToEnd compiles a bouquet from a parsed query — the
+// full textual pipeline.
+func TestParsedQueryRunsEndToEnd(t *testing.T) {
+	cat := catalog.TPCHLike(0.1)
+	q, err := Parse("e2e", cat, eqText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dims() != 1 {
+		t.Fatal("wrong dims")
+	}
+	// The query feeds the standard machinery (a smoke check; full
+	// bouquet behaviour is covered in internal/core).
+	if q.Catalog != cat {
+		t.Fatal("catalog not threaded")
+	}
+}
+
+func TestParseNotExists(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("anti", cat, `
+		SELECT * FROM orders, lineitem, part
+		WHERE orders.o_orderkey = lineitem.l_orderkey
+		  AND NOT EXISTS (lineitem.l_partkey = part.p_partkey) sel(0.3)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Predicate(1)
+	if p.Kind != query.AntiJoin || p.DefaultSel != 0.3 || !p.ErrorProne {
+		t.Fatalf("anti predicate parsed as %+v", p)
+	}
+	if !strings.Contains(q.String(), "not exists") {
+		t.Fatalf("String() = %s", q.String())
+	}
+}
+
+func TestParseNotExistsNeedsSel(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	_, err := Parse("anti", cat, `
+		SELECT * FROM lineitem, part
+		WHERE NOT EXISTS (lineitem.l_partkey = part.p_partkey)`)
+	if err == nil || !strings.Contains(err.Error(), "pass fraction") {
+		t.Fatalf("NOT EXISTS without SEL accepted: %v", err)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	q, err := Parse("g", cat, `
+		SELECT * FROM part, lineitem
+		WHERE part.p_retailprice < sel(0.1)?
+		  AND part.p_partkey = lineitem.l_partkey
+		GROUP BY part.p_brand`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, ok := q.GroupBy()
+	if !ok || col.Relation != "part" || col.Column != "p_brand" {
+		t.Fatalf("GroupBy = %v, %v", col, ok)
+	}
+	// Bad grouping column.
+	if _, err := Parse("g", cat, `
+		SELECT * FROM part WHERE part.p_retailprice < sel(0.1)? GROUP BY part.ghost`); err == nil {
+		t.Fatal("unknown group column accepted")
+	}
+}

@@ -1,0 +1,393 @@
+// Package workload defines the evaluation workloads: the paper's 1-D
+// example query EQ, the ten multi-dimensional error spaces of Table 2
+// (3D_H_Q5 … 5D_DS_Q19), the concrete-execution query 2D_H_Q8a (Table 3),
+// and the commercial-engine variants 3D_H_Q5b / 4D_H_Q8b (Fig. 19).
+//
+// The queries are synthetic analogs of the TPC-H / TPC-DS originals: they
+// reproduce the join-graph geometry (chain/star/branch), relation counts,
+// and error-dimension counts of Table 2 over the benchmark-shaped catalogs
+// of internal/catalog, with error-prone join selectivities as the ESS
+// dimensions (see DESIGN.md §1 for the substitution argument).
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/query"
+)
+
+// Workload bundles a query with its discretized ESS and the paper's
+// reference numbers for side-by-side reporting.
+type Workload struct {
+	// Name follows the paper's xD_y_Qz nomenclature.
+	Name string
+	// Query is the SPJ query.
+	Query *query.Query
+	// Space is the discretized ESS at the default resolution for its
+	// dimensionality.
+	Space *ess.Space
+	// Model is the cost model the workload is evaluated under.
+	Model cost.Model
+
+	// PaperShape is Table 2's join-graph entry.
+	PaperShape string
+	// PaperCostRatio is Table 2's Cmax/Cmin entry (0 when the paper
+	// reports none).
+	PaperCostRatio float64
+	// PaperRhoPOSP and PaperRhoAnorexic are Table 1's contour plan
+	// densities (0 when not listed).
+	PaperRhoPOSP, PaperRhoAnorexic int
+}
+
+var (
+	tpchOnce  sync.Once
+	tpchCat   *catalog.Catalog
+	tpcdsOnce sync.Once
+	tpcdsCat  *catalog.Catalog
+)
+
+// tpch returns the shared TPC-H-shaped catalog (statistics only; no rows).
+func tpch() *catalog.Catalog {
+	tpchOnce.Do(func() { tpchCat = catalog.TPCHLike(1.0) })
+	return tpchCat
+}
+
+// tpcds returns the shared TPC-DS-shaped catalog.
+func tpcds() *catalog.Catalog {
+	tpcdsOnce.Do(func() { tpcdsCat = catalog.TPCDSLike(1.0) })
+	return tpcdsCat
+}
+
+// spaceFor builds the workload ESS at the default resolution for D, with
+// join dimensions spanning [1e-3·maxLegal, maxLegal] (ess defaults) and
+// selection dimensions spanning [1e-4, 1].
+func spaceFor(q *query.Query, res int) *ess.Space {
+	if res <= 0 {
+		res = ess.DefaultResolution(q.Dims())
+	}
+	dims := make([]ess.Dim, q.Dims())
+	for d, predID := range q.ErrorDims() {
+		p := q.Predicate(predID)
+		hi := query.MaxLegalSel(q.Catalog, p)
+		lo := hi * ess.DefaultLoFraction
+		if p.Kind == query.Selection {
+			lo, hi = 1e-4, 1.0
+		}
+		dims[d] = ess.Dim{PredID: predID, Lo: lo, Hi: hi, Res: res}
+	}
+	s, err := ess.NewSpaceWithDims(q, dims)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EQ returns the paper's running example (Figure 1): a 3-relation SPJ
+// query over part ⋈ lineitem ⋈ orders with the p_retailprice selection as
+// the single error-prone dimension. res ≤ 0 selects the default 1-D
+// resolution (100 points).
+func EQ(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("EQ", cat).
+		Relation("part").Relation("lineitem").Relation("orders").
+		SelectionPred("part", "p_retailprice", 0.10, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), false).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), false).
+		MustBuild()
+	return &Workload{
+		Name:       "EQ",
+		Query:      q,
+		Space:      spaceFor(q, res),
+		Model:      cost.Postgres(),
+		PaperShape: "chain(3)",
+	}
+}
+
+// EQ2D extends EQ with the part ⋈ lineitem join selectivity as a second
+// error dimension — the harness's 2-D specimen for contour visualisation
+// and focused-generation scaling studies.
+func EQ2D(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("EQ2D", cat).
+		Relation("part").Relation("lineitem").Relation("orders").
+		SelectionPred("part", "p_retailprice", 0.10, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), true).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), false).
+		MustBuild()
+	return &Workload{
+		Name:       "EQ2D",
+		Query:      q,
+		Space:      spaceFor(q, res),
+		Model:      cost.Postgres(),
+		PaperShape: "chain(3)",
+	}
+}
+
+// All returns the ten Table-2 error spaces at their default resolutions
+// under the PostgreSQL-flavoured model. res ≤ 0 selects per-dimensionality
+// defaults; a positive res overrides all (tests use small grids).
+func All(res int) []*Workload {
+	return []*Workload{
+		HQ5(res), HQ7x3(res), HQ8(res), HQ7x5(res),
+		DSQ15(res), DSQ96(res), DSQ7(res), DSQ26(res), DSQ91(res), DSQ19(res),
+	}
+}
+
+// ByName returns the named workload at default resolution, or an error.
+func ByName(name string, res int) (*Workload, error) {
+	all := append(All(res), EQ(res), EQ2D(res), HQ5b(res), HQ8b(res))
+	for _, w := range all {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// HQ5 is 3D_H_Q5: a 6-relation chain over TPC-H with three error-prone
+// join selectivities (Table 2: chain(6), Cmax/Cmin 16).
+func HQ5(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("3D_H_Q5", cat).
+		Relation("region").Relation("nation").Relation("customer").
+		Relation("orders").Relation("lineitem").Relation("supplier").
+		JoinPred("region", "r_regionkey", "nation", "n_regionkey", query.PKFKSel(cat, "region"), false).
+		JoinPred("nation", "n_nationkey", "customer", "c_nationkey", query.PKFKSel(cat, "nation"), true).
+		JoinPred("customer", "c_custkey", "orders", "o_custkey", query.PKFKSel(cat, "customer"), true).
+		JoinPred("orders", "o_orderkey", "lineitem", "l_orderkey", query.PKFKSel(cat, "orders"), true).
+		JoinPred("lineitem", "l_suppkey", "supplier", "s_suppkey", query.PKFKSel(cat, "supplier"), false).
+		MustBuild()
+	return &Workload{
+		Name: "3D_H_Q5", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "chain(6)", PaperCostRatio: 16,
+		PaperRhoPOSP: 11, PaperRhoAnorexic: 3,
+	}
+}
+
+// HQ7x3 is 3D_H_Q7: a 6-relation chain with a different error-dimension
+// mix (Table 2: chain(6), Cmax/Cmin 5).
+func HQ7x3(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("3D_H_Q7", cat).
+		Relation("supplier").Relation("lineitem").Relation("orders").
+		Relation("customer").Relation("nation").Relation("region").
+		JoinPred("supplier", "s_suppkey", "lineitem", "l_suppkey", query.PKFKSel(cat, "supplier"), true).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), true).
+		JoinPred("orders", "o_custkey", "customer", "c_custkey", query.PKFKSel(cat, "customer"), true).
+		JoinPred("customer", "c_nationkey", "nation", "n_nationkey", query.PKFKSel(cat, "nation"), false).
+		JoinPred("nation", "n_regionkey", "region", "r_regionkey", query.PKFKSel(cat, "region"), false).
+		MustBuild()
+	return &Workload{
+		Name: "3D_H_Q7", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "chain(6)", PaperCostRatio: 5,
+		PaperRhoPOSP: 13, PaperRhoAnorexic: 3,
+	}
+}
+
+// HQ8 is 4D_H_Q8: an 8-relation branch query with four error-prone join
+// selectivities (Table 2: branch(8), Cmax/Cmin 28).
+func HQ8(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("4D_H_Q8", cat).
+		Relation("part").Relation("partsupp").Relation("lineitem").
+		Relation("supplier").Relation("orders").Relation("customer").
+		Relation("nation").Relation("region").
+		JoinPred("part", "p_partkey", "partsupp", "ps_partkey", query.PKFKSel(cat, "part"), false).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), true).
+		JoinPred("lineitem", "l_suppkey", "supplier", "s_suppkey", query.PKFKSel(cat, "supplier"), true).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), true).
+		JoinPred("orders", "o_custkey", "customer", "c_custkey", query.PKFKSel(cat, "customer"), true).
+		JoinPred("customer", "c_nationkey", "nation", "n_nationkey", query.PKFKSel(cat, "nation"), false).
+		JoinPred("nation", "n_regionkey", "region", "r_regionkey", query.PKFKSel(cat, "region"), false).
+		MustBuild()
+	return &Workload{
+		Name: "4D_H_Q8", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "branch(8)", PaperCostRatio: 28,
+		PaperRhoPOSP: 88, PaperRhoAnorexic: 7,
+	}
+}
+
+// HQ7x5 is 5D_H_Q7: the chain(6) of 3D_H_Q7 with five error-prone joins
+// (Table 2: chain(6), Cmax/Cmin 50).
+func HQ7x5(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("5D_H_Q7", cat).
+		Relation("supplier").Relation("lineitem").Relation("orders").
+		Relation("customer").Relation("nation").Relation("region").
+		JoinPred("supplier", "s_suppkey", "lineitem", "l_suppkey", query.PKFKSel(cat, "supplier"), true).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), true).
+		JoinPred("orders", "o_custkey", "customer", "c_custkey", query.PKFKSel(cat, "customer"), true).
+		JoinPred("customer", "c_nationkey", "nation", "n_nationkey", query.PKFKSel(cat, "nation"), true).
+		JoinPred("nation", "n_regionkey", "region", "r_regionkey", query.PKFKSel(cat, "region"), true).
+		MustBuild()
+	return &Workload{
+		Name: "5D_H_Q7", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "chain(6)", PaperCostRatio: 50,
+		PaperRhoPOSP: 111, PaperRhoAnorexic: 9,
+	}
+}
+
+// DSQ15 is 3D_DS_Q15: a 4-relation chain over TPC-DS (Table 2: chain(4),
+// Cmax/Cmin 668).
+func DSQ15(res int) *Workload {
+	cat := tpcds()
+	q := query.NewBuilder("3D_DS_Q15", cat).
+		Relation("date_dim").Relation("catalog_sales").
+		Relation("customer").Relation("customer_address").
+		JoinPred("date_dim", "d_date_sk", "catalog_sales", "cs_sold_date_sk", query.PKFKSel(cat, "date_dim"), true).
+		JoinPred("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk", query.PKFKSel(cat, "customer"), true).
+		JoinPred("customer", "c_current_addr_sk", "customer_address", "ca_address_sk", query.PKFKSel(cat, "customer_address"), true).
+		MustBuild()
+	return &Workload{
+		Name: "3D_DS_Q15", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "chain(4)", PaperCostRatio: 668,
+		PaperRhoPOSP: 7, PaperRhoAnorexic: 3,
+	}
+}
+
+// DSQ96 is 3D_DS_Q96: a 4-relation star centred on store_sales (Table 2:
+// star(4), Cmax/Cmin 185).
+func DSQ96(res int) *Workload {
+	cat := tpcds()
+	q := query.NewBuilder("3D_DS_Q96", cat).
+		Relation("store_sales").Relation("date_dim").Relation("store").Relation("item").
+		JoinPred("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", query.PKFKSel(cat, "date_dim"), true).
+		JoinPred("store_sales", "ss_store_sk", "store", "s_store_sk", query.PKFKSel(cat, "store"), true).
+		JoinPred("store_sales", "ss_item_sk", "item", "i_item_sk", query.PKFKSel(cat, "item"), true).
+		MustBuild()
+	return &Workload{
+		Name: "3D_DS_Q96", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "star(4)", PaperCostRatio: 185,
+		PaperRhoPOSP: 6, PaperRhoAnorexic: 3,
+	}
+}
+
+// DSQ7 is 4D_DS_Q7: a 5-relation star centred on store_sales (Table 2:
+// star(5), Cmax/Cmin 283).
+func DSQ7(res int) *Workload {
+	cat := tpcds()
+	q := query.NewBuilder("4D_DS_Q7", cat).
+		Relation("store_sales").Relation("customer_demographics").
+		Relation("date_dim").Relation("item").Relation("promotion").
+		JoinPred("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk", query.PKFKSel(cat, "customer_demographics"), true).
+		JoinPred("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", query.PKFKSel(cat, "date_dim"), true).
+		JoinPred("store_sales", "ss_item_sk", "item", "i_item_sk", query.PKFKSel(cat, "item"), true).
+		JoinPred("store_sales", "ss_promo_sk", "promotion", "p_promo_sk", query.PKFKSel(cat, "promotion"), true).
+		MustBuild()
+	return &Workload{
+		Name: "4D_DS_Q7", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "star(5)", PaperCostRatio: 283,
+		PaperRhoPOSP: 29, PaperRhoAnorexic: 4,
+	}
+}
+
+// DSQ26 is 4D_DS_Q26: the catalog_sales analog of 4D_DS_Q7 (Table 2:
+// star(5), Cmax/Cmin 341).
+func DSQ26(res int) *Workload {
+	cat := tpcds()
+	q := query.NewBuilder("4D_DS_Q26", cat).
+		Relation("catalog_sales").Relation("customer_demographics").
+		Relation("date_dim").Relation("item").Relation("promotion").
+		JoinPred("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk", query.PKFKSel(cat, "customer_demographics"), true).
+		JoinPred("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk", query.PKFKSel(cat, "date_dim"), true).
+		JoinPred("catalog_sales", "cs_item_sk", "item", "i_item_sk", query.PKFKSel(cat, "item"), true).
+		JoinPred("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk", query.PKFKSel(cat, "promotion"), true).
+		MustBuild()
+	return &Workload{
+		Name: "4D_DS_Q26", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "star(5)", PaperCostRatio: 341,
+		PaperRhoPOSP: 25, PaperRhoAnorexic: 5,
+	}
+}
+
+// DSQ91 is 4D_DS_Q91: a 7-relation branch query (Table 2: branch(7),
+// Cmax/Cmin 149).
+func DSQ91(res int) *Workload {
+	cat := tpcds()
+	q := query.NewBuilder("4D_DS_Q91", cat).
+		Relation("catalog_sales").Relation("date_dim").Relation("item").
+		Relation("customer").Relation("customer_address").
+		Relation("customer_demographics").Relation("promotion").
+		JoinPred("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk", query.PKFKSel(cat, "date_dim"), true).
+		JoinPred("catalog_sales", "cs_item_sk", "item", "i_item_sk", query.PKFKSel(cat, "item"), false).
+		JoinPred("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk", query.PKFKSel(cat, "customer"), true).
+		JoinPred("customer", "c_current_addr_sk", "customer_address", "ca_address_sk", query.PKFKSel(cat, "customer_address"), true).
+		JoinPred("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk", query.PKFKSel(cat, "customer_demographics"), true).
+		JoinPred("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk", query.PKFKSel(cat, "promotion"), false).
+		MustBuild()
+	return &Workload{
+		Name: "4D_DS_Q91", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "branch(7)", PaperCostRatio: 149,
+		PaperRhoPOSP: 94, PaperRhoAnorexic: 9,
+	}
+}
+
+// DSQ19 is 5D_DS_Q19: the paper's showcase five-dimensional error space
+// (Table 2: branch(6), Cmax/Cmin 183; Fig. 16's distribution subject).
+func DSQ19(res int) *Workload {
+	cat := tpcds()
+	q := query.NewBuilder("5D_DS_Q19", cat).
+		Relation("store_sales").Relation("date_dim").Relation("item").
+		Relation("customer").Relation("customer_address").Relation("store").
+		JoinPred("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", query.PKFKSel(cat, "date_dim"), true).
+		JoinPred("store_sales", "ss_item_sk", "item", "i_item_sk", query.PKFKSel(cat, "item"), true).
+		JoinPred("store_sales", "ss_customer_sk", "customer", "c_customer_sk", query.PKFKSel(cat, "customer"), true).
+		JoinPred("customer", "c_current_addr_sk", "customer_address", "ca_address_sk", query.PKFKSel(cat, "customer_address"), true).
+		JoinPred("store_sales", "ss_store_sk", "store", "s_store_sk", query.PKFKSel(cat, "store"), true).
+		MustBuild()
+	return &Workload{
+		Name: "5D_DS_Q19", Query: q, Space: spaceFor(q, res), Model: cost.Postgres(),
+		PaperShape: "branch(6)", PaperCostRatio: 183,
+		PaperRhoPOSP: 159, PaperRhoAnorexic: 8,
+	}
+}
+
+// HQ5b is 3D_H_Q5b: the commercial-engine variant where all error
+// dimensions are base-relation selection predicates (the paper constructs
+// these because COM's API cannot inject join selectivities, §6.8).
+func HQ5b(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("3D_H_Q5b", cat).
+		Relation("customer").Relation("orders").Relation("lineitem").
+		Relation("supplier").Relation("nation").Relation("region").
+		SelectionPred("customer", "c_acctbal", 0.10, true).
+		SelectionPred("orders", "o_totalprice", 0.10, true).
+		SelectionPred("supplier", "s_acctbal", 0.10, true).
+		JoinPred("customer", "c_custkey", "orders", "o_custkey", query.PKFKSel(cat, "customer"), false).
+		JoinPred("orders", "o_orderkey", "lineitem", "l_orderkey", query.PKFKSel(cat, "orders"), false).
+		JoinPred("lineitem", "l_suppkey", "supplier", "s_suppkey", query.PKFKSel(cat, "supplier"), false).
+		JoinPred("supplier", "s_nationkey", "nation", "n_nationkey", query.PKFKSel(cat, "nation"), false).
+		JoinPred("nation", "n_regionkey", "region", "r_regionkey", query.PKFKSel(cat, "region"), false).
+		MustBuild()
+	return &Workload{
+		Name: "3D_H_Q5b", Query: q, Space: spaceFor(q, res), Model: cost.Commercial(),
+		PaperShape: "chain(6)",
+	}
+}
+
+// HQ8b is 4D_H_Q8b: the four-dimensional commercial-engine variant with
+// selection-predicate error dimensions (§6.8).
+func HQ8b(res int) *Workload {
+	cat := tpch()
+	q := query.NewBuilder("4D_H_Q8b", cat).
+		Relation("part").Relation("lineitem").Relation("orders").
+		Relation("customer").Relation("supplier").Relation("nation").
+		SelectionPred("part", "p_retailprice", 0.10, true).
+		SelectionPred("orders", "o_totalprice", 0.10, true).
+		SelectionPred("customer", "c_acctbal", 0.10, true).
+		SelectionPred("supplier", "s_acctbal", 0.10, true).
+		JoinPred("part", "p_partkey", "lineitem", "l_partkey", query.PKFKSel(cat, "part"), false).
+		JoinPred("lineitem", "l_orderkey", "orders", "o_orderkey", query.PKFKSel(cat, "orders"), false).
+		JoinPred("orders", "o_custkey", "customer", "c_custkey", query.PKFKSel(cat, "customer"), false).
+		JoinPred("lineitem", "l_suppkey", "supplier", "s_suppkey", query.PKFKSel(cat, "supplier"), false).
+		JoinPred("supplier", "s_nationkey", "nation", "n_nationkey", query.PKFKSel(cat, "nation"), false).
+		MustBuild()
+	return &Workload{
+		Name: "4D_H_Q8b", Query: q, Space: spaceFor(q, res), Model: cost.Commercial(),
+		PaperShape: "branch(6)",
+	}
+}

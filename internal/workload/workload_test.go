@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/contour"
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+	"repro/internal/posp"
+	"repro/internal/query"
+)
+
+func TestAllWorkloadsBuild(t *testing.T) {
+	all := All(4)
+	if len(all) != 10 {
+		t.Fatalf("All() returned %d workloads, want 10 (Table 2)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Query == nil || w.Space == nil {
+			t.Fatalf("%s incomplete", w.Name)
+		}
+	}
+}
+
+func TestShapesMatchTable2(t *testing.T) {
+	for _, w := range All(2) {
+		if got := w.Query.JoinGraphShape(); got != w.PaperShape {
+			t.Errorf("%s: shape %s, paper says %s", w.Name, got, w.PaperShape)
+		}
+	}
+}
+
+func TestDimensionalitiesMatchNames(t *testing.T) {
+	for _, w := range append(All(2), EQ(2)) {
+		wantD := map[string]int{
+			"3D_H_Q5": 3, "3D_H_Q7": 3, "4D_H_Q8": 4, "5D_H_Q7": 5,
+			"3D_DS_Q15": 3, "3D_DS_Q96": 3, "4D_DS_Q7": 4, "4D_DS_Q26": 4,
+			"4D_DS_Q91": 4, "5D_DS_Q19": 5, "EQ": 1,
+		}[w.Name]
+		if got := w.Query.Dims(); got != wantD {
+			t.Errorf("%s: D = %d, want %d", w.Name, got, wantD)
+		}
+		if w.Space.Dims() != wantD {
+			t.Errorf("%s: space D mismatch", w.Name)
+		}
+	}
+}
+
+func TestDefaultResolutionsApplied(t *testing.T) {
+	w := DSQ19(0)
+	if got := w.Space.Dim(0).Res; got != 7 {
+		t.Errorf("5-D default res = %d, want 7", got)
+	}
+	w = EQ(0)
+	if got := w.Space.Dim(0).Res; got != 100 {
+		t.Errorf("1-D default res = %d, want 100", got)
+	}
+	// Explicit resolution overrides.
+	if got := EQ(17).Space.Dim(0).Res; got != 17 {
+		t.Errorf("explicit res = %d", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("4D_H_Q8", 3)
+	if err != nil || w.Name != "4D_H_Q8" {
+		t.Fatalf("ByName = %v, %v", w, err)
+	}
+	if _, err := ByName("ghost", 3); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("ByName(ghost) = %v", err)
+	}
+	// The commercial variants resolve too.
+	for _, name := range []string{"3D_H_Q5b", "4D_H_Q8b", "EQ"} {
+		if _, err := ByName(name, 2); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+}
+
+func TestJoinDimensionBoundsAreLegal(t *testing.T) {
+	for _, w := range All(2) {
+		for d := 0; d < w.Space.Dims(); d++ {
+			dim := w.Space.Dim(d)
+			maxLegal := query.MaxLegalSel(w.Query.Catalog, w.Query.Predicate(dim.PredID))
+			if dim.Hi > maxLegal*(1+1e-12) {
+				t.Errorf("%s dim %d: Hi %g exceeds legal max %g", w.Name, d, dim.Hi, maxLegal)
+			}
+			if dim.Lo <= 0 || dim.Lo >= dim.Hi {
+				t.Errorf("%s dim %d: bad range [%g, %g]", w.Name, d, dim.Lo, dim.Hi)
+			}
+		}
+	}
+}
+
+func TestCommercialVariantsUseSelectionDims(t *testing.T) {
+	for _, w := range []*Workload{HQ5b(2), HQ8b(2)} {
+		if w.Model.Name != "commercial" {
+			t.Errorf("%s uses model %s", w.Name, w.Model.Name)
+		}
+		for _, id := range w.Query.ErrorDims() {
+			if w.Query.Predicate(id).Kind != query.Selection {
+				t.Errorf("%s: error dim %d is not a selection predicate (COM cannot inject join selectivities, §6.8)", w.Name, id)
+			}
+		}
+	}
+}
+
+func TestWorkloadsProducePlanDiversity(t *testing.T) {
+	// Every workload must yield a non-degenerate POSP (the whole point
+	// of the error space) and a PCM-clean diagram.
+	for _, w := range All(4) {
+		opt := optimizer.New(cost.NewCoster(w.Query, w.Model))
+		d := posp.Generate(opt, w.Space, 0)
+		if d.NumPlans() < 2 {
+			t.Errorf("%s: POSP degenerate (%d plan)", w.Name, d.NumPlans())
+		}
+		if err := contour.CheckPCM(d); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		cmin, cmax := d.CostBounds()
+		if cmax/cmin < 2 {
+			t.Errorf("%s: cost gradient %g too flat for contours", w.Name, cmax/cmin)
+		}
+	}
+}
+
+func TestRuntimeWorkloadRealizesTargets(t *testing.T) {
+	rw, err := HQ8a(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q_a lands near (33.7%, 45.6%) of the legal ranges.
+	fr0 := rw.Actual[0] / rw.Space.Dim(0).Hi
+	fr1 := rw.Actual[1] / rw.Space.Dim(1).Hi
+	if math.Abs(fr0-0.337) > 0.05 {
+		t.Errorf("dim 0 at %.3f of range, want ≈ 0.337", fr0)
+	}
+	if math.Abs(fr1-0.456) > 0.05 {
+		t.Errorf("dim 1 at %.3f of range, want ≈ 0.456", fr1)
+	}
+	// The estimate is the paper's underestimate, inside the space.
+	qe := rw.Estimate()
+	for d, v := range qe {
+		if v <= 0 || v > rw.Space.Dim(d).Hi {
+			t.Errorf("estimate dim %d out of range: %g", d, v)
+		}
+		if v >= rw.Actual[d] {
+			t.Errorf("estimate dim %d (%g) not an underestimate of actual (%g)", d, v, rw.Actual[d])
+		}
+	}
+	// Bindings cover every selection predicate.
+	for _, p := range rw.Query.Predicates() {
+		if p.Kind == query.Selection {
+			if _, ok := rw.Bindings[p.ID]; !ok {
+				t.Errorf("no binding for selection pred %d", p.ID)
+			}
+		}
+	}
+}
+
+func TestRuntimeWorkloadDeterministic(t *testing.T) {
+	a, err := HQ8a(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HQ8a(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.Actual {
+		if a.Actual[d] != b.Actual[d] {
+			t.Fatal("realized q_a differs for identical seeds")
+		}
+	}
+}
+
+func TestEQMatchesPaperExample(t *testing.T) {
+	w := EQ(60)
+	if w.Query.Dims() != 1 {
+		t.Fatal("EQ must have exactly the price dimension")
+	}
+	opt := optimizer.New(cost.NewCoster(w.Query, w.Model))
+	d := posp.Generate(opt, w.Space, 0)
+	// The paper finds 5 POSP plans on this dimension; our cost model
+	// should land in the same small-handful regime.
+	if d.NumPlans() < 3 || d.NumPlans() > 9 {
+		t.Errorf("EQ POSP = %d plans; paper has 5", d.NumPlans())
+	}
+	// Plan switches: NL-flavoured at low selectivity, hash at high.
+	loPlan := d.Plan(d.PlanID(0)).String()
+	hiPlan := d.Plan(d.PlanID(w.Space.NumPoints() - 1)).String()
+	if loPlan == hiPlan {
+		t.Error("EQ: same plan at both extremes")
+	}
+	if !strings.Contains(loPlan, "NL") {
+		t.Errorf("low-selectivity plan should be NL-based: %s", loPlan)
+	}
+	if !strings.Contains(hiPlan, "HJ") {
+		t.Errorf("high-selectivity plan should be hash-based: %s", hiPlan)
+	}
+}
