@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// freeAddr reserves a loopback port and releases it for the server under
+// test to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server on %s never became healthy", addr)
+}
+
+// TestGracefulShutdown boots the real server loop, puts a compile request
+// in flight, delivers SIGTERM to the process, and checks that (a) the
+// in-flight request completes successfully during the drain and (b) run
+// returns nil — i.e. the process would exit 0.
+func TestGracefulShutdown(t *testing.T) {
+	addr := freeAddr(t)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(addr, "tpch", 0.05, server.Config{CacheSize: 4},
+			5*time.Second, time.Minute, time.Minute, 15*time.Second)
+	}()
+	waitReady(t, addr)
+
+	inflight := make(chan error, 1)
+	go func() {
+		body := []byte(`{"sql":"SELECT * FROM part, lineitem WHERE part.p_retailprice < sel(0.1)? AND part.p_partkey = lineitem.l_partkey sel(0.000005)?","res":16}`)
+		resp, err := http.Post("http://"+addr+"/compile", "application/json", bytes.NewReader(body))
+		if err == nil {
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("in-flight compile status %d: %s", resp.StatusCode, buf.String())
+			}
+		}
+		inflight <- err
+	}()
+
+	// Let the compile reach the server, then ask the process to stop.
+	time.Sleep(20 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// TestUnknownCatalog checks run rejects a bad -catalog value instead of
+// serving nothing.
+func TestUnknownCatalog(t *testing.T) {
+	if err := run(freeAddr(t), "nope", 1, server.Config{}, time.Second, time.Second, time.Second, time.Second); err == nil {
+		t.Fatal("unknown catalog accepted")
+	}
+}

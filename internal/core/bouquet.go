@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -57,6 +58,11 @@ type CompileOptions struct {
 	// diagram (degraded run-time PIC lookups, handled by abstract-cost
 	// fallbacks) for far fewer optimizer calls at high resolutions.
 	Focused bool
+	// Ctx, when non-nil, bounds the compilation: cancellation is checked
+	// cooperatively between the major compile stages and between contour
+	// steps, and Compile returns ctx.Err() on expiry. A nil Ctx compiles
+	// to completion (the library default).
+	Ctx context.Context
 }
 
 // Contour is one compiled isocost contour with its (reduced) plan set.
@@ -127,13 +133,22 @@ func (b *Bouquet) execCost(p *plan.Node, sels cost.Selectivities) float64 {
 	return b.Coster.Cost(p, sels)
 }
 
-// Compile identifies the plan bouquet for opt's query over space.
+// Compile identifies the plan bouquet for opt's query over space. When
+// opts.Ctx carries a deadline, compilation is abandoned cooperatively (and
+// ctx's error returned) at the next stage boundary or contour step.
 func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*Bouquet, error) {
 	if opts.Ratio == 0 {
 		opts.Ratio = 2
 	}
 	if opts.Ratio <= 1 {
 		return nil, fmt.Errorf("core: isocost ratio %g must exceed 1", opts.Ratio)
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	d := opts.Diagram
@@ -166,6 +181,11 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 			raw = contour.IdentifySparse(d, ladder)
 		}
 	}
+	// POSP generation and contour identification are the expensive stages;
+	// honour a deadline that expired while they ran before reducing.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	b := &Bouquet{
 		Query:   opt.Query(),
@@ -184,6 +204,12 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 
 	union := map[int]bool{}
 	for _, rc := range raw {
+		// Cooperative cancellation between contour steps: the anorexic
+		// reduction prices a full cost matrix per contour, so this is
+		// the inner compile loop worth interrupting.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cc := Contour{
 			K:         rc.K,
 			RawBudget: rc.Budget,

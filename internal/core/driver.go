@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -119,6 +120,18 @@ func (b *Bouquet) RunBasic(qa ess.Point) Execution {
 // The MSO guarantee is preserved for any valid (dominated) seed; a seed
 // that overestimates q_a voids it, exactly as the paper cautions.
 func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
+	e, _ := b.runBasic(context.Background(), qa, seed)
+	return e
+}
+
+// RunBasicContext is RunBasicFrom under a context: cancellation is checked
+// cooperatively between contour steps, and the partial Execution so far is
+// returned alongside ctx's error when the deadline expires mid-run.
+func (b *Bouquet) RunBasicContext(ctx context.Context, qa, seed ess.Point) (Execution, error) {
+	return b.runBasic(ctx, qa, seed)
+}
+
+func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point) (Execution, error) {
 	t := b.truthAt(qa)
 	var e Execution
 	e.OptCost = t.opt
@@ -130,13 +143,16 @@ func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
 		}
 	}
 	for _, c := range b.Contours[start:] {
+		if err := ctx.Err(); err != nil {
+			return e, err
+		}
 		for _, pid := range c.PlanIDs {
 			full := b.execCost(b.Diagram.Plan(pid), t.sels)
 			if full <= c.Budget {
 				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
 				e.TotalCost += full
 				e.Completed = true
-				return e
+				return e, nil
 			}
 			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
 			e.TotalCost += c.Budget
@@ -154,5 +170,5 @@ func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
 	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: math.Inf(1), Spent: bestCost, Completed: true})
 	e.TotalCost += bestCost
 	e.Completed = true
-	return e
+	return e, nil
 }

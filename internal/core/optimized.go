@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -257,6 +258,18 @@ func (b *Bouquet) RunOptimized(qa ess.Point) Execution {
 // test. A nil seed starts at the origin. Overestimating seeds void the
 // first-quadrant invariant, as the paper cautions.
 func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
+	e, _ := b.runOptimized(context.Background(), qa, seed)
+	return e
+}
+
+// RunOptimizedContext is RunOptimizedFrom under a context: cancellation is
+// checked cooperatively between contour steps, and the partial Execution so
+// far is returned alongside ctx's error when the deadline expires mid-run.
+func (b *Bouquet) RunOptimizedContext(ctx context.Context, qa, seed ess.Point) (Execution, error) {
+	return b.runOptimized(ctx, qa, seed)
+}
+
+func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Execution, error) {
 	t := b.truthAt(qa)
 	var e Execution
 	e.OptCost = t.opt
@@ -275,8 +288,11 @@ func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
 	}
 
 	for ci := 0; ci < len(b.Contours); ci++ {
+		if err := ctx.Err(); err != nil {
+			return e, err
+		}
 		if b.runContour(&e, b.Contours[ci], st, t) {
-			return e
+			return e, nil
 		}
 	}
 
@@ -292,7 +308,7 @@ func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
 	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: math.Inf(1), Spent: bestCost, Completed: true})
 	e.TotalCost += bestCost
 	e.Completed = true
-	return e
+	return e, nil
 }
 
 // runContour processes one contour of the optimized algorithm and reports

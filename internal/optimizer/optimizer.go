@@ -24,6 +24,17 @@ import (
 	"repro/internal/query"
 )
 
+// totalCalls accumulates Optimize invocations across every Optimizer
+// instance in the process. Servers export it as operational telemetry
+// (compile-time overhead is the paper's §6.1 cost axis); per-instance
+// counts remain available via Calls.
+var totalCalls atomic.Int64
+
+// TotalCalls returns the process-wide number of Optimize invocations,
+// summed over all Optimizer instances ever constructed. It is monotone
+// (never reset by ResetCalls) and safe for concurrent use.
+func TotalCalls() int64 { return totalCalls.Load() }
+
 // Optimizer enumerates plans for one query under one Coster. It is safe
 // for concurrent use; per-call state lives on the stack.
 type Optimizer struct {
@@ -105,6 +116,7 @@ type memoEntry struct {
 // assignment. sels must cover every predicate ID of the query.
 func (o *Optimizer) Optimize(sels cost.Selectivities) Result {
 	o.calls.Add(1)
+	totalCalls.Add(1)
 	if len(sels) < o.q.NumPredicates() {
 		panic(fmt.Sprintf("optimizer: selectivity assignment has %d entries, query has %d predicates",
 			len(sels), o.q.NumPredicates()))

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheEntry is one cached compile outcome: the registry id the bouquet
+// was published under and the bouquet itself.
+type cacheEntry struct {
+	id string
+	b  *core.Bouquet
+}
+
+// inflightCall tracks one in-progress compile so that concurrent requests
+// for the same fingerprint wait for it instead of recompiling (a
+// single-flight guard against cache stampedes).
+type inflightCall struct {
+	done  chan struct{}
+	entry cacheEntry
+	err   error
+}
+
+// compileCache is a bounded LRU cache of compile outcomes keyed by a
+// canonical fingerprint of the compile request. It deduplicates concurrent
+// misses on the same key: the first caller computes, later callers block
+// on the in-flight result and are accounted as hits. Failed computes are
+// never inserted, so transient errors (including cancelled deadlines) do
+// not poison the cache.
+type compileCache struct {
+	capacity int
+
+	mu       sync.Mutex
+	order    *list.List               // front = most recently used
+	byKey    map[string]*list.Element // key -> element holding *lruItem
+	inflight map[string]*inflightCall
+
+	hits, misses, evictions int64
+}
+
+type lruItem struct {
+	key   string
+	entry cacheEntry
+}
+
+// newCompileCache builds a cache holding at most capacity entries
+// (capacity < 1 is clamped to 1 — the single-flight guard alone is worth
+// having).
+func newCompileCache(capacity int) *compileCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &compileCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+// getOrCompute returns the entry for key, computing it with compute on a
+// miss. The boolean reports whether the entry was served from cache (or
+// from another request's in-flight compute). compute runs outside the
+// cache lock; at most one compute per key is in flight at a time.
+func (c *compileCache) getOrCompute(key string, compute func() (cacheEntry, error)) (cacheEntry, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		entry := el.Value.(*lruItem).entry
+		c.mu.Unlock()
+		return entry, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		c.mu.Lock()
+		if call.err != nil {
+			c.misses++
+			c.mu.Unlock()
+			return cacheEntry{}, false, call.err
+		}
+		c.hits++
+		c.mu.Unlock()
+		return call.entry, true, nil
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.entry, call.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.byKey[key] = c.order.PushFront(&lruItem{key: key, entry: call.entry})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*lruItem).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.entry, false, call.err
+}
+
+// CacheStats is a point-in-time snapshot of the compile cache's counters.
+type CacheStats struct {
+	// Hits counts requests served from the cache, including requests
+	// that waited on another request's in-flight compile.
+	Hits int64
+	// Misses counts requests that had to compile (or waited on a compile
+	// that failed).
+	Misses int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Entries is the current cache population.
+	Entries int
+}
+
+// stats snapshots the counters.
+func (c *compileCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// compileFingerprint canonicalizes a compile request into a cache key. It
+// fingerprints the *parsed* query's canonical rendering (so whitespace and
+// formatting differences in the SQL text collapse) together with the
+// resolved resolution, lambda, ratio and focus mode — every knob that can
+// change the compiled bouquet.
+func compileFingerprint(canonicalQuery string, res int, lambda, ratio float64, focused bool) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|res=%d|lambda=%g|ratio=%g|focused=%t",
+		canonicalQuery, res, lambda, ratio, focused)))
+	return hex.EncodeToString(h[:16])
+}

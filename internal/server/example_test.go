@@ -1,0 +1,48 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/catalog"
+)
+
+// ExampleServer demonstrates the compile-cache hit path: the first
+// POST /compile of a query runs the full bouquet compilation (POSP
+// generation, contour identification, anorexic reduction), the second —
+// even with different whitespace — is answered from the LRU cache with
+// the same bouquet id.
+func ExampleServer() {
+	srv := httptest.NewServer(New(catalog.TPCHLike(0.05)).Handler())
+	defer srv.Close()
+
+	compile := func(sql string) (id string, cached bool) {
+		body, _ := json.Marshal(map[string]interface{}{"sql": sql, "res": 8})
+		resp, err := http.Post(srv.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			ID     string `json:"id"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		return out.ID, out.Cached
+	}
+
+	const q = `SELECT * FROM part WHERE part.p_retailprice < sel(0.1)?`
+	id1, cached1 := compile(q)
+	id2, cached2 := compile("SELECT * FROM part\n  WHERE part.p_retailprice < sel(0.1)?")
+
+	fmt.Printf("first:  id=%s cached=%t\n", id1, cached1)
+	fmt.Printf("second: id=%s cached=%t\n", id2, cached2)
+	// Output:
+	// first:  id=b1 cached=false
+	// second: id=b1 cached=true
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements a minimal, dependency-free metrics registry that
+// renders the Prometheus text exposition format (version 0.0.4). Only the
+// primitives the server needs are built: counters, gauges, label-keyed
+// counters, and fixed-bucket histograms. Everything is safe for concurrent
+// use.
+
+// counter is a monotone atomic counter.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) Add(n int64) { c.v.Add(n) }
+func (c *counter) Value() int64 {
+	return c.v.Load()
+}
+
+// gauge is an atomically-set float value.
+type gauge struct{ bits atomic.Uint64 }
+
+func (g *gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *gauge) Value() float64 {
+	return math.Float64frombits(g.bits.Load())
+}
+
+// labeledCounter counts per rendered label set, e.g.
+// `path="/compile",code="200"`.
+type labeledCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newLabeledCounter() *labeledCounter {
+	return &labeledCounter{m: make(map[string]int64)}
+}
+
+func (l *labeledCounter) Add(labels string, n int64) {
+	l.mu.Lock()
+	l.m[labels] += n
+	l.mu.Unlock()
+}
+
+// snapshot returns the label sets in sorted order for deterministic output.
+func (l *labeledCounter) snapshot() ([]string, map[string]int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.m))
+	out := make(map[string]int64, len(l.m))
+	for k, v := range l.m {
+		keys = append(keys, k)
+		out[k] = v
+	}
+	sort.Strings(keys)
+	return keys, out
+}
+
+// histogram is a fixed-bucket cumulative histogram, optionally keyed by a
+// label set (one bucket vector per label set).
+type histogram struct {
+	buckets []float64 // upper bounds, ascending; +Inf implied
+
+	mu   sync.Mutex
+	sets map[string]*histogramSet
+}
+
+type histogramSet struct {
+	counts []int64 // one per bucket, plus the +Inf overflow at the end
+	sum    float64
+	count  int64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, sets: make(map[string]*histogramSet)}
+}
+
+// Observe records v under the given label set ("" for unlabeled).
+func (h *histogram) Observe(labels string, v float64) {
+	h.mu.Lock()
+	s, ok := h.sets[labels]
+	if !ok {
+		s = &histogramSet{counts: make([]int64, len(h.buckets)+1)}
+		h.sets[labels] = s
+	}
+	idx := len(h.buckets) // +Inf bucket
+	for i, ub := range h.buckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	s.counts[idx]++
+	s.sum += v
+	s.count++
+	h.mu.Unlock()
+}
+
+// serverMetrics aggregates the server's operational telemetry; render
+// writes it in Prometheus text format. Cache statistics, registry size and
+// optimizer call totals are sampled at render time from their owning
+// structures rather than mirrored here.
+type serverMetrics struct {
+	requests *labeledCounter // by path pattern and status code
+	latency  *histogram      // request duration seconds, by path pattern
+
+	compiles       counter // compile requests that ran a fresh compile
+	runsTotal      counter // completed /run requests
+	runSteps       counter // contour steps (plan executions) across all runs
+	lastRunSubOpt  gauge   // SubOpt of the most recent run
+	lastRunCost    gauge   // TotalCost of the most recent run
+	lastRunOptCost gauge   // oracle OptCost of the most recent run
+	runSubOpt      *histogram
+
+	panics   counter // panics recovered by the middleware
+	timeouts counter // requests abandoned at their deadline
+}
+
+// latencyBuckets spans sub-millisecond cache hits through multi-second
+// cold compiles.
+var latencyBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// subOptBuckets spans the bouquet guarantee range: SubOpt is ≥ 1 by
+// definition and bounded by 4(1+λ)ρ in practice (tens).
+var subOptBuckets = []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests:  newLabeledCounter(),
+		latency:   newHistogram(latencyBuckets),
+		runSubOpt: newHistogram(subOptBuckets),
+	}
+}
+
+// observeRun records one bouquet run's telemetry: its cost, the paper's
+// SubOpt robustness metric, and the number of contour steps it took.
+func (m *serverMetrics) observeRun(totalCost, optCost, subOpt float64, steps int) {
+	m.runsTotal.Add(1)
+	m.runSteps.Add(int64(steps))
+	m.lastRunCost.Set(totalCost)
+	m.lastRunOptCost.Set(optCost)
+	m.lastRunSubOpt.Set(subOpt)
+	m.runSubOpt.Observe("", subOpt)
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeLabeledCounter(w io.Writer, name, help string, c *labeledCounter) {
+	writeHeader(w, name, help, "counter")
+	keys, vals := c.snapshot()
+	if len(keys) == 0 {
+		return
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s} %d\n", name, k, vals[k])
+	}
+}
+
+func (h *histogram) write(w io.Writer, name, help string) {
+	writeHeader(w, name, help, "histogram")
+	h.mu.Lock()
+	labels := make([]string, 0, len(h.sets))
+	for k := range h.sets {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	type snap struct {
+		label string
+		set   histogramSet
+	}
+	snaps := make([]snap, 0, len(labels))
+	for _, k := range labels {
+		s := h.sets[k]
+		snaps = append(snaps, snap{k, histogramSet{counts: append([]int64(nil), s.counts...), sum: s.sum, count: s.count}})
+	}
+	h.mu.Unlock()
+
+	for _, s := range snaps {
+		sep := ""
+		if s.label != "" {
+			sep = ","
+		}
+		cum := int64(0)
+		for i, ub := range h.buckets {
+			cum += s.set.counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, s.label, sep, ub, cum)
+		}
+		cum += s.set.counts[len(h.buckets)]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, s.label, sep, cum)
+		if s.label == "" {
+			fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.set.sum, name, s.set.count)
+		} else {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, s.label, s.set.sum, name, s.label, s.set.count)
+		}
+	}
+}
+
+// render writes every metric in Prometheus text format. cache, bouquets
+// and optCalls are sampled by the caller (the /metrics handler) so the
+// registry has no back-pointer to the server.
+func (m *serverMetrics) render(w io.Writer, cache CacheStats, bouquets int, optCalls int64) {
+	writeLabeledCounter(w, "bouquetd_requests_total", "HTTP requests by path pattern and status code.", m.requests)
+	m.latency.write(w, "bouquetd_request_duration_seconds", "HTTP request latency by path pattern.")
+
+	writeHeader(w, "bouquetd_compile_cache_hits_total", "Compile requests served from the compile cache.", "counter")
+	fmt.Fprintf(w, "bouquetd_compile_cache_hits_total %d\n", cache.Hits)
+	writeHeader(w, "bouquetd_compile_cache_misses_total", "Compile requests that ran a fresh bouquet compilation.", "counter")
+	fmt.Fprintf(w, "bouquetd_compile_cache_misses_total %d\n", cache.Misses)
+	writeHeader(w, "bouquetd_compile_cache_evictions_total", "Compile cache entries evicted by the LRU bound.", "counter")
+	fmt.Fprintf(w, "bouquetd_compile_cache_evictions_total %d\n", cache.Evictions)
+	writeHeader(w, "bouquetd_compile_cache_entries", "Current compile cache population.", "gauge")
+	fmt.Fprintf(w, "bouquetd_compile_cache_entries %d\n", cache.Entries)
+
+	writeHeader(w, "bouquetd_bouquets", "Compiled bouquets in the registry.", "gauge")
+	fmt.Fprintf(w, "bouquetd_bouquets %d\n", bouquets)
+	writeHeader(w, "bouquetd_optimizer_calls_total", "Process-wide optimizer Optimize() invocations (compile-time overhead, paper §6.1).", "counter")
+	fmt.Fprintf(w, "bouquetd_optimizer_calls_total %d\n", optCalls)
+	writeHeader(w, "bouquetd_compiles_total", "Fresh (non-cached) bouquet compilations.", "counter")
+	fmt.Fprintf(w, "bouquetd_compiles_total %d\n", m.compiles.Value())
+
+	writeHeader(w, "bouquetd_runs_total", "Bouquet executions served by /run.", "counter")
+	fmt.Fprintf(w, "bouquetd_runs_total %d\n", m.runsTotal.Value())
+	writeHeader(w, "bouquetd_run_steps_total", "Contour steps (budgeted plan executions) across all runs.", "counter")
+	fmt.Fprintf(w, "bouquetd_run_steps_total %d\n", m.runSteps.Value())
+	writeHeader(w, "bouquetd_last_run_subopt", "SubOpt (c_b/c_opt, paper Eq. 1) of the most recent run.", "gauge")
+	fmt.Fprintf(w, "bouquetd_last_run_subopt %g\n", m.lastRunSubOpt.Value())
+	writeHeader(w, "bouquetd_last_run_total_cost", "Total execution cost of the most recent run.", "gauge")
+	fmt.Fprintf(w, "bouquetd_last_run_total_cost %g\n", m.lastRunCost.Value())
+	writeHeader(w, "bouquetd_last_run_opt_cost", "Oracle (optimal) cost of the most recent run.", "gauge")
+	fmt.Fprintf(w, "bouquetd_last_run_opt_cost %g\n", m.lastRunOptCost.Value())
+	m.runSubOpt.write(w, "bouquetd_run_subopt", "Distribution of per-run SubOpt values.")
+
+	writeHeader(w, "bouquetd_panics_recovered_total", "Handler panics recovered by the middleware.", "counter")
+	fmt.Fprintf(w, "bouquetd_panics_recovered_total %d\n", m.panics.Value())
+	writeHeader(w, "bouquetd_request_timeouts_total", "Requests abandoned at their context deadline.", "counter")
+	fmt.Fprintf(w, "bouquetd_request_timeouts_total %d\n", m.timeouts.Value())
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so the metrics
+// middleware can label request counters by outcome.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// pathPattern normalizes a request path to its route pattern so metric
+// label cardinality stays bounded (ids collapse to {id}).
+func pathPattern(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/bouquets/"); ok && rest != "" {
+		switch {
+		case strings.HasSuffix(rest, "/export"):
+			return "/bouquets/{id}/export"
+		case strings.HasSuffix(rest, "/diagram"):
+			return "/bouquets/{id}/diagram"
+		default:
+			return "/bouquets/{id}"
+		}
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof/*"
+	}
+	return path
+}
+
+// instrument is the server's outermost middleware: it bounds the request
+// body, recovers panics into a 500 response, and records per-pattern
+// request counts and latency histograms.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		}
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if rec.status == 0 {
+					jsonError(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			pattern := pathPattern(r.URL.Path)
+			s.metrics.requests.Add(fmt.Sprintf("path=%q,code=\"%d\"", pattern, status), 1)
+			s.metrics.latency.Observe(fmt.Sprintf("path=%q", pattern), time.Since(start).Seconds())
+		}()
+
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// logf routes middleware diagnostics through the configured logger,
+// defaulting to silence (tests) when none is set.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

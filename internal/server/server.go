@@ -1,18 +1,34 @@
-// Package server exposes the bouquet library over a small HTTP/JSON API:
+// Package server exposes the bouquet library over an HTTP/JSON API:
 // compile bouquets from SQL text, execute traced runs at chosen actual
 // selectivities, inspect contours, export compiled artifacts, and render
 // 2-D plan diagrams. cmd/bouquetd serves it; tests drive it with httptest.
 //
-// The API is deliberately minimal — a demonstration harness for the
-// library, not a DBMS endpoint. All state is in-memory and per-process.
+// The package is built to survive production traffic: compiles are
+// deduplicated through a bounded LRU cache keyed by a canonical request
+// fingerprint (with a single-flight guard against stampedes), the bouquet
+// registry is guarded by an RWMutex so reads never serialize, request
+// bodies are size-limited, panics are recovered into 500 responses, and
+// per-request context deadlines propagate into core.Compile and the run
+// drivers so an expired request returns 503 instead of wedging a worker.
+//
+// Observability is first-class: GET /metrics exports Prometheus-format
+// counters and histograms (request latency, cache hit/miss, optimizer
+// calls, and the paper's per-run SubOpt robustness metric), GET /healthz
+// answers liveness probes, and net/http/pprof can be mounted behind
+// Config.EnablePprof. See API.md at the repository root for the full
+// endpoint reference.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/anorexic"
 	"repro/internal/catalog"
@@ -23,21 +39,78 @@ import (
 	"repro/internal/sqlparse"
 )
 
-// Server holds compiled bouquets keyed by id.
+// Config tunes the server's production behaviour. The zero value selects
+// sane defaults everywhere, so New(cat) remains the simple entry point.
+type Config struct {
+	// CacheSize bounds the compile cache's entry count (LRU eviction
+	// beyond it). 0 selects DefaultCacheSize; 1 is the minimum.
+	CacheSize int
+	// MaxBodyBytes caps request body sizes; oversized bodies get 413.
+	// 0 selects DefaultMaxBodyBytes; negative disables the limit.
+	MaxBodyBytes int64
+	// CompileTimeout bounds each /compile request. The deadline is
+	// threaded into core.Compile, which abandons work cooperatively
+	// between contour steps; the request then answers 503. 0 means no
+	// server-side bound (the client context still applies).
+	CompileTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logf, when non-nil, receives middleware diagnostics (recovered
+	// panics). nil discards them — the default for tests.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultCacheSize is the compile cache capacity when Config.CacheSize
+// is 0.
+const DefaultCacheSize = 128
+
+// DefaultMaxBodyBytes is the request body cap when Config.MaxBodyBytes
+// is 0 (1 MiB — SQL text and run locations are tiny).
+const DefaultMaxBodyBytes = 1 << 20
+
+// Server holds compiled bouquets keyed by id, the compile cache, and the
+// metrics registry. It is safe for concurrent use.
 type Server struct {
 	cat *catalog.Catalog
+	cfg Config
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	bouquets map[string]*core.Bouquet
 	nextID   int
+
+	cache   *compileCache
+	metrics *serverMetrics
 }
 
-// New builds a server compiling against cat.
+// New builds a server compiling against cat with default Config.
 func New(cat *catalog.Catalog) *Server {
-	return &Server{cat: cat, bouquets: make(map[string]*core.Bouquet)}
+	return NewWithConfig(cat, Config{})
 }
 
-// Handler returns the API routes.
+// NewWithConfig builds a server compiling against cat, with cfg's zero
+// fields replaced by defaults.
+func NewWithConfig(cat *catalog.Catalog, cfg Config) *Server {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return &Server{
+		cat:      cat,
+		cfg:      cfg,
+		bouquets: make(map[string]*core.Bouquet),
+		cache:    newCompileCache(cfg.CacheSize),
+		metrics:  newServerMetrics(),
+	}
+}
+
+// CacheStats snapshots the compile cache's hit/miss/eviction counters —
+// the same numbers /metrics exports.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// Handler returns the API routes wrapped in the instrumentation
+// middleware (body limits, panic recovery, request metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
@@ -46,7 +119,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /bouquets/{id}/export", s.handleExport)
 	mux.HandleFunc("GET /bouquets/{id}/diagram", s.handleDiagram)
 	mux.HandleFunc("POST /run", s.handleRun)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -59,6 +141,19 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...interfa
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON decodes a request body, distinguishing the body-limit breach
+// (413) from malformed JSON (400). A zero status means success.
+func decodeJSON(r *http.Request, v interface{}) (status int, err error) {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+	}
+	return 0, nil
 }
 
 type compileRequest struct {
@@ -86,6 +181,13 @@ type bouquetSummary struct {
 	Guarantee float64 `json:"guarantee"`
 }
 
+// compileResponse is a bouquetSummary plus whether the compile was served
+// from the cache.
+type compileResponse struct {
+	bouquetSummary
+	Cached bool `json:"cached"`
+}
+
 func (s *Server) summarize(id string, b *core.Bouquet) bouquetSummary {
 	return bouquetSummary{
 		ID:        id,
@@ -99,10 +201,20 @@ func (s *Server) summarize(id string, b *core.Bouquet) bouquetSummary {
 	}
 }
 
+// register publishes a freshly compiled bouquet under a new id.
+func (s *Server) register(b *core.Bouquet) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("b%d", s.nextID)
+	s.bouquets[id] = b
+	return id
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req compileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if status, err := decodeJSON(r, &req); err != nil {
+		jsonError(w, status, "%v", err)
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
@@ -131,41 +243,83 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if req.Lambda != nil {
 		lambda = *req.Lambda
 	}
-	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
-	b, err := core.Compile(opt, space, core.CompileOptions{Lambda: lambda, Ratio: req.Ratio, Focused: req.Focused})
-	if err != nil {
-		jsonError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+	ratio := req.Ratio
+	if ratio == 0 {
+		ratio = 2
 	}
 
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("b%d", s.nextID)
-	s.bouquets[id] = b
-	s.mu.Unlock()
-	writeJSON(w, s.summarize(id, b))
+	ctx := r.Context()
+	if s.cfg.CompileTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.CompileTimeout)
+		defer cancel()
+	}
+
+	// The compile itself runs in a goroutine so the handler can answer
+	// 503 the moment the deadline expires; the abandoned compile then
+	// stops cooperatively at its next ctx checkpoint.
+	key := compileFingerprint(q.String(), res, lambda, ratio, req.Focused)
+	type outcome struct {
+		entry cacheEntry
+		hit   bool
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		entry, hit, err := s.cache.getOrCompute(key, func() (cacheEntry, error) {
+			s.metrics.compiles.Add(1)
+			opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
+			b, err := core.Compile(opt, space, core.CompileOptions{
+				Lambda: lambda, Ratio: ratio, Focused: req.Focused, Ctx: ctx,
+			})
+			if err != nil {
+				return cacheEntry{}, err
+			}
+			return cacheEntry{id: s.register(b), b: b}, nil
+		})
+		ch <- outcome{entry, hit, err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		s.metrics.timeouts.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "compile abandoned: %v", ctx.Err())
+	case out := <-ch:
+		switch {
+		case out.err == nil:
+			writeJSON(w, compileResponse{s.summarize(out.entry.id, out.entry.b), out.hit})
+		case errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled):
+			s.metrics.timeouts.Add(1)
+			jsonError(w, http.StatusServiceUnavailable, "compile abandoned: %v", out.err)
+		default:
+			jsonError(w, http.StatusUnprocessableEntity, "%v", out.err)
+		}
+	}
 }
 
 func (s *Server) lookup(id string) (*core.Bouquet, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	b, ok := s.bouquets[id]
 	return b, ok
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := make([]string, 0, len(s.bouquets))
-	for id := range s.bouquets {
-		ids = append(ids, id)
-	}
-	bs := make(map[string]*core.Bouquet, len(ids))
-	for _, id := range ids {
-		bs[id] = s.bouquets[id]
-	}
-	s.mu.Unlock()
+// numBouquets returns the registry population (for /metrics).
+func (s *Server) numBouquets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bouquets)
+}
 
-	out := make([]bouquetSummary, 0, len(ids))
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	bs := make(map[string]*core.Bouquet, len(s.bouquets))
+	for id, b := range s.bouquets {
+		bs[id] = b
+	}
+	s.mu.RUnlock()
+
+	out := make([]bouquetSummary, 0, len(bs))
 	for id, b := range bs {
 		out = append(out, s.summarize(id, b))
 	}
@@ -260,8 +414,8 @@ type runResponse struct {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if status, err := decodeJSON(r, &req); err != nil {
+		jsonError(w, status, "%v", err)
 		return
 	}
 	b, ok := s.lookup(req.ID)
@@ -289,11 +443,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var e core.Execution
+	var err error
 	if req.Optimized {
-		e = b.RunOptimizedFrom(req.QA, seed)
+		e, err = b.RunOptimizedContext(r.Context(), req.QA, seed)
 	} else {
-		e = b.RunBasicFrom(req.QA, seed)
+		e, err = b.RunBasicContext(r.Context(), req.QA, seed)
 	}
+	if err != nil {
+		s.metrics.timeouts.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "run abandoned: %v", err)
+		return
+	}
+	s.metrics.observeRun(e.TotalCost, e.OptCost, e.SubOpt(), e.NumExecs())
 	out := runResponse{
 		TotalCost: e.TotalCost,
 		OptCost:   e.OptCost,
@@ -307,4 +468,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+}
+
+// handleHealthz answers liveness probes: the process is up and routing.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics exports the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.cache.stats(), s.numBouquets(), optimizer.TotalCalls())
 }
