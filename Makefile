@@ -1,0 +1,27 @@
+GO ?= go
+BIN := bin
+
+.PHONY: build test race lint fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server/... ./internal/core/... ./cmd/bouquetd/...
+
+# lint builds the repository's own analyzer suite and runs it through the
+# go vet driver. CI invokes this same target, so local and CI findings
+# cannot diverge.
+lint:
+	$(GO) build -o $(BIN)/bouquetvet ./cmd/bouquetvet
+	$(GO) vet -vettool=$(abspath $(BIN)/bouquetvet) ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check build test lint

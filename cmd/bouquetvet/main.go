@@ -1,0 +1,109 @@
+// Command bouquetvet runs the repository's domain-invariant analyzers
+// (internal/analysis/...) over Go packages. It is the mechanical reviewer
+// for the properties the bouquet guarantee rests on but the compiler
+// cannot see: epsilon-aware float comparison, selectivity domains,
+// context threading, seeded randomness, quiet libraries, and documented
+// panics.
+//
+// Two modes share one binary:
+//
+//	bouquetvet [packages]
+//
+// loads the named packages (default ./...) via the go command, analyzes
+// them, prints findings, and exits 1 if any are found.
+//
+//	go vet -vettool=$(which bouquetvet) ./...
+//
+// runs the same suite under the go command's vet driver: bouquetvet
+// implements the vet tool protocol (-V=full version handshake, one
+// JSON config file argument per package unit), so findings integrate
+// with go vet's caching and output.
+//
+// Findings are suppressed by an explicit directive on or directly above
+// the offending line:
+//
+//	//bouquet:allow <analyzer>[,<analyzer>...] — reason
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bouquetvet", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet tool protocol)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet tool protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *flagsFlag {
+		// The go command probes `tool -flags` to learn which command-line
+		// flags it may forward. The suite has none beyond the protocol's
+		// own, so the answer is the empty list.
+		fmt.Println("[]")
+		return 0
+	}
+
+	if *versionFlag != "" {
+		// The go command runs `tool -V=full` and hashes the reply into
+		// its build cache key; the reply must follow the
+		// "<name> version <...>" shape of the standard tools, and a
+		// "devel" version must carry a buildID. Hashing the binary
+		// itself means cached vet results are invalidated exactly when
+		// the analyzer suite changes.
+		progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+		h := sha256.New()
+		if f, err := os.Open(os.Args[0]); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+		fmt.Printf("%s version devel bouquetvet-suite buildID=%02x\n", progname, h.Sum(nil))
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return analysis.RunUnitchecker(registry.All(), rest[0])
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings := 0
+	for _, p := range pkgs {
+		diags, err := analysis.RunPackage(registry.All(), p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "bouquetvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// buildVet compiles the bouquetvet binary into a temp dir and returns its
+// path.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	bin := filepath.Join(t.TempDir(), "bouquetvet")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/bouquetvet")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDirectModeRepoIsClean is the acceptance smoke test: the shipped
+// suite produces zero findings over the repository itself.
+func TestDirectModeRepoIsClean(t *testing.T) {
+	bin := buildVet(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bouquetvet ./... failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("bouquetvet ./... produced findings:\n%s", stdout.String())
+	}
+}
+
+// TestVettoolCleanRepo drives bouquetvet through the real `go vet
+// -vettool` unitchecker protocol over repository packages and expects a
+// clean exit.
+func TestVettoolCleanRepo(t *testing.T) {
+	bin := buildVet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/floats", "./internal/ess", "./internal/core")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolReportsFindings verifies the protocol end to end in the
+// failing direction: a scratch module with a floatcmp violation must make
+// `go vet -vettool` exit non-zero and print the diagnostic.
+func TestVettoolReportsFindings(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module vetfixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package a
+
+func equal(x, y float64) bool {
+	return x == y
+}
+
+func suppressed(x float64) bool {
+	return x == 0 //bouquet:allow floatcmp — sentinel
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 on a package with a floatcmp violation\n%s", out)
+	}
+	if !strings.Contains(string(out), "exact == on float operands") {
+		t.Fatalf("go vet -vettool output missing the floatcmp diagnostic:\n%s", out)
+	}
+	if strings.Count(string(out), "exact == on float operands") != 1 {
+		t.Fatalf("expected exactly one finding (the second compare is suppressed):\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of Go files (conventionally
+// testdata/src/<name> next to the analyzer). Every line that should
+// produce a diagnostic carries a trailing comment of the form
+//
+//	x == y // want `regexp` ...
+//
+// with one quoted or backquoted regular expression per expected
+// diagnostic on that line. Diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test. Fixtures may
+// import standard-library packages; their export data is resolved through
+// `go list -export`, so no network access is needed.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies a to the fixture package in dir (relative to the test's
+// working directory) and reports expectation mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in fixture %s", dir)
+	}
+	sort.Strings(names)
+
+	lp, err := typeCheckFixture(fset, files, filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+
+	diags, err := analysis.RunPackage([]*analysis.Analyzer{a}, fset, files, lp.pkg, lp.info)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	matchDiagnostics(t, diags, wants)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE splits a want comment into quoted expectation strings.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses `// want ...` comments from the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				specs := wantRE.FindAllString(text, -1)
+				if len(specs) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, spec := range specs {
+					var pattern string
+					if spec[0] == '`' {
+						pattern = spec[1 : len(spec)-1]
+					} else {
+						pattern, _ = strconv.Unquote(spec)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pattern, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchDiagnostics pairs diagnostics with expectations one-to-one.
+func matchDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// checkedFixture is a type-checked fixture package.
+type checkedFixture struct {
+	pkg  *types.Package
+	info *types.Info
+}
+
+// typeCheckFixture type-checks the fixture files under the package path
+// pkgPath, resolving imports through `go list -export`.
+func typeCheckFixture(fset *token.FileSet, files []*ast.File, pkgPath string) (*checkedFixture, error) {
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	exports, importMap, err := exportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := analysis.TypeCheckFiles(fset, files, pkgPath, exports, importMap)
+	if err != nil {
+		return nil, err
+	}
+	return &checkedFixture{pkg: pkg, info: info}, nil
+}
+
+// exportData resolves import paths to gc export data files via the go
+// command (offline; the build cache supplies the data).
+func exportData(imports map[string]bool) (exports, importMap map[string]string, err error) {
+	exports = map[string]string{}
+	importMap = map[string]string{}
+	if len(imports) == 0 {
+		return exports, importMap, nil
+	}
+	args := []string{"list", "-deps", "-export", "-json=ImportPath,Export,ImportMap"}
+	for path := range imports {
+		args = append(args, path)
+	}
+	sort.Strings(args[3:])
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+			ImportMap  map[string]string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for src, resolved := range p.ImportMap {
+			importMap[src] = resolved
+		}
+	}
+	return exports, importMap, nil
+}

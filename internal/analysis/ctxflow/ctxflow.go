@@ -1,0 +1,193 @@
+// Package ctxflow guards cooperative cancellation against regression.
+//
+// PR 1 threaded context.Context through bouquet compilation and the
+// run-time drivers so that server deadlines abort work between contour
+// steps. That property dies silently when an intermediate function holds a
+// ctx but fails to hand it on. Within any function that receives a
+// context (directly, or via *http.Request), the analyzer flags:
+//
+//   - calls that pass a fresh context.Background()/context.TODO() to a
+//     callee whose first parameter is a context.Context — the held ctx
+//     (or one derived from it) must flow through instead;
+//   - calls to a context-free function or method X when a sibling
+//     XContext accepting a context exists — the context-aware variant
+//     must be used.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the ctxflow invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function holding a context.Context must pass it to every callee that accepts one",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !holdsContext(pass, fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// holdsContext reports whether fd receives a context.Context parameter or
+// an *http.Request (whose Context method supplies one).
+func holdsContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContext(t) || isHTTPRequest(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkFreshContextArg(pass, call)
+		checkDroppedVariant(pass, call)
+		return true
+	})
+}
+
+// checkFreshContextArg flags ctx-accepting calls fed a fresh Background or
+// TODO context from inside a context-holding function.
+func checkFreshContextArg(pass *analysis.Pass, call *ast.CallExpr) {
+	sig := signatureOf(pass, call)
+	if sig == nil || sig.Params().Len() == 0 || !isContext(sig.Params().At(0).Type()) {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if name, fresh := freshContext(pass, call.Args[0]); fresh {
+		pass.Reportf(call.Args[0].Pos(), "context.%s passed to a context-accepting callee inside a function that already holds a context; thread the held ctx through", name)
+	}
+}
+
+// checkDroppedVariant flags calls to X when a context-accepting XContext
+// sibling exists.
+func checkDroppedVariant(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || acceptsContext(fn) {
+		return
+	}
+	variant := fn.Name() + "Context"
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), variant)
+		if sibling, ok := obj.(*types.Func); ok && acceptsContext(sibling) {
+			pass.Reportf(call.Pos(), "call to %s drops the held context; use %s", fn.Name(), variant)
+		}
+		return
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	if sibling, ok := fn.Pkg().Scope().Lookup(variant).(*types.Func); ok && acceptsContext(sibling) {
+		pass.Reportf(call.Pos(), "call to %s drops the held context; use %s", fn.Name(), variant)
+	}
+}
+
+// freshContext reports whether e is a direct context.Background() or
+// context.TODO() call.
+func freshContext(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// signatureOf returns the signature of the called expression, or nil for
+// conversions and untypeable callees.
+func signatureOf(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// acceptsContext reports whether fn has any context.Context parameter.
+func acceptsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isHTTPRequest(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}

@@ -1,0 +1,41 @@
+// Package a is the ctxflow fixture: functions holding a context must
+// thread it to context-accepting callees instead of dropping it or
+// minting a fresh one.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+// Store has paired context-free and context-aware accessors.
+type Store struct{}
+
+func (s *Store) Get(key string) int                             { return 0 }
+func (s *Store) GetContext(ctx context.Context, key string) int { return 0 }
+
+func Fetch(url string) error                             { return nil }
+func FetchContext(ctx context.Context, url string) error { return nil }
+
+func handle(ctx context.Context, s *Store) {
+	_ = s.Get("k")                              // want `call to Get drops the held context; use GetContext`
+	_ = s.GetContext(ctx, "k")                  // threaded: fine
+	_ = Fetch("u")                              // want `call to Fetch drops the held context; use FetchContext`
+	_ = FetchContext(ctx, "u")                  // threaded: fine
+	_ = FetchContext(context.Background(), "u") // want `context.Background passed to a context-accepting callee`
+	_ = FetchContext(context.TODO(), "u")       // want `context.TODO passed to a context-accepting callee`
+}
+
+func serve(w http.ResponseWriter, r *http.Request, s *Store) {
+	_ = s.Get("k")                     // want `call to Get drops the held context; use GetContext`
+	_ = s.GetContext(r.Context(), "k") // the request's context counts as held
+}
+
+func noContextHeld(s *Store) {
+	_ = s.Get("k")                              // nothing held, nothing to thread
+	_ = FetchContext(context.Background(), "u") // minting at the call-tree root is legitimate
+}
+
+func suppressed(ctx context.Context, s *Store) {
+	_ = s.Get("k") //bouquet:allow ctxflow — metrics write must complete even after cancellation
+}

@@ -1,0 +1,28 @@
+// Package a is the floatcmp fixture: exact float comparisons are
+// flagged, integer comparisons and suppressed sites are not.
+package a
+
+func compare(a, b float64, i, j int) bool {
+	if a == b { // want `exact == on float operands`
+		return true
+	}
+	if a != b { // want `exact != on float operands`
+		return false
+	}
+	if i == j { // integers compare exactly; no diagnostic
+		return true
+	}
+	return a-b == 0 // want `exact == on float operands`
+}
+
+func mixed(f float32, n int) bool {
+	return f == float32(n) // want `exact == on float operands`
+}
+
+func suppressed(ratio float64) bool {
+	if ratio == 0 { //bouquet:allow floatcmp — zero is the unset sentinel, exactness intended
+		return true
+	}
+	//bouquet:allow floatcmp — the directive on the line above also covers this compare
+	return ratio == 1
+}

@@ -1,0 +1,12 @@
+package panicdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/panicdoc"
+)
+
+func TestPanicdoc(t *testing.T) {
+	analysistest.Run(t, panicdoc.Analyzer, "testdata/src/a")
+}

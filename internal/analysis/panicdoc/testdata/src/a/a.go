@@ -1,0 +1,54 @@
+// Package a is the panicdoc fixture: exported functions that can reach
+// a panic must say so in their doc comment.
+package a
+
+// Documented rejects bad input. It panics when n is negative.
+func Documented(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Undocumented has a doc comment that is silent about failure.
+func Undocumented(n int) int { // want `exported Undocumented can reach 1 panic`
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Indirect delegates the range check to an unexported helper.
+func Indirect(n int) int { // want `exported Indirect can reach 1 panic`
+	return helper(n)
+}
+
+func helper(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Delegating calls Documented, whose own doc comment carries the
+// contract; the failure mode is not attributed to the caller.
+func Delegating(n int) int { return Documented(n) }
+
+// Grid is an exported receiver type.
+type Grid struct{}
+
+// Coord resolves a cell index.
+func (Grid) Coord(i int) int { // want `exported Coord can reach 1 panic`
+	if i < 0 {
+		panic("out of range")
+	}
+	return i
+}
+
+type hidden struct{}
+
+// Boom is exported, but its receiver type is not; it is unreachable from
+// outside the package and so is not part of the documented surface.
+func (hidden) Boom() { panic("x") }
+
+func Suppressed() { panic("fail fast") } //bouquet:allow panicdoc — process-fatal by design, sign-off 2026-08-05

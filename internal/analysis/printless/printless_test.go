@@ -1,0 +1,19 @@
+package printless_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/printless"
+)
+
+func TestPrintless(t *testing.T) {
+	analysistest.Run(t, printless.Analyzer, "testdata/src/a")
+}
+
+// TestPrintlessExemptsReportPackages checks the path-based exemption: the
+// fixture package's import path ends in "report", so even direct
+// fmt.Println calls produce no diagnostics.
+func TestPrintlessExemptsReportPackages(t *testing.T) {
+	analysistest.Run(t, printless.Analyzer, "testdata/src/report")
+}

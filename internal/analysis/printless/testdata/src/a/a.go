@@ -1,0 +1,30 @@
+// Package a is the printless fixture: a library package writing to
+// stdout or the global logger is flagged; explicit io.Writers and
+// injected loggers are not.
+package a
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Dump exercises every flagged and every sanctioned output route.
+func Dump(v int) {
+	fmt.Println(v)                  // want `fmt.Println writes to stdout from a library package`
+	fmt.Printf("%d\n", v)           // want `fmt.Printf writes to stdout from a library package`
+	fmt.Print(v)                    // want `fmt.Print writes to stdout from a library package`
+	log.Printf("v=%d", v)           // want `global log.Printf from a library package`
+	log.Println(v)                  // want `global log.Println from a library package`
+	w := os.Stdout                  // want `os.Stdout referenced from a library package`
+	fmt.Fprintln(w, v)              // explicit writer: fine
+	fmt.Fprintf(os.Stderr, "%d", v) // stderr is not stdout
+	println(v)                      // want `builtin println from a library package`
+	logger := log.New(os.Stderr, "a: ", 0)
+	logger.Printf("injected loggers are fine")
+	_ = fmt.Sprintf("%d", v) // no output at all
+}
+
+func suppressed() {
+	fmt.Println("bouquet") //bouquet:allow printless — one-shot banner sanctioned for the demo path
+}

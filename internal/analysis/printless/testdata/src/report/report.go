@@ -1,0 +1,11 @@
+// Package report stands in for internal/report: packages whose final
+// path element is "report" (or "server") own process output and are
+// exempt from printless wholesale.
+package report
+
+import "fmt"
+
+// Banner may print: the reporting layer owns stdout.
+func Banner() {
+	fmt.Println("plan bouquet report")
+}

@@ -1,0 +1,26 @@
+// Package registry enumerates the bouquetvet analyzer suite: one
+// analyzer per paper invariant. Drivers (cmd/bouquetvet, tests) consume
+// the suite through All so the set cannot drift between entry points.
+package registry
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/panicdoc"
+	"repro/internal/analysis/printless"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/selbounds"
+)
+
+// All returns the full bouquetvet suite in diagnostic-name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		floatcmp.Analyzer,
+		panicdoc.Analyzer,
+		printless.Analyzer,
+		selbounds.Analyzer,
+		seededrand.Analyzer,
+	}
+}

@@ -1,0 +1,65 @@
+// Package seededrand forbids the global math/rand source.
+//
+// Bouquet experiments must be bit-for-bit reproducible: the plan diagram,
+// the synthetic data, and cost-model perturbations are all functions of
+// explicit seeds. The package-level math/rand functions draw from a
+// shared process-global source whose state depends on everything else the
+// process did — randomness must instead flow through an injected
+// *rand.Rand built with rand.New(rand.NewSource(seed)), as internal/data
+// does.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the seededrand invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid package-level math/rand functions; inject a seeded *rand.Rand",
+	Run:  run,
+}
+
+// allowed are the math/rand package-level functions that do not touch the
+// global source: constructors for explicit, seedable generators.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. are the sanctioned route
+			}
+			if allowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "global math/rand source via rand.%s; draw from an injected seeded *rand.Rand instead", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

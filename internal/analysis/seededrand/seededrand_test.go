@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,20 @@
+// Package a is the seededrand fixture: the process-global math/rand
+// source is flagged; explicit seeded generators are the sanctioned route.
+package a
+
+import "math/rand"
+
+// Perm draws through an injected, explicitly seeded generator.
+func Perm(n int) []int {
+	r := rand.New(rand.NewSource(42)) // constructors are allowed
+	return r.Perm(n)
+}
+
+func global(n int) float64 {
+	_ = rand.Intn(n)      // want `global math/rand source via rand.Intn`
+	return rand.Float64() // want `global math/rand source via rand.Float64`
+}
+
+func suppressed() int64 {
+	return rand.Int63() //bouquet:allow seededrand — startup jitter, reproducibility not required
+}

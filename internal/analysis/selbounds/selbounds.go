@@ -1,0 +1,144 @@
+// Package selbounds enforces the paper's selectivity domain: a
+// selectivity is a value in (0,1].
+//
+// The ESS is a grid over (0,1]^d (§2); a zero or negative selectivity has
+// no geometric meaning and a value above 1 breaks the first-quadrant
+// invariant that the bouquet's MSO guarantee rests on. The analyzer flags
+// constant selectivity values outside the domain at two kinds of site:
+//
+//   - elements of composite literals of selectivity-carrying types
+//     (cost.Selectivities, ess.Point);
+//   - constant arguments bound to parameters that are declared as
+//     selectivities (a parameter of a type named Selectivity, or named
+//     sel/selectivity with a float type).
+package selbounds
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the selbounds invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "selbounds",
+	Doc:  "selectivity constants must lie in (0,1]",
+	Run:  run,
+}
+
+// selTypeNames are the named types whose composite literals carry
+// selectivities, element-wise.
+var selTypeNames = map[string]bool{
+	"Selectivities": true,
+	"Point":         true, // ess.Point: a location in the (0,1]^d error space
+}
+
+// selParamNames are parameter names that declare a scalar selectivity.
+var selParamNames = map[string]bool{
+	"sel":         true,
+	"selectivity": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkComposite(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComposite flags out-of-domain constant elements of selectivity
+// composite literals.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || !selTypeNames[named.Obj().Name()] {
+		return
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			elt = kv.Value
+		}
+		if v, bad := outOfDomain(pass, elt); bad {
+			pass.Reportf(elt.Pos(), "selectivity %v outside (0,1] in %s literal", v, named.Obj().Name())
+		}
+	}
+}
+
+// checkCall flags out-of-domain constants bound to selectivity parameters.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i)
+		if param == nil || !isSelParam(param) {
+			continue
+		}
+		if v, bad := outOfDomain(pass, arg); bad {
+			pass.Reportf(arg.Pos(), "selectivity argument %v for parameter %q outside (0,1]", v, param.Name())
+		}
+	}
+}
+
+// paramAt returns the parameter bound to argument i, honouring variadics.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		return sig.Params().At(n - 1)
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i)
+}
+
+// isSelParam reports whether param is declared as a scalar selectivity.
+func isSelParam(param *types.Var) bool {
+	if named, ok := param.Type().(*types.Named); ok && named.Obj().Name() == "Selectivity" {
+		return true
+	}
+	if !selParamNames[param.Name()] {
+		return false
+	}
+	b, ok := param.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// outOfDomain reports whether e is a float/numeric constant outside (0,1],
+// returning its value for the diagnostic.
+func outOfDomain(pass *analysis.Pass, e ast.Expr) (constant.Value, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return nil, false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return nil, false
+	}
+	f, _ := constant.Float64Val(v)
+	return tv.Value, f <= 0 || f > 1
+}

@@ -1,0 +1,12 @@
+package selbounds_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/selbounds"
+)
+
+func TestSelbounds(t *testing.T) {
+	analysistest.Run(t, selbounds.Analyzer, "testdata/src/a")
+}

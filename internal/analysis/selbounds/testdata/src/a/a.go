@@ -1,0 +1,36 @@
+// Package a is the selbounds fixture: constant selectivities outside
+// (0,1] are flagged in selectivity-typed composite literals and at
+// selectivity parameters.
+package a
+
+// Selectivities mirrors cost.Selectivities: one value per predicate.
+type Selectivities []float64
+
+// Point mirrors ess.Point: a location in the (0,1]^d error space.
+type Point []float64
+
+// Selectivity is a scalar selectivity.
+type Selectivity float64
+
+// Scale takes a plain float selectivity parameter.
+func Scale(sel float64) float64 { return sel }
+
+// ScaleTyped takes a named-type selectivity parameter.
+func ScaleTyped(s Selectivity) Selectivity { return s }
+
+// Width is not a selectivity; its parameter name keeps it unchecked.
+func Width(w float64) float64 { return w }
+
+func use() {
+	_ = Selectivities{0.5, 1.0} // in-domain, including the closed upper bound
+	_ = Selectivities{0.0}      // want `selectivity 0 outside \(0,1\] in Selectivities literal`
+	_ = Point{0.1, 1.5}         // want `selectivity 1.5 outside \(0,1\] in Point literal`
+	_ = Point{1: -0.2}          // want `selectivity -0.2 outside \(0,1\] in Point literal`
+	_ = Scale(0.3)              // in-domain argument
+	_ = Scale(0)                // want `selectivity argument 0 for parameter "sel" outside \(0,1\]`
+	_ = Scale(2.0)              // want `selectivity argument 2 for parameter "sel" outside \(0,1\]`
+	_ = ScaleTyped(1.25)        // want `selectivity argument 1.25 for parameter "s" outside \(0,1\]`
+	_ = Width(40.0)             // not a selectivity parameter
+	_ = []float64{7.5}          // anonymous slices carry no selectivity meaning
+	_ = Point{5}                //bouquet:allow selbounds — stress fixture deliberately leaves the domain
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// VetConfig mirrors the JSON configuration the go command writes for a
+// vet tool invocation (one file per package unit, passed as the sole
+// positional argument). Field names and semantics follow
+// cmd/go/internal/work's vetConfig — the contract `go vet -vettool=`
+// programs are built against.
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+	NonGoFiles []string
+	// ImportMap maps source-level import paths to resolved package
+	// paths (vendoring, test variants).
+	ImportMap map[string]string
+	// PackageFile maps resolved package paths to export data files.
+	PackageFile map[string]string
+	Standard    map[string]bool
+	// PackageVetx maps dependency package paths to their fact files;
+	// bouquetvet's analyzers are fact-free, so these are ignored.
+	PackageVetx map[string]string
+	// VetxOnly marks a unit analyzed only to produce facts for
+	// dependents. Fact-free tools write an empty fact file and stop.
+	VetxOnly bool
+	// VetxOutput is where the unit's fact file must be written; the go
+	// command caches it and fails if it is missing.
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker analyzes the single package unit described by the vet
+// config at cfgPath, printing diagnostics to stderr. It returns the
+// process exit code: 0 for a clean unit, 1 for findings or errors.
+func RunUnitchecker(analyzers []*Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bouquetvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the fact file to exist even for tools
+	// that produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	lp, err := typeCheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	diags, err := RunPackage(analyzers, lp.Fset, lp.Files, lp.Pkg, lp.Info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

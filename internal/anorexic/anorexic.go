@@ -12,6 +12,8 @@ package anorexic
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/floats"
 )
 
 // DefaultLambda is the paper's standard swallow threshold (20%).
@@ -89,8 +91,8 @@ func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float
 				continue
 			}
 			better := gain > bestGain ||
-				(gain == bestGain && total < bestTotal) ||
-				(gain == bestGain && total == bestTotal && bestCi >= 0 && candidates[ci] < candidates[bestCi])
+				(gain == bestGain && floats.Less(total, bestTotal)) ||
+				(gain == bestGain && floats.Eq(total, bestTotal) && bestCi >= 0 && candidates[ci] < candidates[bestCi])
 			if bestCi < 0 || better {
 				bestCi, bestGain, bestTotal = ci, gain, total
 			}

@@ -86,6 +86,7 @@ type Relation struct {
 
 // Pages returns the number of heap pages the relation occupies given a page
 // size in bytes. It is the unit the I/O cost terms are charged in.
+// Panics on a non-positive page size.
 func (r *Relation) Pages(pageSize int64) int64 {
 	if pageSize <= 0 {
 		panic("catalog: non-positive page size")
@@ -161,6 +162,8 @@ func (c *Catalog) AddRelation(rel *Relation) {
 }
 
 // AddIndex registers an index; the relation and column must already exist.
+// Panics on an unknown relation or column, or a duplicate index —
+// catalogs are built by code, so a malformed one is a programming error.
 func (c *Catalog) AddIndex(idx Index) {
 	rel := c.relations[idx.Relation]
 	if rel == nil {

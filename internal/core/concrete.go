@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/floats"
 	"repro/internal/plan"
 	"repro/internal/query"
 )
@@ -177,14 +178,18 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 }
 
 // cheapestAt returns the plan from ids cheapest at q_run (deterministic
-// ties by plan ID).
+// ties by plan ID; costs within the floats.Eq tolerance count as tied, so
+// accumulated rounding error cannot flip the choice).
 func (r *ConcreteRunner) cheapestAt(ids []int, st *runState) (int, float64) {
 	sels := cost.Selectivities(r.B.Space.Sels(st.qrun))
 	best, bestCost := -1, math.Inf(1)
 	for _, id := range ids {
 		c := r.B.Coster.Cost(r.B.Diagram.Plan(id), sels)
-		if c < bestCost || (c == bestCost && id < best) {
+		switch {
+		case best < 0 || floats.Less(c, bestCost):
 			best, bestCost = id, c
+		case floats.Eq(c, bestCost) && id < best:
+			best = id
 		}
 	}
 	return best, bestCost

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ess"
+)
+
+// stepLimitedCtx is a context whose Err() starts reporting cancellation
+// after a fixed number of polls. It makes the drivers' cooperative
+// checkpoints observable: with allowance n, the n+1-th checkpoint is the
+// first to see a cancelled context, so the test can pin down exactly
+// where a run aborts.
+type stepLimitedCtx struct {
+	allowance int64
+	polls     atomic.Int64
+}
+
+func (c *stepLimitedCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *stepLimitedCtx) Done() <-chan struct{}       { return nil }
+func (c *stepLimitedCtx) Value(any) any               { return nil }
+func (c *stepLimitedCtx) Err() error {
+	if c.polls.Add(1) > c.allowance {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBasicRunCancelsBetweenContourSteps verifies the documented
+// cancellation granularity: a cancelled context aborts the basic driver
+// between budgeted executions *within* a contour, not merely at contour
+// boundaries. This is the regression test for the dropped-context path
+// ctxflow guards (the run loop used to poll ctx only once per contour).
+func TestBasicRunCancelsBetweenContourSteps(t *testing.T) {
+	// POSP configuration (no anorexic reduction) keeps contours dense,
+	// and a q_a near the terminus forces many failed budgeted
+	// executions before completion.
+	b, _ := compileFor(t, query2D(t), 12, CompileOptions{Lambda: -1})
+	qa := ess.Point{0.9, 0.9}
+
+	full, err := b.RunBasicContext(context.Background(), qa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Completed {
+		t.Fatal("uncancelled run did not complete")
+	}
+
+	// Find the first step that shares its contour with its predecessor:
+	// aborting exactly before it proves the mid-contour checkpoint.
+	cut := -1
+	for i := 1; i < len(full.Steps); i++ {
+		if full.Steps[i].Contour == full.Steps[i-1].Contour {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatalf("fixture has no contour with two steps; trace %v", full.Steps)
+	}
+
+	// The basic driver polls ctx exactly once per step, so an allowance
+	// of cut polls aborts the run exactly before step cut.
+	ctx := &stepLimitedCtx{allowance: int64(cut)}
+	partial, err := b.RunBasicContext(ctx, qa, nil)
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned err %v, want context.Canceled", err)
+	}
+	if partial.Completed {
+		t.Fatal("cancelled run reported completion")
+	}
+	if len(partial.Steps) != cut {
+		t.Fatalf("cancelled run performed %d steps, want %d", len(partial.Steps), cut)
+	}
+	for i := range partial.Steps {
+		if partial.Steps[i] != full.Steps[i] {
+			t.Fatalf("partial step %d = %+v diverges from full trace %+v", i, partial.Steps[i], full.Steps[i])
+		}
+	}
+	// The abort point is strictly inside a contour: the step that was
+	// never executed belongs to the same contour as the last one taken.
+	if full.Steps[cut].Contour != partial.Steps[cut-1].Contour {
+		t.Fatalf("abort fell on a contour boundary (last %d, next %d)",
+			partial.Steps[cut-1].Contour, full.Steps[cut].Contour)
+	}
+}
+
+// TestOptimizedRunCancelsMidContour verifies that the optimized driver's
+// inner contour loop (runContour) polls the context before every
+// execution decision, so cancellation cannot be deferred to the next
+// contour boundary.
+func TestOptimizedRunCancelsMidContour(t *testing.T) {
+	b, _ := compileFor(t, query2D(t), 12, CompileOptions{Lambda: -1})
+	qa := ess.Point{0.9, 0.9}
+
+	full, err := b.RunOptimizedContext(context.Background(), qa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Completed {
+		t.Fatal("uncancelled run did not complete")
+	}
+	fullPolls := func() int64 {
+		probe := &stepLimitedCtx{allowance: 1 << 30}
+		if _, err := b.RunOptimizedContext(probe, qa, nil); err != nil {
+			t.Fatal(err)
+		}
+		return probe.polls.Load()
+	}()
+	contours := map[int]bool{}
+	for _, s := range full.Steps {
+		contours[s.Contour] = true
+	}
+	if fullPolls <= int64(len(contours)) {
+		t.Fatalf("optimized driver polled ctx %d times over %d contours; expected intra-contour checkpoints",
+			fullPolls, len(contours))
+	}
+
+	// Cancel part-way through: the run must abort with the partial
+	// trace, strictly before finishing.
+	ctx := &stepLimitedCtx{allowance: fullPolls / 2}
+	partial, err := b.RunOptimizedContext(ctx, qa, nil)
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned err %v, want context.Canceled", err)
+	}
+	if partial.Completed {
+		t.Fatal("cancelled run reported completion")
+	}
+	if len(partial.Steps) >= len(full.Steps) {
+		t.Fatalf("cancelled run performed %d steps, full run %d", len(partial.Steps), len(full.Steps))
+	}
+}
+
+// TestRunContextCancelledUpFront: an already-cancelled context yields no
+// executions at all on either driver.
+func TestRunContextCancelledUpFront(t *testing.T) {
+	b, _ := compileFor(t, query1D(t), 10, CompileOptions{Lambda: 0.2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qa := ess.Point{0.5}
+	if e, err := b.RunBasicContext(ctx, qa, nil); err == nil || len(e.Steps) != 0 {
+		t.Fatalf("basic: err=%v steps=%d, want immediate abort", err, len(e.Steps))
+	}
+	if e, err := b.RunOptimizedContext(ctx, qa, nil); err == nil || len(e.Steps) != 0 {
+		t.Fatalf("optimized: err=%v steps=%d, want immediate abort", err, len(e.Steps))
+	}
+}

@@ -143,10 +143,14 @@ func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point) (Execution, 
 		}
 	}
 	for _, c := range b.Contours[start:] {
-		if err := ctx.Err(); err != nil {
-			return e, err
-		}
 		for _, pid := range c.PlanIDs {
+			// Cooperative cancellation between contour steps, not
+			// merely between contours: a dense contour can hold ρ
+			// budgeted executions, and a server deadline must not
+			// wait out all of them.
+			if err := ctx.Err(); err != nil {
+				return e, err
+			}
 			full := b.execCost(b.Diagram.Plan(pid), t.sels)
 			if full <= c.Budget {
 				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})

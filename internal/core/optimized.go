@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/ess"
+	"repro/internal/floats"
 	"repro/internal/plan"
 )
 
@@ -177,7 +178,7 @@ func (b *Bouquet) nodeSharesUnlearned(n *plan.Node, pred int, st *runState) bool
 // and pick the group's candidate with the deepest error node.
 func pickCandidate(cands []axisCandidate) axisCandidate {
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].cost != cands[j].cost {
+		if !floats.Eq(cands[i].cost, cands[j].cost) {
 			return cands[i].cost < cands[j].cost
 		}
 		return cands[i].planID < cands[j].planID
@@ -288,10 +289,11 @@ func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Executi
 	}
 
 	for ci := 0; ci < len(b.Contours); ci++ {
-		if err := ctx.Err(); err != nil {
+		done, err := b.runContour(ctx, &e, b.Contours[ci], st, t)
+		if err != nil {
 			return e, err
 		}
-		if b.runContour(&e, b.Contours[ci], st, t) {
+		if done {
 			return e, nil
 		}
 	}
@@ -312,14 +314,16 @@ func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Executi
 }
 
 // runContour processes one contour of the optimized algorithm and reports
-// whether the query completed. Per contour, each plan is executed at most
+// whether the query completed. ctx is consulted before every execution
+// decision, so cancellation aborts between contour steps rather than only
+// between contours. Per contour, each plan is executed at most
 // twice (once spilled, once generically); plans are eliminated without
 // execution when their abstract cost at q_run already exceeds the budget —
 // the first-quadrant invariant q_run ≤ q_a plus PCM certifies they cannot
 // complete at q_a either (§5.1's pincer elimination). The contour is left
 // when either q_run provably crossed it, or every plan has been eliminated
 // or has failed.
-func (b *Bouquet) runContour(e *Execution, c Contour, st *runState, t truth) bool {
+func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *runState, t truth) (done bool, err error) {
 	remaining := make(map[int]bool, len(c.PlanIDs))
 	spilled := make(map[int]bool, len(c.PlanIDs))
 	for _, pid := range c.PlanIDs {
@@ -327,11 +331,14 @@ func (b *Bouquet) runContour(e *Execution, c Contour, st *runState, t truth) boo
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		// Early contour change (Fig. 13): the optimal cost at (the
 		// floor of) q_run already exceeds this step, so q_a lies
 		// beyond the contour.
 		if b.optCostAtFloor(st.qrun) > c.RawBudget {
-			return false
+			return false, nil
 		}
 
 		if st.allLearned() {
@@ -344,14 +351,14 @@ func (b *Bouquet) runContour(e *Execution, c Contour, st *runState, t truth) boo
 			// the next survivor tried.
 			pid, est := b.cheapestOn(remaining, t.sels)
 			if pid < 0 || est > c.Budget {
-				return false
+				return false, nil
 			}
 			full := b.execCost(b.Diagram.Plan(pid), t.sels)
 			if full <= c.Budget {
 				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
 				e.TotalCost += full
 				e.Completed = true
-				return true
+				return true, nil
 			}
 			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
 			e.TotalCost += c.Budget
@@ -369,7 +376,7 @@ func (b *Bouquet) runContour(e *Execution, c Contour, st *runState, t truth) boo
 		}
 		if len(remaining) == 0 {
 			// Every contour plan is certified to fail at q_a.
-			return false
+			return false, nil
 		}
 
 		// Prefer a spilled learning execution chosen by AxisPlans,
@@ -413,7 +420,7 @@ func (b *Bouquet) runContour(e *Execution, c Contour, st *runState, t truth) boo
 			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
 			e.TotalCost += full
 			e.Completed = true
-			return true
+			return true, nil
 		}
 		delete(remaining, pid)
 		e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
@@ -432,8 +439,11 @@ func (b *Bouquet) genericPick(c Contour, st *runState, remaining map[int]bool, q
 	bestCost := math.Inf(1)
 	for id := range remaining {
 		v := b.Coster.Cost(b.Diagram.Plan(id), qrunSels)
-		if v < bestCost || (v == bestCost && id < pid) {
+		switch {
+		case pid < 0 || floats.Less(v, bestCost):
 			pid, bestCost = id, v
+		case floats.Eq(v, bestCost) && id < pid:
+			pid = id
 		}
 	}
 	return pid
@@ -445,8 +455,11 @@ func (b *Bouquet) cheapestOn(remaining map[int]bool, sels cost.Selectivities) (p
 	pid, cst = -1, math.Inf(1)
 	for id := range remaining {
 		v := b.Coster.Cost(b.Diagram.Plan(id), sels)
-		if v < cst || (v == cst && id < pid) {
+		switch {
+		case pid < 0 || floats.Less(v, cst):
 			pid, cst = id, v
+		case floats.Eq(v, cst) && id < pid:
+			pid = id
 		}
 	}
 	return pid, cst

@@ -163,7 +163,7 @@ func (c *Coster) Model() Model { return c.model }
 // by a deterministic factor drawn from [1/(1+delta), 1+delta], keyed by the
 // node's fingerprint and seed. This realises the paper's "bounded modeling
 // errors" regime (§3.4): the estimated cost of any plan is within a δ error
-// factor of its actual cost.
+// factor of its actual cost. Panics on a negative delta.
 func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
 	if delta < 0 {
 		panic("cost: negative delta")
@@ -183,19 +183,22 @@ func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
 }
 
 // Cost returns the total cost of root at the given selectivities.
+// Panics if the plan contains an operator the model does not price.
 func (c *Coster) Cost(root *plan.Node, sels Selectivities) float64 {
 	nc := c.costNode(root, sels)
 	return nc.TotalCost
 }
 
 // Rows returns the output cardinality of root at the given selectivities.
+// Panics if the plan contains an operator the model does not price.
 func (c *Coster) Rows(root *plan.Node, sels Selectivities) float64 {
 	nc := c.costNode(root, sels)
 	return nc.Rows
 }
 
 // Detail returns per-node cost annotations in post-order (children before
-// parents); the last element is the root.
+// parents); the last element is the root. Panics if the plan contains an
+// operator the model does not price.
 func (c *Coster) Detail(root *plan.Node, sels Selectivities) []NodeCost {
 	var out []NodeCost
 	c.detail(root, sels, &out)

@@ -59,7 +59,8 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// Value returns the value of column col at row r.
+// Value returns the value of column col at row r. Panics on an unknown
+// column.
 func (t *Table) Value(r int, col string) int64 {
 	i, ok := t.colIdx[col]
 	if !ok {
@@ -68,7 +69,8 @@ func (t *Table) Value(r int, col string) int64 {
 	return t.cols[i][r]
 }
 
-// Column returns the full column vector (shared; do not mutate).
+// Column returns the full column vector (shared; do not mutate). Panics
+// on an unknown column.
 func (t *Table) Column(col string) []int64 {
 	i, ok := t.colIdx[col]
 	if !ok {
@@ -244,7 +246,8 @@ func drawerFor(spec Spec, col string, domain int64, rng *rand.Rand) func() int64
 // SelectionBound returns the predicate constant c such that "col < c" has
 // selectivity as close as possible to target, along with the exactly
 // realized selectivity. It assumes the column's uniform [0, domain)
-// generation and then corrects against the actual data.
+// generation and then corrects against the actual data. Panics on an
+// unknown relation or column.
 func (db *Database) SelectionBound(relName, col string, target float64) (bound int64, realized float64) {
 	t := db.Table(relName)
 	c := t.Rel.Column(col)
@@ -265,7 +268,7 @@ func (db *Database) SelectionBound(relName, col string, target float64) (bound i
 
 // NegatedSelectionBound returns the constant c such that "col ≥ c" passes
 // a fraction of rows as close as possible to target, with the exactly
-// realized fraction.
+// realized fraction. Panics on an unknown relation or column.
 func (db *Database) NegatedSelectionBound(relName, col string, target float64) (bound int64, realized float64) {
 	t := db.Table(relName)
 	c := t.Rel.Column(col)

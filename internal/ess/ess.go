@@ -163,6 +163,7 @@ func (s *Space) Values(d int) []float64 { return s.dims[d].values }
 func (s *Space) NumPoints() int { return s.total }
 
 // Coord converts a flat index into per-dimension grid coordinates.
+// Panics if flat is outside [0, NumPoints()).
 func (s *Space) Coord(flat int) []int {
 	if flat < 0 || flat >= s.total {
 		panic(fmt.Sprintf("ess: flat index %d out of range [0,%d)", flat, s.total))
@@ -175,7 +176,8 @@ func (s *Space) Coord(flat int) []int {
 	return out
 }
 
-// Flat converts grid coordinates into a flat index.
+// Flat converts grid coordinates into a flat index. Panics if a
+// coordinate is outside its dimension's resolution.
 func (s *Space) Flat(coord []int) int {
 	flat := 0
 	for d, c := range coord {

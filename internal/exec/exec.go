@@ -104,7 +104,11 @@ func NewEngine(q *query.Query, db *data.Database, model cost.Model, bindings map
 	return &Engine{q: q, db: db, params: model.P, bindings: bindings}, nil
 }
 
-// Run executes root under opts.
+// Run executes root under opts. Run panics when the plan violates the
+// engine's contract — unknown operators, a spill predicate the plan never
+// applies, join nodes carrying selection predicates, or columns missing
+// from the schema. A malformed plan is a programming error, not a
+// runtime condition.
 func (e *Engine) Run(root *plan.Node, opts Options) Result {
 	budget := opts.Budget
 	if budget <= 0 {

@@ -113,7 +113,9 @@ type memoEntry struct {
 }
 
 // Optimize returns the optimal plan and cost at the injected selectivity
-// assignment. sels must cover every predicate ID of the query.
+// assignment. sels must cover every predicate ID of the query. Panics on
+// an under-length assignment or a query with no feasible plan (both are
+// programming errors in the workload definition).
 func (o *Optimizer) Optimize(sels cost.Selectivities) Result {
 	o.calls.Add(1)
 	totalCalls.Add(1)

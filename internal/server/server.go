@@ -244,6 +244,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		lambda = *req.Lambda
 	}
 	ratio := req.Ratio
+	//bouquet:allow floatcmp — 0 is the "field omitted from the JSON request" sentinel
 	if ratio == 0 {
 		ratio = 2
 	}

@@ -90,6 +90,8 @@ func spaceFor(q *query.Query, res int) *ess.Space {
 // query over part ⋈ lineitem ⋈ orders with the p_retailprice selection as
 // the single error-prone dimension. res ≤ 0 selects the default 1-D
 // resolution (100 points).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func EQ(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("EQ", cat).
@@ -110,6 +112,8 @@ func EQ(res int) *Workload {
 // EQ2D extends EQ with the part ⋈ lineitem join selectivity as a second
 // error dimension — the harness's 2-D specimen for contour visualisation
 // and focused-generation scaling studies.
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func EQ2D(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("EQ2D", cat).
@@ -150,6 +154,8 @@ func ByName(name string, res int) (*Workload, error) {
 
 // HQ5 is 3D_H_Q5: a 6-relation chain over TPC-H with three error-prone
 // join selectivities (Table 2: chain(6), Cmax/Cmin 16).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func HQ5(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("3D_H_Q5", cat).
@@ -170,6 +176,8 @@ func HQ5(res int) *Workload {
 
 // HQ7x3 is 3D_H_Q7: a 6-relation chain with a different error-dimension
 // mix (Table 2: chain(6), Cmax/Cmin 5).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func HQ7x3(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("3D_H_Q7", cat).
@@ -190,6 +198,8 @@ func HQ7x3(res int) *Workload {
 
 // HQ8 is 4D_H_Q8: an 8-relation branch query with four error-prone join
 // selectivities (Table 2: branch(8), Cmax/Cmin 28).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func HQ8(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("4D_H_Q8", cat).
@@ -213,6 +223,8 @@ func HQ8(res int) *Workload {
 
 // HQ7x5 is 5D_H_Q7: the chain(6) of 3D_H_Q7 with five error-prone joins
 // (Table 2: chain(6), Cmax/Cmin 50).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func HQ7x5(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("5D_H_Q7", cat).
@@ -233,6 +245,8 @@ func HQ7x5(res int) *Workload {
 
 // DSQ15 is 3D_DS_Q15: a 4-relation chain over TPC-DS (Table 2: chain(4),
 // Cmax/Cmin 668).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func DSQ15(res int) *Workload {
 	cat := tpcds()
 	q := query.NewBuilder("3D_DS_Q15", cat).
@@ -251,6 +265,8 @@ func DSQ15(res int) *Workload {
 
 // DSQ96 is 3D_DS_Q96: a 4-relation star centred on store_sales (Table 2:
 // star(4), Cmax/Cmin 185).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func DSQ96(res int) *Workload {
 	cat := tpcds()
 	q := query.NewBuilder("3D_DS_Q96", cat).
@@ -268,6 +284,8 @@ func DSQ96(res int) *Workload {
 
 // DSQ7 is 4D_DS_Q7: a 5-relation star centred on store_sales (Table 2:
 // star(5), Cmax/Cmin 283).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func DSQ7(res int) *Workload {
 	cat := tpcds()
 	q := query.NewBuilder("4D_DS_Q7", cat).
@@ -287,6 +305,8 @@ func DSQ7(res int) *Workload {
 
 // DSQ26 is 4D_DS_Q26: the catalog_sales analog of 4D_DS_Q7 (Table 2:
 // star(5), Cmax/Cmin 341).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func DSQ26(res int) *Workload {
 	cat := tpcds()
 	q := query.NewBuilder("4D_DS_Q26", cat).
@@ -306,6 +326,8 @@ func DSQ26(res int) *Workload {
 
 // DSQ91 is 4D_DS_Q91: a 7-relation branch query (Table 2: branch(7),
 // Cmax/Cmin 149).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func DSQ91(res int) *Workload {
 	cat := tpcds()
 	q := query.NewBuilder("4D_DS_Q91", cat).
@@ -328,6 +350,8 @@ func DSQ91(res int) *Workload {
 
 // DSQ19 is 5D_DS_Q19: the paper's showcase five-dimensional error space
 // (Table 2: branch(6), Cmax/Cmin 183; Fig. 16's distribution subject).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func DSQ19(res int) *Workload {
 	cat := tpcds()
 	q := query.NewBuilder("5D_DS_Q19", cat).
@@ -349,6 +373,8 @@ func DSQ19(res int) *Workload {
 // HQ5b is 3D_H_Q5b: the commercial-engine variant where all error
 // dimensions are base-relation selection predicates (the paper constructs
 // these because COM's API cannot inject join selectivities, §6.8).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func HQ5b(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("3D_H_Q5b", cat).
@@ -371,6 +397,8 @@ func HQ5b(res int) *Workload {
 
 // HQ8b is 4D_H_Q8b: the four-dimensional commercial-engine variant with
 // selection-predicate error dimensions (§6.8).
+// Panics if the error-space construction fails (a malformed workload
+// definition is a programming error, not a runtime condition).
 func HQ8b(res int) *Workload {
 	cat := tpch()
 	q := query.NewBuilder("4D_H_Q8b", cat).
