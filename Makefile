@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race lint fmt-check ci
+.PHONY: build test race fuzz lint fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/core/... ./cmd/bouquetd/...
+	$(GO) test -race ./...
+
+# fuzz runs the parser fuzz target for a short, CI-friendly budget. Run
+# it by hand with a longer -fuzztime to explore further.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
 
 # lint builds the repository's own analyzer suite and runs it through the
 # go vet driver. CI invokes this same target, so local and CI findings

@@ -113,7 +113,7 @@ func BenchmarkTheorem1_RSweep(b *testing.B) {
 		Notes:   []string{"paper: the guarantee is minimised at r = 2 (value 4), optimal for any deterministic algorithm (Theorem 2)"},
 	}
 	for _, r := range []float64{1.4142, 2, 3, 4} {
-		bq, err := core.Compile(opt, w.Space, core.CompileOptions{Ratio: r, Lambda: -1, Diagram: diagram})
+		bq, err := core.Compile(opt, w.Space, core.CompileOptions{Ratio: cost.Ratio(r), Lambda: -1, Diagram: diagram})
 		if err != nil {
 			b.Fatal(err)
 		}

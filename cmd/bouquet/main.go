@@ -46,7 +46,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	res := fs.Int("res", 0, "grid resolution per dimension (0 = per-dimensionality default)")
-	lambda := fs.Float64("lambda", anorexic.DefaultLambda, "anorexic reduction threshold")
+	lambda := fs.Float64("lambda", anorexic.DefaultLambda.F(), "anorexic reduction threshold")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 42, "data generation seed (table3)")
 	qaFlag := fs.String("qa", "", "comma-separated actual selectivities (run)")
@@ -90,7 +90,7 @@ flags: -res N -lambda F -workers N -seed N -optimized=BOOL`)
 }
 
 func run(cmd string, pos []string, res int, lambda float64, workers int, seed int64, qaFlag string, optimized bool, artifact string) error {
-	opts := report.Options{Res: res, Lambda: lambda, Workers: workers, SkipOptimized: !optimized}
+	opts := report.Options{Res: res, Lambda: cost.Ratio(lambda), Workers: workers, SkipOptimized: !optimized}
 	switch cmd {
 	case "list":
 		for _, w := range append(workload.All(2), workload.EQ(2)) {
@@ -301,7 +301,7 @@ func compile(name string, res int, lambda float64, workers int) (*workload.Workl
 		return nil, nil, err
 	}
 	opt := optimizer.New(cost.NewCoster(w.Query, w.Model))
-	b, err := core.Compile(opt, w.Space, core.CompileOptions{Lambda: lambda, Workers: workers})
+	b, err := core.Compile(opt, w.Space, core.CompileOptions{Lambda: cost.Ratio(lambda), Workers: workers})
 	return w, b, err
 }
 
@@ -334,7 +334,7 @@ func sqlExplain(text string, res int, lambda float64, workers int) error {
 		return err
 	}
 	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
-	b, err := core.Compile(opt, space, core.CompileOptions{Lambda: lambda, Workers: workers})
+	b, err := core.Compile(opt, space, core.CompileOptions{Lambda: cost.Ratio(lambda), Workers: workers})
 	if err != nil {
 		return err
 	}

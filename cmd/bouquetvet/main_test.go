@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -93,6 +94,141 @@ func suppressed(x float64) bool {
 	}
 	if strings.Count(string(out), "exact == on float operands") != 1 {
 		t.Fatalf("expected exactly one finding (the second compare is suppressed):\n%s", out)
+	}
+}
+
+// TestUnitflowDualMode is the unitflow acceptance test: a scratch module
+// that launders a Card through a plain float64 and passes it into a Sel
+// parameter must be reported in both entry modes — the direct driver and
+// the `go vet -vettool` unitchecker protocol.
+func TestUnitflowDualMode(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module vetfixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package a
+
+type Sel float64
+type Card float64
+
+func (s Sel) F() float64  { return float64(s) }
+func (c Card) F() float64 { return float64(c) }
+
+func takeSel(s Sel) Sel { return s }
+
+func confused(rows Card) Sel {
+	raw := float64(rows)
+	return takeSel(Sel(raw))
+}
+`)
+	const want = "Card-derived value passed as Sel argument to takeSel"
+
+	direct := exec.Command(bin, "./...")
+	direct.Dir = dir
+	out, err := direct.CombinedOutput()
+	if err == nil {
+		t.Fatalf("direct mode exited 0 on the unit-confused fixture\n%s", out)
+	}
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("direct mode output missing unitflow diagnostic %q:\n%s", want, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err = vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 on the unit-confused fixture\n%s", out)
+	}
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("vettool output missing unitflow diagnostic %q:\n%s", want, out)
+	}
+}
+
+// TestOutputSortedAndStable pins the cross-analyzer reporting contract:
+// findings from different analyzers arrive interleaved in file-position
+// order, and two runs over the same input produce byte-identical output.
+func TestOutputSortedAndStable(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module vetfixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package a
+
+import (
+	"errors"
+	"math"
+)
+
+type Sel float64
+type Card float64
+
+func takeSel(s Sel) Sel { return s }
+
+func mayFail() error { return errors.New("boom") }
+
+func eq(x, y float64) bool { return x == y }
+
+func sentinel() float64 {
+	v := math.Inf(1)
+	return v * 2
+}
+
+func confused(rows Card) Sel {
+	raw := float64(rows)
+	return takeSel(Sel(raw))
+}
+
+func drop() {
+	_ = mayFail()
+}
+`)
+	run := func() string {
+		cmd := exec.Command(bin, "./...")
+		cmd.Dir = dir
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		if err := cmd.Run(); err == nil {
+			t.Fatalf("bouquetvet exited 0 on a fixture with known findings\n%s", stdout.String())
+		}
+		return stdout.String()
+	}
+	first := run()
+	if second := run(); second != first {
+		t.Fatalf("output differs across runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("expected findings from several analyzers, got %d line(s):\n%s", len(lines), first)
+	}
+	analyzers := map[string]bool{}
+	prevLine, prevCol := 0, 0
+	for _, line := range lines {
+		// path:line:col: message [analyzer]
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			t.Fatalf("malformed diagnostic line %q", line)
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			t.Fatalf("bad line number in %q: %v", line, err)
+		}
+		col, err := strconv.Atoi(parts[2])
+		if err != nil {
+			t.Fatalf("bad column in %q: %v", line, err)
+		}
+		if ln < prevLine || (ln == prevLine && col < prevCol) {
+			t.Fatalf("diagnostics not sorted by position: %q after %d:%d\nfull output:\n%s", line, prevLine, prevCol, first)
+		}
+		prevLine, prevCol = ln, col
+		open := strings.LastIndex(line, "[")
+		if open < 0 || !strings.HasSuffix(line, "]") {
+			t.Fatalf("diagnostic line missing [analyzer] suffix: %q", line)
+		}
+		analyzers[line[open+1:len(line)-1]] = true
+	}
+	for _, want := range []string{"errflow", "floatcmp", "infguard", "unitflow"} {
+		if !analyzers[want] {
+			t.Errorf("no %s finding in output (analyzers seen: %v):\n%s", want, analyzers, first)
+		}
 	}
 }
 

@@ -44,7 +44,7 @@ func main() {
 
 	// (a) Cost-limited execution: give it a budget far below its true
 	// cost and watch it abort with its instrumentation intact.
-	res := eng.Run(wrong.Plan, exec.Options{Budget: wrong.Cost * 4})
+	res := eng.MustRun(wrong.Plan, exec.Options{Budget: wrong.Cost * 4})
 	fmt.Printf("budgeted run: completed=%v, charged %.4g of budget %.4g\n",
 		res.Completed, res.CostUsed, wrong.Cost*4)
 
@@ -57,7 +57,7 @@ func main() {
 	// (c) Spilled execution: drive only the error node of the first
 	// error-prone join, spending the whole budget on learning it.
 	errPred := rw.Query.ErrorDims()[0]
-	spill := eng.Run(wrong.Plan, exec.Options{Budget: wrong.Cost * 4, Spill: true, SpillPred: errPred})
+	spill := eng.MustRun(wrong.Plan, exec.Options{Budget: wrong.Cost * 4, Spill: true, SpillPred: errPred})
 	fmt.Printf("\nspilled run on predicate %d: completed=%v rows=%d\n",
 		errPred, spill.Completed, spill.RowsOut)
 
@@ -72,7 +72,7 @@ func main() {
 	fmt.Printf("\noptimized bouquet execution (discovered q_run=%v):\n%s", out.Learned, out.Explain())
 
 	oracle := opt.Optimize(rw.Space.Sels(rw.Actual))
-	oracleRun := eng.Run(oracle.Plan, exec.Options{})
+	oracleRun := eng.MustRun(oracle.Plan, exec.Options{})
 	fmt.Printf("oracle plan cost %.4g → bouquet sub-optimality %.2f\n",
 		oracleRun.CostUsed, out.TotalCost/oracleRun.CostUsed)
 }

@@ -47,7 +47,7 @@ func main() {
 
 	// Anorexic reduction over the full space at λ = 20%.
 	flats := make([]int, space.NumPoints())
-	optCost := make([]float64, space.NumPoints())
+	optCost := make([]cost.Cost, space.NumPoints())
 	candidates := map[int]bool{}
 	for f := range flats {
 		flats[f] = f
@@ -64,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nafter anorexic reduction (λ=%.0f%%): %d plans → %d plans\n",
-		anorexic.DefaultLambda*100, diagram.NumPlans(), red.Cardinality())
+		anorexic.DefaultLambda.F()*100, diagram.NumPlans(), red.Cardinality())
 	render(diagram, red.AssignAt)
 
 	// And the isocost contours that the bouquet executes along.

@@ -114,7 +114,12 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want 
 					if spec[0] == '`' {
 						pattern = spec[1 : len(spec)-1]
 					} else {
-						pattern, _ = strconv.Unquote(spec)
+						unquoted, err := strconv.Unquote(spec)
+						if err != nil {
+							t.Errorf("%s: bad want string %q: %v", pos, spec, err)
+							continue
+						}
+						pattern = unquoted
 					}
 					re, err := regexp.Compile(pattern)
 					if err != nil {

@@ -1,0 +1,587 @@
+// Package cfg builds per-function control-flow graphs from Go syntax,
+// using only the standard library. It is the substrate for the dataflow
+// analyzers in bouquetvet (unitflow, infguard): each function body
+// becomes a graph of basic blocks whose edges model if/for/switch/range
+// branching, break/continue/goto transfers, fallthrough, panics, and
+// returns, so a forward dataflow engine (internal/analysis/dataflow) can
+// propagate facts along realizable paths.
+//
+// The graph is deliberately smaller than x/tools/go/cfg: it keeps the
+// pieces the bouquetvet analyzers consume — statement order inside
+// blocks, branch conditions with distinguished true/false successors,
+// and the set of deferred calls — and omits what they do not (facts are
+// intraprocedural, so there is no call graph).
+//
+// # Shape
+//
+// Every graph has a distinguished Entry and Exit block. Statements are
+// appended to the current block in execution order; a control transfer
+// ends the block. A block that ends on a two-way branch records the
+// condition expression in Cond, and by convention Succs[0] is the edge
+// taken when Cond is true and Succs[1] the edge when it is false. Range
+// loops and select statements branch without a boolean condition: Cond
+// stays nil and the successor order is body-first. Returns and calls to
+// the built-in panic edge to Exit. Deferred calls are collected in
+// Defers; they run during unwinding at Exit, which forward analyses may
+// model by applying their effects at the exit block.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the unique entry block; it has no predecessors.
+	Entry *Block
+	// Exit is the unique exit block. Returns, panics, and falling off
+	// the end of the body all edge here.
+	Exit *Block
+	// Blocks lists every block in creation order; Entry is first.
+	Blocks []*Block
+	// Defers collects the defer statements of the body in syntactic
+	// order. Their calls execute at Exit in reverse order.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is a maximal straight-line sequence of statements.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind names what created the block ("entry", "exit", "if.then",
+	// "for.head", "switch.case", ...) for diagnostics and tests.
+	Kind string
+	// Nodes holds the block's statements and, last when the block
+	// branches on a condition, nothing extra: conditions live in Cond.
+	Nodes []ast.Stmt
+	// Cond is the boolean branch condition when the block ends in a
+	// two-way conditional branch (if and for heads); nil otherwise.
+	Cond ast.Expr
+	// Succs are the successor blocks. With a non-nil Cond, Succs[0] is
+	// the true edge and Succs[1] the false edge.
+	Succs []*Block
+	// Preds are the predecessor blocks.
+	Preds []*Block
+}
+
+// TrueSucc returns the successor taken when Cond holds, or nil when the
+// block does not branch on a condition.
+func (b *Block) TrueSucc() *Block {
+	if b.Cond == nil || len(b.Succs) < 2 {
+		return nil
+	}
+	return b.Succs[0]
+}
+
+// FalseSucc returns the successor taken when Cond fails, or nil when the
+// block does not branch on a condition.
+func (b *Block) FalseSucc() *Block {
+	if b.Cond == nil || len(b.Succs) < 2 {
+		return nil
+	}
+	return b.Succs[1]
+}
+
+// String renders "b<index>(<kind>)".
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// New builds the control-flow graph of body. A nil body (declaration
+// without definition) yields a graph whose entry edges straight to exit.
+func New(body *ast.BlockStmt) *Graph {
+	bld := &builder{g: &Graph{}}
+	bld.g.Entry = bld.newBlock("entry")
+	bld.g.Exit = bld.newBlock("exit")
+	bld.cur = bld.g.Entry
+	if body != nil {
+		bld.stmtList(body.List)
+	}
+	bld.jump(bld.g.Exit)
+	bld.resolveGotos()
+	bld.pruneUnreachable()
+	return bld.g
+}
+
+// loopFrame records the break/continue targets of one enclosing loop or
+// switch, plus its label when the statement is labeled.
+type loopFrame struct {
+	label         string
+	breakTarget   *Block
+	continueTgt   *Block // nil for switch/select frames
+	isBreakScope  bool   // switches and selects accept break but not continue
+	caseFallBlock *Block // next case clause body, for fallthrough
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil after an unconditional transfer
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel carries a label to attach to the next loop/switch
+	// statement's frame.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from → to.
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an unconditional edge to target.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// startBlock makes blk current; statements append to it until the next
+// control transfer.
+func (b *builder) startBlock(blk *Block) { b.cur = blk }
+
+// add appends a statement to the current block, opening an unreachable
+// block if control already transferred (dead code keeps its statements
+// so analyzers can still inspect them).
+func (b *builder) add(s ast.Stmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if b.cur == nil {
+			b.cur = b.newBlock("unreachable")
+		}
+		condBlock := b.cur
+		condBlock.Cond = s.Cond
+		thenB := b.newBlock("if.then")
+		var elseB *Block
+		join := b.newBlock("if.join")
+		if s.Else != nil {
+			elseB = b.newBlock("if.else")
+		} else {
+			elseB = join
+		}
+		// Succs[0]=true, Succs[1]=false.
+		b.edge(condBlock, thenB)
+		b.edge(condBlock, elseB)
+		b.cur = nil
+
+		b.startBlock(thenB)
+		b.stmtList(s.Body.List)
+		b.jump(join)
+
+		if s.Else != nil {
+			b.startBlock(elseB)
+			b.stmt(s.Else)
+			b.jump(join)
+		}
+		b.startBlock(join)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		after := b.newBlock("for.after")
+		b.jump(head)
+
+		b.startBlock(head)
+		if s.Cond != nil {
+			head.Cond = s.Cond
+			b.edge(head, body)  // true
+			b.edge(head, after) // false
+		} else {
+			b.edge(head, body) // for {} — after is reachable only via break
+		}
+		b.cur = nil
+
+		b.pushFrame(loopFrame{label: label, breakTarget: after, continueTgt: post})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		b.popFrame()
+
+		if s.Post != nil {
+			b.startBlock(post)
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		// The range statement itself (binding the iteration variables)
+		// lives in the head so transfer functions see the assignment.
+		head.Nodes = append(head.Nodes, s)
+		b.jump(head)
+		b.startBlock(head)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.cur = nil
+
+		b.pushFrame(loopFrame{label: label, breakTarget: after, continueTgt: head})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popFrame()
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			// Keep the tag evaluation visible as an expression
+			// statement so analyzers traverse it.
+			b.add(&ast.ExprStmt{X: s.Tag})
+		}
+		b.switchBody(label, s.Body, func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(&ast.ExprStmt{X: typeSwitchSubject(s)})
+		b.switchBody(label, s.Body, func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		if b.cur == nil {
+			b.cur = b.newBlock("unreachable")
+		}
+		head := b.cur
+		after := b.newBlock("select.after")
+		b.cur = nil
+		b.pushFrame(loopFrame{label: label, breakTarget: after, isBreakScope: true})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.comm")
+			b.edge(head, blk)
+			b.startBlock(blk)
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.popFrame()
+		// A select with no default blocks until a comm is ready; for
+		// flow purposes every clause is a successor and there is no
+		// fall-through edge unless the body is empty.
+		if len(s.Body.List) == 0 {
+			b.edge(head, after)
+		}
+		b.startBlock(after)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock("label." + s.Label.Name)
+		b.jump(target)
+		b.startBlock(target)
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.jump(f.breakTarget)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.jump(f.continueTgt)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			from := b.cur
+			b.cur = nil
+			if from != nil && s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: from, label: s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			if f := b.topCaseFrame(); f != nil && f.caseFallBlock != nil {
+				b.jump(f.caseFallBlock)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line.
+		b.add(s)
+	}
+}
+
+// switchBody lowers the clause list shared by switch and type switch.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, clauseStmts func(*ast.CaseClause) []ast.Stmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.cur = nil
+
+	// Create every clause block first so fallthrough can target the
+	// syntactically next clause.
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	blocks := make([]*Block, 0, len(body.List))
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks = append(blocks, b.newBlock(kind))
+	}
+	for _, blk := range blocks {
+		b.edge(head, blk)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		var fall *Block
+		if i+1 < len(blocks) {
+			fall = blocks[i+1]
+		}
+		b.pushFrame(loopFrame{label: label, breakTarget: after, isBreakScope: true, caseFallBlock: fall})
+		b.startBlock(blocks[i])
+		for _, e := range cc.List {
+			// Case guard expressions evaluate in the clause block.
+			b.add(&ast.ExprStmt{X: e})
+		}
+		b.stmtList(clauseStmts(cc))
+		b.jump(after)
+		b.popFrame()
+	}
+	b.startBlock(after)
+}
+
+// typeSwitchSubject extracts the expression whose type is switched on.
+func typeSwitchSubject(s *ast.TypeSwitchStmt) ast.Expr {
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	}
+	return &ast.Ident{Name: "_"}
+}
+
+func (b *builder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// takeLabel consumes the label attached by an enclosing LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame locates the innermost frame a break/continue targets.
+func (b *builder) findFrame(label *ast.Ident, isBreak bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if !isBreak && f.continueTgt == nil {
+			continue // continue skips switch/select frames
+		}
+		return f
+	}
+	return nil
+}
+
+// topCaseFrame returns the innermost switch frame, for fallthrough.
+func (b *builder) topCaseFrame() *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].isBreakScope {
+			return &b.frames[i]
+		}
+	}
+	return nil
+}
+
+// resolveGotos patches goto edges once every label block exists.
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		} else {
+			// Undefined label: the program does not compile, but keep
+			// the graph well formed by routing to exit.
+			b.edge(g.from, b.g.Exit)
+		}
+	}
+}
+
+// pruneUnreachable removes blocks with no path from Entry (except Exit,
+// which is always kept) and renumbers the survivors. Statements inside
+// dropped blocks are dead code; analyzers see only live flow.
+func (b *builder) pruneUnreachable() {
+	reach := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if reach[blk] {
+			return
+		}
+		reach[blk] = true
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	walk(b.g.Entry)
+	reach[b.g.Exit] = true
+
+	var kept []*Block
+	for _, blk := range b.g.Blocks {
+		if reach[blk] {
+			kept = append(kept, blk)
+		}
+	}
+	for i, blk := range kept {
+		blk.Index = i
+		var preds []*Block
+		for _, p := range blk.Preds {
+			if reach[p] {
+				preds = append(preds, p)
+			}
+		}
+		blk.Preds = preds
+	}
+	b.g.Blocks = kept
+}
+
+// isPanicCall reports whether e is a call to the built-in panic. A
+// shadowed local named panic would misclassify; the analyzers accept
+// that (the repository has none, and bouquetvet's printless analyzer
+// keeps the namespace honest).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// ReversePostorder returns the graph's blocks in reverse postorder from
+// Entry — the iteration order that gives forward dataflow its fastest
+// convergence. Exit is included; unreachable blocks (none after New) are
+// appended in index order for determinism.
+func (g *Graph) ReversePostorder() []*Block {
+	seen := map[*Block]bool{}
+	var order []*Block
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		order = append(order, b)
+	}
+	walk(g.Entry)
+	// Reverse in place: postorder → reverse postorder.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	var missing []*Block
+	for _, b := range g.Blocks {
+		if !seen[b] {
+			missing = append(missing, b)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Index < missing[j].Index })
+	return append(order, missing...)
+}
+
+// Dump renders the graph as one line per block — "b0(entry) -> b1,b2" —
+// for test assertions and debugging.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%s ->", b)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

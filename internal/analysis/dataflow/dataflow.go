@@ -1,0 +1,156 @@
+// Package dataflow is a sparse forward dataflow engine over the CFGs
+// built by internal/analysis/cfg. Analyzers describe their domain as a
+// Lattice (bottom element, join, equality), their semantics as a
+// Transfer function over statements, and optionally an EdgeTransfer
+// that refines facts along branch edges (the true/false arms of an if
+// see different worlds). The engine iterates to a fixpoint with a
+// worklist seeded in reverse postorder, which converges in O(depth)
+// passes on reducible graphs — every Go function.
+//
+// Facts are opaque to the engine. The only contract is monotonicity:
+// Join must compute a least upper bound and Transfer must be monotone
+// in its input, or the fixpoint may not terminate. All bouquetvet
+// analyzers use finite maps keyed by *types.Var, which satisfy both by
+// construction.
+//
+// One pitfall the contract implies: Bottom (the join identity, "no
+// path reaches here yet") must be distinguishable from a legitimately
+// empty fact ("a path reaches here and nothing is known"), or facts
+// from unreached blocks silently poison joins. Map-based lattices get
+// this for free by using a nil map as Bottom and non-nil maps for real
+// facts — see the lattices in unitflow and infguard.
+package dataflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/cfg"
+)
+
+// A Fact is one analyzer-defined dataflow value. The engine never
+// inspects it.
+type Fact any
+
+// A Lattice defines the fact domain.
+type Lattice interface {
+	// Bottom returns the least element — the fact holding at function
+	// entry and the identity of Join.
+	Bottom() Fact
+	// Join computes the least upper bound of two facts. It must not
+	// mutate its arguments.
+	Join(x, y Fact) Fact
+	// Equal reports whether two facts are the same lattice element;
+	// the fixpoint loop stops re-queuing a block when its output fact
+	// stops changing.
+	Equal(x, y Fact) bool
+}
+
+// A Transfer computes the fact after executing one statement given the
+// fact before it. It must not mutate in; return a new fact (or in
+// itself when nothing changed).
+type Transfer func(stmt ast.Stmt, in Fact) Fact
+
+// An EdgeTransfer refines the fact flowing along the edge from → to.
+// The engine calls it after from's statements have been applied; from's
+// Cond and TrueSucc/FalseSucc identify branch polarity. A nil
+// EdgeTransfer passes facts through unchanged.
+type EdgeTransfer func(from, to *cfg.Block, out Fact) Fact
+
+// A Result holds the fixpoint facts of one function.
+type Result struct {
+	// In maps each block to the fact holding before its first
+	// statement (the join over incoming edges).
+	In map[*cfg.Block]Fact
+	// Out maps each block to the fact after its last statement, before
+	// edge refinement.
+	Out map[*cfg.Block]Fact
+
+	lat      Lattice
+	transfer Transfer
+}
+
+// Forward runs the analysis to fixpoint over g.
+func Forward(g *cfg.Graph, lat Lattice, tr Transfer, et EdgeTransfer) *Result {
+	res := &Result{
+		In:       make(map[*cfg.Block]Fact, len(g.Blocks)),
+		Out:      make(map[*cfg.Block]Fact, len(g.Blocks)),
+		lat:      lat,
+		transfer: tr,
+	}
+	rpo := g.ReversePostorder()
+	rpoIndex := make(map[*cfg.Block]int, len(rpo))
+	for i, b := range rpo {
+		rpoIndex[b] = i
+		res.In[b] = lat.Bottom()
+		res.Out[b] = lat.Bottom()
+	}
+
+	// Worklist ordered by reverse postorder: a simple boolean-flag
+	// queue re-sorted by RPO index keeps iteration deterministic.
+	inList := make([]bool, len(rpo))
+	list := make([]int, 0, len(rpo))
+	push := func(b *cfg.Block) {
+		i := rpoIndex[b]
+		if !inList[i] {
+			inList[i] = true
+			list = append(list, i)
+		}
+	}
+	pop := func() *cfg.Block {
+		// Pick the earliest RPO index queued — deterministic and
+		// convergence-friendly.
+		best := 0
+		for i := 1; i < len(list); i++ {
+			if list[i] < list[best] {
+				best = i
+			}
+		}
+		i := list[best]
+		list = append(list[:best], list[best+1:]...)
+		inList[i] = false
+		return rpo[i]
+	}
+
+	push(g.Entry)
+	for len(list) > 0 {
+		b := pop()
+		// Join over predecessors, refined per edge.
+		in := lat.Bottom()
+		if len(b.Preds) == 0 {
+			// Entry (or detached exit): bottom.
+		}
+		for _, p := range b.Preds {
+			edgeFact := res.Out[p]
+			if et != nil {
+				edgeFact = et(p, b, edgeFact)
+			}
+			in = lat.Join(in, edgeFact)
+		}
+		res.In[b] = in
+
+		out := in
+		for _, s := range b.Nodes {
+			out = tr(s, out)
+		}
+		if !lat.Equal(out, res.Out[b]) || b == g.Entry {
+			res.Out[b] = out
+			for _, s := range b.Succs {
+				push(s)
+			}
+		}
+	}
+	return res
+}
+
+// FactAt replays b's transfer functions from its in-fact and calls
+// visit with the fact holding immediately BEFORE each statement. This
+// is how analyzers produce diagnostics after the fixpoint: flow-
+// sensitive facts at statement granularity without the engine having
+// to store one fact per statement.
+func (r *Result) FactAt(b *cfg.Block, visit func(stmt ast.Stmt, before Fact)) {
+	fact := r.In[b]
+	for _, s := range b.Nodes {
+		visit(s, fact)
+		fact = r.transfer(s, fact)
+	}
+}

@@ -1,0 +1,332 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// The test analysis is a tiny constant propagator over identifiers:
+// facts map variable names to known integer literal values. Joins keep
+// only agreeing entries, so a variable assigned different constants in
+// two branches is unknown at the merge — exactly the behaviour the
+// engine must produce.
+
+type constMap map[string]int64
+
+type constLattice struct{}
+
+// Bottom is a nil map, distinct from a non-nil empty map: nil means "no
+// path reaches here yet" (join identity), empty means "a path reaches
+// here and nothing is known" (join annihilator for disagreeing keys).
+func (constLattice) Bottom() Fact { return constMap(nil) }
+
+func (constLattice) Join(x, y Fact) Fact {
+	a, b := x.(constMap), y.(constMap)
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := constMap{}
+	for k, v := range a {
+		if bv, ok := b[k]; ok && bv == v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (constLattice) Equal(x, y Fact) bool {
+	a, b := x.(constMap), y.(constMap)
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func constTransfer(s ast.Stmt, in Fact) Fact {
+	m := in.(constMap)
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		out := cloneConst(m)
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			delete(out, id.Name)
+			if i < len(s.Rhs) {
+				if lit, ok := s.Rhs[i].(*ast.BasicLit); ok && lit.Kind == token.INT {
+					v, err := strconv.ParseInt(lit.Value, 10, 64)
+					if err == nil {
+						out[id.Name] = v
+					}
+				}
+			}
+		}
+		return out
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			out := cloneConst(m)
+			delete(out, id.Name)
+			return out
+		}
+	}
+	return m
+}
+
+func cloneConst(m constMap) constMap {
+	out := make(constMap, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// buildGraph parses a function body and returns its CFG.
+func buildGraph(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return cfg.New(fn.Body)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+func exitFact(t *testing.T, g *cfg.Graph, r *Result) constMap {
+	t.Helper()
+	return r.In[g.Exit].(constMap)
+}
+
+func TestStraightLinePropagation(t *testing.T) {
+	g := buildGraph(t, "x := 1\ny := 2\nz := x")
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	f := exitFact(t, g, r)
+	if f["x"] != 1 || f["y"] != 2 {
+		t.Fatalf("exit fact = %v", f)
+	}
+	if _, known := f["z"]; known {
+		t.Fatalf("z copied from a variable must be unknown, fact = %v", f)
+	}
+}
+
+func TestJoinKeepsAgreeingFactsOnly(t *testing.T) {
+	g := buildGraph(t, `x := 0
+y := 0
+if cond() {
+	x = 5
+	y = 7
+} else {
+	x = 5
+	y = 8
+}
+_ = x`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	f := exitFact(t, g, r)
+	if f["x"] != 5 {
+		t.Fatalf("x agrees across arms, must survive join: %v", f)
+	}
+	if _, known := f["y"]; known {
+		t.Fatalf("y differs across arms, must be dropped: %v", f)
+	}
+}
+
+func TestElselessIfJoinsWithFallthrough(t *testing.T) {
+	g := buildGraph(t, "x := 1\nif cond() {\n\tx = 2\n}\n_ = x")
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	f := exitFact(t, g, r)
+	// One path keeps x=1, the other sets x=2: unknown at exit.
+	if _, known := f["x"]; known {
+		t.Fatalf("x must be unknown after an else-less if that reassigns it: %v", f)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	g := buildGraph(t, `x := 0
+n := 3
+for i := 0; i < 10; i++ {
+	x++
+}
+_ = x`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	f := exitFact(t, g, r)
+	if _, known := f["x"]; known {
+		t.Fatalf("x incremented in loop must be unknown at exit: %v", f)
+	}
+	if f["n"] != 3 {
+		t.Fatalf("n untouched by the loop must survive: %v", f)
+	}
+	if _, known := f["i"]; known {
+		t.Fatalf("loop variable must be unknown at exit: %v", f)
+	}
+}
+
+func TestLoopBodySeesMergedFact(t *testing.T) {
+	g := buildGraph(t, `x := 1
+for i := 0; i < 3; i++ {
+	use(x)
+	x = 2
+}
+_ = x`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	var body *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" {
+			body = b
+		}
+	}
+	if body == nil {
+		t.Fatal("no loop body block")
+	}
+	f := r.In[body].(constMap)
+	// First iteration x=1, later iterations x=2: the body's in-fact
+	// must not claim either.
+	if _, known := f["x"]; known {
+		t.Fatalf("loop body in-fact must merge first and later iterations: %v", f)
+	}
+}
+
+func TestSwitchMergesAllClauses(t *testing.T) {
+	g := buildGraph(t, `x := 0
+switch cond() {
+case true:
+	x = 4
+default:
+	x = 4
+}
+_ = x`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	f := exitFact(t, g, r)
+	if f["x"] != 4 {
+		t.Fatalf("all clauses set x=4; join must keep it: %v", f)
+	}
+}
+
+func TestEdgeTransferRefinesBranches(t *testing.T) {
+	g := buildGraph(t, `x := 0
+if flagged(x) {
+	use(x)
+} else {
+	use(x)
+}`)
+	// Edge transfer plants a marker variable on the true edge only.
+	et := func(from, to *cfg.Block, out Fact) Fact {
+		if from.Cond == nil {
+			return out
+		}
+		if to == from.TrueSucc() {
+			m := cloneConst(out.(constMap))
+			m["__true_edge"] = 1
+			return m
+		}
+		return out
+	}
+	r := Forward(g, constLattice{}, constTransfer, et)
+	var thenB, elseB *cfg.Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "if.then":
+			thenB = b
+		case "if.else":
+			elseB = b
+		}
+	}
+	if thenB == nil || elseB == nil {
+		t.Fatal("missing if arms")
+	}
+	if v := r.In[thenB].(constMap)["__true_edge"]; v != 1 {
+		t.Fatalf("true arm must see the refined fact: %v", r.In[thenB])
+	}
+	if _, has := r.In[elseB].(constMap)["__true_edge"]; has {
+		t.Fatalf("false arm must not see the true-edge refinement: %v", r.In[elseB])
+	}
+}
+
+func TestFactAtStatementGranularity(t *testing.T) {
+	g := buildGraph(t, "x := 1\nx = 2\nx = 3")
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	var before []int64
+	r.FactAt(g.Entry, func(s ast.Stmt, f Fact) {
+		m := f.(constMap)
+		v, ok := m["x"]
+		if !ok {
+			v = -1
+		}
+		before = append(before, v)
+	})
+	want := []int64{-1, 1, 2}
+	if len(before) != len(want) {
+		t.Fatalf("visited %d statements, want %d", len(before), len(want))
+	}
+	for i := range want {
+		if before[i] != want[i] {
+			t.Fatalf("statement %d sees x=%d, want %d", i, before[i], want[i])
+		}
+	}
+}
+
+func TestReturnPathDoesNotPolluteFallthrough(t *testing.T) {
+	g := buildGraph(t, `x := 1
+if cond() {
+	x = 9
+	return
+}
+_ = x`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	// After the if, only the fall-through path (x=1) arrives: the
+	// early return must not leak x=9 into the join.
+	var join *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "if.join" {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	if v := r.In[join].(constMap)["x"]; v != 1 {
+		t.Fatalf("join must see only the fall-through fact x=1, got %v", r.In[join])
+	}
+	// The exit joins both paths, so x is unknown there.
+	if _, known := exitFact(t, g, r)["x"]; known {
+		t.Fatalf("exit merges return and fall-through; x must be unknown")
+	}
+}
+
+func TestTerminationOnNestedLoops(t *testing.T) {
+	g := buildGraph(t, `x := 0
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if cond() {
+			x = 1
+		} else {
+			x = 2
+		}
+	}
+}
+_ = x`)
+	// Just exercising fixpoint termination on nested cyclic graphs.
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	if _, known := exitFact(t, g, r)["x"]; known {
+		t.Fatal("x set to conflicting constants must be unknown")
+	}
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "testdata/src/a")
+}

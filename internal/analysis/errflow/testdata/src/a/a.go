@@ -1,0 +1,48 @@
+// Package a is the errflow fixture: silently dropped errors are
+// flagged, handled and deliberately annotated ones are not.
+package a
+
+import "errors"
+
+func mayFail() (int, error)  { return 0, nil }
+func justErr() error         { return nil }
+func clean() int             { return 1 }
+func pair() (int, int)       { return 1, 2 }
+func twoErr() (error, error) { return nil, nil }
+
+func discards() int {
+	v, _ := mayFail() // want `error result of mayFail discarded`
+	_, w := pair()    // ints may be blanked freely
+	justErr()         // want `call to justErr ignores its error result`
+	clean()           // no error result: fine
+	_ = justErr()     // want `error result of justErr discarded`
+	return v + w
+}
+
+func handled() (int, error) {
+	v, err := mayFail()
+	if err != nil {
+		return 0, err
+	}
+	if err := justErr(); err != nil {
+		return 0, errors.New("wrapped")
+	}
+	return v, nil
+}
+
+func tupleBlanks() {
+	_, _ = twoErr() // want `error result of twoErr discarded` `error result of twoErr discarded`
+}
+
+func deferred() error {
+	defer justErr() // defer is the accepted discard idiom
+	go justErr()    // goroutine errors are unobservable
+	return nil
+}
+
+func suppressed() int {
+	v, _ := mayFail() //bouquet:allow errflow — probe call, failure means "absent" which is fine here
+	//bouquet:allow errflow — best-effort cache warm, errors intentionally dropped
+	justErr()
+	return v
+}

@@ -1,0 +1,383 @@
+// Package infguard tracks ±Inf and NaN sentinels through local dataflow
+// and reports them reaching arithmetic or equality outside their guard.
+//
+// The bouquet code leans on infinity as a sentinel: contour budgets are
+// +Inf on the terminal step, cheapest-plan searches start from
+// cost.Cost(math.Inf(1)), and the optimal cost at a point is +Inf until
+// the first plan costs it. Ordered comparison against such a sentinel
+// is well-defined and is the sanctioned idiom (`if c < best`), but the
+// moment a possibly-infinite value enters arithmetic the poison
+// spreads silently — Inf−Inf and Inf·0 are NaN, and NaN != NaN turns
+// equality checks into tautologies. infguard runs a forward dataflow
+// analysis over the function's CFG marking locals that may hold
+// math.Inf(...) or math.NaN() (through conversions like
+// cost.Cost(math.Inf(1)) and .F() unwraps), and reports when a marked
+// value reaches
+//
+//   - binary arithmetic (+, -, *, /),
+//   - equality or inequality (==, !=),
+//
+// outside its guard. A guard is a branch on math.IsInf(x, ...) or
+// math.IsNaN(x): on the edge where the predicate is false the mark is
+// cleared, so `if !math.IsInf(b, 1) { total += b }` is clean. Ordered
+// comparisons (<, <=, >, >=) are never reported — they are the
+// sentinel pattern itself. Facts are local-variable only; sentinels
+// stored into fields or returned from calls are out of scope.
+package infguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer implements the infguard invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "infguard",
+	Doc:  "report ±Inf/NaN sentinel values reaching arithmetic or equality outside an IsInf/IsNaN guard",
+	Run:  run,
+}
+
+// infFact marks locals that may hold an Inf/NaN sentinel. A nil map is
+// the lattice bottom; presence of a key means "possibly sentinel".
+type infFact map[*types.Var]bool
+
+type infLattice struct{}
+
+func (infLattice) Bottom() dataflow.Fact { return infFact(nil) }
+
+func (infLattice) Join(x, y dataflow.Fact) dataflow.Fact {
+	a, b := x.(infFact), y.(infFact)
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	// May-analysis: union.
+	out := make(infFact, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (infLattice) Equal(x, y dataflow.Fact) bool {
+	a, b := x.(infFact), y.(infFact)
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{pass: pass}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.analyzeFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				a.analyzeFunc(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+}
+
+func (a *analyzer) analyzeFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := dataflow.Forward(g, infLattice{}, a.transfer, a.refine)
+	for _, b := range g.Blocks {
+		res.FactAt(b, func(s ast.Stmt, before dataflow.Fact) {
+			a.check(s, before.(infFact))
+		})
+		if b.Cond != nil {
+			a.checkExpr(b.Cond, res.Out[b].(infFact))
+		}
+	}
+}
+
+// transfer updates sentinel marks across one statement.
+func (a *analyzer) transfer(s ast.Stmt, in dataflow.Fact) dataflow.Fact {
+	m := in.(infFact)
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assigns keep the mark: x += y with either side
+			// marked stays suspect (and is reported at the check pass).
+			if v := a.lhsVar(s.Lhs[0]); v != nil && len(s.Rhs) == 1 {
+				if a.isSentinel(s.Rhs[0], m) || m[v] {
+					out := clone(m)
+					out[v] = true
+					return out
+				}
+			}
+			return m
+		}
+		out := clone(m)
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				v := a.lhsVar(lhs)
+				if v == nil {
+					continue
+				}
+				delete(out, v)
+				if a.isSentinel(s.Rhs[i], m) {
+					out[v] = true
+				}
+			}
+		} else {
+			for _, lhs := range s.Lhs {
+				if v := a.lhsVar(lhs); v != nil {
+					delete(out, v)
+				}
+			}
+		}
+		return out
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return m
+		}
+		out := clone(m)
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v, _ := a.pass.TypesInfo.Defs[name].(*types.Var)
+				if v == nil {
+					continue
+				}
+				delete(out, v)
+				if i < len(vs.Values) && a.isSentinel(vs.Values[i], m) {
+					out[v] = true
+				}
+			}
+		}
+		return out
+	case *ast.RangeStmt:
+		out := clone(m)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if v := a.lhsVar(e); v != nil {
+				delete(out, v)
+			}
+		}
+		return out
+	}
+	return m
+}
+
+// refine clears marks along branch edges guarded by IsInf/IsNaN: the
+// edge on which the predicate is false proves the value finite.
+func (a *analyzer) refine(from, to *cfg.Block, out dataflow.Fact) dataflow.Fact {
+	if from.Cond == nil {
+		return out
+	}
+	m := out.(infFact)
+	cond := ast.Unparen(from.Cond)
+	negated := false
+	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		cond = ast.Unparen(ue.X)
+		negated = true
+	}
+	v := a.guardedVar(cond)
+	if v == nil || !m[v] {
+		return out
+	}
+	// Plain guard: false edge is the finite world. Negated guard: true
+	// edge is.
+	clearEdge := to == from.FalseSucc()
+	if negated {
+		clearEdge = to == from.TrueSucc()
+	}
+	if !clearEdge {
+		return out
+	}
+	cleared := clone(m)
+	delete(cleared, v)
+	return cleared
+}
+
+// guardedVar extracts x from math.IsInf(x, ...) or math.IsNaN(x),
+// unwrapping a .F() accessor or float64 conversion around x.
+func (a *analyzer) guardedVar(cond ast.Expr) *types.Var {
+	call, ok := cond.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkg, ok := a.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "math" {
+		return nil
+	}
+	if sel.Sel.Name != "IsInf" && sel.Sel.Name != "IsNaN" {
+		return nil
+	}
+	return a.rootVar(call.Args[0])
+}
+
+// rootVar resolves an expression to the local it reads, looking
+// through parens, conversions, and no-argument method calls (.F()).
+func (a *analyzer) rootVar(e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := a.pass.TypesInfo.Uses[e].(*types.Var)
+		return v
+	case *ast.CallExpr:
+		if tv, ok := a.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return a.rootVar(e.Args[0])
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && len(e.Args) == 0 {
+			return a.rootVar(sel.X)
+		}
+	}
+	return nil
+}
+
+// isSentinel reports whether e may evaluate to an Inf/NaN sentinel
+// under the current facts.
+func (a *analyzer) isSentinel(e ast.Expr, m infFact) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := a.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return m[v]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return a.isSentinel(e.X, m)
+		}
+	case *ast.CallExpr:
+		// math.Inf(...) / math.NaN() themselves.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pkg, ok := a.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+					if pkg.Imported().Path() == "math" && (sel.Sel.Name == "Inf" || sel.Sel.Name == "NaN") {
+						return true
+					}
+					return false
+				}
+			}
+			// .F()-style unwrap of a marked receiver.
+			if len(e.Args) == 0 {
+				if v := a.rootVar(sel.X); v != nil {
+					return m[v]
+				}
+			}
+			return false
+		}
+		// Conversion wrapping a sentinel: cost.Cost(math.Inf(1)).
+		if tv, ok := a.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return a.isSentinel(e.Args[0], m)
+		}
+	}
+	return false
+}
+
+// check reports marked values reaching arithmetic or equality.
+func (a *analyzer) check(s ast.Stmt, m infFact) {
+	if as, ok := s.(*ast.AssignStmt); ok {
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Rhs) == 1 {
+				lv := a.lhsVar(as.Lhs[0])
+				if (lv != nil && m[lv]) || a.isSentinel(as.Rhs[0], m) {
+					a.pass.Reportf(as.TokPos, "possibly-Inf/NaN sentinel in %s arithmetic; guard with math.IsInf/IsNaN first", as.Tok)
+				}
+			}
+		}
+	}
+	a.checkExpr(s, m)
+}
+
+// checkExpr walks an expression tree flagging sentinel arithmetic and
+// equality.
+func (a *analyzer) checkExpr(root ast.Node, m infFact) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if a.operandFloat(n) && (a.isSentinel(n.X, m) || a.isSentinel(n.Y, m)) {
+					a.pass.Reportf(n.OpPos, "possibly-Inf/NaN sentinel in %s arithmetic; guard with math.IsInf/IsNaN first", n.Op)
+				}
+			case token.EQL, token.NEQ:
+				if a.operandFloat(n) && (a.isSentinel(n.X, m) || a.isSentinel(n.Y, m)) {
+					a.pass.Reportf(n.OpPos, "possibly-Inf/NaN sentinel in %s comparison (NaN breaks equality); guard with math.IsInf/IsNaN first", n.Op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// operandFloat reports whether either operand has floating-point type
+// (possibly a defined float type).
+func (a *analyzer) operandFloat(e *ast.BinaryExpr) bool {
+	for _, op := range []ast.Expr{e.X, e.Y} {
+		tv, ok := a.pass.TypesInfo.Types[op]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := a.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := a.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func clone(m infFact) infFact {
+	out := make(infFact, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

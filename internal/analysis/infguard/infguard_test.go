@@ -1,0 +1,12 @@
+package infguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/infguard"
+)
+
+func TestInfguard(t *testing.T) {
+	analysistest.Run(t, infguard.Analyzer, "testdata/src/a")
+}

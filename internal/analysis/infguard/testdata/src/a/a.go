@@ -1,0 +1,88 @@
+// Package a is the infguard fixture: ±Inf/NaN sentinels reaching
+// arithmetic or equality are flagged; ordered comparisons and guarded
+// uses are the sanctioned idiom and stay quiet.
+package a
+
+import "math"
+
+type Cost float64
+
+func (c Cost) F() float64 { return float64(c) }
+
+// arithmetic on an unguarded sentinel.
+func unguarded(costs []float64) float64 {
+	best := math.Inf(1)
+	for _, c := range costs {
+		if c < best { // ordered comparison against the sentinel: fine
+			best = c
+		}
+	}
+	return best * 2 // want `possibly-Inf/NaN sentinel in \* arithmetic`
+}
+
+// the sentinel idiom done right: guard before arithmetic.
+func guarded(costs []float64) float64 {
+	best := math.Inf(1)
+	for _, c := range costs {
+		if c < best {
+			best = c
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best * 2 // best proven finite on this path
+}
+
+// negated guard: the true edge is the finite world.
+func negatedGuard(x float64) float64 {
+	v := math.Inf(1)
+	if x > 0 {
+		v = x
+	}
+	if !math.IsInf(v, 1) {
+		return v + 1 // finite here
+	}
+	return v - x // want `possibly-Inf/NaN sentinel in - arithmetic`
+}
+
+// NaN equality is a tautology trap.
+func nanEquality(x float64) bool {
+	bad := math.NaN()
+	return bad == x // want `possibly-Inf/NaN sentinel in == comparison`
+}
+
+// sentinels survive conversions into unit types and .F() unwraps.
+func throughConversion() float64 {
+	c := Cost(math.Inf(1))
+	return c.F() / 3 // want `possibly-Inf/NaN sentinel in / arithmetic`
+}
+
+// compound assignment with a marked operand.
+func compound(total float64) float64 {
+	budget := math.Inf(1)
+	total += budget // want `possibly-Inf/NaN sentinel in \+= arithmetic`
+	return total
+}
+
+// joins: marked on one path is marked at the merge (may-analysis).
+func mergedPaths(flag bool, x float64) float64 {
+	v := x
+	if flag {
+		v = math.Inf(-1)
+	}
+	return v + 1 // want `possibly-Inf/NaN sentinel in \+ arithmetic`
+}
+
+// reassignment with a finite value clears the mark.
+func cleared(x float64) float64 {
+	v := math.Inf(1)
+	v = x
+	return v + 1 // v is finite again
+}
+
+// suppressed: +Inf budget arithmetic can be intentional (Inf stays Inf).
+func suppressed() float64 {
+	budget := math.Inf(1)
+	return budget * 2 //bouquet:allow infguard — scaling an infinite budget is still infinite, intended
+}

@@ -6,21 +6,27 @@ package registry
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/infguard"
 	"repro/internal/analysis/panicdoc"
 	"repro/internal/analysis/printless"
 	"repro/internal/analysis/seededrand"
 	"repro/internal/analysis/selbounds"
+	"repro/internal/analysis/unitflow"
 )
 
 // All returns the full bouquetvet suite in diagnostic-name order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
+		errflow.Analyzer,
 		floatcmp.Analyzer,
+		infguard.Analyzer,
 		panicdoc.Analyzer,
 		printless.Analyzer,
 		selbounds.Analyzer,
 		seededrand.Analyzer,
+		unitflow.Analyzer,
 	}
 }

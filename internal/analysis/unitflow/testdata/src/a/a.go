@@ -1,0 +1,98 @@
+// Package a is the unitflow fixture: float64 locals remember the unit
+// type they were unwrapped from, and mixing units in arithmetic,
+// comparison, assignment, conversion, or argument passing is flagged.
+// The unit types mirror internal/cost's Sel/Cost/Card without importing
+// it — any defined float64 type is a unit.
+package a
+
+type Sel float64
+type Cost float64
+type Card float64
+
+func (s Sel) F() float64  { return float64(s) }
+func (c Cost) F() float64 { return float64(c) }
+func (c Card) F() float64 { return float64(c) }
+
+func takeSel(s Sel) Sel { return s }
+
+// arithmetic and comparison across units.
+func mixing(c Cost, s Sel) float64 {
+	x := c.F()
+	y := s.F()
+	bad := x + y // want `cross-unit arithmetic: Cost-derived \+ Sel-derived value`
+	if x < y {   // want `cross-unit comparison: Cost-derived < Sel-derived value`
+		bad = x - y // want `cross-unit arithmetic: Cost-derived - Sel-derived value`
+	}
+	return bad
+}
+
+// compound assignment across units.
+func compound(c Cost, d Card) float64 {
+	total := c.F()
+	total += d.F() // want `cross-unit \+=: Cost-derived \+= Card-derived value`
+	return total
+}
+
+// silent unit change on reassignment.
+func reassigned(c Cost, s Sel) float64 {
+	v := c.F()
+	v = s.F() // want `cross-unit assignment: v previously held a Cost-derived value, now assigned Sel-derived`
+	return v
+}
+
+// converting a float64 back into the wrong unit.
+func wrongConversion(d Card) Sel {
+	raw := d.F()
+	return Sel(raw) // want `Card-derived value converted to Sel`
+}
+
+// the classic parameter confusion: a Card reaches a Sel parameter
+// through a plain float64.
+func confusedArgument(d Card) Sel {
+	rows := float64(d)
+	return takeSel(Sel(rows)) // want `Card-derived value passed as Sel argument to takeSel`
+}
+
+// provenance survives +/- with untyped constants and unary minus.
+func propagation(c Cost, s Sel) float64 {
+	x := c.F() + 10
+	y := -s.F()
+	return x + y // want `cross-unit arithmetic: Cost-derived \+ Sel-derived value`
+}
+
+// clean: same units, unitless constants, and dimension-forming ops.
+func clean(c1, c2 Cost, s Sel, d Card) float64 {
+	sum := c1.F() + c2.F() // same unit: fine
+	scaled := sum * 1.5    // unitless scale: fine
+	rate := c1.F() / d.F() // division forms a new dimension: fine
+	prod := s.F() * d.F()  // multiplication forms a new dimension: fine
+	if sum > scaled {      // both Cost-derived (scaled lost its unit via *): fine
+		return rate
+	}
+	return prod
+}
+
+// clean: joins keep agreeing units, drop disagreeing ones.
+func joins(c1, c2 Cost, s Sel, flag bool) float64 {
+	v := c1.F()
+	if flag {
+		v = c2.F() // same unit on both paths
+	}
+	w := v + c1.F() // still Cost everywhere: fine
+
+	u := c1.F()
+	if flag {
+		u = s.F() // want `cross-unit assignment: u previously held a Cost-derived value, now assigned Sel-derived`
+	}
+	// After the merge u's unit is unknown, so this mix is not flagged.
+	return w + u + s.F()
+}
+
+// suppressed: the directive acknowledges an intentional mix.
+func suppressed(c Cost, s Sel) float64 {
+	x := c.F()
+	y := s.F()
+	//bouquet:allow unitflow — normalized scoring heuristic mixes units on purpose
+	score := x + y
+	return score + x + y //bouquet:allow unitflow — same heuristic, trailing form
+}

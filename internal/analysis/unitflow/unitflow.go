@@ -1,0 +1,480 @@
+// Package unitflow tracks the unit of measure of plain float64 values
+// by provenance and reports cross-unit mixing.
+//
+// The repository gives its core quantities defined types — cost.Sel,
+// cost.Cost, cost.Card, cost.Ratio — so the compiler rejects most unit
+// confusion outright. The remaining hole is the unwrap boundary: the
+// moment a typed value passes through .F() or a float64 conversion it
+// becomes a bare float64, and nothing stops a cardinality from being
+// added to a selectivity or converted back into the wrong unit three
+// lines later. unitflow closes that hole with a forward dataflow
+// analysis over the function's CFG: every float64 local remembers which
+// unit type it was derived from, and the analyzer reports
+//
+//   - cross-unit arithmetic and comparison (x + y, x < y where x is
+//     Card-derived and y is Sel-derived; * and / are exempt because
+//     dividing or scaling across units legitimately forms new ones),
+//   - cross-unit compound assignment (x += y with mismatched units),
+//   - reassignment that silently changes a variable's unit
+//     (x = costVal after x held a Sel-derived value),
+//   - converting a float64 back into a different unit type
+//     (cost.Sel(x) where x is Card-derived), including when the
+//     conversion feeds a call argument — the classic "passed a Card
+//     into a Sel parameter via plain float64" bug.
+//
+// A unit is any defined (named) type whose underlying type is float64;
+// the analysis is not hard-wired to internal/cost, so fixture and
+// future unit types participate automatically. Provenance enters
+// through .F()-style accessors (a no-argument method on a unit type
+// returning float64) and float64(x) conversions, and propagates through
+// +, -, unary minus, and parentheses. Untyped constants are unitless
+// and mix with anything. Facts are intraprocedural and local-variable
+// only: struct fields, globals, and call results (other than unit
+// accessors) are unknown, which keeps the analyzer quiet rather than
+// speculative.
+package unitflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer implements the unitflow invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitflow",
+	Doc:  "track units of float64 values by provenance; report cross-unit arithmetic, assignment, and conversion",
+	Run:  run,
+}
+
+// unitFact maps each float64 local to the unit type it derives from.
+// A nil map is the lattice bottom ("no path reaches here"); absence of
+// a key means the variable's unit is unknown.
+type unitFact map[*types.Var]*types.TypeName
+
+type unitLattice struct{}
+
+func (unitLattice) Bottom() dataflow.Fact { return unitFact(nil) }
+
+func (unitLattice) Join(x, y dataflow.Fact) dataflow.Fact {
+	a, b := x.(unitFact), y.(unitFact)
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := unitFact{}
+	for k, v := range a {
+		if bv, ok := b[k]; ok && bv == v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (unitLattice) Equal(x, y dataflow.Fact) bool {
+	a, b := x.(unitFact), y.(unitFact)
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{pass: pass}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Analyze every function body — declarations and literals —
+		// as its own graph. Captured variables start unknown inside a
+		// literal, a sound (quiet) approximation.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.analyzeFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				a.analyzeFunc(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	// reported de-duplicates diagnostics when a node is visible from
+	// both the argument walk and the general expression walk.
+	reported map[ast.Node]bool
+}
+
+func (a *analyzer) analyzeFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := dataflow.Forward(g, unitLattice{}, a.transfer, nil)
+	a.reported = map[ast.Node]bool{}
+	for _, b := range g.Blocks {
+		res.FactAt(b, func(s ast.Stmt, before dataflow.Fact) {
+			a.check(s, before.(unitFact))
+		})
+		// Branch conditions live on the block, not in its statement
+		// list; they evaluate after the block's statements.
+		if b.Cond != nil {
+			a.checkExprTree(b.Cond, res.Out[b].(unitFact))
+		}
+	}
+}
+
+// transfer updates unit facts across one statement.
+func (a *analyzer) transfer(s ast.Stmt, in dataflow.Fact) dataflow.Fact {
+	m := in.(unitFact)
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			out := clone(m)
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					a.assignOne(out, m, lhs, s.Rhs[i])
+				}
+			} else {
+				// Tuple assignment from one call: results are unknown.
+				for _, lhs := range s.Lhs {
+					if v := a.lhsVar(lhs); v != nil {
+						delete(out, v)
+					}
+				}
+			}
+			return out
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			// x += y keeps x's unit only when y agrees.
+			if v := a.lhsVar(s.Lhs[0]); v != nil {
+				lu, ru := m[v], a.unitOf(s.Rhs[0], m)
+				if lu != nil && ru != nil && lu == ru {
+					return m
+				}
+				if lu == nil && ru == nil {
+					return m
+				}
+				out := clone(m)
+				delete(out, v)
+				return out
+			}
+		case token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+			// Scaling changes dimension: unit becomes unknown.
+			if v := a.lhsVar(s.Lhs[0]); v != nil {
+				out := clone(m)
+				delete(out, v)
+				return out
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return m
+		}
+		out := clone(m)
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := a.defVar(name)
+				if v == nil {
+					continue
+				}
+				delete(out, v)
+				if i < len(vs.Values) {
+					if u := a.unitOf(vs.Values[i], m); u != nil {
+						out[v] = u
+					}
+				}
+			}
+		}
+		return out
+	case *ast.RangeStmt:
+		out := clone(m)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if v := a.lhsVar(e); v != nil {
+				delete(out, v)
+			}
+		}
+		return out
+	case *ast.IncDecStmt:
+		// ++/-- preserves the unit (adding a unitless 1).
+		return m
+	}
+	return m
+}
+
+// clone copies a fact map; cloning bottom yields an empty reached fact.
+func clone(m unitFact) unitFact {
+	out := make(unitFact, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// assignOne records lhs ← rhs in out (facts read from the pre-state m).
+func (a *analyzer) assignOne(out, m unitFact, lhs, rhs ast.Expr) {
+	v := a.lhsVar(lhs)
+	if v == nil {
+		return
+	}
+	delete(out, v)
+	if !isFloat64(v.Type()) {
+		return
+	}
+	if u := a.unitOf(rhs, m); u != nil {
+		out[v] = u
+	}
+}
+
+// lhsVar resolves an assignment target to its variable, or nil for
+// blanks, fields, and index expressions (not tracked).
+func (a *analyzer) lhsVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := a.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// defVar resolves a declared name to its variable.
+func (a *analyzer) defVar(id *ast.Ident) *types.Var {
+	v, _ := a.pass.TypesInfo.Defs[id].(*types.Var)
+	return v
+}
+
+// unitOf computes the unit a float64-typed expression derives from, or
+// nil when unknown/unitless.
+func (a *analyzer) unitOf(e ast.Expr, m unitFact) *types.TypeName {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := a.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return m[v]
+		}
+	case *ast.ParenExpr:
+		return a.unitOf(e.X, m)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return a.unitOf(e.X, m)
+		}
+	case *ast.BinaryExpr:
+		// Sum/difference of same-unit values keeps the unit; an
+		// untyped-constant operand is transparent. Products and
+		// quotients form new dimensions: unknown.
+		if e.Op == token.ADD || e.Op == token.SUB {
+			lu, ru := a.unitOf(e.X, m), a.unitOf(e.Y, m)
+			switch {
+			case lu == ru:
+				return lu
+			case lu == nil && a.isUnitless(e.X):
+				return ru
+			case ru == nil && a.isUnitless(e.Y):
+				return lu
+			}
+		}
+	case *ast.CallExpr:
+		// Unit accessor: a no-argument method on a unit-typed
+		// receiver returning float64 (cost's .F()).
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && len(e.Args) == 0 {
+			if u := unitTypeName(a.exprType(sel.X)); u != nil && isFloat64(a.exprType(e)) {
+				return u
+			}
+		}
+		// float64(x): transparent over a unit-typed or tracked operand.
+		if len(e.Args) == 1 && a.isConversion(e) && isFloat64(a.exprType(e)) {
+			arg := e.Args[0]
+			if u := unitTypeName(a.exprType(arg)); u != nil {
+				return u
+			}
+			return a.unitOf(arg, m)
+		}
+	}
+	return nil
+}
+
+// isUnitless reports whether e is an untyped constant (literals and
+// constant expressions mix with any unit).
+func (a *analyzer) isUnitless(e ast.Expr) bool {
+	tv, ok := a.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isConversion reports whether call is a type conversion.
+func (a *analyzer) isConversion(call *ast.CallExpr) bool {
+	tv, ok := a.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func (a *analyzer) exprType(e ast.Expr) types.Type {
+	tv, ok := a.pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// check reports unit confusion inside one statement, given the facts
+// holding immediately before it.
+func (a *analyzer) check(s ast.Stmt, m unitFact) {
+	// Compound assignment first: the operator token carries the
+	// arithmetic.
+	if as, ok := s.(*ast.AssignStmt); ok {
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			if v := a.lhsVar(as.Lhs[0]); v != nil {
+				lu, ru := m[v], a.unitOf(as.Rhs[0], m)
+				if lu != nil && ru != nil && lu != ru {
+					a.reportf(as.TokPos, "cross-unit %s: %s-derived += %s-derived value", as.Tok, lu.Name(), ru.Name())
+				}
+			}
+		case token.ASSIGN:
+			// Silent unit change on reassignment.
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, lhs := range as.Lhs {
+					v := a.lhsVar(lhs)
+					if v == nil {
+						continue
+					}
+					lu, ru := m[v], a.unitOf(as.Rhs[i], m)
+					if lu != nil && ru != nil && lu != ru {
+						a.reportf(as.TokPos, "cross-unit assignment: %s previously held a %s-derived value, now assigned %s-derived", v.Name(), lu.Name(), ru.Name())
+					}
+				}
+			}
+		}
+	}
+
+	a.checkExprTree(s, m)
+}
+
+// checkExprTree walks any node's expressions and flags unit mixing.
+func (a *analyzer) checkExprTree(root ast.Node, m unitFact) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own graph
+		case *ast.BinaryExpr:
+			a.checkBinary(n, m)
+		case *ast.CallExpr:
+			a.checkCall(n, m)
+		}
+		return true
+	})
+}
+
+// checkBinary flags +, -, and comparisons over mismatched units.
+func (a *analyzer) checkBinary(e *ast.BinaryExpr, m unitFact) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	lu, ru := a.unitOf(e.X, m), a.unitOf(e.Y, m)
+	if lu == nil || ru == nil || lu == ru {
+		return
+	}
+	kind := "arithmetic"
+	if e.Op != token.ADD && e.Op != token.SUB {
+		kind = "comparison"
+	}
+	a.reportf(e.OpPos, "cross-unit %s: %s-derived %s %s-derived value", kind, lu.Name(), e.Op, ru.Name())
+}
+
+// checkCall flags conversions into a unit type from a float64 carrying
+// a different unit, distinguishing conversions that feed a call
+// argument (the unit-confused-parameter case).
+func (a *analyzer) checkCall(call *ast.CallExpr, m unitFact) {
+	// Argument context: a non-conversion call whose argument is a
+	// mismatched unit conversion.
+	if !a.isConversion(call) {
+		for _, arg := range call.Args {
+			conv, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok || !a.isConversion(conv) || len(conv.Args) != 1 {
+				continue
+			}
+			to := unitTypeName(a.exprType(conv))
+			from := a.unitOf(conv.Args[0], m)
+			if to != nil && from != nil && to != from {
+				a.reported[conv] = true
+				a.reportf(conv.Pos(), "%s-derived value passed as %s argument to %s", from.Name(), to.Name(), callName(call))
+			}
+		}
+		return
+	}
+	// Bare conversion into a unit type.
+	if len(call.Args) != 1 || a.reported[call] {
+		return
+	}
+	to := unitTypeName(a.exprType(call))
+	from := a.unitOf(call.Args[0], m)
+	if to != nil && from != nil && to != from {
+		a.reportf(call.Pos(), "%s-derived value converted to %s", from.Name(), to.Name())
+	}
+}
+
+func (a *analyzer) reportf(pos token.Pos, format string, args ...any) {
+	a.pass.Reportf(pos, format, args...)
+}
+
+// callName renders the callee for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+// unitTypeName returns t's type name when t is a defined type with
+// underlying float64 — a unit type — and nil otherwise.
+func unitTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return nil
+	}
+	return named.Obj()
+}
+
+// isFloat64 reports whether t is exactly the basic type float64.
+func isFloat64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}

@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unitflow"
+)
+
+func TestUnitflow(t *testing.T) {
+	analysistest.Run(t, unitflow.Analyzer, "testdata/src/a")
+}

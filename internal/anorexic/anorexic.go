@@ -13,16 +13,17 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cost"
 	"repro/internal/floats"
 )
 
 // DefaultLambda is the paper's standard swallow threshold (20%).
-const DefaultLambda = 0.20
+const DefaultLambda cost.Ratio = 0.20
 
 // Reduction is the outcome of a reduction over a set of ESS locations.
 type Reduction struct {
 	// Lambda is the swallow threshold used.
-	Lambda float64
+	Lambda cost.Ratio
 	// Retained are the surviving plan IDs, ascending.
 	Retained []int
 	// AssignAt maps each reduced location (flat index) to the retained
@@ -48,7 +49,7 @@ func (r Reduction) Cardinality() int { return len(r.Retained) }
 // locations (ties broken by lower total cost over the remaining locations,
 // then by plan ID, keeping the outcome deterministic). Every location is
 // coverable by construction: its own optimal plan is a candidate.
-func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float64, lambda float64) (Reduction, error) {
+func Reduce(flats []int, optCost []cost.Cost, candidates []int, planCost [][]cost.Cost, lambda cost.Ratio) (Reduction, error) {
 	if lambda < 0 {
 		return Reduction{}, fmt.Errorf("anorexic: negative lambda %g", lambda)
 	}
@@ -64,7 +65,7 @@ func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float
 			return Reduction{}, fmt.Errorf("anorexic: candidate plan %d outside cost matrix", pid)
 		}
 		for li, flat := range flats {
-			if planCost[pid][flat] <= (1+lambda)*optCost[flat]*(1+1e-12) {
+			if planCost[pid][flat] <= optCost[flat].Scale((1+lambda)*(1+1e-12)) {
 				covers[ci] = append(covers[ci], li)
 			}
 		}
@@ -84,7 +85,7 @@ func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float
 			for _, li := range covers[ci] {
 				if uncovered[li] {
 					gain++
-					total += planCost[candidates[ci]][flats[li]]
+					total += planCost[candidates[ci]][flats[li]].F()
 				}
 			}
 			if gain == 0 {
@@ -114,10 +115,10 @@ func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float
 	// Reassign every location to its cheapest retained plan (the greedy
 	// pass assigns first-covered, which may not be cheapest).
 	for li, flat := range flats {
-		best, bestCost := -1, 0.0
+		best, bestCost := -1, cost.Cost(0)
 		for _, pid := range red.Retained {
 			c := planCost[pid][flat]
-			if c <= (1+lambda)*optCost[flat]*(1+1e-12) && (best < 0 || c < bestCost) {
+			if c <= optCost[flat].Scale((1+lambda)*(1+1e-12)) && (best < 0 || c < bestCost) {
 				best, bestCost = pid, c
 			}
 		}
@@ -131,9 +132,9 @@ func Reduce(flats []int, optCost []float64, candidates []int, planCost [][]float
 
 // Verify checks the reduction's (1+λ) guarantee over its locations,
 // returning the first violation.
-func Verify(red Reduction, optCost []float64, planCost [][]float64) error {
+func Verify(red Reduction, optCost []cost.Cost, planCost [][]cost.Cost) error {
 	for flat, pid := range red.AssignAt {
-		if planCost[pid][flat] > (1+red.Lambda)*optCost[flat]*(1+1e-9) {
+		if planCost[pid][flat] > optCost[flat].Scale((1+red.Lambda)*(1+1e-9)) {
 			return fmt.Errorf("anorexic: plan %d at location %d costs %g > (1+λ)·%g",
 				pid, flat, planCost[pid][flat], optCost[flat])
 		}

@@ -4,23 +4,25 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/cost"
 )
 
 // synthetic builds a cost matrix for nPlans plans over nLocs locations:
 // each location's optimal plan is location%nPlans, and plan p's cost at
 // location l is opt(l) · penalty(p, l).
-func synthetic(nPlans, nLocs int, penalty func(p, l int) float64) (flats []int, optCost []float64, cands []int, m [][]float64) {
+func synthetic(nPlans, nLocs int, penalty func(p, l int) float64) (flats []int, optCost []cost.Cost, cands []int, m [][]cost.Cost) {
 	flats = make([]int, nLocs)
-	optCost = make([]float64, nLocs)
-	m = make([][]float64, nPlans)
+	optCost = make([]cost.Cost, nLocs)
+	m = make([][]cost.Cost, nPlans)
 	for p := range m {
-		m[p] = make([]float64, nLocs)
+		m[p] = make([]cost.Cost, nLocs)
 	}
 	for l := 0; l < nLocs; l++ {
 		flats[l] = l
-		optCost[l] = 100 + float64(l)
+		optCost[l] = 100 + cost.Cost(l)
 		for p := 0; p < nPlans; p++ {
-			m[p][l] = optCost[l] * penalty(p, l)
+			m[p][l] = optCost[l].Scale(cost.Ratio(penalty(p, l)))
 		}
 	}
 	for p := 0; p < nPlans; p++ {
@@ -94,7 +96,7 @@ func TestReduceErrors(t *testing.T) {
 		t.Error("candidate outside matrix should fail")
 	}
 	// Uncoverable: candidates that are never within (1+λ).
-	bad := [][]float64{{1e9, 1e9, 1e9, 1e9}, nil}
+	bad := [][]cost.Cost{{1e9, 1e9, 1e9, 1e9}, nil}
 	if _, err := Reduce(flats, opt, []int{0}, bad, 0.2); err == nil {
 		t.Error("uncoverable locations should fail")
 	}
@@ -135,8 +137,8 @@ func TestAssignmentPicksCheapestRetained(t *testing.T) {
 	// Two plans both within λ at a location: the assignment must pick
 	// the cheaper one.
 	flats := []int{0, 1}
-	opt := []float64{100, 100}
-	m := [][]float64{{100, 119}, {119, 100}}
+	opt := []cost.Cost{100, 100}
+	m := [][]cost.Cost{{100, 119}, {119, 100}}
 	red, err := Reduce(flats, opt, []int{0, 1}, m, 0.2)
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +170,7 @@ func TestReduceGuaranteeProperty(t *testing.T) {
 			}
 			return 1.0 + rng.Float64()*3
 		})
-		red, err := Reduce(flats, opt, cands, m, lambda)
+		red, err := Reduce(flats, opt, cands, m, cost.Ratio(lambda))
 		if err != nil {
 			return false
 		}
@@ -194,8 +196,8 @@ func abs1(v float64) float64 {
 
 func TestVerifyCatchesViolation(t *testing.T) {
 	red := Reduction{Lambda: 0.2, Retained: []int{0}, AssignAt: map[int]int{0: 0}}
-	opt := []float64{100}
-	m := [][]float64{{150}} // 1.5x > 1.2x
+	opt := []cost.Cost{100}
+	m := [][]cost.Cost{{150}} // 1.5x > 1.2x
 	if err := Verify(red, opt, m); err == nil {
 		t.Fatal("Verify missed a violation")
 	}

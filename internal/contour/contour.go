@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cost"
 	"repro/internal/ess"
 	"repro/internal/optimizer"
 	"repro/internal/posp"
@@ -25,26 +26,26 @@ import (
 type Ladder struct {
 	// R is the common ratio (r > 1); the paper proves r = 2 optimal
 	// (Theorems 1–2).
-	R float64
+	R cost.Ratio
 	// Steps are the step budgets IC1 … ICm, satisfying the paper's
 	// boundary conditions: Steps[0]/R < Cmin ≤ Steps[0] and
 	// Steps[m-2] < Cmax ≤ Steps[m-1].
-	Steps []float64
+	Steps []cost.Cost
 }
 
 // NewLadder builds the ladder for an optimal-cost range [cmin, cmax] with
 // ratio r. The first step is placed at cmin (a = Cmin satisfies
 // a/r < Cmin ≤ IC1) and steps double (by r) until covering cmax.
-func NewLadder(cmin, cmax float64, r float64) (Ladder, error) {
+func NewLadder(cmin, cmax cost.Cost, r cost.Ratio) (Ladder, error) {
 	if !(cmin > 0) || !(cmax >= cmin) {
 		return Ladder{}, fmt.Errorf("contour: invalid cost range [%g, %g]", cmin, cmax)
 	}
 	if !(r > 1) {
 		return Ladder{}, fmt.Errorf("contour: ratio %g must exceed 1", r)
 	}
-	steps := []float64{cmin}
+	steps := []cost.Cost{cmin}
 	for steps[len(steps)-1] < cmax {
-		steps = append(steps, steps[len(steps)-1]*r)
+		steps = append(steps, steps[len(steps)-1].Scale(r))
 	}
 	return Ladder{R: r, Steps: steps}, nil
 }
@@ -54,17 +55,17 @@ func (l Ladder) NumSteps() int { return len(l.Steps) }
 
 // Inflate returns a copy with every budget multiplied by (1+lambda),
 // accounting for the anorexic reduction's cost slack (§4.3).
-func (l Ladder) Inflate(lambda float64) Ladder {
-	out := Ladder{R: l.R, Steps: make([]float64, len(l.Steps))}
+func (l Ladder) Inflate(lambda cost.Ratio) Ladder {
+	out := Ladder{R: l.R, Steps: make([]cost.Cost, len(l.Steps))}
 	for i, s := range l.Steps {
-		out.Steps[i] = s * (1 + lambda)
+		out.Steps[i] = s.Scale(1 + lambda)
 	}
 	return out
 }
 
 // StepFor returns the 1-based index k of the first step with budget ≥ c,
 // or m+1 if c exceeds the last step.
-func (l Ladder) StepFor(c float64) int {
+func (l Ladder) StepFor(c cost.Cost) int {
 	for i, s := range l.Steps {
 		if c <= s {
 			return i + 1
@@ -75,7 +76,7 @@ func (l Ladder) StepFor(c float64) int {
 
 // LadderForSpace computes [Cmin, Cmax] by optimizing the two corners of the
 // space's principal diagonal (§4.2) and returns the ladder with ratio r.
-func LadderForSpace(opt *optimizer.Optimizer, space *ess.Space, r float64) (Ladder, error) {
+func LadderForSpace(opt *optimizer.Optimizer, space *ess.Space, r cost.Ratio) (Ladder, error) {
 	cmin := opt.Optimize(space.Sels(space.Origin())).Cost
 	cmax := opt.Optimize(space.Sels(space.Terminus())).Cost
 	return NewLadder(cmin, cmax, r)
@@ -87,7 +88,7 @@ type Contour struct {
 	// K is the 1-based isocost step index.
 	K int
 	// Budget is the step's cost budget, cost(IC_K).
-	Budget float64
+	Budget cost.Cost
 	// Flats are the grid locations on the contour, ascending.
 	Flats []int
 	// PlanIDs are the distinct diagram plan IDs present on the contour,
@@ -168,7 +169,7 @@ func IdentifySparse(d *posp.Diagram, l Ladder) []Contour {
 
 // isMaximalAmongCovered is isMaximalWithin restricted to covered
 // successors.
-func isMaximalAmongCovered(d *posp.Diagram, flat int, budget float64) bool {
+func isMaximalAmongCovered(d *posp.Diagram, flat int, budget cost.Cost) bool {
 	space := d.Space()
 	coord := space.Coord(flat)
 	for dim := 0; dim < space.Dims(); dim++ {
@@ -187,7 +188,7 @@ func isMaximalAmongCovered(d *posp.Diagram, flat int, budget float64) bool {
 
 // isMaximalWithin reports whether every single-step successor of flat
 // exceeds budget (or is off-grid).
-func isMaximalWithin(d *posp.Diagram, flat int, budget float64) bool {
+func isMaximalWithin(d *posp.Diagram, flat int, budget cost.Cost) bool {
 	space := d.Space()
 	coord := space.Coord(flat)
 	for dim := 0; dim < space.Dims(); dim++ {
@@ -232,12 +233,12 @@ func MaxDensity(contours []Contour) int {
 // PIC returns the POSP infimum curve of a one-dimensional diagram: the
 // optimal cost at each grid location in selectivity order. It errors on
 // multi-dimensional spaces, where the PIC is a surface, not a curve.
-func PIC(d *posp.Diagram) ([]float64, error) {
+func PIC(d *posp.Diagram) ([]cost.Cost, error) {
 	if d.Space().Dims() != 1 {
 		return nil, fmt.Errorf("contour: PIC curve defined for 1-D spaces only (got %d-D)", d.Space().Dims())
 	}
 	n := d.Space().NumPoints()
-	out := make([]float64, n)
+	out := make([]cost.Cost, n)
 	for i := 0; i < n; i++ {
 		if !d.Covered(i) {
 			return nil, fmt.Errorf("contour: PIC requires a dense diagram (location %d uncovered)", i)
@@ -265,7 +266,7 @@ func CheckPCM(d *posp.Diagram) error {
 			coord[dim]++
 			succ := space.Flat(coord)
 			coord[dim]--
-			if d.Covered(succ) && d.Cost(succ) < d.Cost(flat)*(1-1e-9) {
+			if d.Covered(succ) && d.Cost(succ) < d.Cost(flat).Scale(1-1e-9) {
 				return fmt.Errorf("contour: PCM violated between locations %d (cost %g) and %d (cost %g)",
 					flat, d.Cost(flat), succ, d.Cost(succ))
 			}

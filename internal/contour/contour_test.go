@@ -37,7 +37,7 @@ func TestNewLadderBoundaries(t *testing.T) {
 	}
 	steps := l.Steps
 	// Paper boundary conditions: a/r < Cmin ≤ IC1, IC_{m-1} < Cmax ≤ IC_m.
-	if !(steps[0]/l.R < 10 && 10 <= steps[0]) {
+	if !(steps[0].F()/l.R.F() < 10 && 10 <= steps[0]) {
 		t.Errorf("first step %g violates a/r < Cmin ≤ IC1", steps[0])
 	}
 	m := len(steps)
@@ -45,7 +45,7 @@ func TestNewLadderBoundaries(t *testing.T) {
 		t.Errorf("last steps %g, %g violate IC_{m-1} < Cmax ≤ IC_m", steps[m-2], steps[m-1])
 	}
 	for i := 1; i < m; i++ {
-		if math.Abs(steps[i]/steps[i-1]-2) > 1e-12 {
+		if math.Abs(steps[i].Over(steps[i-1]).F()-2) > 1e-12 {
 			t.Errorf("non-geometric ladder at %d", i)
 		}
 	}
@@ -81,7 +81,7 @@ func TestLadderStepCountProperty(t *testing.T) {
 		r := 1.5 + math.Mod(math.Abs(ratioSeed), 3)
 		span := 1 + math.Mod(math.Abs(spanSeed), 1e6)
 		cmax := cmin * span
-		l, err := NewLadder(cmin, cmax, r)
+		l, err := NewLadder(cost.Cost(cmin), cost.Cost(cmax), cost.Ratio(r))
 		if err != nil {
 			return false
 		}
@@ -97,7 +97,7 @@ func TestInflate(t *testing.T) {
 	l, _ := NewLadder(10, 100, 2)
 	inf := l.Inflate(0.2)
 	for i := range l.Steps {
-		if math.Abs(inf.Steps[i]-l.Steps[i]*1.2) > 1e-12 {
+		if math.Abs((inf.Steps[i] - l.Steps[i].Scale(1.2)).F()) > 1e-12 {
 			t.Fatal("inflation wrong")
 		}
 	}
@@ -111,7 +111,7 @@ func TestStepFor(t *testing.T) {
 	l, _ := NewLadder(10, 100, 2) // steps 10 20 40 80 160
 	cases := map[float64]int{5: 1, 10: 1, 11: 2, 40: 3, 100: 5, 200: 6}
 	for c, want := range cases {
-		if got := l.StepFor(c); got != want {
+		if got := l.StepFor(cost.Cost(c)); got != want {
 			t.Errorf("StepFor(%g) = %d, want %d", c, got, want)
 		}
 	}
@@ -124,7 +124,7 @@ func TestLadderForSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 	cmin, cmax := d.CostBounds()
-	if math.Abs(l.Steps[0]-cmin) > 1e-9*cmin {
+	if math.Abs((l.Steps[0] - cmin).F()) > 1e-9*cmin.F() {
 		t.Errorf("ladder base %g != Cmin %g", l.Steps[0], cmin)
 	}
 	if l.Steps[len(l.Steps)-1] < cmax {
@@ -292,7 +292,7 @@ func TestFocusedCoversContoursWithFewerCalls(t *testing.T) {
 			if !sparse.Covered(f) {
 				t.Fatalf("IC%d contour location %d not covered by focused band", c.K, f)
 			}
-			if math.Abs(sparse.Cost(f)-dense.Cost(f)) > 1e-9*dense.Cost(f) {
+			if math.Abs((sparse.Cost(f) - dense.Cost(f)).F()) > 1e-9*dense.Cost(f).F() {
 				t.Fatalf("focused cost differs at %d", f)
 			}
 		}

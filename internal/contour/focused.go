@@ -3,6 +3,7 @@ package contour
 import (
 	"math"
 
+	"repro/internal/cost"
 	"repro/internal/ess"
 	"repro/internal/optimizer"
 	"repro/internal/posp"
@@ -61,7 +62,7 @@ type focusGen struct {
 }
 
 // costAt optimizes the location (memoized through the diagram).
-func (g *focusGen) costAt(coord []int) float64 {
+func (g *focusGen) costAt(coord []int) cost.Cost {
 	flat := g.space.Flat(coord)
 	if g.diagram.Covered(flat) {
 		return g.diagram.Cost(flat)

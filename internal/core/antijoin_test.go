@@ -106,7 +106,7 @@ func TestAntiJoinBouquetBound(t *testing.T) {
 	bound := b.BoundMSO()
 	for f := 0; f < space.NumPoints(); f++ {
 		e := b.RunBasic(space.PointAt(f))
-		if !e.Completed || e.SubOpt() > bound*(1+1e-9) {
+		if !e.Completed || e.SubOpt() > bound.F()*(1+1e-9) {
 			t.Fatalf("anti bouquet at %d: subopt %g bound %g", f, e.SubOpt(), bound)
 		}
 		eo := b.RunOptimized(space.PointAt(f))
@@ -163,7 +163,7 @@ func TestAntiJoinExecutionCorrect(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := eng.Run(p, exec.Options{})
+	res := eng.MustRun(p, exec.Options{})
 	if !res.Completed || res.RowsOut != want {
 		t.Fatalf("anti join rows = %d, want %d", res.RowsOut, want)
 	}
@@ -176,10 +176,10 @@ func TestAntiJoinExecutionCorrect(t *testing.T) {
 func TestAntiJoinLearningLowerBound(t *testing.T) {
 	_, db, eng := antiConcrete(t)
 	p := plan.NewAntiJoin(plan.NewSeqScan("orders", nil), "blocked", "b_cust", 0)
-	full := eng.Run(p, exec.Options{})
+	full := eng.MustRun(p, exec.Options{})
 	truePass := float64(full.RowsOut) / float64(db.Table("orders").NumRows())
 	for _, frac := range []float64{0.2, 0.5, 0.9} {
-		res := eng.Run(p, exec.Options{Budget: full.CostUsed * frac})
+		res := eng.MustRun(p, exec.Options{Budget: full.CostUsed.Scale(cost.Ratio(frac))})
 		implied := float64(res.Stats[p].PassBy[0]) / float64(db.Table("orders").NumRows())
 		if implied > truePass*(1+1e-9) {
 			t.Fatalf("frac %g: implied pass %g exceeds true %g", frac, implied, truePass)
@@ -204,7 +204,7 @@ func TestAntiJoinConcreteBouquet(t *testing.T) {
 		t.Fatal("concrete anti bouquet failed")
 	}
 	// Result matches an unbudgeted direct execution.
-	direct := eng.Run(b.Diagram.Plan(out.Steps[len(out.Steps)-1].PlanID), exec.Options{})
+	direct := eng.MustRun(b.Diagram.Plan(out.Steps[len(out.Steps)-1].PlanID), exec.Options{})
 	if direct.RowsOut != out.ResultRows {
 		t.Fatalf("rows %d vs direct %d", out.ResultRows, direct.RowsOut)
 	}

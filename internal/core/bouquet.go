@@ -43,11 +43,11 @@ import (
 type CompileOptions struct {
 	// Ratio is the isocost ladder's common ratio r; 0 selects the
 	// provably optimal 2 (Theorems 1–2).
-	Ratio float64
+	Ratio cost.Ratio
 	// Lambda is the anorexic swallow threshold; negative disables the
 	// reduction (the POSP configuration of Table 1); 0 applies a
 	// zero-slack reduction; the paper's default is 0.2.
-	Lambda float64
+	Lambda cost.Ratio
 	// Workers bounds POSP generation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Diagram optionally supplies a precomputed dense plan diagram,
@@ -70,10 +70,10 @@ type Contour struct {
 	// K is the 1-based step index.
 	K int
 	// RawBudget is the isocost step value cost(IC_K).
-	RawBudget float64
+	RawBudget cost.Cost
 	// Budget is the execution budget: RawBudget inflated by (1+λ) to
 	// account for the anorexic reduction's slack (§4.3).
-	Budget float64
+	Budget cost.Cost
 	// Flats are the contour's grid locations (maximal points of the
 	// in-budget region), ascending.
 	Flats []int
@@ -102,7 +102,7 @@ type Bouquet struct {
 	// Ladder is the raw isocost ladder.
 	Ladder contour.Ladder
 	// Lambda is the anorexic threshold used (negative = none).
-	Lambda float64
+	Lambda cost.Ratio
 	// Contours are the compiled contours, by ascending K.
 	Contours []Contour
 	// PlanIDs is the bouquet plan set: the union of the contour plan
@@ -126,7 +126,7 @@ type Bouquet struct {
 func (b *Bouquet) SetActualCoster(a *cost.Coster) { b.actual = a }
 
 // execCost prices what an execution would actually charge for p at sels.
-func (b *Bouquet) execCost(p *plan.Node, sels cost.Selectivities) float64 {
+func (b *Bouquet) execCost(p *plan.Node, sels cost.Selectivities) cost.Cost {
 	if b.actual != nil {
 		return b.actual.Cost(p, sels)
 	}
@@ -199,7 +199,7 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 	}
 
 	lambda := opts.Lambda
-	inflate := 1.0
+	inflate := cost.Ratio(1)
 	if lambda >= 0 {
 		inflate = 1 + lambda
 	}
@@ -215,7 +215,7 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 		cc := Contour{
 			K:         rc.K,
 			RawBudget: rc.Budget,
-			Budget:    rc.Budget * inflate,
+			Budget:    rc.Budget.Scale(inflate),
 			Flats:     rc.Flats,
 			AssignAt:  make(map[int]int, len(rc.Flats)),
 		}
@@ -226,7 +226,7 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 				cc.AssignAt[f] = rc.PlanAt[i]
 			}
 		} else {
-			optCosts := make([]float64, space.NumPoints())
+			optCosts := make([]cost.Cost, space.NumPoints())
 			for _, f := range rc.Flats {
 				optCosts[f] = d.Cost(f)
 			}
@@ -254,10 +254,10 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 
 // contourCostMatrix prices the candidate plans at the contour locations
 // only, leaving other matrix cells zero (Reduce touches listed flats only).
-func contourCostMatrix(coster *cost.Coster, d *posp.Diagram, space *ess.Space, candidates, flats []int) [][]float64 {
-	m := make([][]float64, d.NumPlans())
+func contourCostMatrix(coster *cost.Coster, d *posp.Diagram, space *ess.Space, candidates, flats []int) [][]cost.Cost {
+	m := make([][]cost.Cost, d.NumPlans())
 	for _, pid := range candidates {
-		col := make([]float64, space.NumPoints())
+		col := make([]cost.Cost, space.NumPoints())
 		p := d.Plan(pid)
 		for _, f := range flats {
 			col[f] = coster.Cost(p, space.Sels(space.PointAt(f)))
@@ -290,20 +290,20 @@ func (b *Bouquet) MaxDensity() int {
 //
 // with the k=1 denominator being Cmin. This is the per-query bound Table 1
 // reports for both the POSP and anorexic configurations.
-func (b *Bouquet) BoundMSO() float64 {
+func (b *Bouquet) BoundMSO() cost.Ratio {
 	if len(b.Contours) == 0 {
 		return 0
 	}
 	cmin, _ := b.Diagram.CostBounds()
-	worst := 0.0
-	cum := 0.0
+	worst := cost.Ratio(0)
+	cum := cost.Cost(0)
 	for k, c := range b.Contours {
-		cum += float64(c.Density()) * c.Budget
+		cum += c.Budget.Scale(cost.Ratio(c.Density()))
 		denom := cmin
 		if k > 0 {
 			denom = b.Contours[k-1].RawBudget
 		}
-		if s := cum / denom; s > worst {
+		if s := cum.Over(denom); s > worst {
 			worst = s
 		}
 	}
@@ -312,9 +312,9 @@ func (b *Bouquet) BoundMSO() float64 {
 
 // TheoreticalMSO returns the closed-form guarantee ρ·r²/(r−1) of Theorem 3
 // (times (1+λ) when the anorexic reduction is active).
-func (b *Bouquet) TheoreticalMSO() float64 {
+func (b *Bouquet) TheoreticalMSO() cost.Ratio {
 	r := b.Ladder.R
-	bound := float64(b.MaxDensity()) * r * r / (r - 1)
+	bound := cost.Ratio(b.MaxDensity()) * r * r / (r - 1)
 	if b.Lambda >= 0 {
 		bound *= 1 + b.Lambda
 	}
@@ -328,13 +328,13 @@ func (b *Bouquet) TheoreticalMSO() float64 {
 // cheapest bouquet plan's abstract cost there; that upper-bounds copt, so
 // the early change may fire a step early — completion then simply happens
 // on a later (covering) contour, preserving correctness.
-func (b *Bouquet) optCostAtFloor(p ess.Point) float64 {
+func (b *Bouquet) optCostAtFloor(p ess.Point) cost.Cost {
 	flat := b.Space.FloorFlat(p)
 	if b.Diagram.Covered(flat) {
 		return b.Diagram.Cost(flat)
 	}
-	sels := cost.Selectivities(b.Space.Sels(b.Space.PointAt(flat)))
-	best := math.Inf(1)
+	sels := b.Space.Sels(b.Space.PointAt(flat))
+	best := cost.Cost(math.Inf(1))
 	for _, pid := range b.PlanIDs {
 		if c := b.Coster.Cost(b.Diagram.Plan(pid), sels); c < best {
 			best = c
@@ -354,7 +354,7 @@ func (b *Bouquet) Validate() error {
 		return fmt.Errorf("core: %d contours for %d ladder steps", len(b.Contours), b.Ladder.NumSteps())
 	}
 	union := map[int]bool{}
-	prev := 0.0
+	prev := cost.Cost(0)
 	for i, c := range b.Contours {
 		if c.K != i+1 {
 			return fmt.Errorf("core: contour %d has step index %d", i, c.K)
@@ -383,7 +383,7 @@ func (b *Bouquet) Validate() error {
 				return fmt.Errorf("core: contour %d location %d assigned to non-contour plan %d", c.K, f, pid)
 			}
 			sels := b.Space.Sels(b.Space.PointAt(f))
-			if got := b.Coster.Cost(b.Diagram.Plan(pid), sels); got > c.Budget*(1+1e-9) {
+			if got := b.Coster.Cost(b.Diagram.Plan(pid), sels); got > c.Budget.Scale(1+1e-9) {
 				return fmt.Errorf("core: contour %d location %d plan %d costs %g over budget %g",
 					c.K, f, pid, got, c.Budget)
 			}

@@ -73,7 +73,7 @@ func TestCompileStructure(t *testing.T) {
 		if c.K != i+1 {
 			t.Fatalf("contour %d has K=%d", i, c.K)
 		}
-		if math.Abs(c.Budget-c.RawBudget*1.2) > 1e-9*c.Budget {
+		if math.Abs((c.Budget - c.RawBudget.Scale(1.2)).F()) > 1e-9*c.Budget.F() {
 			t.Fatalf("IC%d budget %g not inflated from %g", c.K, c.Budget, c.RawBudget)
 		}
 		if len(c.Flats) > 0 && c.Density() == 0 {
@@ -155,7 +155,7 @@ func TestBoundsRelation(t *testing.T) {
 		t.Fatalf("Eq.8 bound %g exceeds closed form %g", b.BoundMSO(), b.TheoreticalMSO())
 	}
 	want := float64(b.MaxDensity()) * 4 * 1.2
-	if math.Abs(b.TheoreticalMSO()-want) > 1e-9*want {
+	if math.Abs(b.TheoreticalMSO().F()-want) > 1e-9*want {
 		t.Fatalf("TheoreticalMSO = %g, want 4(1+λ)ρ = %g", b.TheoreticalMSO(), want)
 	}
 }
@@ -200,7 +200,7 @@ func TestTheorem1BoundOneD(t *testing.T) {
 	opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
 	diagram := posp.Generate(opt, space, 0)
 	for _, r := range []float64{1.5, 2, 2.5, 3, 4} {
-		b, err := Compile(opt, space, CompileOptions{Ratio: r, Lambda: -1, Diagram: diagram})
+		b, err := Compile(opt, space, CompileOptions{Ratio: cost.Ratio(r), Lambda: -1, Diagram: diagram})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,10 +238,10 @@ func TestTheorem3BoundMultiD(t *testing.T) {
 			closed := b.TheoreticalMSO()
 			for f := 0; f < space.NumPoints(); f++ {
 				e := b.RunBasic(space.PointAt(f))
-				if e.SubOpt() > eq8*(1+1e-9) {
+				if e.SubOpt() > eq8.F()*(1+1e-9) {
 					t.Fatalf("SubOpt %g at %d exceeds Eq.8 bound %g", e.SubOpt(), f, eq8)
 				}
-				if e.SubOpt() > closed*(1+1e-9) {
+				if e.SubOpt() > closed.F()*(1+1e-9) {
 					t.Fatalf("SubOpt %g at %d exceeds 4(1+λ)ρ = %g", e.SubOpt(), f, closed)
 				}
 			}
@@ -274,9 +274,9 @@ func TestBasicStepsAreWellFormed(t *testing.T) {
 	space := b.Space
 	for f := 0; f < space.NumPoints(); f += 7 {
 		e := b.RunBasic(space.PointAt(f))
-		var total float64
+		var total cost.Cost
 		for i, s := range e.Steps {
-			if s.Spent > s.Budget*(1+1e-9) {
+			if s.Spent > s.Budget.Scale(1+1e-9) {
 				t.Fatalf("step %d spent %g over budget %g", i, s.Spent, s.Budget)
 			}
 			if s.Completed != (i == len(e.Steps)-1) {
@@ -287,7 +287,7 @@ func TestBasicStepsAreWellFormed(t *testing.T) {
 			}
 			total += s.Spent
 		}
-		if math.Abs(total-e.TotalCost) > 1e-9*total {
+		if math.Abs((total - e.TotalCost).F()) > 1e-9*total.F() {
 			t.Fatalf("TotalCost %g != Σ steps %g", e.TotalCost, total)
 		}
 	}
@@ -305,7 +305,7 @@ func TestOptimizedNeverExceedsTwiceBasicWorstCase(t *testing.T) {
 		if !e.Completed {
 			t.Fatalf("optimized did not complete at %d", f)
 		}
-		if e.SubOpt() > bound*(1+1e-9) {
+		if e.SubOpt() > bound.F()*(1+1e-9) {
 			t.Fatalf("optimized SubOpt %g at %d exceeds 2x bound %g", e.SubOpt(), f, bound)
 		}
 	}

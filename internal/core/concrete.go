@@ -26,7 +26,7 @@ type ConcreteExecution struct {
 	// Steps is the execution sequence.
 	Steps []ConcreteStep
 	// TotalCost is the summed charged cost, in model units.
-	TotalCost float64
+	TotalCost cost.Cost
 	// Wall is the total wall-clock time.
 	Wall time.Duration
 	// Completed reports whether the query finished.
@@ -66,9 +66,9 @@ func (r *ConcreteRunner) RunBasic() ConcreteExecution {
 	// terminus): run the last contour's plans unbudgeted.
 	last := r.B.Contours[len(r.B.Contours)-1]
 	pid := last.PlanIDs[0]
-	res, wall := r.timedRun(pid, exec.Options{Budget: math.Inf(1)})
+	res, wall := r.timedRun(pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
 	out.Steps = append(out.Steps, ConcreteStep{
-		Step: Step{Contour: last.K + 1, PlanID: pid, Dim: -1, Budget: math.Inf(1), Spent: res.CostUsed, Completed: true},
+		Step: Step{Contour: last.K + 1, PlanID: pid, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: res.CostUsed, Completed: true},
 		Wall: wall, Rows: res.RowsOut,
 	})
 	out.TotalCost += res.CostUsed
@@ -95,9 +95,9 @@ func (r *ConcreteRunner) RunOptimized() ConcreteExecution {
 	// Beyond the last contour: finish unbudgeted with the cheapest
 	// surviving plan at q_run.
 	pid, _ := r.cheapestAt(b.Contours[len(b.Contours)-1].PlanIDs, st)
-	res, wall := r.timedRun(pid, exec.Options{Budget: math.Inf(1)})
+	res, wall := r.timedRun(pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
 	out.Steps = append(out.Steps, ConcreteStep{
-		Step: Step{Contour: len(b.Contours) + 1, PlanID: pid, Dim: -1, Budget: math.Inf(1), Spent: res.CostUsed, Completed: true},
+		Step: Step{Contour: len(b.Contours) + 1, PlanID: pid, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: res.CostUsed, Completed: true},
 		Wall: wall, Rows: res.RowsOut,
 	})
 	out.TotalCost += res.CostUsed
@@ -119,7 +119,7 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 		if b.optCostAtFloor(st.qrun) > c.RawBudget {
 			return false // early contour change
 		}
-		qrunSels := cost.Selectivities(b.Space.Sels(st.qrun))
+		qrunSels := b.Space.Sels(st.qrun)
 		for pid := range remaining {
 			if b.Coster.Cost(b.Diagram.Plan(pid), qrunSels) > c.Budget {
 				delete(remaining, pid) // pincer elimination
@@ -180,15 +180,15 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 // cheapestAt returns the plan from ids cheapest at q_run (deterministic
 // ties by plan ID; costs within the floats.Eq tolerance count as tied, so
 // accumulated rounding error cannot flip the choice).
-func (r *ConcreteRunner) cheapestAt(ids []int, st *runState) (int, float64) {
-	sels := cost.Selectivities(r.B.Space.Sels(st.qrun))
-	best, bestCost := -1, math.Inf(1)
+func (r *ConcreteRunner) cheapestAt(ids []int, st *runState) (int, cost.Cost) {
+	sels := r.B.Space.Sels(st.qrun)
+	best, bestCost := -1, cost.Cost(math.Inf(1))
 	for _, id := range ids {
 		c := r.B.Coster.Cost(r.B.Diagram.Plan(id), sels)
 		switch {
-		case best < 0 || floats.Less(c, bestCost):
+		case best < 0 || floats.Less(c.F(), bestCost.F()):
 			best, bestCost = id, c
-		case floats.Eq(c, bestCost) && id < best:
+		case floats.Eq(c.F(), bestCost.F()) && id < best:
 			best = id
 		}
 	}
@@ -222,7 +222,7 @@ func (r *ConcreteRunner) executeGenericState(out *ConcreteExecution, c Contour, 
 
 func (r *ConcreteRunner) timedRun(pid int, opts exec.Options) (exec.Result, time.Duration) {
 	t0 := time.Now()
-	res := r.Engine.Run(r.B.Diagram.Plan(pid), opts)
+	res := r.Engine.MustRun(r.B.Diagram.Plan(pid), opts)
 	return res, time.Since(t0)
 }
 
@@ -287,8 +287,8 @@ func (r *ConcreteRunner) fullRows(n *plan.Node, st *runState, res exec.Result) f
 	if stats := res.Stats[n]; stats != nil && stats.Done {
 		return float64(stats.Out)
 	}
-	sels := cost.Selectivities(r.B.Space.Sels(st.qrun))
-	return r.B.Coster.Rows(n, sels)
+	sels := r.B.Space.Sels(st.qrun)
+	return r.B.Coster.Rows(n, sels).F()
 }
 
 // Explain renders the execution for reports.

@@ -28,10 +28,10 @@ func concreteFixture(t testing.TB, seed int64) (*workload.RuntimeWorkload, *Conc
 	return rw, &ConcreteRunner{B: b, Engine: eng}, opt
 }
 
-func oracleRows(t testing.TB, rw *workload.RuntimeWorkload, r *ConcreteRunner, opt *optimizer.Optimizer) (int64, float64) {
+func oracleRows(t testing.TB, rw *workload.RuntimeWorkload, r *ConcreteRunner, opt *optimizer.Optimizer) (int64, cost.Cost) {
 	t.Helper()
 	res := opt.Optimize(rw.Space.Sels(rw.Actual))
-	run := r.Engine.Run(res.Plan, exec.Options{})
+	run := r.Engine.MustRun(res.Plan, exec.Options{})
 	if !run.Completed {
 		t.Fatal("oracle run failed")
 	}
@@ -49,10 +49,10 @@ func TestConcreteBasicCorrectAndBounded(t *testing.T) {
 	if out.ResultRows != wantRows {
 		t.Fatalf("rows = %d, oracle %d", out.ResultRows, wantRows)
 	}
-	subopt := out.TotalCost / oracleCost
+	subopt := out.TotalCost.Over(oracleCost).F()
 	// The engine charges realized cardinalities, so allow modest slack
 	// over the analytic Eq. 8 bound.
-	if bound := r.B.BoundMSO() * 1.5; subopt > bound {
+	if bound := r.B.BoundMSO().F() * 1.5; subopt > bound {
 		t.Fatalf("concrete sub-optimality %g exceeds slack bound %g", subopt, bound)
 	}
 	if subopt < 1 {
@@ -71,7 +71,7 @@ func TestConcreteOptimizedCorrect(t *testing.T) {
 	if out.ResultRows != wantRows {
 		t.Fatalf("rows = %d, oracle %d", out.ResultRows, wantRows)
 	}
-	if subopt := out.TotalCost / oracleCost; subopt > r.B.BoundMSO()*3 {
+	if subopt := out.TotalCost.Over(oracleCost); subopt > r.B.BoundMSO()*3 {
 		t.Fatalf("optimized concrete sub-optimality %g unreasonable", subopt)
 	}
 }
@@ -119,7 +119,7 @@ func TestConcreteBeatsNativeWorstCase(t *testing.T) {
 	// beats the native optimizer's at its erroneous estimate.
 	rw, r, opt := concreteFixture(t, 42)
 	natPlan := opt.Optimize(rw.Space.Sels(rw.Estimate()))
-	nat := r.Engine.Run(natPlan.Plan, exec.Options{})
+	nat := r.Engine.MustRun(natPlan.Plan, exec.Options{})
 	if !nat.Completed {
 		t.Fatal("native run failed")
 	}
@@ -147,15 +147,15 @@ func TestConcreteAcrossSeeds(t *testing.T) {
 func TestConcreteStepBudgets(t *testing.T) {
 	_, r, _ := concreteFixture(t, 42)
 	for _, out := range []ConcreteExecution{r.RunBasic(), r.RunOptimized()} {
-		var total float64
+		var total cost.Cost
 		for i, s := range out.Steps {
 			// The engine may overshoot by one charge quantum.
-			if !math.IsInf(s.Budget, 1) && s.Spent > s.Budget+10 {
+			if !math.IsInf(s.Budget.F(), 1) && s.Spent > s.Budget+10 {
 				t.Fatalf("step %d spent %g over budget %g", i, s.Spent, s.Budget)
 			}
 			total += s.Spent
 		}
-		if math.Abs(total-out.TotalCost) > 1e-9*total {
+		if math.Abs((total - out.TotalCost).F()) > 1e-9*total.F() {
 			t.Fatalf("TotalCost %g != Σ %g", out.TotalCost, total)
 		}
 		if out.Explain() == "" {
@@ -190,7 +190,7 @@ func TestConcrete3D(t *testing.T) {
 	if !basic.Completed || basic.ResultRows != wantRows {
 		t.Fatalf("3-D basic: completed=%v rows=%d want %d", basic.Completed, basic.ResultRows, wantRows)
 	}
-	if subopt := basic.TotalCost / oracleCost; subopt > b.BoundMSO()*1.5 {
+	if subopt := basic.TotalCost.Over(oracleCost); subopt > b.BoundMSO()*1.5 {
 		t.Fatalf("3-D basic sub-optimality %g beyond slack bound", subopt)
 	}
 
@@ -240,7 +240,7 @@ func TestDistributionShiftRobustness(t *testing.T) {
 			t.Fatalf("seed %d: bouquet did not complete after distribution shift", seed)
 		}
 		oracle := opt.Optimize(rw.Space.Sels(rw.Actual))
-		direct := eng.Run(oracle.Plan, exec.Options{})
+		direct := eng.MustRun(oracle.Plan, exec.Options{})
 		if out.ResultRows != direct.RowsOut {
 			t.Fatalf("seed %d: rows %d, oracle %d", seed, out.ResultRows, direct.RowsOut)
 		}

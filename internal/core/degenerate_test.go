@@ -63,7 +63,7 @@ func TestTwoPointSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 	for f := 0; f < 2; f++ {
-		if e := b.RunBasic(space.PointAt(f)); !e.Completed || e.SubOpt() > b.BoundMSO()*(1+1e-9) {
+		if e := b.RunBasic(space.PointAt(f)); !e.Completed || e.SubOpt() > b.BoundMSO().F()*(1+1e-9) {
 			t.Fatalf("point %d: %+v", f, e)
 		}
 	}
@@ -88,7 +88,7 @@ func TestMixedResolutionSpace(t *testing.T) {
 	}
 	for f := 0; f < space.NumPoints(); f++ {
 		e := b.RunBasic(space.PointAt(f))
-		if !e.Completed || e.SubOpt() > b.BoundMSO()*(1+1e-9) {
+		if !e.Completed || e.SubOpt() > b.BoundMSO().F()*(1+1e-9) {
 			t.Fatalf("mixed-res point %d: subopt %g bound %g", f, e.SubOpt(), b.BoundMSO())
 		}
 		eo := b.RunOptimized(space.PointAt(f))

@@ -20,9 +20,9 @@ type Step struct {
 	// for a generic (full-plan) execution.
 	Dim int
 	// Budget is the cost limit the execution ran under.
-	Budget float64
+	Budget cost.Cost
 	// Spent is the cost actually charged.
-	Spent float64
+	Spent cost.Cost
 	// Completed reports whether the driven (sub)plan ran to completion
 	// within the budget.
 	Completed bool
@@ -34,9 +34,9 @@ type Execution struct {
 	Steps []Step
 	// TotalCost is the summed cost of all steps (exploration overheads
 	// included), i.e. c_b(q_a) of §2.
-	TotalCost float64
+	TotalCost cost.Cost
 	// OptCost is the oracle cost c_oa(q_a), the SubOpt denominator.
-	OptCost float64
+	OptCost cost.Cost
 	// Completed reports whether the query finished (always true for
 	// in-space locations; kept for harness assertions).
 	Completed bool
@@ -44,7 +44,7 @@ type Execution struct {
 
 // SubOpt returns SubOpt(*, q_a) = TotalCost / OptCost (Eq. 1 adapted to
 // the bouquet per §2).
-func (e Execution) SubOpt() float64 { return e.TotalCost / e.OptCost }
+func (e Execution) SubOpt() float64 { return e.TotalCost.Over(e.OptCost).F() }
 
 // NumExecs returns the number of plan executions (partial + final).
 func (e Execution) NumExecs() int { return len(e.Steps) }
@@ -62,7 +62,7 @@ func (e Execution) String() string {
 		}
 		fmt.Fprintf(&sb, "IC%d:P%d(%s)", s.Contour, s.PlanID, mark)
 	}
-	fmt.Fprintf(&sb, " cost=%.4g subopt=%.2f", e.TotalCost, e.SubOpt())
+	fmt.Fprintf(&sb, " cost=%.4g subopt=%.2f", e.TotalCost.F(), e.SubOpt())
 	return sb.String()
 }
 
@@ -71,11 +71,11 @@ func (e Execution) String() string {
 type truth struct {
 	qa   ess.Point
 	sels cost.Selectivities
-	opt  float64
+	opt  cost.Cost
 }
 
 func (b *Bouquet) truthAt(qa ess.Point) truth {
-	sels := cost.Selectivities(b.Space.Sels(qa))
+	sels := b.Space.Sels(qa)
 	// The oracle cost: optimal plan cost at q_a. The diagram stores it
 	// for grid points under the perfect model; for off-grid points or a
 	// divergent actual model, the cheapest diagram plan at q_a priced
@@ -84,7 +84,7 @@ func (b *Bouquet) truthAt(qa ess.Point) truth {
 	flat := b.Space.NearestFlat(qa)
 	opt := b.Diagram.Cost(flat)
 	if b.actual != nil || !b.Diagram.Covered(flat) || !onGrid(b.Space, qa, flat) {
-		opt = math.Inf(1)
+		opt = cost.Cost(math.Inf(1))
 		for _, p := range b.Diagram.Plans() {
 			if c := b.execCost(p, sels); c < opt {
 				opt = c
@@ -120,7 +120,7 @@ func (b *Bouquet) RunBasic(qa ess.Point) Execution {
 // The MSO guarantee is preserved for any valid (dominated) seed; a seed
 // that overestimates q_a voids it, exactly as the paper cautions.
 func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
-	e, _ := b.runBasic(context.Background(), qa, seed)
+	e, _ := b.runBasic(context.Background(), qa, seed) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
 	return e
 }
 
@@ -165,13 +165,13 @@ func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point) (Execution, 
 	// q_a exceeded every contour: only possible for off-grid locations
 	// beyond the terminus; finish with the cheapest bouquet plan,
 	// unbudgeted.
-	best, bestCost := -1, math.Inf(1)
+	best, bestCost := -1, cost.Cost(math.Inf(1))
 	for _, pid := range b.PlanIDs {
 		if c := b.execCost(b.Diagram.Plan(pid), t.sels); c < bestCost {
 			best, bestCost = pid, c
 		}
 	}
-	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: math.Inf(1), Spent: bestCost, Completed: true})
+	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: bestCost, Completed: true})
 	e.TotalCost += bestCost
 	e.Completed = true
 	return e, nil

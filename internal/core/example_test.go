@@ -38,7 +38,7 @@ func Example() {
 
 	e := bouquet.RunBasic(ess.Point{0.05})
 	fmt.Printf("completed: %v, within guarantee: %v\n",
-		e.Completed, e.SubOpt() <= bouquet.BoundMSO())
+		e.Completed, e.SubOpt() <= bouquet.BoundMSO().F())
 	// Output:
 	// guarantee holds: true
 	// completed: true, within guarantee: true

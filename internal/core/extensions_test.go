@@ -47,7 +47,7 @@ func TestSeededRunsPreserveGuarantee(t *testing.T) {
 		qa := space.PointAt(f)
 		seed := ess.Point{qa[0] * 0.4, qa[1] * 0.7}
 		e := b.RunBasicFrom(qa, seed)
-		if !e.Completed || e.SubOpt() > bound*(1+1e-9) {
+		if !e.Completed || e.SubOpt() > bound.F()*(1+1e-9) {
 			t.Fatalf("seeded basic at %d: completed=%v subopt=%g bound=%g", f, e.Completed, e.SubOpt(), bound)
 		}
 		eo := b.RunOptimizedFrom(qa, seed)
@@ -60,7 +60,7 @@ func TestSeededRunsPreserveGuarantee(t *testing.T) {
 func TestSeededOptimizedCheaperOnAverage(t *testing.T) {
 	b, _ := compileFor(t, query2D(t), 12, CompileOptions{Lambda: 0.2})
 	space := b.Space
-	var plain, seeded float64
+	var plain, seeded cost.Cost
 	for f := 0; f < space.NumPoints(); f++ {
 		qa := space.PointAt(f)
 		seed := ess.Point{qa[0] * 0.9, qa[1] * 0.9}
@@ -109,7 +109,7 @@ func TestNegatedPredicateBouquetBound(t *testing.T) {
 	bound := b.BoundMSO()
 	for f := 0; f < space.NumPoints(); f++ {
 		e := b.RunBasic(space.PointAt(f))
-		if !e.Completed || e.SubOpt() > bound*(1+1e-9) {
+		if !e.Completed || e.SubOpt() > bound.F()*(1+1e-9) {
 			t.Fatalf("negated-dim bouquet at %d: subopt %g bound %g", f, e.SubOpt(), bound)
 		}
 	}
@@ -128,7 +128,7 @@ func TestNegatedPredicateExecutionCorrect(t *testing.T) {
 		}
 	}
 	for _, pid := range b.PlanIDs {
-		res := eng.Run(b.Diagram.Plan(pid), exec.Options{})
+		res := eng.MustRun(b.Diagram.Plan(pid), exec.Options{})
 		if !res.Completed || res.RowsOut != want {
 			t.Fatalf("plan %d: rows %d, want %d", pid, res.RowsOut, want)
 		}
@@ -150,7 +150,7 @@ func TestNegatedConcreteBouquetDiscovers(t *testing.T) {
 	// Row count cross-check against the engine's own unbudgeted run of
 	// the final plan.
 	last := out.Steps[len(out.Steps)-1]
-	direct := eng.Run(b.Diagram.Plan(last.PlanID), exec.Options{})
+	direct := eng.MustRun(b.Diagram.Plan(last.PlanID), exec.Options{})
 	if direct.RowsOut != out.ResultRows {
 		t.Fatalf("rows %d vs direct %d", out.ResultRows, direct.RowsOut)
 	}
@@ -172,13 +172,13 @@ func TestNegatedIndexScanUsesSuffix(t *testing.T) {
 		t.Fatal(err)
 	}
 	scan := plan.NewIndexScan("part", "p_retailprice", []int{0})
-	idx := eng.Run(scan, exec.Options{})
+	idx := eng.MustRun(scan, exec.Options{})
 	want := int64(float64(db.Table("part").NumRows()) * realized)
 	if idx.RowsOut != want {
 		t.Fatalf("index scan rows %d, want %d", idx.RowsOut, want)
 	}
 	// And it matches a sequential scan of the same predicate.
-	seq := eng.Run(plan.NewSeqScan("part", []int{0}), exec.Options{})
+	seq := eng.MustRun(plan.NewSeqScan("part", []int{0}), exec.Options{})
 	if seq.RowsOut != idx.RowsOut {
 		t.Fatalf("seq %d != idx %d on negated predicate", seq.RowsOut, idx.RowsOut)
 	}

@@ -56,7 +56,7 @@ func TestFocusedCompile(t *testing.T) {
 		if !e.Completed {
 			t.Fatalf("focused basic failed at %d", f)
 		}
-		if e.SubOpt() > bound*(1+1e-9) {
+		if e.SubOpt() > bound.F()*(1+1e-9) {
 			t.Fatalf("focused basic SubOpt %g at %d exceeds bound %g", e.SubOpt(), f, bound)
 		}
 		eo := focused.RunOptimized(qa)

@@ -37,7 +37,7 @@ func TestFirstQuadrantInvariant(t *testing.T) {
 		}
 		dim := b.Query.DimOf(learnID)
 		sub := spillNode(p, learnID)
-		budget := tr.opt * (0.1 + 3*rng.Float64())
+		budget := tr.opt.Scale(cost.Ratio(0.1 + 3*rng.Float64()))
 
 		_, exact := b.simulateSpill(sub, dim, st, tr, budget)
 		if exact {
@@ -74,7 +74,7 @@ func TestSpillMonotoneInBudget(t *testing.T) {
 	dim := b.Query.DimOf(learnID)
 	sub := spillNode(p, learnID)
 
-	frontier := func(budget float64) float64 {
+	frontier := func(budget cost.Cost) float64 {
 		st := &runState{qrun: space.Origin().Clone(), learned: make([]bool, 2)}
 		_, exact := b.simulateSpill(sub, dim, st, tr, budget)
 		if exact {
@@ -83,8 +83,8 @@ func TestSpillMonotoneInBudget(t *testing.T) {
 		return st.qrun[dim]
 	}
 	f := func(aSeed, bSeed float64) bool {
-		ba := tr.opt * (0.01 + math.Mod(math.Abs(aSeed), 5))
-		bb := tr.opt * (0.01 + math.Mod(math.Abs(bSeed), 5))
+		ba := tr.opt.Scale(cost.Ratio(0.01 + math.Mod(math.Abs(aSeed), 5)))
+		bb := tr.opt.Scale(cost.Ratio(0.01 + math.Mod(math.Abs(bSeed), 5)))
 		if ba > bb {
 			ba, bb = bb, ba
 		}
@@ -115,7 +115,7 @@ func TestModelingErrorBound(t *testing.T) {
 			}
 		}
 		b.SetActualCoster(nil)
-		if worst > guarantee*(1+1e-9) {
+		if worst > guarantee.F()*(1+1e-9) {
 			t.Fatalf("seed %d: perturbed MSO %g exceeds (1+δ)² bound %g", seed, worst, guarantee)
 		}
 	}
@@ -163,7 +163,7 @@ func TestOptimizedStepAccounting(t *testing.T) {
 	space := b.Space
 	for f := 0; f < space.NumPoints(); f += 3 {
 		e := b.RunOptimized(space.PointAt(f))
-		var total float64
+		var total cost.Cost
 		for i, s := range e.Steps {
 			if s.Spent > s.Budget*(1+1e-9) {
 				t.Fatalf("step %d spent %g over budget %g", i, s.Spent, s.Budget)
@@ -173,7 +173,7 @@ func TestOptimizedStepAccounting(t *testing.T) {
 			}
 			total += s.Spent
 		}
-		if math.Abs(total-e.TotalCost) > 1e-9*math.Max(total, 1) {
+		if math.Abs((total - e.TotalCost).F()) > 1e-9*math.Max(total.F(), 1) {
 			t.Fatalf("TotalCost %g != Σ %g", e.TotalCost, total)
 		}
 	}

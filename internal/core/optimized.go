@@ -40,9 +40,9 @@ func (r *runState) allLearned() bool {
 type axisCandidate struct {
 	dim     int
 	planID  int
-	cost    float64 // plan cost at q_run (budget headroom heuristic)
-	depth   int     // depth of the learnable error node (deeper = better)
-	learnID int     // predicate the spilled execution would learn
+	cost    cost.Cost // plan cost at q_run (budget headroom heuristic)
+	depth   int       // depth of the learnable error node (deeper = better)
+	learnID int       // predicate the spilled execution would learn
 }
 
 // axisPlans computes the AxisPlans candidate set (§5.1) at state st on
@@ -178,7 +178,7 @@ func (b *Bouquet) nodeSharesUnlearned(n *plan.Node, pred int, st *runState) bool
 // and pick the group's candidate with the deepest error node.
 func pickCandidate(cands []axisCandidate) axisCandidate {
 	sort.Slice(cands, func(i, j int) bool {
-		if !floats.Eq(cands[i].cost, cands[j].cost) {
+		if !floats.Eq(cands[i].cost.F(), cands[j].cost.F()) {
 			return cands[i].cost < cands[j].cost
 		}
 		return cands[i].planID < cands[j].planID
@@ -218,7 +218,7 @@ func spillNode(p *plan.Node, pred int) *plan.Node {
 // subtree, priced with dim at s, stays within budget. Monotonicity of the
 // cost in s makes binary search exact enough; the result is clamped to
 // [current q_run, q_a] so the first-quadrant invariant is preserved.
-func (b *Bouquet) simulateSpill(sub *plan.Node, dim int, st *runState, t truth, budget float64) (spent float64, exact bool) {
+func (b *Bouquet) simulateSpill(sub *plan.Node, dim int, st *runState, t truth, budget cost.Cost) (spent cost.Cost, exact bool) {
 	predID := b.Query.ErrorDims()[dim]
 
 	// The subtree executes against actual selectivities: all its error
@@ -233,7 +233,7 @@ func (b *Bouquet) simulateSpill(sub *plan.Node, dim int, st *runState, t truth, 
 	lo, hi := 0.0, t.qa[dim]
 	for i := 0; i < 48; i++ {
 		mid := (lo + hi) / 2
-		sels[predID] = mid
+		sels[predID] = cost.Sel(mid)
 		if b.execCost(sub, sels) <= budget {
 			lo = mid
 		} else {
@@ -259,7 +259,7 @@ func (b *Bouquet) RunOptimized(qa ess.Point) Execution {
 // test. A nil seed starts at the origin. Overestimating seeds void the
 // first-quadrant invariant, as the paper cautions.
 func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
-	e, _ := b.runOptimized(context.Background(), qa, seed)
+	e, _ := b.runOptimized(context.Background(), qa, seed) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
 	return e
 }
 
@@ -301,13 +301,13 @@ func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Executi
 	// Beyond the last contour (off-grid q_a past the terminus, or every
 	// plan eliminated under a divergent actual model): finish with the
 	// cheapest bouquet plan, unbudgeted.
-	best, bestCost := -1, math.Inf(1)
+	best, bestCost := -1, cost.Cost(math.Inf(1))
 	for _, pid := range b.PlanIDs {
 		if cst := b.execCost(b.Diagram.Plan(pid), t.sels); cst < bestCost {
 			best, bestCost = pid, cst
 		}
 	}
-	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: math.Inf(1), Spent: bestCost, Completed: true})
+	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: bestCost, Completed: true})
 	e.TotalCost += bestCost
 	e.Completed = true
 	return e, nil
@@ -368,7 +368,7 @@ func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *r
 
 		// Pincer elimination: drop plans whose cost at q_run already
 		// exceeds the budget.
-		qrunSels := cost.Selectivities(b.Space.Sels(st.qrun))
+		qrunSels := b.Space.Sels(st.qrun)
 		for pid := range remaining {
 			if b.Coster.Cost(b.Diagram.Plan(pid), qrunSels) > c.Budget {
 				delete(remaining, pid)
@@ -436,13 +436,13 @@ func (b *Bouquet) genericPick(c Contour, st *runState, remaining map[int]bool, q
 		return near
 	}
 	pid := -1
-	bestCost := math.Inf(1)
+	bestCost := cost.Cost(math.Inf(1))
 	for id := range remaining {
 		v := b.Coster.Cost(b.Diagram.Plan(id), qrunSels)
 		switch {
-		case pid < 0 || floats.Less(v, bestCost):
+		case pid < 0 || floats.Less(v.F(), bestCost.F()):
 			pid, bestCost = id, v
-		case floats.Eq(v, bestCost) && id < pid:
+		case floats.Eq(v.F(), bestCost.F()) && id < pid:
 			pid = id
 		}
 	}
@@ -451,14 +451,14 @@ func (b *Bouquet) genericPick(c Contour, st *runState, remaining map[int]bool, q
 
 // cheapestOn returns the surviving plan with the lowest *estimated* cost at
 // the given selectivities (ties by plan ID).
-func (b *Bouquet) cheapestOn(remaining map[int]bool, sels cost.Selectivities) (pid int, cst float64) {
-	pid, cst = -1, math.Inf(1)
+func (b *Bouquet) cheapestOn(remaining map[int]bool, sels cost.Selectivities) (pid int, cst cost.Cost) {
+	pid, cst = -1, cost.Cost(math.Inf(1))
 	for id := range remaining {
 		v := b.Coster.Cost(b.Diagram.Plan(id), sels)
 		switch {
-		case pid < 0 || floats.Less(v, cst):
+		case pid < 0 || floats.Less(v.F(), cst.F()):
 			pid, cst = id, v
-		case floats.Eq(v, cst) && id < pid:
+		case floats.Eq(v.F(), cst.F()) && id < pid:
 			pid = id
 		}
 	}

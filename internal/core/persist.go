@@ -61,9 +61,9 @@ func (b *Bouquet) Save(w io.Writer) error {
 	out := bouquetJSON{
 		QueryName: b.Query.Name,
 		NumPreds:  b.Query.NumPredicates(),
-		Lambda:    b.Lambda,
-		Ratio:     b.Ladder.R,
-		Steps:     append([]float64{}, b.Ladder.Steps...),
+		Lambda:    b.Lambda.F(),
+		Ratio:     b.Ladder.R.F(),
+		Steps:     costsToFloats(b.Ladder.Steps),
 		Diagram:   b.Diagram.Snapshot(),
 	}
 	for d := 0; d < b.Space.Dims(); d++ {
@@ -72,7 +72,7 @@ func (b *Bouquet) Save(w io.Writer) error {
 	}
 	for _, c := range b.Contours {
 		cj := contourJSON{
-			K: c.K, RawBudget: c.RawBudget, Budget: c.Budget,
+			K: c.K, RawBudget: c.RawBudget.F(), Budget: c.Budget.F(),
 			Flats:   append([]int{}, c.Flats...),
 			PlanIDs: append([]int{}, c.PlanIDs...),
 		}
@@ -126,8 +126,8 @@ func Load(r io.Reader, coster *cost.Coster) (*Bouquet, error) {
 		Space:   space,
 		Coster:  coster,
 		Diagram: diagram,
-		Ladder:  contour.Ladder{R: in.Ratio, Steps: in.Steps},
-		Lambda:  in.Lambda,
+		Ladder:  contour.Ladder{R: cost.Ratio(in.Ratio), Steps: floatsToCosts(in.Steps)},
+		Lambda:  cost.Ratio(in.Lambda),
 	}
 	union := map[int]bool{}
 	n := space.NumPoints()
@@ -136,7 +136,7 @@ func Load(r io.Reader, coster *cost.Coster) (*Bouquet, error) {
 			return nil, fmt.Errorf("core: contour %d assignment arrays mismatched", cj.K)
 		}
 		c := Contour{
-			K: cj.K, RawBudget: cj.RawBudget, Budget: cj.Budget,
+			K: cj.K, RawBudget: cost.Cost(cj.RawBudget), Budget: cost.Cost(cj.Budget),
 			Flats:    cj.Flats,
 			PlanIDs:  cj.PlanIDs,
 			AssignAt: make(map[int]int, len(cj.AssignFlats)),
@@ -167,4 +167,23 @@ func Load(r io.Reader, coster *cost.Coster) (*Bouquet, error) {
 		return nil, fmt.Errorf("core: loaded bouquet fails validation: %w", err)
 	}
 	return b, nil
+}
+
+// costsToFloats unwraps a cost vector for the JSON wire format (which
+// stays plain float64 so artifacts remain readable across versions).
+func costsToFloats(cs []cost.Cost) []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.F()
+	}
+	return out
+}
+
+// floatsToCosts re-types a decoded wire vector into cost units.
+func floatsToCosts(fs []float64) []cost.Cost {
+	out := make([]cost.Cost, len(fs))
+	for i, f := range fs {
+		out[i] = cost.Cost(f)
+	}
+	return out
 }

@@ -89,7 +89,7 @@ func TestTheorem3OnRandomModels(t *testing.T) {
 			if !e.Completed {
 				t.Fatalf("trial %d: no completion at %d", trial, f)
 			}
-			if e.SubOpt() > bound*(1+1e-9) {
+			if e.SubOpt() > bound.F()*(1+1e-9) {
 				t.Fatalf("trial %d (model %+v): SubOpt %g at %d exceeds bound %g",
 					trial, model.P, e.SubOpt(), f, bound)
 			}
@@ -114,13 +114,13 @@ func TestRandomModelsRatioSweep(t *testing.T) {
 		}
 		opt := optimizer.New(cost.NewCoster(q, randomModel(rng)))
 		for _, r := range []float64{1.7, 2, 3.1} {
-			b, err := Compile(opt, space, CompileOptions{Ratio: r, Lambda: 0.2})
+			b, err := Compile(opt, space, CompileOptions{Ratio: cost.Ratio(r), Lambda: 0.2})
 			if err != nil {
 				t.Fatal(err)
 			}
 			closed := b.TheoreticalMSO()
 			for f := 0; f < space.NumPoints(); f++ {
-				if so := b.RunBasic(space.PointAt(f)).SubOpt(); so > closed*(1+1e-9) {
+				if so := b.RunBasic(space.PointAt(f)).SubOpt(); so > closed.F()*(1+1e-9) {
 					t.Fatalf("trial %d r=%g: SubOpt %g exceeds %g", trial, r, so, closed)
 				}
 			}

@@ -101,7 +101,7 @@ func Commercial() Model { return Model{Name: "commercial", P: CommercialParams()
 
 // Selectivities assigns a selectivity to every predicate of a query,
 // indexed by predicate ID.
-type Selectivities []float64
+type Selectivities []Sel
 
 // Clone returns a copy.
 func (s Selectivities) Clone() Selectivities {
@@ -116,7 +116,7 @@ func DefaultSels(q *query.Query) Selectivities {
 	preds := q.Predicates()
 	out := make(Selectivities, len(preds))
 	for i, p := range preds {
-		out[i] = p.DefaultSel
+		out[i] = Sel(p.DefaultSel)
 	}
 	return out
 }
@@ -127,13 +127,13 @@ type NodeCost struct {
 	// Node is the annotated operator.
 	Node *plan.Node
 	// Rows is the estimated output cardinality.
-	Rows float64
+	Rows Card
 	// Width is the output tuple width in bytes.
 	Width float64
 	// SelfCost is the cost charged by this operator alone.
-	SelfCost float64
+	SelfCost Cost
 	// TotalCost is SelfCost plus the children's TotalCost.
-	TotalCost float64
+	TotalCost Cost
 }
 
 // Coster prices plans for one query under one model. It is safe for
@@ -172,7 +172,7 @@ func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
 	cp.perturb = func(n *plan.Node) float64 {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%d|", seed)
-		h.Write([]byte(n.Fingerprint()))
+		h.Write([]byte(n.Fingerprint())) //bouquet:allow errflow — hash.Hash.Write never returns an error
 		// Map hash to u in [0,1), then to a log-uniform factor in
 		// [1/(1+δ), 1+δ] so under- and over-estimation are symmetric.
 		u := float64(h.Sum64()%1_000_003) / 1_000_003.0
@@ -184,14 +184,14 @@ func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
 
 // Cost returns the total cost of root at the given selectivities.
 // Panics if the plan contains an operator the model does not price.
-func (c *Coster) Cost(root *plan.Node, sels Selectivities) float64 {
+func (c *Coster) Cost(root *plan.Node, sels Selectivities) Cost {
 	nc := c.costNode(root, sels)
 	return nc.TotalCost
 }
 
 // Rows returns the output cardinality of root at the given selectivities.
 // Panics if the plan contains an operator the model does not price.
-func (c *Coster) Rows(root *plan.Node, sels Selectivities) float64 {
+func (c *Coster) Rows(root *plan.Node, sels Selectivities) Card {
 	nc := c.costNode(root, sels)
 	return nc.Rows
 }
@@ -233,10 +233,11 @@ func (c *Coster) costNode(n *plan.Node, sels Selectivities) NodeCost {
 
 // selOf returns the selectivity of predicate id under sels, falling back to
 // the predicate default when sels is short (defensive; builders always pass
-// full-length assignments).
+// full-length assignments). The bare float64 is what the operator pricing
+// arithmetic below consumes.
 func (c *Coster) selOf(id int, sels Selectivities) float64 {
 	if id < len(sels) {
-		return sels[id]
+		return sels[id].F()
 	}
 	return c.q.Predicate(id).DefaultSel
 }
@@ -253,8 +254,11 @@ func (c *Coster) pagesFor(rows, width float64) float64 {
 }
 
 // costOne prices a single operator given its (already priced) children.
+// The pricing arithmetic runs on bare float64 (unwrapped once here); the
+// results are wrapped back into their dimensions when stored.
 func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities) NodeCost {
 	p := c.model.P
+	leftRows, rightRows := left.Rows.F(), right.Rows.F()
 	var nc NodeCost
 	nc.Node = n
 
@@ -267,11 +271,11 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 		for _, id := range n.Preds {
 			outRows *= c.selOf(id, sels)
 		}
-		nc.Rows = outRows
+		nc.Rows = Card(outRows)
 		nc.Width = float64(rel.TupleWidth)
-		nc.SelfCost = pages*p.SeqPageCost +
+		nc.SelfCost = Cost(pages*p.SeqPageCost +
 			card*p.CPUTupleCost +
-			card*float64(len(n.Preds))*p.CPUOperatorCost
+			card*float64(len(n.Preds))*p.CPUOperatorCost)
 
 	case plan.OpIndexScan:
 		rel := c.q.Catalog.MustRelation(n.Relation)
@@ -289,7 +293,7 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 			}
 		}
 		matched := card * drivingSel
-		nc.Rows = matched * residSel
+		nc.Rows = Card(matched * residSel)
 		nc.Width = float64(rel.TupleWidth)
 		descent := math.Log2(card+1) * p.CPUIndexTupleCost
 		idx := c.q.Catalog.Index(n.Relation, n.IndexColumn)
@@ -303,11 +307,11 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 			// environments, §6).
 			fetch = matched * p.RandomPageCost
 		}
-		nc.SelfCost = descent +
+		nc.SelfCost = Cost(descent +
 			matched*p.CPUIndexTupleCost +
 			fetch +
 			matched*float64(residCount)*p.CPUOperatorCost +
-			matched*p.CPUTupleCost
+			matched*p.CPUTupleCost)
 
 	case plan.OpIndexNLJoin:
 		rel := c.q.Catalog.MustRelation(n.Relation)
@@ -325,10 +329,10 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 				filterCount++
 			}
 		}
-		probes := left.Rows
+		probes := leftRows
 		matchesPerProbe := joinSel * innerCard
 		matches := probes * matchesPerProbe
-		nc.Rows = matches * filterSel
+		nc.Rows = Card(matches * filterSel)
 		nc.Width = left.Width + float64(rel.TupleWidth)
 		descent := math.Log2(innerCard+1) * p.CPUIndexTupleCost
 		idx := c.q.Catalog.Index(n.Relation, n.IndexColumn)
@@ -336,59 +340,58 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 		if idx != nil && idx.Clustered {
 			perMatch = p.SeqPageCost
 		}
-		nc.SelfCost = probes*descent +
+		nc.SelfCost = Cost(probes*descent +
 			matches*(p.CPUIndexTupleCost+perMatch) +
 			matches*float64(filterCount)*p.CPUOperatorCost +
-			nc.Rows*p.CPUTupleCost
-		nc.TotalCost = left.TotalCost + nc.SelfCost
+			nc.Rows.F()*p.CPUTupleCost)
 
 	case plan.OpHashJoin:
 		joinSel := 1.0
 		for _, id := range n.Preds {
 			joinSel *= c.selOf(id, sels)
 		}
-		nc.Rows = joinSel * left.Rows * right.Rows
+		nc.Rows = Card(joinSel * leftRows * rightRows)
 		nc.Width = left.Width + right.Width
-		build := right.Rows * (p.CPUOperatorCost + p.CPUTupleCost)
-		probe := left.Rows * p.HashQualCost
-		emit := nc.Rows * p.CPUTupleCost
+		build := rightRows * (p.CPUOperatorCost + p.CPUTupleCost)
+		probe := leftRows * p.HashQualCost
+		emit := nc.Rows.F() * p.CPUTupleCost
 		spill := 0.0
-		if bytes := right.Rows * right.Width; bytes > p.WorkMemBytes {
+		if bytes := rightRows * right.Width; bytes > p.WorkMemBytes {
 			// Multi-batch (Grace) hash join: both inputs are
 			// written out and re-read once.
-			spill = (c.pagesFor(left.Rows, left.Width) +
-				c.pagesFor(right.Rows, right.Width)) * p.SpillPageCost
+			spill = (c.pagesFor(leftRows, left.Width) +
+				c.pagesFor(rightRows, right.Width)) * p.SpillPageCost
 		}
-		nc.SelfCost = build + probe + emit + spill
+		nc.SelfCost = Cost(build + probe + emit + spill)
 
 	case plan.OpMergeJoin:
 		joinSel := 1.0
 		for _, id := range n.Preds {
 			joinSel *= c.selOf(id, sels)
 		}
-		nc.Rows = joinSel * left.Rows * right.Rows
+		nc.Rows = Card(joinSel * leftRows * rightRows)
 		nc.Width = left.Width + right.Width
 		sortCost := c.sortCost(left) + c.sortCost(right)
-		merge := (left.Rows + right.Rows) * p.CPUOperatorCost
-		emit := nc.Rows * p.CPUTupleCost
-		nc.SelfCost = sortCost + merge + emit
+		merge := (leftRows + rightRows) * p.CPUOperatorCost
+		emit := nc.Rows.F() * p.CPUTupleCost
+		nc.SelfCost = Cost(sortCost + merge + emit)
 
 	case plan.OpAggregate:
 		nc.Rows = 1
 		nc.Width = 8
-		nc.SelfCost = left.Rows*p.CPUOperatorCost + p.CPUTupleCost
+		nc.SelfCost = Cost(leftRows*p.CPUOperatorCost + p.CPUTupleCost)
 
 	case plan.OpGroupAggregate:
 		// Hash aggregate: groups bounded by the column's distinct count
 		// and the input cardinality (both bounds monotone).
 		col := c.q.Catalog.MustRelation(n.Relation).Column(n.IndexColumn)
-		groups := left.Rows
+		groups := leftRows
 		if col != nil && float64(col.DistinctCount) < groups {
 			groups = float64(col.DistinctCount)
 		}
-		nc.Rows = groups
+		nc.Rows = Card(groups)
 		nc.Width = 16
-		nc.SelfCost = left.Rows*(p.CPUOperatorCost+p.HashQualCost) + groups*p.CPUTupleCost
+		nc.SelfCost = Cost(leftRows*(p.CPUOperatorCost+p.HashQualCost) + groups*p.CPUTupleCost)
 
 	case plan.OpAntiJoin:
 		// NOT EXISTS: the predicate's selectivity is the outer pass
@@ -397,19 +400,19 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 		rel := c.q.Catalog.MustRelation(n.Relation)
 		innerCard := float64(rel.Card)
 		passFrac := c.selOf(n.Preds[0], sels)
-		nc.Rows = left.Rows * passFrac
+		nc.Rows = Card(leftRows * passFrac)
 		nc.Width = left.Width
 		build := innerCard * (p.CPUOperatorCost + p.CPUTupleCost)
-		probe := left.Rows * p.HashQualCost
-		emit := nc.Rows * p.CPUTupleCost
-		nc.SelfCost = build + probe + emit
+		probe := leftRows * p.HashQualCost
+		emit := nc.Rows.F() * p.CPUTupleCost
+		nc.SelfCost = Cost(build + probe + emit)
 
 	default:
 		panic(fmt.Sprintf("cost: unknown operator %v", n.Op))
 	}
 
 	if c.perturb != nil {
-		nc.SelfCost *= c.perturb(n)
+		nc.SelfCost = nc.SelfCost.Scale(Ratio(c.perturb(n)))
 	}
 	nc.TotalCost = nc.SelfCost + left.TotalCost + right.TotalCost
 	return nc
@@ -457,7 +460,7 @@ func (c *Coster) Explain(root *plan.Node, sels Selectivities) string {
 // sort spill passes when the input exceeds work memory.
 func (c *Coster) sortCost(in NodeCost) float64 {
 	p := c.model.P
-	rows := in.Rows
+	rows := in.Rows.F()
 	if rows < 2 {
 		return 0
 	}

@@ -56,7 +56,7 @@ func TestCostPositiveAndFinite(t *testing.T) {
 	sels := DefaultSels(fx.q)
 	for i, p := range fx.plans {
 		c := fx.coster.Cost(p, sels)
-		if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+		if !(c > 0) || math.IsInf(c.F(), 0) || math.IsNaN(c.F()) {
 			t.Errorf("plan %d cost = %v", i, c)
 		}
 	}
@@ -72,21 +72,21 @@ func TestPCMProperty(t *testing.T) {
 		check := func(planIdx int) func(s0a, s1a, s2a, bump float64) bool {
 			p := fx.plans[planIdx%len(fx.plans)]
 			return func(s0a, s1a, s2a, bump float64) bool {
-				lo := Selectivities{clamp01(s0a), clampJoin(s1a), clampJoin(s2a)}
+				lo := Selectivities{Sel(clamp01(s0a)), Sel(clampJoin(s1a)), Sel(clampJoin(s2a))}
 				hi := lo.Clone()
 				// Bump one random dimension upward.
 				d := int(math.Mod(math.Abs(bump)*1000, 3))
 				if d < 0 || d > 2 { // NaN/Inf inputs
 					d = 0
 				}
-				hi[d] = hi[d] * (1 + math.Mod(math.Abs(bump), 3))
-				if math.IsNaN(hi[d]) || math.IsInf(hi[d], 0) {
+				hi[d] = hi[d] * Sel(1+math.Mod(math.Abs(bump), 3))
+				if math.IsNaN(hi[d].F()) || math.IsInf(hi[d].F(), 0) {
 					hi[d] = lo[d]
 				}
 				if d == 0 && hi[d] > 1 {
 					hi[d] = 1
 				}
-				return fx.coster.Cost(p, hi) >= fx.coster.Cost(p, lo)*(1-1e-12)
+				return fx.coster.Cost(p, hi) >= fx.coster.Cost(p, lo).Scale(1-1e-12)
 			}
 		}
 		for pi := range fx.plans {
@@ -122,18 +122,18 @@ func TestDetailConsistency(t *testing.T) {
 		if root.Node != p {
 			t.Fatalf("plan %d: last detail entry is not the root", i)
 		}
-		if got := fx.coster.Cost(p, sels); math.Abs(got-root.TotalCost) > 1e-9*got {
+		if got := fx.coster.Cost(p, sels); math.Abs((got - root.TotalCost).F()) > 1e-9*got.F() {
 			t.Fatalf("plan %d: Cost %g != Detail root total %g", i, got, root.TotalCost)
 		}
 		// Total = sum of self costs.
-		var sum float64
+		var sum Cost
 		for _, nc := range det {
 			if nc.SelfCost < 0 {
 				t.Fatalf("plan %d: negative self cost %g", i, nc.SelfCost)
 			}
 			sum += nc.SelfCost
 		}
-		if math.Abs(sum-root.TotalCost) > 1e-9*sum {
+		if math.Abs((sum - root.TotalCost).F()) > 1e-9*sum.F() {
 			t.Fatalf("plan %d: Σself %g != total %g", i, sum, root.TotalCost)
 		}
 	}
@@ -146,9 +146,9 @@ func TestRowsMatchSelectivityAlgebra(t *testing.T) {
 	partCard := float64(cat.MustRelation("part").Card)
 	liCard := float64(cat.MustRelation("lineitem").Card)
 	ordCard := float64(cat.MustRelation("orders").Card)
-	want := partCard * liCard * ordCard * sels[0] * sels[1] * sels[2]
+	want := partCard * liCard * ordCard * sels[0].F() * sels[1].F() * sels[2].F()
 	for i, p := range fx.plans {
-		got := fx.coster.Rows(p, sels)
+		got := fx.coster.Rows(p, sels).F()
 		if math.Abs(got-want) > 1e-6*want {
 			t.Errorf("plan %d rows = %g, want %g (cardinality must be plan-invariant)", i, got, want)
 		}
@@ -197,7 +197,7 @@ func TestModelsDiffer(t *testing.T) {
 	for i := range pg.plans {
 		a := pg.coster.Cost(pg.plans[i], sels)
 		b := com.coster.Cost(com.plans[i], sels)
-		if math.Abs(a-b) > 1e-9*a {
+		if math.Abs((a - b).F()) > 1e-9*a.F() {
 			same = false
 		}
 	}
@@ -215,12 +215,12 @@ func TestPerturbationBounds(t *testing.T) {
 		pert := fx.coster.WithPerturbation(delta, seed)
 		for _, p := range fx.plans {
 			s := sels.Clone()
-			s[0] = clamp01(rng.Float64())
+			s[0] = Sel(clamp01(rng.Float64()))
 			base := fx.coster.Cost(p, s)
 			got := pert.Cost(p, s)
-			if got < base/(1+delta)*(1-1e-9) || got > base*(1+delta)*(1+1e-9) {
+			if got < base.Scale(Ratio(1/(1+delta)*(1-1e-9))) || got > base.Scale(Ratio((1+delta)*(1+1e-9))) {
 				t.Fatalf("seed %d: perturbed cost %g outside [%g, %g]",
-					seed, got, base/(1+delta), base*(1+delta))
+					seed, got, base.Scale(Ratio(1/(1+delta))), base.Scale(Ratio(1+delta)))
 			}
 		}
 	}
@@ -253,7 +253,7 @@ func TestPerturbationPreservesPCM(t *testing.T) {
 	fx := newFixture(t, Postgres())
 	pert := fx.coster.WithPerturbation(0.4, 3)
 	f := func(s0, s1, s2 float64, d uint8) bool {
-		lo := Selectivities{clamp01(s0), clampJoin(s1), clampJoin(s2)}
+		lo := Selectivities{Sel(clamp01(s0)), Sel(clampJoin(s1)), Sel(clampJoin(s2))}
 		hi := lo.Clone()
 		dim := int(d) % 3
 		hi[dim] *= 2
@@ -261,7 +261,7 @@ func TestPerturbationPreservesPCM(t *testing.T) {
 			hi[dim] = 1
 		}
 		for _, p := range fx.plans {
-			if pert.Cost(p, hi) < pert.Cost(p, lo)*(1-1e-12) {
+			if pert.Cost(p, hi) < pert.Cost(p, lo).Scale(1-1e-12) {
 				return false
 			}
 		}
@@ -289,7 +289,7 @@ func TestDefaultSels(t *testing.T) {
 		t.Fatalf("DefaultSels length %d", len(sels))
 	}
 	for i, p := range fx.q.Predicates() {
-		if sels[i] != p.DefaultSel {
+		if sels[i] != Sel(p.DefaultSel) {
 			t.Fatalf("sels[%d] = %g, want %g", i, sels[i], p.DefaultSel)
 		}
 	}

@@ -78,8 +78,8 @@ func Sensitivities(opt *optimizer.Optimizer, space *ess.Space, res int) ([]Sensi
 			for _, p := range diagram.Plans() {
 				lo := coster.Cost(p, loSels)
 				hi := coster.Cost(p, hiSels)
-				if lo > 0 && hi/lo > out[d].MaxRatio {
-					out[d].MaxRatio = hi / lo
+				if r := hi.Over(lo).F(); lo > 0 && r > out[d].MaxRatio {
+					out[d].MaxRatio = r
 				}
 			}
 		}

@@ -134,7 +134,7 @@ func TestReducedBouquetStillWorks(t *testing.T) {
 		if !e.Completed {
 			t.Fatalf("reduced bouquet failed at %d", f)
 		}
-		if e.SubOpt() > b.BoundMSO()*(1+1e-9) {
+		if e.SubOpt() > b.BoundMSO().F()*(1+1e-9) {
 			t.Fatalf("reduced bouquet SubOpt %g exceeds bound %g", e.SubOpt(), b.BoundMSO())
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cost"
 	"repro/internal/query"
 )
 
@@ -231,14 +232,14 @@ func (s *Space) Terminus() Point {
 // Sels converts an ESS point into a full selectivity assignment for the
 // query: error dimensions take the point's values, everything else its
 // default selectivity. The returned slice is indexed by predicate ID.
-func (s *Space) Sels(p Point) []float64 {
+func (s *Space) Sels(p Point) cost.Selectivities {
 	preds := s.q.Predicates()
-	out := make([]float64, len(preds))
+	out := make(cost.Selectivities, len(preds))
 	for i := range preds {
-		out[i] = preds[i].DefaultSel
+		out[i] = cost.Sel(preds[i].DefaultSel)
 	}
 	for d, dim := range s.dims {
-		out[dim.PredID] = p[d]
+		out[dim.PredID] = cost.Sel(p[d])
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/catalog"
+	"repro/internal/cost"
 	"repro/internal/query"
 )
 
@@ -178,7 +179,7 @@ func TestSelsInjection(t *testing.T) {
 	}
 	// Error-free predicate keeps its default.
 	for _, pr := range q.Predicates() {
-		if !pr.ErrorProne && sels[pr.ID] != pr.DefaultSel {
+		if !pr.ErrorProne && sels[pr.ID] != cost.Sel(pr.DefaultSel) {
 			t.Fatalf("pred %d default overwritten", pr.ID)
 		}
 	}

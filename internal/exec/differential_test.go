@@ -109,16 +109,16 @@ func TestDifferentialRandomPlans(t *testing.T) {
 		seen := map[string]bool{}
 		for probe := 0; probe < 6; probe++ {
 			sels := cost.Selectivities{
-				math.Pow(10, -3*rng.Float64()),
-				math.Pow(10, -3*rng.Float64()) / float64(partCard),
-				math.Pow(10, -3*rng.Float64()) / float64(orderCard),
+				cost.Sel(math.Pow(10, -3*rng.Float64())),
+				cost.Sel(math.Pow(10, -3*rng.Float64()) / float64(partCard)),
+				cost.Sel(math.Pow(10, -3*rng.Float64()) / float64(orderCard)),
 			}
 			p := opt.Optimize(sels).Plan
 			if seen[p.Fingerprint()] {
 				continue
 			}
 			seen[p.Fingerprint()] = true
-			res := eng.Run(p, Options{})
+			res := eng.MustRun(p, Options{})
 			if !res.Completed {
 				t.Fatalf("trial %d: unbudgeted run failed for %s", trial, p)
 			}
@@ -141,13 +141,13 @@ func TestDifferentialBudgetsNeverChangeResults(t *testing.T) {
 	opt := optimizer.New(cost.NewCoster(fx.q, cost.Postgres()))
 	for probe := 0; probe < 10; probe++ {
 		sels := cost.Selectivities{
-			math.Pow(10, -3*rng.Float64()),
-			math.Pow(10, -3*rng.Float64()) / 500,
-			math.Pow(10, -3*rng.Float64()) / 1000,
+			cost.Sel(math.Pow(10, -3*rng.Float64())),
+			cost.Sel(math.Pow(10, -3*rng.Float64()) / 500),
+			cost.Sel(math.Pow(10, -3*rng.Float64()) / 1000),
 		}
 		p := opt.Optimize(sels).Plan
-		free := fx.eng.Run(p, Options{})
-		capped := fx.eng.Run(p, Options{Budget: free.CostUsed * 1.01})
+		free := fx.eng.MustRun(p, Options{})
+		capped := fx.eng.MustRun(p, Options{Budget: free.CostUsed * 1.01})
 		if !capped.Completed || capped.RowsOut != free.RowsOut {
 			t.Fatalf("probe %d: budgeted run diverged (%d vs %d rows)", probe, capped.RowsOut, free.RowsOut)
 		}

@@ -58,7 +58,7 @@ type Result struct {
 	// budget.
 	Completed bool
 	// CostUsed is the total cost charged, in model units.
-	CostUsed float64
+	CostUsed cost.Cost
 	// RowsOut is the number of rows produced by the driven node (the
 	// plan root, or the spill node in spill mode).
 	RowsOut int64
@@ -70,7 +70,7 @@ type Result struct {
 type Options struct {
 	// Budget is the cost limit in model units; +Inf or 0 means
 	// unlimited.
-	Budget float64
+	Budget cost.Cost
 	// Spill selects spill mode: only the subtree up to and including
 	// the node applying SpillPred executes; downstream operators are
 	// starved (§5.3).
@@ -104,13 +104,15 @@ func NewEngine(q *query.Query, db *data.Database, model cost.Model, bindings map
 	return &Engine{q: q, db: db, params: model.P, bindings: bindings}, nil
 }
 
-// Run executes root under opts. Run panics when the plan violates the
-// engine's contract — unknown operators, a spill predicate the plan never
-// applies, join nodes carrying selection predicates, or columns missing
-// from the schema. A malformed plan is a programming error, not a
-// runtime condition.
-func (e *Engine) Run(root *plan.Node, opts Options) Result {
-	budget := opts.Budget
+// Run executes root under opts. It returns an error when the plan
+// violates the engine's contract — unknown operators, a spill predicate
+// the plan never applies, join nodes carrying selection predicates, or an
+// index scan missing its index predicate. Exhausting the cost budget is
+// not an error: the Result reports Completed=false with the budget fully
+// charged. Run panics only on internal schema-bookkeeping corruption —
+// an engine bug, never a caller error.
+func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
+	budget := opts.Budget.F()
 	if budget <= 0 {
 		budget = math.Inf(1)
 	}
@@ -121,15 +123,18 @@ func (e *Engine) Run(root *plan.Node, opts Options) Result {
 	if opts.Spill {
 		n := findPredNode(root, opts.SpillPred)
 		if n == nil {
-			panic(fmt.Sprintf("exec: plan does not apply predicate %d", opts.SpillPred))
+			return Result{}, fmt.Errorf("exec: plan does not apply predicate %d", opts.SpillPred)
 		}
 		driven = n
 	}
 
 	b := &builder{e: e, m: m, stats: res.Stats, perturb: opts.Perturb}
-	it, _ := b.build(driven)
+	it, _, err := b.build(driven)
+	if err != nil {
+		return Result{}, err
+	}
 
-	err := it.open()
+	err = it.open()
 	if err == nil {
 		st := res.Stats[driven]
 		for {
@@ -146,11 +151,23 @@ func (e *Engine) Run(root *plan.Node, opts Options) Result {
 	}
 	it.close()
 
-	res.CostUsed = m.used
+	res.CostUsed = cost.Cost(m.used)
 	res.RowsOut = res.Stats[driven].Out
 	res.Completed = err == nil
 	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
-		panic(err) // internal invariant violation, not an expected runtime condition
+		return res, err
+	}
+	return res, nil
+}
+
+// MustRun is Run for callers holding plans from a compiled, validated
+// bouquet, where a contract violation is a programming error rather than
+// a runtime condition: it panics on any error Run reports and returns the
+// Result otherwise.
+func (e *Engine) MustRun(root *plan.Node, opts Options) Result {
+	res, err := e.Run(root, opts)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
@@ -227,7 +244,7 @@ func (b *builder) factor(n *plan.Node) float64 {
 	return b.perturb(n)
 }
 
-func (b *builder) build(n *plan.Node) (iterator, schema) {
+func (b *builder) build(n *plan.Node) (iterator, schema, error) {
 	switch n.Op {
 	case plan.OpSeqScan:
 		return b.buildSeqScan(n)
@@ -246,7 +263,7 @@ func (b *builder) build(n *plan.Node) (iterator, schema) {
 	case plan.OpGroupAggregate:
 		return b.buildGroupAggregate(n)
 	default:
-		panic(fmt.Sprintf("exec: unknown operator %v", n.Op))
+		return nil, nil, fmt.Errorf("exec: unknown operator %v", n.Op)
 	}
 }
 

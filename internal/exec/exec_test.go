@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/catalog"
@@ -117,7 +118,7 @@ func TestAllOperatorsProduceSameResult(t *testing.T) {
 		t.Fatal("degenerate fixture: empty result")
 	}
 	for name, p := range fx.plans {
-		res := fx.eng.Run(p, Options{})
+		res := fx.eng.MustRun(p, Options{})
 		if !res.Completed {
 			t.Fatalf("%s: unbudgeted run did not complete", name)
 		}
@@ -135,9 +136,9 @@ func TestChargedCostTracksModel(t *testing.T) {
 	selPL := fx.db.JoinSelectivity("part", "p_id", "lineitem", "l_part")
 	selLO := fx.db.JoinSelectivity("lineitem", "l_order", "orders", "o_id")
 	_, selP := fx.db.SelectionBound("part", "p_price", 0.3)
-	sels := cost.Selectivities{selP, selPL, selLO}
+	sels := cost.Selectivities{cost.Sel(selP), cost.Sel(selPL), cost.Sel(selLO)}
 	for name, p := range fx.plans {
-		res := fx.eng.Run(p, Options{})
+		res := fx.eng.MustRun(p, Options{})
 		want := fx.coster.Cost(p, sels)
 		if res.CostUsed < want*0.5 || res.CostUsed > want*2.0 {
 			t.Errorf("%s: charged %g, model %g (off by >2x)", name, res.CostUsed, want)
@@ -148,9 +149,9 @@ func TestChargedCostTracksModel(t *testing.T) {
 func TestBudgetAbort(t *testing.T) {
 	fx := newFixture(t)
 	for name, p := range fx.plans {
-		full := fx.eng.Run(p, Options{})
+		full := fx.eng.MustRun(p, Options{})
 		budget := full.CostUsed / 4
-		partial := fx.eng.Run(p, Options{Budget: budget})
+		partial := fx.eng.MustRun(p, Options{Budget: budget})
 		if partial.Completed {
 			t.Errorf("%s: completed under a quarter budget", name)
 			continue
@@ -169,10 +170,10 @@ func TestBudgetMonotone(t *testing.T) {
 	// More budget ⇒ at least as many output rows.
 	fx := newFixture(t)
 	p := fx.plans["hj"]
-	full := fx.eng.Run(p, Options{})
+	full := fx.eng.MustRun(p, Options{})
 	prev := int64(-1)
 	for _, frac := range []float64{0.1, 0.3, 0.5, 0.8, 1.5} {
-		res := fx.eng.Run(p, Options{Budget: full.CostUsed * frac})
+		res := fx.eng.MustRun(p, Options{Budget: full.CostUsed.Scale(cost.Ratio(frac))})
 		if res.RowsOut < prev {
 			t.Fatalf("rows decreased with larger budget: %d after %d", res.RowsOut, prev)
 		}
@@ -183,8 +184,8 @@ func TestBudgetMonotone(t *testing.T) {
 func TestCompletionExactlyAtSufficientBudget(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["nl"]
-	full := fx.eng.Run(p, Options{})
-	res := fx.eng.Run(p, Options{Budget: full.CostUsed * 1.001})
+	full := fx.eng.MustRun(p, Options{})
+	res := fx.eng.MustRun(p, Options{Budget: full.CostUsed * 1.001})
 	if !res.Completed {
 		t.Fatal("run with full-cost budget should complete")
 	}
@@ -196,7 +197,7 @@ func TestCompletionExactlyAtSufficientBudget(t *testing.T) {
 func TestInstrumentationCounts(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["hj"]
-	res := fx.eng.Run(p, Options{})
+	res := fx.eng.MustRun(p, Options{})
 	// The p_price selection pass count at the part scan equals the
 	// brute-force count.
 	part := fx.db.Table("part")
@@ -233,7 +234,7 @@ func TestJoinMatchCounts(t *testing.T) {
 	want := fx.bruteForceCount()
 	for _, name := range []string{"hj", "mj", "nl"} {
 		p := fx.plans[name]
-		res := fx.eng.Run(p, Options{})
+		res := fx.eng.MustRun(p, Options{})
 		if got := res.Stats[p].Matches; got != want {
 			t.Errorf("%s: root Matches = %d, want %d", name, got, want)
 		}
@@ -243,7 +244,7 @@ func TestJoinMatchCounts(t *testing.T) {
 func TestSpillModeRunsOnlySubtree(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["hj"] // HJ( HJ(lineitem, part{0}) {1}, orders ) {2}
-	res := fx.eng.Run(p, Options{Spill: true, SpillPred: 1})
+	res := fx.eng.MustRun(p, Options{Spill: true, SpillPred: 1})
 	if !res.Completed {
 		t.Fatal("unbudgeted spill should complete")
 	}
@@ -277,8 +278,8 @@ func TestSpillModeRunsOnlySubtree(t *testing.T) {
 func TestSpillCheaperThanFull(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["hj"]
-	full := fx.eng.Run(p, Options{})
-	spill := fx.eng.Run(p, Options{Spill: true, SpillPred: 1})
+	full := fx.eng.MustRun(p, Options{})
+	spill := fx.eng.MustRun(p, Options{Spill: true, SpillPred: 1})
 	if spill.CostUsed >= full.CostUsed {
 		t.Fatalf("spilled run (%g) not cheaper than full (%g)", spill.CostUsed, full.CostUsed)
 	}
@@ -290,9 +291,9 @@ func TestSpillLearningSelectivityLowerBound(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["nlFold"] // NL(NL(orders, lineitem){2}, part){0,1}
 	trueSel := fx.db.JoinSelectivity("lineitem", "l_order", "orders", "o_id")
-	full := fx.eng.Run(p, Options{Spill: true, SpillPred: 2})
+	full := fx.eng.MustRun(p, Options{Spill: true, SpillPred: 2})
 	for _, frac := range []float64{0.1, 0.4, 0.9, 1.2} {
-		res := fx.eng.Run(p, Options{Budget: full.CostUsed * frac, Spill: true, SpillPred: 2})
+		res := fx.eng.MustRun(p, Options{Budget: full.CostUsed.Scale(cost.Ratio(frac)), Spill: true, SpillPred: 2})
 		node := p.Left
 		st := res.Stats[node]
 		if st == nil {
@@ -311,17 +312,17 @@ func TestSpillLearningSelectivityLowerBound(t *testing.T) {
 func TestPerturbedChargesScale(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["hj"]
-	base := fx.eng.Run(p, Options{})
+	base := fx.eng.MustRun(p, Options{})
 	delta := 0.4
 	pert := fx.coster.WithPerturbation(delta, 5)
 	// Reuse the coster's deterministic node factors for the engine.
-	res := fx.eng.Run(p, Options{Perturb: func(n *plan.Node) float64 {
-		return pert.Cost(n, cost.DefaultSels(fx.q)) / fx.coster.Cost(n, cost.DefaultSels(fx.q))
+	res := fx.eng.MustRun(p, Options{Perturb: func(n *plan.Node) float64 {
+		return pert.Cost(n, cost.DefaultSels(fx.q)).Over(fx.coster.Cost(n, cost.DefaultSels(fx.q))).F()
 	}})
 	if res.RowsOut != base.RowsOut {
 		t.Fatal("perturbation changed results")
 	}
-	lo, hi := base.CostUsed/(1+delta)*(1-1e-6), base.CostUsed*(1+delta)*(1+1e-6)
+	lo, hi := base.CostUsed.Scale(cost.Ratio(1/(1+delta)*(1-1e-6))), base.CostUsed.Scale(cost.Ratio((1+delta)*(1+1e-6)))
 	if res.CostUsed < lo || res.CostUsed > hi {
 		t.Fatalf("perturbed charge %g outside [%g, %g]", res.CostUsed, lo, hi)
 	}
@@ -341,14 +342,42 @@ func TestSpillUnknownPredPanics(t *testing.T) {
 			t.Fatal("spill on unapplied predicate should panic")
 		}
 	}()
-	fx.eng.Run(fx.plans["hj"], Options{Spill: true, SpillPred: 99})
+	fx.eng.MustRun(fx.plans["hj"], Options{Spill: true, SpillPred: 99})
+}
+
+// TestRunUnknownOperatorReturnsError pins the build-error contract:
+// before the iterator-build error was propagated out of Run, a plan
+// carrying an unrecognized operator left the iterator nil and Run
+// panicked on open. It must surface as an ordinary error instead.
+func TestRunUnknownOperatorReturnsError(t *testing.T) {
+	fx := newFixture(t)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Run panicked on an unknown operator: %v", r)
+		}
+	}()
+	bogus := &plan.Node{Op: plan.Op(9999)}
+	if _, err := fx.eng.Run(bogus, Options{}); err == nil {
+		t.Fatal("Run on a plan with an unknown operator should return an error")
+	} else if !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// The same error must propagate from deep inside the tree, not just
+	// from the root dispatch.
+	nested := plan.NewAggregate(bogus)
+	if _, err := fx.eng.Run(nested, Options{}); err == nil {
+		t.Fatal("Run should propagate a build error from a nested child")
+	} else if !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("unexpected error from nested plan: %v", err)
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {
 	fx := newFixture(t)
 	p := fx.plans["mj"]
-	a := fx.eng.Run(p, Options{Budget: 500})
-	b := fx.eng.Run(p, Options{Budget: 500})
+	a := fx.eng.MustRun(p, Options{Budget: 500})
+	b := fx.eng.MustRun(p, Options{Budget: 500})
 	if a.RowsOut != b.RowsOut || a.CostUsed != b.CostUsed || a.Completed != b.Completed {
 		t.Fatal("budgeted runs are not deterministic")
 	}
@@ -358,7 +387,7 @@ func TestAggregateOperator(t *testing.T) {
 	fx := newFixture(t)
 	base := fx.plans["hj"]
 	agg := plan.NewAggregate(base)
-	res := fx.eng.Run(agg, Options{})
+	res := fx.eng.MustRun(agg, Options{})
 	if !res.Completed || res.RowsOut != 1 {
 		t.Fatalf("aggregate: completed=%v rows=%d", res.Completed, res.RowsOut)
 	}
@@ -368,7 +397,7 @@ func TestAggregateOperator(t *testing.T) {
 	}
 	// Budgeted aggregates abort like everything else.
 	full := res.CostUsed
-	part := fx.eng.Run(agg, Options{Budget: full / 3})
+	part := fx.eng.MustRun(agg, Options{Budget: full / 3})
 	if part.Completed {
 		t.Fatal("aggregate completed at a third of its cost")
 	}
@@ -379,7 +408,7 @@ func BenchmarkHashJoinExecution(b *testing.B) {
 	p := fx.plans["hj"]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fx.eng.Run(p, Options{})
+		fx.eng.MustRun(p, Options{})
 	}
 }
 
@@ -388,17 +417,17 @@ func BenchmarkIndexNLExecution(b *testing.B) {
 	p := fx.plans["nl"]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fx.eng.Run(p, Options{})
+		fx.eng.MustRun(p, Options{})
 	}
 }
 
 func BenchmarkBudgetedPartialExecution(b *testing.B) {
 	fx := newFixture(b)
 	p := fx.plans["hj"]
-	full := fx.eng.Run(p, Options{})
+	full := fx.eng.MustRun(p, Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fx.eng.Run(p, Options{Budget: full.CostUsed / 4})
+		fx.eng.MustRun(p, Options{Budget: full.CostUsed / 4})
 	}
 }
 
@@ -407,7 +436,7 @@ func BenchmarkSpilledExecution(b *testing.B) {
 	p := fx.plans["hj"]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fx.eng.Run(p, Options{Spill: true, SpillPred: 1})
+		fx.eng.MustRun(p, Options{Spill: true, SpillPred: 1})
 	}
 }
 
@@ -464,7 +493,7 @@ func TestJoinsWithDuplicateKeys(t *testing.T) {
 		"nl":     plan.NewIndexNLJoin(seqL, "r", "r_k", []int{0}),
 		"nl-rev": plan.NewIndexNLJoin(seqR, "l", "l_k", []int{0}),
 	} {
-		res := eng.Run(p, Options{})
+		res := eng.MustRun(p, Options{})
 		if !res.Completed || res.RowsOut != want {
 			t.Errorf("%s: rows = %d, want %d", name, res.RowsOut, want)
 		}
@@ -507,7 +536,7 @@ func TestMergeJoinGroupBoundaries(t *testing.T) {
 		}
 	}
 	p := plan.NewMergeJoin(plan.NewSeqScan("a", nil), plan.NewSeqScan("b", nil), []int{0})
-	if res := eng.Run(p, Options{}); res.RowsOut != want {
+	if res := eng.MustRun(p, Options{}); res.RowsOut != want {
 		t.Fatalf("merge join rows = %d, want %d", res.RowsOut, want)
 	}
 }
@@ -521,7 +550,7 @@ func TestGroupAggregate(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := fx.eng.Run(g, Options{})
+	res := fx.eng.MustRun(g, Options{})
 	if !res.Completed {
 		t.Fatal("group aggregate failed")
 	}
@@ -542,7 +571,7 @@ func TestGroupAggregate(t *testing.T) {
 		t.Fatalf("aggregate consumed %d, want %d", got, fx.bruteForceCount())
 	}
 	// Budget abort applies.
-	part1 := fx.eng.Run(g, Options{Budget: res.CostUsed / 3})
+	part1 := fx.eng.MustRun(g, Options{Budget: res.CostUsed / 3})
 	if part1.Completed {
 		t.Fatal("group aggregate completed at a third of its cost")
 	}
@@ -585,16 +614,16 @@ func TestAntiJoinOperatorLocal(t *testing.T) {
 		}
 	}
 	p := plan.NewAntiJoin(plan.NewSeqScan("o", nil), "blk", "b_c", 0)
-	res := eng.Run(p, Options{})
+	res := eng.MustRun(p, Options{})
 	if !res.Completed || res.RowsOut != want {
 		t.Fatalf("anti rows = %d, want %d", res.RowsOut, want)
 	}
-	partial := eng.Run(p, Options{Budget: res.CostUsed / 2})
+	partial := eng.MustRun(p, Options{Budget: res.CostUsed / 2})
 	if partial.Completed || partial.RowsOut >= want {
 		t.Fatalf("budgeted anti join: completed=%v rows=%d", partial.Completed, partial.RowsOut)
 	}
 	// Spill mode on the anti predicate drives the anti node itself.
-	spill := eng.Run(p, Options{Spill: true, SpillPred: 0})
+	spill := eng.MustRun(p, Options{Spill: true, SpillPred: 0})
 	if !spill.Completed || spill.RowsOut != want {
 		t.Fatalf("spilled anti rows = %d, want %d", spill.RowsOut, want)
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"math"
 	"sort"
 
@@ -47,7 +48,7 @@ type tableRef struct {
 	col     func(i int) []int64 // columnar access by schema offset
 }
 
-func (b *builder) buildSeqScan(n *plan.Node) (iterator, schema) {
+func (b *builder) buildSeqScan(n *plan.Node) (iterator, schema, error) {
 	sch := b.relSchema(n.Relation)
 	tbl := b.e.db.Table(n.Relation)
 	rel := b.e.q.Catalog.MustRelation(n.Relation)
@@ -71,7 +72,7 @@ func (b *builder) buildSeqScan(n *plan.Node) (iterator, schema) {
 			negated: p.Negated,
 		})
 	}
-	return s, sch
+	return s, sch, nil
 }
 
 func (s *seqScan) open() error { return nil }
@@ -137,7 +138,7 @@ type indexScan struct {
 	opened  bool
 }
 
-func (b *builder) buildIndexScan(n *plan.Node) (iterator, schema) {
+func (b *builder) buildIndexScan(n *plan.Node) (iterator, schema, error) {
 	sch := b.relSchema(n.Relation)
 	tbl := b.e.db.Table(n.Relation)
 	s := &indexScan{
@@ -164,7 +165,7 @@ func (b *builder) buildIndexScan(n *plan.Node) (iterator, schema) {
 		}
 	}
 	if !found {
-		panic("exec: index scan without a predicate on its index column")
+		return nil, nil, errors.New("exec: index scan without a predicate on its index column")
 	}
 	s.order = tbl.SortedBy(n.IndexColumn)
 	idx := b.e.q.Catalog.Index(n.Relation, n.IndexColumn)
@@ -173,7 +174,7 @@ func (b *builder) buildIndexScan(n *plan.Node) (iterator, schema) {
 	} else {
 		s.perPage = b.e.params.RandomPageCost
 	}
-	return s, sch
+	return s, sch, nil
 }
 
 func (s *indexScan) open() error {
@@ -301,8 +302,11 @@ type indexNL struct {
 	mi      int
 }
 
-func (b *builder) buildIndexNL(n *plan.Node) (iterator, schema) {
-	outer, outerSch := b.build(n.Left)
+func (b *builder) buildIndexNL(n *plan.Node) (iterator, schema, error) {
+	outer, outerSch, err := b.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
 	innerSch := b.relSchema(n.Relation)
 	tbl := b.e.db.Table(n.Relation)
 
@@ -348,7 +352,7 @@ func (b *builder) buildIndexNL(n *plan.Node) (iterator, schema) {
 		j.perMatch = b.e.params.RandomPageCost
 	}
 	j.out = append(append(schema{}, outerSch...), innerSch...)
-	return j, j.out
+	return j, j.out, nil
 }
 
 func (j *indexNL) open() error { return j.outer.open() }
@@ -450,12 +454,18 @@ type hashJoin struct {
 	mi      int
 }
 
-func (b *builder) buildHashJoin(n *plan.Node) (iterator, schema) {
-	left, leftSch := b.build(n.Left)
-	right, rightSch := b.build(n.Right)
+func (b *builder) buildHashJoin(n *plan.Node) (iterator, schema, error) {
+	left, leftSch, err := b.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rightSch, err := b.build(n.Right)
+	if err != nil {
+		return nil, nil, err
+	}
 	joins, sels := b.predSplit(n.Preds)
 	if len(sels) > 0 {
-		panic("exec: hash join with selection predicates")
+		return nil, nil, errors.New("exec: hash join with selection predicates")
 	}
 	j := &hashJoin{
 		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
@@ -467,7 +477,7 @@ func (b *builder) buildHashJoin(n *plan.Node) (iterator, schema) {
 	// Approximate row widths by 8 bytes per column for spill accounting.
 	j.leftPageRows = ps / (8 * float64(len(leftSch)))
 	j.rightPageRows = ps / (8 * float64(len(rightSch)))
-	return j, j.out
+	return j, j.out, nil
 }
 
 func (j *hashJoin) open() error {
@@ -589,12 +599,18 @@ type mergeJoin struct {
 	curLeft row
 }
 
-func (b *builder) buildMergeJoin(n *plan.Node) (iterator, schema) {
-	left, leftSch := b.build(n.Left)
-	right, rightSch := b.build(n.Right)
+func (b *builder) buildMergeJoin(n *plan.Node) (iterator, schema, error) {
+	left, leftSch, err := b.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rightSch, err := b.build(n.Right)
+	if err != nil {
+		return nil, nil, err
+	}
 	joins, sels := b.predSplit(n.Preds)
 	if len(sels) > 0 {
-		panic("exec: merge join with selection predicates")
+		return nil, nil, errors.New("exec: merge join with selection predicates")
 	}
 	j := &mergeJoin{
 		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
@@ -602,7 +618,7 @@ func (b *builder) buildMergeJoin(n *plan.Node) (iterator, schema) {
 		keys: b.bindJoinKeys(joins, leftSch, rightSch),
 	}
 	j.out = append(append(schema{}, leftSch...), rightSch...)
-	return j, j.out
+	return j, j.out, nil
 }
 
 // drainSorted materializes and sorts one input, charging ~n·log2(n)
@@ -754,12 +770,14 @@ type aggregate struct {
 	sum   int64
 }
 
-func (b *builder) buildAggregate(n *plan.Node) (iterator, schema) {
-	child, childSch := b.build(n.Left)
+func (b *builder) buildAggregate(n *plan.Node) (iterator, schema, error) {
+	child, _, err := b.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
 	a := &aggregate{b: b, n: n, st: b.statsFor(n), f: b.factor(n), child: child}
-	_ = childSch
 	out := schema{{Relation: "", Column: "count"}, {Relation: "", Column: "sum"}}
-	return a, out
+	return a, out, nil
 }
 
 func (a *aggregate) open() error { return a.child.open() }
@@ -821,8 +839,11 @@ type antiJoin struct {
 	built    bool
 }
 
-func (b *builder) buildAntiJoin(n *plan.Node) (iterator, schema) {
-	outer, outerSch := b.build(n.Left)
+func (b *builder) buildAntiJoin(n *plan.Node) (iterator, schema, error) {
+	outer, outerSch, err := b.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
 	p := b.e.q.Predicate(n.Preds[0])
 	tbl := b.e.db.Table(n.Relation)
 	j := &antiJoin{
@@ -838,7 +859,7 @@ func (b *builder) buildAntiJoin(n *plan.Node) (iterator, schema) {
 	for _, v := range vals {
 		j.innerSet[v] = true
 	}
-	return j, outerSch
+	return j, outerSch, nil
 }
 
 func (j *antiJoin) open() error {
@@ -901,8 +922,11 @@ type groupAggregate struct {
 	pos    int
 }
 
-func (b *builder) buildGroupAggregate(n *plan.Node) (iterator, schema) {
-	child, childSch := b.build(n.Left)
+func (b *builder) buildGroupAggregate(n *plan.Node) (iterator, schema, error) {
+	child, childSch, err := b.build(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
 	g := &groupAggregate{
 		b: b, n: n, st: b.statsFor(n), f: b.factor(n),
 		child: child,
@@ -912,7 +936,7 @@ func (b *builder) buildGroupAggregate(n *plan.Node) (iterator, schema) {
 		{Relation: n.Relation, Column: n.IndexColumn},
 		{Relation: "", Column: "count"},
 	}
-	return g, out
+	return g, out, nil
 }
 
 func (g *groupAggregate) open() error { return g.child.open() }

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cost"
 	"repro/internal/posp"
 )
 
@@ -68,7 +69,7 @@ type Stats struct {
 
 // Compute evaluates a single-plan strategy. planCost is
 // posp.CostMatrix(d, …); d must be fully covered.
-func Compute(d *posp.Diagram, planCost [][]float64, assign Assignment) (Stats, error) {
+func Compute(d *posp.Diagram, planCost [][]cost.Cost, assign Assignment) (Stats, error) {
 	n := d.Space().NumPoints()
 	if len(assign) != n {
 		return Stats{}, fmt.Errorf("metrics: assignment covers %d of %d locations", len(assign), n)
@@ -97,7 +98,7 @@ func Compute(d *posp.Diagram, planCost [][]float64, assign Assignment) (Stats, e
 		worst, worstPid := 0.0, -1
 		var sumOverQe float64
 		for pid, cnt := range planCount {
-			so := planCost[pid][qa] / opt
+			so := planCost[pid][qa].Over(opt).F()
 			sumOverQe += so * float64(cnt)
 			if so > worst {
 				worst, worstPid = so, pid

@@ -19,7 +19,7 @@ import (
 //	cost matrix:      loc0  loc1  loc2
 //	  plan 0:          10    20    90
 //	  plan 1:          40    30    30
-func handDiagram(t *testing.T) (*posp.Diagram, [][]float64) {
+func handDiagram(t *testing.T) (*posp.Diagram, [][]cost.Cost) {
 	t.Helper()
 	cat := catalog.TPCHLike(0.01)
 	q := query.NewBuilder("mq", cat).
@@ -36,7 +36,7 @@ func handDiagram(t *testing.T) (*posp.Diagram, [][]float64) {
 	d.Set(0, planA, 10)
 	d.Set(1, planA, 20)
 	d.Set(2, planB, 30)
-	m := [][]float64{{10, 20, 90}, {40, 30, 30}}
+	m := [][]cost.Cost{{10, 20, 90}, {40, 30, 30}}
 	return d, m
 }
 
@@ -191,7 +191,7 @@ func TestEndToEndAgainstDirectDefinition(t *testing.T) {
 	var directMSO, directSum float64
 	for qe := 0; qe < n; qe++ {
 		for qa := 0; qa < n; qa++ {
-			so := m[assign[qe]][qa] / d.Cost(qa)
+			so := m[assign[qe]][qa].Over(d.Cost(qa)).F()
 			directSum += so
 			if so > directMSO {
 				directMSO = so

@@ -102,13 +102,13 @@ type Result struct {
 	// Plan is the cheapest plan found.
 	Plan *plan.Node
 	// Cost is Plan's total cost at the injected selectivities.
-	Cost float64
+	Cost cost.Cost
 }
 
 type memoEntry struct {
 	node *plan.Node
-	cost float64
-	rows float64
+	cost cost.Cost
+	rows cost.Card
 	wide float64
 }
 
@@ -139,7 +139,7 @@ func (o *Optimizer) Optimize(sels cost.Selectivities) Result {
 		if bits.OnesCount64(m) < 2 || !o.connectedMask(m) {
 			continue
 		}
-		best := memoEntry{cost: math.Inf(1)}
+		best := memoEntry{cost: cost.Cost(math.Inf(1))}
 		// Enumerate ordered splits (left=probe/outer, right=build/inner).
 		for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
 			left, right := sub, m&^sub
@@ -310,6 +310,6 @@ func (o *Optimizer) connectedMask(m uint64) bool {
 // AbstractCost prices an arbitrary (externally supplied) plan at the given
 // selectivities: the paper's "abstract plan costing" capability (§5.4),
 // used to re-cost bouquet plans at every ESS location.
-func (o *Optimizer) AbstractCost(p *plan.Node, sels cost.Selectivities) float64 {
+func (o *Optimizer) AbstractCost(p *plan.Node, sels cost.Selectivities) cost.Cost {
 	return o.coster.Cost(p, sels)
 }

@@ -56,7 +56,7 @@ func TestOptimizeCostMatchesAbstractCost(t *testing.T) {
 	opt := newOpt(t, q)
 	sels := cost.Selectivities{0.05, 2e-4, 1e-5}
 	res := opt.Optimize(sels)
-	if got := opt.AbstractCost(res.Plan, sels); math.Abs(got-res.Cost) > 1e-9*res.Cost {
+	if got := opt.AbstractCost(res.Plan, sels); math.Abs((got - res.Cost).F()) > 1e-9*res.Cost.F() {
 		t.Fatalf("AbstractCost %g != Optimize cost %g", got, res.Cost)
 	}
 }
@@ -132,9 +132,9 @@ func TestOptimalityAgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
 		sels := cost.Selectivities{
-			math.Pow(10, -4*rng.Float64()),        // selection in [1e-4, 1]
-			math.Pow(10, -3*rng.Float64()) * 5e-4, // joins under max legal
-			math.Pow(10, -3*rng.Float64()) * 6.6e-5,
+			cost.Sel(math.Pow(10, -4*rng.Float64())),        // selection in [1e-4, 1]
+			cost.Sel(math.Pow(10, -3*rng.Float64()) * 5e-4), // joins under max legal
+			cost.Sel(math.Pow(10, -3*rng.Float64()) * 6.6e-5),
 		}
 		res := opt.Optimize(sels)
 		for _, p := range plans {

@@ -15,11 +15,11 @@ import (
 //
 // Computation parallelises over plans; each plan costing walks its tree
 // once per location (the paper's abstract-plan-costing capability).
-func CostMatrix(d *Diagram, coster *cost.Coster, workers int) [][]float64 {
+func CostMatrix(d *Diagram, coster *cost.Coster, workers int) [][]cost.Cost {
 	space := d.Space()
 	n := space.NumPoints()
 	plans := d.Plans()
-	m := make([][]float64, len(plans))
+	m := make([][]cost.Cost, len(plans))
 
 	// Pre-materialize the selectivity assignment per location so worker
 	// goroutines share it read-only.
@@ -38,7 +38,7 @@ func CostMatrix(d *Diagram, coster *cost.Coster, workers int) [][]float64 {
 		go func() {
 			defer wg.Done()
 			for pid := range work {
-				costs := make([]float64, n)
+				costs := make([]cost.Cost, n)
 				for flat := 0; flat < n; flat++ {
 					costs[flat] = coster.Cost(plans[pid], sels[flat])
 				}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cost"
 	"repro/internal/ess"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -26,8 +27,8 @@ import (
 type Diagram struct {
 	space *ess.Space
 
-	planID []int     // per flat index; -1 = not optimized
-	cost   []float64 // optimal cost per flat index; NaN = not optimized
+	planID []int       // per flat index; -1 = not optimized
+	cost   []cost.Cost // optimal cost per flat index; NaN = not optimized
 
 	plans  []*plan.Node
 	fpToID map[string]int
@@ -39,12 +40,12 @@ func NewDiagram(space *ess.Space) *Diagram {
 	d := &Diagram{
 		space:  space,
 		planID: make([]int, n),
-		cost:   make([]float64, n),
+		cost:   make([]cost.Cost, n),
 		fpToID: make(map[string]int),
 	}
 	for i := range d.planID {
 		d.planID[i] = -1
-		d.cost[i] = math.NaN()
+		d.cost[i] = cost.Cost(math.NaN())
 	}
 	return d
 }
@@ -54,10 +55,10 @@ func (d *Diagram) Space() *ess.Space { return d.space }
 
 // Set records the optimal plan and cost for the grid location flat,
 // returning the plan's diagram ID (assigning a new one for unseen plans).
-func (d *Diagram) Set(flat int, p *plan.Node, cost float64) int {
+func (d *Diagram) Set(flat int, p *plan.Node, c cost.Cost) int {
 	id := d.registerPlan(p)
 	d.planID[flat] = id
-	d.cost[flat] = cost
+	d.cost[flat] = c
 	return id
 }
 
@@ -77,7 +78,7 @@ func (d *Diagram) registerPlan(p *plan.Node) int {
 func (d *Diagram) PlanID(flat int) int { return d.planID[flat] }
 
 // Cost returns the optimal cost at flat (NaN if not optimized).
-func (d *Diagram) Cost(flat int) float64 { return d.cost[flat] }
+func (d *Diagram) Cost(flat int) cost.Cost { return d.cost[flat] }
 
 // Covered reports whether flat was optimized.
 func (d *Diagram) Covered(flat int) bool { return d.planID[flat] >= 0 }
@@ -105,8 +106,8 @@ func (d *Diagram) Coverage() float64 {
 
 // CostBounds returns the minimum and maximum optimal cost over covered
 // locations. It panics if the diagram is empty.
-func (d *Diagram) CostBounds() (cmin, cmax float64) {
-	cmin, cmax = math.Inf(1), math.Inf(-1)
+func (d *Diagram) CostBounds() (cmin, cmax cost.Cost) {
+	cmin, cmax = cost.Cost(math.Inf(1)), cost.Cost(math.Inf(-1))
 	for i, id := range d.planID {
 		if id < 0 {
 			continue
@@ -118,7 +119,7 @@ func (d *Diagram) CostBounds() (cmin, cmax float64) {
 			cmax = d.cost[i]
 		}
 	}
-	if math.IsInf(cmin, 1) {
+	if math.IsInf(cmin.F(), 1) {
 		panic("posp: empty diagram")
 	}
 	return cmin, cmax

@@ -35,7 +35,7 @@ func TestDiagramBasics(t *testing.T) {
 	if d.Coverage() != 0 {
 		t.Fatal("fresh diagram should be uncovered")
 	}
-	if d.Covered(0) || d.PlanID(0) != -1 || !math.IsNaN(d.Cost(0)) {
+	if d.Covered(0) || d.PlanID(0) != -1 || !math.IsNaN(d.Cost(0).F()) {
 		t.Fatal("uncovered location state wrong")
 	}
 
@@ -84,7 +84,7 @@ func TestGenerateFullCoverage(t *testing.T) {
 	// Every location's cost matches an independent re-optimization.
 	for flat := 0; flat < space.NumPoints(); flat++ {
 		res := opt.Optimize(space.Sels(space.PointAt(flat)))
-		if math.Abs(res.Cost-d.Cost(flat)) > 1e-9*res.Cost {
+		if math.Abs((res.Cost - d.Cost(flat)).F()) > 1e-9*res.Cost.F() {
 			t.Fatalf("location %d: diagram cost %g != optimizer %g", flat, d.Cost(flat), res.Cost)
 		}
 	}
@@ -155,7 +155,7 @@ func TestCostMatrixConsistency(t *testing.T) {
 		pid := d.PlanID(flat)
 		// The diagram plan's matrix cost at its own region equals the
 		// diagram's optimal cost.
-		if math.Abs(m[pid][flat]-d.Cost(flat)) > 1e-9*d.Cost(flat) {
+		if math.Abs((m[pid][flat] - d.Cost(flat)).F()) > 1e-9*d.Cost(flat).F() {
 			t.Fatalf("matrix[%d][%d] = %g, diagram cost %g", pid, flat, m[pid][flat], d.Cost(flat))
 		}
 		// And no plan beats the optimal there.
@@ -291,7 +291,7 @@ func TestRenderASCII(t *testing.T) {
 	// that cuts through the grid.
 	cmin, cmax := d.CostBounds()
 	mid := (cmin + cmax) / 4
-	overlay, err := d.RenderASCII(nil, []float64{mid})
+	overlay, err := d.RenderASCII(nil, []cost.Cost{mid})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package posp
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/cost"
 )
 
 // RenderASCII draws a two-dimensional plan diagram as a letter grid:
@@ -15,7 +17,7 @@ import (
 // isocost contour boundaries: a location whose cost exceeds the budget its
 // inward neighbour satisfies is printed in lowercase, tracing the contour
 // staircase.
-func (d *Diagram) RenderASCII(override map[int]int, budgets []float64) (string, error) {
+func (d *Diagram) RenderASCII(override map[int]int, budgets []cost.Cost) (string, error) {
 	space := d.Space()
 	if space.Dims() != 2 {
 		return "", fmt.Errorf("posp: ASCII rendering is 2-D only (got %d-D)", space.Dims())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cost"
 	"repro/internal/ess"
 	"repro/internal/plan"
 )
@@ -30,7 +31,7 @@ func (d *Diagram) Snapshot() Snapshot {
 	}
 	for i, c := range d.cost {
 		if d.planID[i] >= 0 {
-			s.Costs[i] = c
+			s.Costs[i] = c.F()
 		}
 	}
 	return s
@@ -70,7 +71,7 @@ func FromSnapshot(space *ess.Space, s Snapshot) (*Diagram, error) {
 		if !(s.Costs[i] > 0) || math.IsInf(s.Costs[i], 0) {
 			return nil, fmt.Errorf("posp: snapshot cost %v at location %d invalid", s.Costs[i], i)
 		}
-		d.Set(i, s.Plans[pid], s.Costs[i])
+		d.Set(i, s.Plans[pid], cost.Cost(s.Costs[i]))
 	}
 	return d, nil
 }

@@ -31,7 +31,7 @@ func AblationLambda(w *workload.Workload, lambdas []float64, workers int) (*Tabl
 		Notes:   []string{"λ<0 row is the unreduced POSP configuration"},
 	}
 	for _, lambda := range lambdas {
-		b, err := core.Compile(opt, w.Space, core.CompileOptions{Lambda: lambda, Diagram: diagram, Workers: workers})
+		b, err := core.Compile(opt, w.Space, core.CompileOptions{Lambda: cost.Ratio(lambda), Diagram: diagram, Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +109,7 @@ func AblationRatio(w *workload.Workload, ratios []float64, workers int) (*Table,
 		Notes:   []string{"paper: r = 2 is optimal for any deterministic algorithm (Theorem 2)"},
 	}
 	for _, r := range ratios {
-		b, err := core.Compile(opt, w.Space, core.CompileOptions{Ratio: r, Lambda: 0.2, Diagram: diagram, Workers: workers})
+		b, err := core.Compile(opt, w.Space, core.CompileOptions{Ratio: cost.Ratio(r), Lambda: 0.2, Diagram: diagram, Workers: workers})
 		if err != nil {
 			return nil, err
 		}

@@ -19,7 +19,7 @@ type Options struct {
 	// Res overrides the grid resolution (0 keeps the workload default).
 	Res int
 	// Lambda is the anorexic threshold (paper default 0.2).
-	Lambda float64
+	Lambda cost.Ratio
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
 	// SkipOptimized skips the optimized-driver sweep (it is the most
@@ -89,7 +89,7 @@ func Evaluate(w *workload.Workload, opts Options) (*Eval, error) {
 
 	ev := &Eval{Workload: w, Bouquet: bq, BouquetPOSP: bqPOSP, POSPSize: diagram.NumPlans()}
 	cmin, cmax := diagram.CostBounds()
-	ev.CostRatio = cmax / cmin
+	ev.CostRatio = cmax.Over(cmin).F()
 
 	matrix := posp.CostMatrix(diagram, coster, opts.Workers)
 
@@ -353,7 +353,7 @@ func ModelingError(w *workload.Workload, delta float64, seeds []uint64, workers 
 			"guarantee base is the Eq. 8 bound of the perfect-model bouquet, per §3.4's MSO ≤ MSO_perfect·(1+δ)²",
 		},
 	}
-	guarantee := bq.BoundMSO() * (1 + delta) * (1 + delta)
+	guarantee := bq.BoundMSO().F() * (1 + delta) * (1 + delta)
 	for _, seed := range seeds {
 		bq.SetActualCoster(coster.WithPerturbation(delta, seed))
 		perturbed := metrics.ComputeBouquet(n, func(f int) (float64, int) {

@@ -104,7 +104,7 @@ func Figure4(res int) (*Table, *Table, error) {
 		sumO += so
 		if f%step == 0 || f == n-1 {
 			series.AddRow(fmt.Sprintf("%.4g", w.Space.PointAt(f)[0]*100),
-				d.Cost(f), eb.TotalCost, eo.TotalCost, nat.WorstPerQa[f]*d.Cost(f))
+				d.Cost(f).F(), eb.TotalCost.F(), eo.TotalCost.F(), nat.WorstPerQa[f]*d.Cost(f).F())
 		}
 	}
 	summary := &Table{
@@ -169,8 +169,8 @@ func Table3(seed int64) (*Table, *Table, error) {
 	for k := 1; k <= maxK; k++ {
 		nb, cb, wb := contourSlice(basic, k)
 		no, co, wo := contourSlice(optim, k)
-		breakdown.AddRow(fmt.Sprintf("IC%d", k), nb, cb, wb.Round(time.Microsecond).String(),
-			no, co, wo.Round(time.Microsecond).String())
+		breakdown.AddRow(fmt.Sprintf("IC%d", k), nb, cb.F(), wb.Round(time.Microsecond).String(),
+			no, co.F(), wo.Round(time.Microsecond).String())
 	}
 
 	summary := &Table{
@@ -178,34 +178,34 @@ func Table3(seed int64) (*Table, *Table, error) {
 		Header:  []string{"strategy", "cost units", "wall", "executions", "sub-optimality"},
 		Notes:   []string{"paper sub-optimality: NAT ≈ 36, basic BOU ≈ 7.2, optimized BOU ≈ 4.3"},
 	}
-	summary.AddRow("NAT (at q_e)", natRun.cost, natRun.wall.Round(time.Millisecond).String(), 1, natRun.cost/optRun.cost)
-	summary.AddRow("Basic BOU", basic.TotalCost, basic.Wall.Round(time.Millisecond).String(), basic.NumExecs(), basic.TotalCost/optRun.cost)
-	summary.AddRow("Opt. BOU", optim.TotalCost, optim.Wall.Round(time.Millisecond).String(), optim.NumExecs(), optim.TotalCost/optRun.cost)
-	summary.AddRow("Optimal (oracle)", optRun.cost, optRun.wall.Round(time.Millisecond).String(), 1, 1.0)
+	summary.AddRow("NAT (at q_e)", natRun.cost.F(), natRun.wall.Round(time.Millisecond).String(), 1, natRun.cost.Over(optRun.cost).F())
+	summary.AddRow("Basic BOU", basic.TotalCost.F(), basic.Wall.Round(time.Millisecond).String(), basic.NumExecs(), basic.TotalCost.Over(optRun.cost).F())
+	summary.AddRow("Opt. BOU", optim.TotalCost.F(), optim.Wall.Round(time.Millisecond).String(), optim.NumExecs(), optim.TotalCost.Over(optRun.cost).F())
+	summary.AddRow("Optimal (oracle)", optRun.cost.F(), optRun.wall.Round(time.Millisecond).String(), 1, 1.0)
 	return breakdown, summary, nil
 }
 
 type runTiming struct {
-	cost float64
+	cost cost.Cost
 	wall time.Duration
 	rows int64
 }
 
 func timeRun(eng *exec.Engine, res optimizer.Result, opts exec.Options) runTiming {
 	t0 := time.Now()
-	r := eng.Run(res.Plan, opts)
+	r := eng.MustRun(res.Plan, opts)
 	return runTiming{cost: r.CostUsed, wall: time.Since(t0), rows: r.RowsOut}
 }
 
-func contourSlice(e core.ConcreteExecution, k int) (n int, cost float64, wall time.Duration) {
+func contourSlice(e core.ConcreteExecution, k int) (n int, spent cost.Cost, wall time.Duration) {
 	for _, s := range e.Steps {
 		if s.Contour == k {
 			n++
-			cost += s.Spent
+			spent += s.Spent
 			wall += s.Wall
 		}
 	}
-	return n, cost, wall
+	return n, spent, wall
 }
 
 // Figure19 reproduces the commercial-engine evaluation: the same pipeline

@@ -52,7 +52,7 @@ func TestEvaluateSmall(t *testing.T) {
 	if !(ev.Basic.MSO < ev.Nat.MSO) {
 		t.Errorf("BOU MSO %g not below NAT %g", ev.Basic.MSO, ev.Nat.MSO)
 	}
-	if ev.Basic.MSO > ev.Bouquet.BoundMSO()*(1+1e-9) {
+	if ev.Basic.MSO > ev.Bouquet.BoundMSO().F()*(1+1e-9) {
 		t.Errorf("BOU MSO %g above its Eq. 8 bound %g", ev.Basic.MSO, ev.Bouquet.BoundMSO())
 	}
 	if ev.Seer.MSO > ev.Nat.MSO*(1+0.2)*(1+1e-9) {

@@ -50,7 +50,7 @@ func Verdict(evals []*Eval) *Table {
 	// 3. "within the theoretical bounds" (§3).
 	within := 0
 	for _, ev := range evals {
-		if ev.Basic.MSO <= ev.Bouquet.BoundMSO()*(1+1e-9) {
+		if ev.Basic.MSO <= ev.Bouquet.BoundMSO().F()*(1+1e-9) {
 			within++
 		}
 	}
@@ -132,7 +132,7 @@ func Verdict(evals []*Eval) *Table {
 	// 9. Quantiles: the bulk of the distribution sits near the PIC.
 	p95OK := 0
 	for _, ev := range evals {
-		if metrics.Percentile(ev.Basic.SubOptPerQa, 0.95) <= ev.Bouquet.BoundMSO() {
+		if metrics.Percentile(ev.Basic.SubOptPerQa, 0.95) <= ev.Bouquet.BoundMSO().F() {
 			p95OK++
 		}
 	}

@@ -17,13 +17,14 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cost"
 	"repro/internal/posp"
 )
 
 // Replacement is the SEER outcome for one plan diagram.
 type Replacement struct {
 	// Lambda is the safety threshold.
-	Lambda float64
+	Lambda cost.Ratio
 	// Map gives the retained plan substituted for each original diagram
 	// plan ID (identity for retained plans).
 	Map []int
@@ -50,7 +51,7 @@ func (r Replacement) PlanFor(pid int) int { return r.Map[pid] }
 //
 // holds. Among multiple safe replacements the one with the lowest total
 // cost over the grid is chosen.
-func Reduce(d *posp.Diagram, planCost [][]float64, lambda float64) (Replacement, error) {
+func Reduce(d *posp.Diagram, planCost [][]cost.Cost, lambda cost.Ratio) (Replacement, error) {
 	if lambda < 0 {
 		return Replacement{}, fmt.Errorf("seer: negative lambda %g", lambda)
 	}
@@ -80,7 +81,7 @@ func Reduce(d *posp.Diagram, planCost [][]float64, lambda float64) (Replacement,
 		return order[a] < order[b]
 	})
 
-	totalCost := make([]float64, nPlans)
+	totalCost := make([]cost.Cost, nPlans)
 	for pid := range totalCost {
 		for _, c := range planCost[pid] {
 			totalCost[pid] += c
@@ -90,7 +91,7 @@ func Reduce(d *posp.Diagram, planCost [][]float64, lambda float64) (Replacement,
 	rep := Replacement{Lambda: lambda, Map: make([]int, nPlans)}
 	var retained []int
 	for _, pid := range order {
-		best, bestTotal := -1, 0.0
+		best, bestTotal := -1, cost.Cost(0)
 		for _, cand := range retained {
 			if cand == pid {
 				continue
@@ -114,9 +115,9 @@ func Reduce(d *posp.Diagram, planCost [][]float64, lambda float64) (Replacement,
 
 // safeReplacement reports whether cand's cost is within (1+λ)× orig's cost
 // at every grid location.
-func safeReplacement(cand, orig []float64, lambda float64) bool {
+func safeReplacement(cand, orig []cost.Cost, lambda cost.Ratio) bool {
 	for i := range orig {
-		if cand[i] > (1+lambda)*orig[i]*(1+1e-12) {
+		if cand[i] > orig[i].Scale((1+lambda)*(1+1e-12)) {
 			return false
 		}
 	}
@@ -125,13 +126,13 @@ func safeReplacement(cand, orig []float64, lambda float64) bool {
 
 // Verify checks the global λ-safety of a replacement, returning the first
 // violation.
-func Verify(rep Replacement, planCost [][]float64) error {
+func Verify(rep Replacement, planCost [][]cost.Cost) error {
 	for pid, sub := range rep.Map {
 		if sub == pid {
 			continue
 		}
 		for flat := range planCost[pid] {
-			if planCost[sub][flat] > (1+rep.Lambda)*planCost[pid][flat]*(1+1e-9) {
+			if planCost[sub][flat] > planCost[pid][flat].Scale((1+rep.Lambda)*(1+1e-9)) {
 				return fmt.Errorf("seer: replacement %d for plan %d unsafe at location %d", sub, pid, flat)
 			}
 		}

@@ -12,7 +12,7 @@ import (
 	"repro/internal/query"
 )
 
-func fixture(t testing.TB, res int) (*posp.Diagram, [][]float64) {
+func fixture(t testing.TB, res int) (*posp.Diagram, [][]cost.Cost) {
 	t.Helper()
 	cat := catalog.TPCHLike(0.01)
 	q := query.NewBuilder("seerq", cat).
@@ -133,7 +133,7 @@ func TestReduceDeterministic(t *testing.T) {
 
 func TestVerifyCatchesUnsafeReplacement(t *testing.T) {
 	rep := Replacement{Lambda: 0.2, Map: []int{1, 1}, Retained: []int{1}}
-	m := [][]float64{{100, 100}, {200, 100}} // plan 1 is 2x plan 0 at loc 0
+	m := [][]cost.Cost{{100, 100}, {200, 100}} // plan 1 is 2x plan 0 at loc 0
 	if err := Verify(rep, m); err == nil {
 		t.Fatal("Verify missed an unsafe replacement")
 	}

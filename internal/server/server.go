@@ -135,11 +135,13 @@ func (s *Server) Handler() http.Handler {
 func jsonError(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//bouquet:allow errflow — a failed response write means the client hung up; nothing to do
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	//bouquet:allow errflow — a failed response write means the client hung up; nothing to do
 	_ = json.NewEncoder(w).Encode(v)
 }
 
@@ -196,8 +198,8 @@ func (s *Server) summarize(id string, b *core.Bouquet) bouquetSummary {
 		Plans:     b.Cardinality(),
 		Contours:  len(b.Contours),
 		Rho:       b.MaxDensity(),
-		BoundMSO:  b.BoundMSO(),
-		Guarantee: b.TheoreticalMSO(),
+		BoundMSO:  b.BoundMSO().F(),
+		Guarantee: b.TheoreticalMSO().F(),
 	}
 }
 
@@ -241,7 +243,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	lambda := anorexic.DefaultLambda
 	if req.Lambda != nil {
-		lambda = *req.Lambda
+		lambda = cost.Ratio(*req.Lambda)
 	}
 	ratio := req.Ratio
 	//bouquet:allow floatcmp — 0 is the "field omitted from the JSON request" sentinel
@@ -259,7 +261,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// The compile itself runs in a goroutine so the handler can answer
 	// 503 the moment the deadline expires; the abandoned compile then
 	// stops cooperatively at its next ctx checkpoint.
-	key := compileFingerprint(q.String(), res, lambda, ratio, req.Focused)
+	key := compileFingerprint(q.String(), res, lambda.F(), ratio, req.Focused)
 	type outcome struct {
 		entry cacheEntry
 		hit   bool
@@ -271,7 +273,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			s.metrics.compiles.Add(1)
 			opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
 			b, err := core.Compile(opt, space, core.CompileOptions{
-				Lambda: lambda, Ratio: ratio, Focused: req.Focused, Ctx: ctx,
+				Lambda: lambda, Ratio: cost.Ratio(ratio), Focused: req.Focused, Ctx: ctx,
 			})
 			if err != nil {
 				return cacheEntry{}, err
@@ -344,7 +346,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	var contours []contourInfo
 	for _, c := range b.Contours {
 		contours = append(contours, contourInfo{
-			K: c.K, Budget: c.Budget, Density: c.Density(),
+			K: c.K, Budget: c.Budget.F(), Density: c.Density(),
 			Plans: c.PlanIDs, Location: len(c.Flats),
 		})
 	}
@@ -372,7 +374,7 @@ func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, "no bouquet %q", r.PathValue("id"))
 		return
 	}
-	var budgets []float64
+	var budgets []cost.Cost
 	for _, c := range b.Contours {
 		budgets = append(budgets, c.RawBudget)
 	}
@@ -455,17 +457,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusServiceUnavailable, "run abandoned: %v", err)
 		return
 	}
-	s.metrics.observeRun(e.TotalCost, e.OptCost, e.SubOpt(), e.NumExecs())
+	s.metrics.observeRun(e.TotalCost.F(), e.OptCost.F(), e.SubOpt(), e.NumExecs())
 	out := runResponse{
-		TotalCost: e.TotalCost,
-		OptCost:   e.OptCost,
+		TotalCost: e.TotalCost.F(),
+		OptCost:   e.OptCost.F(),
 		SubOpt:    e.SubOpt(),
 		Execs:     e.NumExecs(),
 	}
 	for _, st := range e.Steps {
 		out.Steps = append(out.Steps, runStep{
 			Contour: st.Contour, Plan: st.PlanID, Dim: st.Dim,
-			Budget: st.Budget, Spent: st.Spent, Completed: st.Completed,
+			Budget: st.Budget.F(), Spent: st.Spent.F(), Completed: st.Completed,
 		})
 	}
 	writeJSON(w, out)
