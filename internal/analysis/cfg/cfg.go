@@ -155,9 +155,10 @@ func (b *builder) jump(target *Block) {
 // control transfer.
 func (b *builder) startBlock(blk *Block) { b.cur = blk }
 
-// add appends a statement to the current block, opening an unreachable
-// block if control already transferred (dead code keeps its statements
-// so analyzers can still inspect them).
+// add appends a statement to the current block, opening a detached
+// block if control already transferred. Such blocks hold dead code
+// (statements after return/panic/break) and are removed by
+// pruneUnreachable, so analyzers see only live flow.
 func (b *builder) add(s ast.Stmt) {
 	if b.cur == nil {
 		b.cur = b.newBlock("unreachable")

@@ -111,14 +111,21 @@ func Forward(g *cfg.Graph, lat Lattice, tr Transfer, et EdgeTransfer) *Result {
 		return rpo[i]
 	}
 
-	push(g.Entry)
+	// Seed every block, not just Entry: a block whose Out fact never
+	// changes (common when transfers leave the nil Bottom untouched)
+	// would otherwise never requeue its successors, and blocks
+	// downstream of a fact-free branching region would never run at
+	// all — facts they generate would silently vanish. Seeding the full
+	// reverse postorder guarantees each block is processed at least
+	// once, in the order that converges fastest.
+	for _, b := range rpo {
+		push(b)
+	}
 	for len(list) > 0 {
 		b := pop()
-		// Join over predecessors, refined per edge.
+		// Join over predecessors, refined per edge. A block with no
+		// predecessors (Entry, or a detached exit) keeps bottom.
 		in := lat.Bottom()
-		if len(b.Preds) == 0 {
-			// Entry (or detached exit): bottom.
-		}
 		for _, p := range b.Preds {
 			edgeFact := res.Out[p]
 			if et != nil {
@@ -132,7 +139,7 @@ func Forward(g *cfg.Graph, lat Lattice, tr Transfer, et EdgeTransfer) *Result {
 		for _, s := range b.Nodes {
 			out = tr(s, out)
 		}
-		if !lat.Equal(out, res.Out[b]) || b == g.Entry {
+		if !lat.Equal(out, res.Out[b]) {
 			res.Out[b] = out
 			for _, s := range b.Succs {
 				push(s)

@@ -312,6 +312,61 @@ _ = x`)
 	}
 }
 
+func TestFactFreeBranchRegionThenFact(t *testing.T) {
+	// Regression: with the worklist seeded only at Entry, blocks
+	// downstream of a branching region whose transfers never change the
+	// nil Bottom fact were never processed, so x := 1 after two
+	// fact-free ifs vanished from the exit fact.
+	g := buildGraph(t, `if p() {
+	println(0)
+}
+if q() {
+	println(1)
+}
+x := 1`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	f := exitFact(t, g, r)
+	if f == nil {
+		t.Fatal("exit fact is Bottom: blocks after a fact-free branch region were never processed")
+	}
+	if f["x"] != 1 {
+		t.Fatalf("x assigned after fact-free branches must reach exit, fact = %v", f)
+	}
+}
+
+func TestEveryReachableBlockProcessed(t *testing.T) {
+	// Every reachable block must get a non-Bottom in-fact once a real
+	// (non-nil) fact is established upstream, regardless of whether
+	// intermediate transfers change anything.
+	g := buildGraph(t, `x := 1
+if p() {
+	println(0)
+} else {
+	println(1)
+}
+switch q() {
+case true:
+	println(2)
+}
+y := 2
+_ = y`)
+	r := Forward(g, constLattice{}, constTransfer, nil)
+	for _, b := range g.Blocks {
+		if b == g.Entry {
+			continue
+		}
+		if r.In[b] == nil || r.In[b].(constMap) == nil {
+			t.Fatalf("block %v has Bottom in-fact; it was never processed", b)
+		}
+		if r.In[b].(constMap)["x"] != 1 {
+			t.Fatalf("block %v lost x=1: %v", b, r.In[b])
+		}
+	}
+	if exitFact(t, g, r)["y"] != 2 {
+		t.Fatalf("y must survive to exit: %v", exitFact(t, g, r))
+	}
+}
+
 func TestTerminationOnNestedLoops(t *testing.T) {
 	g := buildGraph(t, `x := 0
 for i := 0; i < 3; i++ {

@@ -18,8 +18,10 @@
 //   - equality or inequality (==, !=),
 //
 // outside its guard. A guard is a branch on math.IsInf(x, ...) or
-// math.IsNaN(x): on the edge where the predicate is false the mark is
-// cleared, so `if !math.IsInf(b, 1) { total += b }` is clean. Ordered
+// math.IsNaN(x), possibly negated or buried in a short-circuit && / ||
+// chain: on every edge that proves the predicate false the mark is
+// cleared, so `if !math.IsInf(b, 1) { total += b }` and
+// `if !math.IsNaN(x) && x > 0 { total += x }` are both clean. Ordered
 // comparisons (<, <=, >, >=) are never reported — they are the
 // sentinel pattern itself. Facts are local-variable only; sentinels
 // stored into fields or returned from calls are out of scope.
@@ -201,29 +203,45 @@ func (a *analyzer) refine(from, to *cfg.Block, out dataflow.Fact) dataflow.Fact 
 	if from.Cond == nil {
 		return out
 	}
-	m := out.(infFact)
-	cond := ast.Unparen(from.Cond)
-	negated := false
-	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
-		cond = ast.Unparen(ue.X)
-		negated = true
-	}
-	v := a.guardedVar(cond)
-	if v == nil || !m[v] {
+	var branch bool
+	switch to {
+	case from.TrueSucc():
+		branch = true
+	case from.FalseSucc():
+		branch = false
+	default:
 		return out
 	}
-	// Plain guard: false edge is the finite world. Negated guard: true
-	// edge is.
-	clearEdge := to == from.FalseSucc()
-	if negated {
-		clearEdge = to == from.TrueSucc()
+	return a.refineCond(from.Cond, branch, out.(infFact))
+}
+
+// refineCond clears marks proven finite when cond evaluates to branch,
+// recursing through negation and short-circuit operators: on the true
+// edge of `a && b` both conjuncts hold, and on the false edge of
+// `a || b` both fail, so guards buried in compound conditions like
+// `!math.IsNaN(x) && x > 0` still refine.
+func (a *analyzer) refineCond(cond ast.Expr, branch bool, m infFact) infFact {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return a.refineCond(e.X, !branch, m)
+		}
+	case *ast.BinaryExpr:
+		if (e.Op == token.LAND && branch) || (e.Op == token.LOR && !branch) {
+			return a.refineCond(e.Y, branch, a.refineCond(e.X, branch, m))
+		}
+	case *ast.CallExpr:
+		// An IsInf/IsNaN guard evaluating to false proves the value
+		// finite on this edge.
+		if !branch {
+			if v := a.guardedVar(e); v != nil && m[v] {
+				cleared := clone(m)
+				delete(cleared, v)
+				return cleared
+			}
+		}
 	}
-	if !clearEdge {
-		return out
-	}
-	cleared := clone(m)
-	delete(cleared, v)
-	return cleared
+	return m
 }
 
 // guardedVar extracts x from math.IsInf(x, ...) or math.IsNaN(x),

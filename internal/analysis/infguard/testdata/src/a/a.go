@@ -81,6 +81,42 @@ func cleared(x float64) float64 {
 	return v + 1 // v is finite again
 }
 
+// compound guard: a guard conjunct inside && still refines its edge.
+func compoundAndGuard(x float64) float64 {
+	total := 0.0
+	v := math.NaN()
+	if x > 0 {
+		v = x
+	}
+	if !math.IsNaN(v) && v > 0 {
+		total += v // v proven finite by the conjunct guard
+	}
+	return total
+}
+
+// compound guard: on the false edge of || every disjunct is false.
+func compoundOrGuard(v float64) float64 {
+	if v <= 0 {
+		v = math.Inf(1)
+	}
+	if math.IsInf(v, 1) || v < 1 {
+		return 0
+	}
+	return v * 2 // IsInf disproven on the fall-through edge
+}
+
+// compound non-guard: the guard holding on the taken edge refines
+// nothing, so arithmetic under a positive IsInf test is still flagged.
+func compoundAndNoRefine(v float64) float64 {
+	if v <= 0 {
+		v = math.Inf(1)
+	}
+	if math.IsInf(v, 1) && v > 0 {
+		return v + 1 // want `possibly-Inf/NaN sentinel in \+ arithmetic`
+	}
+	return v
+}
+
 // suppressed: +Inf budget arithmetic can be intentional (Inf stays Inf).
 func suppressed() float64 {
 	budget := math.Inf(1)
