@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz lint fmt-check ci
+.PHONY: build test race fuzz lint fmt-check ci bench-compile bench-compile-smoke
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,28 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# bench-compile measures the compile hot path (POSP generation, focused
+# compile, raw optimizer DP) with allocation stats, then converts the raw
+# output into BENCH_compile.json with speedups against the checked-in
+# seed baseline (bench/compile_seed.txt). Both text files are plain
+# `go test -bench` output, so `benchstat bench/compile_seed.txt
+# bin/bench_compile.txt` works on the same data.
+bench-compile:
+	@mkdir -p $(BIN)
+	$(GO) test -run '^$$' -bench 'BenchmarkFocusedCompile$$|BenchmarkAblationResolution$$' \
+		-benchmem -count 3 -timeout 30m . | tee $(BIN)/bench_compile.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimizeChain3$$|BenchmarkOptimizeBranch8$$|BenchmarkAbstractCost$$' \
+		-benchmem -count 3 ./internal/optimizer | tee -a $(BIN)/bench_compile.txt
+	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
+	$(BIN)/benchjson -baseline bench/compile_seed.txt -o BENCH_compile.json < $(BIN)/bench_compile.txt
+	@echo "wrote BENCH_compile.json"
+
+# bench-compile-smoke is the CI variant: single short iterations, no JSON
+# emission — it exists to catch benchmarks that no longer compile or
+# crash, not to measure.
+bench-compile-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFocusedCompile$$' -benchtime 1x -benchmem -timeout 10m .
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime 1x -benchmem ./internal/optimizer
 
 ci: fmt-check build test lint

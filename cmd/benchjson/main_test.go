@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const currentText = `
+goos: linux
+BenchmarkFocusedCompile-8     	     240	   4935294 ns/op	 2946194 B/op	   38643 allocs/op
+BenchmarkFocusedCompile-8     	     243	   5566165 ns/op	 2946195 B/op	   38643 allocs/op
+BenchmarkOptimizeChain3       	  649627	      1703 ns/op	     480 B/op	       5 allocs/op
+some unrelated table row | 42 |
+PASS
+`
+
+const baselineText = `
+BenchmarkFocusedCompile     	      10	  23046968 ns/op	17931412 B/op	  216575 allocs/op
+BenchmarkOptimizeChain3     	   84358	     13527 ns/op	   13440 B/op	     149 allocs/op
+`
+
+func TestRunProducesSpeedups(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.txt")
+	if err := os.WriteFile(base, []byte(baselineText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(currentText), base, "test", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(out.Benchmarks))
+	}
+	fc := out.Benchmarks[0]
+	if fc.Name != "FocusedCompile" || fc.Current.Runs != 2 {
+		t.Fatalf("unexpected first entry %+v", fc)
+	}
+	// Best-of-N picks the minimum ns/op; speedup is baseline/current.
+	if fc.Current.NsPerOp != 4935294 {
+		t.Errorf("ns_per_op = %v, want min 4935294", fc.Current.NsPerOp)
+	}
+	if want := 23046968.0 / 4935294.0; math.Abs(fc.Speedup-want) > 1e-9 {
+		t.Errorf("speedup = %v, want %v", fc.Speedup, want)
+	}
+	if want := 216575.0 / 38643.0; math.Abs(fc.AllocCut-want) > 1e-9 {
+		t.Errorf("alloc_reduction = %v, want %v", fc.AllocCut, want)
+	}
+}
+
+func TestRunWithoutBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(currentText), "", "test", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Benchmarks {
+		if e.Baseline != nil || e.Speedup != 0 {
+			t.Fatalf("unexpected baseline data without -baseline: %+v", e)
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("no benchmarks here\n"), "", "test", &bytes.Buffer{}); err == nil {
+		t.Fatal("expected an error on input without benchmark lines")
+	}
+}

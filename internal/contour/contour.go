@@ -64,14 +64,10 @@ func (l Ladder) Inflate(lambda cost.Ratio) Ladder {
 }
 
 // StepFor returns the 1-based index k of the first step with budget ≥ c,
-// or m+1 if c exceeds the last step.
+// or m+1 if c exceeds the last step. Steps form an increasing progression,
+// so the lookup binary-searches rather than scanning the ladder.
 func (l Ladder) StepFor(c cost.Cost) int {
-	for i, s := range l.Steps {
-		if c <= s {
-			return i + 1
-		}
-	}
-	return len(l.Steps) + 1
+	return sort.Search(len(l.Steps), func(i int) bool { return c <= l.Steps[i] }) + 1
 }
 
 // LadderForSpace computes [Cmin, Cmax] by optimizing the two corners of the

@@ -117,6 +117,40 @@ func TestStepFor(t *testing.T) {
 	}
 }
 
+func TestStepForBoundaries(t *testing.T) {
+	l, _ := NewLadder(10, 100, 2) // steps 10 20 40 80 160
+	// Below the first step: costs under IC1 still land on step 1.
+	if got := l.StepFor(0.5); got != 1 {
+		t.Errorf("below first step: StepFor(0.5) = %d, want 1", got)
+	}
+	// Exactly on each step budget: must map to that step, not the next.
+	for i, s := range l.Steps {
+		if got := l.StepFor(s); got != i+1 {
+			t.Errorf("on step: StepFor(%g) = %d, want %d", s, got, i+1)
+		}
+	}
+	// Just above a step budget: must advance to the next step.
+	if got := l.StepFor(l.Steps[2] * 1.0000001); got != 4 {
+		t.Errorf("just above step 3: got %d, want 4", got)
+	}
+	// Above the last step: m+1 signals out-of-ladder.
+	last := l.Steps[len(l.Steps)-1]
+	if got := l.StepFor(last * 2); got != len(l.Steps)+1 {
+		t.Errorf("above last step: got %d, want %d", got, len(l.Steps)+1)
+	}
+	// Single-step ladder degenerate case.
+	one, err := NewLadder(7, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := one.StepFor(7); got != 1 {
+		t.Errorf("single-step ladder on step: got %d, want 1", got)
+	}
+	if got := one.StepFor(7.1); got != 2 {
+		t.Errorf("single-step ladder above: got %d, want 2", got)
+	}
+}
+
 func TestLadderForSpace(t *testing.T) {
 	opt, space, d := fixture2D(t, 8)
 	l, err := LadderForSpace(opt, space, 2)

@@ -1,0 +1,41 @@
+package cost
+
+import "testing"
+
+// The Price fast path is the per-candidate kernel of the optimizer's DP;
+// it must stay allocation-free (Detail remains the allocating breakdown
+// API for explain/debug callers).
+
+func TestPriceAllocFree(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	for i, p := range fx.plans {
+		if got := testing.AllocsPerRun(50, func() { fx.coster.Price(p, sels) }); got > 0 {
+			t.Errorf("Price(plan %d) allocates %.0f/call, want 0", i, got)
+		}
+	}
+}
+
+func TestPriceStepAllocFree(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	root := fx.plans[0]
+	left := fx.coster.Price(root.Left, sels)
+	right := fx.coster.Price(root.Right, sels)
+	if got := testing.AllocsPerRun(50, func() { fx.coster.PriceStep(root, left, right, sels) }); got > 0 {
+		t.Errorf("PriceStep allocates %.0f/call, want 0", got)
+	}
+}
+
+func TestPriceAgreesWithDetail(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	for i, p := range fx.plans {
+		sum := fx.coster.Price(p, sels)
+		nc := fx.coster.Detail(p, sels)
+		root := nc[len(nc)-1]
+		if sum.Cost != root.TotalCost || sum.Rows != root.Rows || sum.Width != root.Width {
+			t.Errorf("plan %d: Price %+v disagrees with Detail root %+v", i, sum, root)
+		}
+	}
+}

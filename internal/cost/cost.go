@@ -121,6 +121,20 @@ func DefaultSels(q *query.Query) Selectivities {
 	return out
 }
 
+// Summary is the allocation-free costing result for a (sub)tree: the
+// root's output cardinality and tuple width plus the tree's total cost.
+// It is what the optimizer's DP memo carries per subset — everything an
+// enclosing operator needs to price itself — without materializing the
+// per-node breakdown Detail produces.
+type Summary struct {
+	// Rows is the estimated output cardinality.
+	Rows Card
+	// Width is the output tuple width in bytes.
+	Width float64
+	// Cost is the total cost of the (sub)tree.
+	Cost Cost
+}
+
 // NodeCost carries the cost annotations of one plan node at one
 // selectivity assignment.
 type NodeCost struct {
@@ -185,16 +199,69 @@ func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
 // Cost returns the total cost of root at the given selectivities.
 // Panics if the plan contains an operator the model does not price.
 func (c *Coster) Cost(root *plan.Node, sels Selectivities) Cost {
-	nc := c.costNode(root, sels)
-	return nc.TotalCost
+	return c.Price(root, sels).Cost
 }
 
 // Rows returns the output cardinality of root at the given selectivities.
 // Panics if the plan contains an operator the model does not price.
 func (c *Coster) Rows(root *plan.Node, sels Selectivities) Card {
-	nc := c.costNode(root, sels)
-	return nc.Rows
+	return c.Price(root, sels).Rows
 }
+
+// Price is the allocation-free costing fast path: it returns the root
+// summary (rows, width, total cost) of the tree at the given
+// selectivities without materializing Detail's per-node slice. Use it in
+// hot loops (the optimizer's DP, plan-diagram cost matrices); use Detail
+// when the per-operator breakdown matters (explain output, diagnostics).
+// Panics if the plan contains an operator the model does not price.
+func (c *Coster) Price(root *plan.Node, sels Selectivities) Summary {
+	var left, right Summary
+	if root.Left != nil {
+		left = c.Price(root.Left, sels)
+	}
+	if root.Right != nil {
+		right = c.Price(root.Right, sels)
+	}
+	return c.PriceStep(root, left, right, sels)
+}
+
+// PriceStep prices the single operator n given the already-priced
+// summaries of its children, returning n's summary. It is the O(1) kernel
+// the optimizer's DP runs on: child summaries come from the memo, so a
+// candidate join is priced without re-walking its subtree. Zero-value
+// summaries stand in for absent children. Panics if n's operator is not
+// priced by the model.
+func (c *Coster) PriceStep(n *plan.Node, left, right Summary, sels Selectivities) Summary {
+	self, rows, width := c.priceOne(n, left, right, sels)
+	return Summary{Rows: rows, Width: width, Cost: self + left.Cost + right.Cost}
+}
+
+// OpSpec identifies a candidate operator for node-free pricing: the same
+// fields a plan.Node carries, minus the children (whose summaries are
+// passed separately) and without requiring the node to exist yet.
+type OpSpec struct {
+	Op          plan.Op
+	Relation    string
+	IndexColumn string
+	Preds       []int
+}
+
+// PriceSpec prices the candidate operator described by spec from its
+// children's summaries without materializing a plan.Node — the optimizer
+// uses it to evaluate every losing candidate allocation-free and build
+// nodes only for winners. It ignores the coster's perturbation (which
+// keys on node fingerprints); callers must check Perturbed first and fall
+// back to PriceStep on a real node. Panics if spec's operator is not
+// priced by the model.
+func (c *Coster) PriceSpec(spec OpSpec, left, right Summary, sels Selectivities) Summary {
+	self, rows, width := c.priceSpec(spec.Op, spec.Relation, spec.IndexColumn, spec.Preds, left, right, sels)
+	return Summary{Rows: rows, Width: width, Cost: self + left.Cost + right.Cost}
+}
+
+// Perturbed reports whether the coster applies per-node cost perturbation
+// (WithPerturbation), in which case node-free pricing via PriceSpec would
+// diverge from PriceStep.
+func (c *Coster) Perturbed() bool { return c.perturb != nil }
 
 // Detail returns per-node cost annotations in post-order (children before
 // parents); the last element is the root. Panics if the plan contains an
@@ -205,30 +272,18 @@ func (c *Coster) Detail(root *plan.Node, sels Selectivities) []NodeCost {
 	return out
 }
 
-func (c *Coster) detail(n *plan.Node, sels Selectivities, out *[]NodeCost) NodeCost {
-	var left, right NodeCost
+func (c *Coster) detail(n *plan.Node, sels Selectivities, out *[]NodeCost) Summary {
+	var left, right Summary
 	if n.Left != nil {
 		left = c.detail(n.Left, sels, out)
 	}
 	if n.Right != nil {
 		right = c.detail(n.Right, sels, out)
 	}
-	nc := c.costOne(n, left, right, sels)
-	*out = append(*out, nc)
-	return nc
-}
-
-// costNode computes the NodeCost of n recursively without materializing the
-// post-order list.
-func (c *Coster) costNode(n *plan.Node, sels Selectivities) NodeCost {
-	var left, right NodeCost
-	if n.Left != nil {
-		left = c.costNode(n.Left, sels)
-	}
-	if n.Right != nil {
-		right = c.costNode(n.Right, sels)
-	}
-	return c.costOne(n, left, right, sels)
+	self, rows, width := c.priceOne(n, left, right, sels)
+	sum := Summary{Rows: rows, Width: width, Cost: self + left.Cost + right.Cost}
+	*out = append(*out, NodeCost{Node: n, Rows: rows, Width: width, SelfCost: self, TotalCost: sum.Cost})
+	return sum
 }
 
 // selOf returns the selectivity of predicate id under sels, falling back to
@@ -253,39 +308,51 @@ func (c *Coster) pagesFor(rows, width float64) float64 {
 	return pages
 }
 
-// costOne prices a single operator given its (already priced) children.
-// The pricing arithmetic runs on bare float64 (unwrapped once here); the
-// results are wrapped back into their dimensions when stored.
-func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities) NodeCost {
+// priceOne prices a single operator node given its (already priced)
+// children, applying the coster's perturbation (if any) on top of the
+// spec-based kernel. It performs no heap allocation — the compile hot
+// path's requirement.
+func (c *Coster) priceOne(n *plan.Node, left, right Summary, sels Selectivities) (self Cost, outRows Card, outWidth float64) {
+	self, outRows, outWidth = c.priceSpec(n.Op, n.Relation, n.IndexColumn, n.Preds, left, right, sels)
+	if c.perturb != nil {
+		self = self.Scale(Ratio(c.perturb(n)))
+	}
+	return self, outRows, outWidth
+}
+
+// priceSpec is the node-free operator pricing kernel: the operator's
+// identity arrives as discrete fields rather than a *plan.Node, so the
+// optimizer can price a candidate before deciding to materialize it. The
+// pricing arithmetic runs on bare float64 (unwrapped once here); the
+// results are wrapped back into their dimensions when returned.
+func (c *Coster) priceSpec(op plan.Op, relation, indexColumn string, preds []int, left, right Summary, sels Selectivities) (self Cost, outRows Card, outWidth float64) {
 	p := c.model.P
 	leftRows, rightRows := left.Rows.F(), right.Rows.F()
-	var nc NodeCost
-	nc.Node = n
 
-	switch n.Op {
+	switch op {
 	case plan.OpSeqScan:
-		rel := c.q.Catalog.MustRelation(n.Relation)
+		rel := c.q.Catalog.MustRelation(relation)
 		card := float64(rel.Card)
 		pages := float64(rel.Pages(c.q.Catalog.PageSize))
-		outRows := card
-		for _, id := range n.Preds {
-			outRows *= c.selOf(id, sels)
+		rows := card
+		for _, id := range preds {
+			rows *= c.selOf(id, sels)
 		}
-		nc.Rows = Card(outRows)
-		nc.Width = float64(rel.TupleWidth)
-		nc.SelfCost = Cost(pages*p.SeqPageCost +
+		outRows = Card(rows)
+		outWidth = float64(rel.TupleWidth)
+		self = Cost(pages*p.SeqPageCost +
 			card*p.CPUTupleCost +
-			card*float64(len(n.Preds))*p.CPUOperatorCost)
+			card*float64(len(preds))*p.CPUOperatorCost)
 
 	case plan.OpIndexScan:
-		rel := c.q.Catalog.MustRelation(n.Relation)
+		rel := c.q.Catalog.MustRelation(relation)
 		card := float64(rel.Card)
 		// The driving predicate is the one on the indexed column;
 		// remaining predicates are residual filters on fetched rows.
 		drivingSel, residSel, residCount := 1.0, 1.0, 0
-		for _, id := range n.Preds {
+		for _, id := range preds {
 			pr := c.q.Predicate(id)
-			if pr.Left.Column == n.IndexColumn && pr.Left.Relation == n.Relation {
+			if pr.Left.Column == indexColumn && pr.Left.Relation == relation {
 				drivingSel *= c.selOf(id, sels)
 			} else {
 				residSel *= c.selOf(id, sels)
@@ -293,10 +360,10 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 			}
 		}
 		matched := card * drivingSel
-		nc.Rows = Card(matched * residSel)
-		nc.Width = float64(rel.TupleWidth)
+		outRows = Card(matched * residSel)
+		outWidth = float64(rel.TupleWidth)
 		descent := math.Log2(card+1) * p.CPUIndexTupleCost
-		idx := c.q.Catalog.Index(n.Relation, n.IndexColumn)
+		idx := c.q.Catalog.Index(relation, indexColumn)
 		var fetch float64
 		if idx != nil && idx.Clustered {
 			fetch = c.pagesFor(matched, float64(rel.TupleWidth)) * p.SeqPageCost
@@ -307,20 +374,20 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 			// environments, §6).
 			fetch = matched * p.RandomPageCost
 		}
-		nc.SelfCost = Cost(descent +
+		self = Cost(descent +
 			matched*p.CPUIndexTupleCost +
 			fetch +
 			matched*float64(residCount)*p.CPUOperatorCost +
 			matched*p.CPUTupleCost)
 
 	case plan.OpIndexNLJoin:
-		rel := c.q.Catalog.MustRelation(n.Relation)
+		rel := c.q.Catalog.MustRelation(relation)
 		innerCard := float64(rel.Card)
 		// Partition preds: join predicates determine matches per
 		// probe; selection predicates on the inner relation are
 		// residual filters.
 		joinSel, filterSel, filterCount := 1.0, 1.0, 0
-		for _, id := range n.Preds {
+		for _, id := range preds {
 			pr := c.q.Predicate(id)
 			if pr.Kind == query.Join {
 				joinSel *= c.selOf(id, sels)
@@ -332,29 +399,29 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 		probes := leftRows
 		matchesPerProbe := joinSel * innerCard
 		matches := probes * matchesPerProbe
-		nc.Rows = Card(matches * filterSel)
-		nc.Width = left.Width + float64(rel.TupleWidth)
+		outRows = Card(matches * filterSel)
+		outWidth = left.Width + float64(rel.TupleWidth)
 		descent := math.Log2(innerCard+1) * p.CPUIndexTupleCost
-		idx := c.q.Catalog.Index(n.Relation, n.IndexColumn)
+		idx := c.q.Catalog.Index(relation, indexColumn)
 		perMatch := p.RandomPageCost
 		if idx != nil && idx.Clustered {
 			perMatch = p.SeqPageCost
 		}
-		nc.SelfCost = Cost(probes*descent +
+		self = Cost(probes*descent +
 			matches*(p.CPUIndexTupleCost+perMatch) +
 			matches*float64(filterCount)*p.CPUOperatorCost +
-			nc.Rows.F()*p.CPUTupleCost)
+			outRows.F()*p.CPUTupleCost)
 
 	case plan.OpHashJoin:
 		joinSel := 1.0
-		for _, id := range n.Preds {
+		for _, id := range preds {
 			joinSel *= c.selOf(id, sels)
 		}
-		nc.Rows = Card(joinSel * leftRows * rightRows)
-		nc.Width = left.Width + right.Width
+		outRows = Card(joinSel * leftRows * rightRows)
+		outWidth = left.Width + right.Width
 		build := rightRows * (p.CPUOperatorCost + p.CPUTupleCost)
 		probe := leftRows * p.HashQualCost
-		emit := nc.Rows.F() * p.CPUTupleCost
+		emit := outRows.F() * p.CPUTupleCost
 		spill := 0.0
 		if bytes := rightRows * right.Width; bytes > p.WorkMemBytes {
 			// Multi-batch (Grace) hash join: both inputs are
@@ -362,60 +429,55 @@ func (c *Coster) costOne(n *plan.Node, left, right NodeCost, sels Selectivities)
 			spill = (c.pagesFor(leftRows, left.Width) +
 				c.pagesFor(rightRows, right.Width)) * p.SpillPageCost
 		}
-		nc.SelfCost = Cost(build + probe + emit + spill)
+		self = Cost(build + probe + emit + spill)
 
 	case plan.OpMergeJoin:
 		joinSel := 1.0
-		for _, id := range n.Preds {
+		for _, id := range preds {
 			joinSel *= c.selOf(id, sels)
 		}
-		nc.Rows = Card(joinSel * leftRows * rightRows)
-		nc.Width = left.Width + right.Width
+		outRows = Card(joinSel * leftRows * rightRows)
+		outWidth = left.Width + right.Width
 		sortCost := c.sortCost(left) + c.sortCost(right)
 		merge := (leftRows + rightRows) * p.CPUOperatorCost
-		emit := nc.Rows.F() * p.CPUTupleCost
-		nc.SelfCost = Cost(sortCost + merge + emit)
+		emit := outRows.F() * p.CPUTupleCost
+		self = Cost(sortCost + merge + emit)
 
 	case plan.OpAggregate:
-		nc.Rows = 1
-		nc.Width = 8
-		nc.SelfCost = Cost(leftRows*p.CPUOperatorCost + p.CPUTupleCost)
+		outRows = 1
+		outWidth = 8
+		self = Cost(leftRows*p.CPUOperatorCost + p.CPUTupleCost)
 
 	case plan.OpGroupAggregate:
 		// Hash aggregate: groups bounded by the column's distinct count
 		// and the input cardinality (both bounds monotone).
-		col := c.q.Catalog.MustRelation(n.Relation).Column(n.IndexColumn)
+		col := c.q.Catalog.MustRelation(relation).Column(indexColumn)
 		groups := leftRows
 		if col != nil && float64(col.DistinctCount) < groups {
 			groups = float64(col.DistinctCount)
 		}
-		nc.Rows = Card(groups)
-		nc.Width = 16
-		nc.SelfCost = Cost(leftRows*(p.CPUOperatorCost+p.HashQualCost) + groups*p.CPUTupleCost)
+		outRows = Card(groups)
+		outWidth = 16
+		self = Cost(leftRows*(p.CPUOperatorCost+p.HashQualCost) + groups*p.CPUTupleCost)
 
 	case plan.OpAntiJoin:
 		// NOT EXISTS: the predicate's selectivity is the outer pass
 		// fraction (the §2 axis flip), so output — and hence cost —
 		// is monotone increasing in the ESS value.
-		rel := c.q.Catalog.MustRelation(n.Relation)
+		rel := c.q.Catalog.MustRelation(relation)
 		innerCard := float64(rel.Card)
-		passFrac := c.selOf(n.Preds[0], sels)
-		nc.Rows = Card(leftRows * passFrac)
-		nc.Width = left.Width
+		passFrac := c.selOf(preds[0], sels)
+		outRows = Card(leftRows * passFrac)
+		outWidth = left.Width
 		build := innerCard * (p.CPUOperatorCost + p.CPUTupleCost)
 		probe := leftRows * p.HashQualCost
-		emit := nc.Rows.F() * p.CPUTupleCost
-		nc.SelfCost = Cost(build + probe + emit)
+		emit := outRows.F() * p.CPUTupleCost
+		self = Cost(build + probe + emit)
 
 	default:
-		panic(fmt.Sprintf("cost: unknown operator %v", n.Op))
+		panic(fmt.Sprintf("cost: unknown operator %v", op))
 	}
-
-	if c.perturb != nil {
-		nc.SelfCost = nc.SelfCost.Scale(Ratio(c.perturb(n)))
-	}
-	nc.TotalCost = nc.SelfCost + left.TotalCost + right.TotalCost
-	return nc
+	return self, outRows, outWidth
 }
 
 // Explain renders the plan EXPLAIN-style: the indented operator tree with
@@ -458,7 +520,7 @@ func (c *Coster) Explain(root *plan.Node, sels Selectivities) string {
 
 // sortCost prices sorting one input of a merge join, including external
 // sort spill passes when the input exceeds work memory.
-func (c *Coster) sortCost(in NodeCost) float64 {
+func (c *Coster) sortCost(in Summary) float64 {
 	p := c.model.P
 	rows := in.Rows.F()
 	if rows < 2 {

@@ -1,0 +1,40 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// Allocation-regression ceilings for the compile hot path. The skeleton
+// refactor plus winner-only candidate materialization brought Optimize on
+// the 3-relation chain from ~149 allocs/call down to ~5 (the winning plan
+// nodes and occasional tie-break fingerprints); the ceilings below leave
+// modest headroom so benign churn doesn't flake, while catching any
+// reintroduction of per-call skeleton rebuilding, per-candidate node
+// construction, or Detail-slice pricing.
+
+func TestOptimizeAllocCeilingChain3(t *testing.T) {
+	q := chainQuery(t, 3)
+	opt := newOpt(t, q)
+	sels := cost.DefaultSels(q)
+	// Warm the memo arena and fingerprint memos before measuring.
+	for i := 0; i < 3; i++ {
+		opt.Optimize(sels)
+	}
+	const ceiling = 12
+	if got := testing.AllocsPerRun(50, func() { opt.Optimize(sels) }); got > ceiling {
+		t.Errorf("Optimize(chain3) allocates %.0f/call, ceiling %d", got, ceiling)
+	}
+}
+
+func TestAbstractCostAllocFree(t *testing.T) {
+	q := chainQuery(t, 3)
+	opt := newOpt(t, q)
+	sels := cost.DefaultSels(q)
+	p := opt.Optimize(sels).Plan
+	p.Fingerprint() // memoize before measuring
+	if got := testing.AllocsPerRun(50, func() { opt.AbstractCost(p, sels) }); got > 0 {
+		t.Errorf("AbstractCost allocates %.0f/call, want 0", got)
+	}
+}

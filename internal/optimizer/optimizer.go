@@ -11,12 +11,26 @@
 // single cheapest plan per subset and breaks ties deterministically, so the
 // same inputs always yield the same plan (a prerequisite for the paper's
 // repeatability claim).
+//
+// Because bouquet compilation issues one Optimize call per ESS grid
+// location — tens of thousands for high-resolution or 5-D spaces — the
+// per-call cost is the paper's §6.1 overhead axis. Everything about the
+// join order search that does not depend on the injected selectivities is
+// therefore hoisted into a one-time DP skeleton at construction: the
+// connected subset masks in DP order, the valid (left, right) splits per
+// mask with their join predicates, the index-nested-loops candidates, and
+// the access-path candidate nodes. Optimize itself only prices candidates
+// (via the cost package's O(1) PriceStep kernel over memoized child
+// summaries) and materializes winners, with its memo drawn from a pooled
+// arena so steady-state calls allocate only the winning plan nodes.
 package optimizer
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cost"
@@ -36,7 +50,8 @@ var totalCalls atomic.Int64
 func TotalCalls() int64 { return totalCalls.Load() }
 
 // Optimizer enumerates plans for one query under one Coster. It is safe
-// for concurrent use; per-call state lives on the stack.
+// for concurrent use: the skeleton is read-only after New and per-call
+// memo state comes from an internal arena pool.
 type Optimizer struct {
 	q      *query.Query
 	coster *cost.Coster
@@ -46,11 +61,67 @@ type Optimizer struct {
 	adj     []uint64       // adjacency bitmask per relation
 	selPred [][]int        // selection predicate IDs per relation
 
+	// DP skeleton — everything the join search knows before seeing a
+	// single selectivity (computed once in New).
+	access [][]*plan.Node // per relation: candidate access-path nodes
+	masks  []maskPlan     // connected ≥2-relation masks, ascending
+	full   uint64         // mask covering every relation
+
+	// arena pools per-call memo slices (length full+1) so steady-state
+	// Optimize calls produce no memo garbage.
+	arena sync.Pool
+
+	// specPrice enables node-free candidate pricing (PriceSpec): true
+	// unless the coster perturbs per-node costs, which requires real
+	// nodes for fingerprint-keyed factors.
+	specPrice bool
+
 	calls atomic.Int64
 }
 
-// New builds an optimizer for coster's query. It panics if the query has
-// more than 64 relations (bitmask representation).
+// maskPlan is one connected relation subset with its precomputed valid
+// splits, in the DP's deterministic enumeration order.
+type maskPlan struct {
+	mask   uint64
+	splits []split
+}
+
+// split is one ordered (left = probe/outer, right = build/inner) partition
+// of a mask into two connected halves joined by at least one predicate.
+// All slices are pre-sorted and shared by every plan node built from this
+// split; plan nodes are immutable, so sharing is safe.
+type split struct {
+	left, right uint64
+	// anti, when non-nil, marks an anti-join split: the single anti
+	// predicate admits exactly one operator shape, and no generic join
+	// applies.
+	anti *antiCand
+	// preds are the join predicate IDs connecting the halves (ascending),
+	// applied by hash and merge join candidates.
+	preds []int
+	// nl are the index nested-loops candidates (right half is a single
+	// indexed base relation).
+	nl []nlCand
+}
+
+// antiCand is the sole candidate of an anti-join split: a hash anti-join
+// consuming the inner base relation.
+type antiCand struct {
+	rel, col string
+	preds    []int // the single anti-join predicate ID
+}
+
+// nlCand is one index nested-loops candidate: probe rel's index on col,
+// applying preds (the join predicates plus the inner relation's selection
+// predicates, folded in as residual filters; ascending).
+type nlCand struct {
+	rel, col string
+	preds    []int
+}
+
+// New builds an optimizer for coster's query, precomputing the
+// selectivity-independent DP skeleton. It panics if the query has more
+// than 64 relations (bitmask representation).
 func New(coster *cost.Coster) *Optimizer {
 	q := coster.Query()
 	rels := q.Relations()
@@ -80,7 +151,119 @@ func New(coster *cost.Coster) *Optimizer {
 			o.adj[r] |= 1 << uint(l)
 		}
 	}
+	o.specPrice = !coster.Perturbed()
+	o.buildSkeleton()
+	size := o.full + 1
+	o.arena.New = func() any {
+		s := make([]memoEntry, size)
+		return &s
+	}
 	return o
+}
+
+// buildSkeleton precomputes the DP structure: access-path candidate nodes
+// per relation, and per connected mask the valid splits with their join
+// predicates and index-NL candidates. Everything here is independent of
+// the injected selectivities, so Optimize never re-derives it.
+func (o *Optimizer) buildSkeleton() {
+	n := len(o.rels)
+	o.full = uint64(1)<<uint(n) - 1
+
+	// Base case: candidate access paths per relation — a sequential scan
+	// plus an index scan per indexed selection-predicate column, in
+	// predicate order (the tie-break enumeration order of the original
+	// per-call loop).
+	o.access = make([][]*plan.Node, n)
+	for i, rel := range o.rels {
+		preds := o.selPred[i]
+		cands := []*plan.Node{plan.NewSeqScan(rel, preds)}
+		for _, id := range preds {
+			col := o.q.Predicate(id).Left.Column
+			if !o.q.Catalog.HasIndex(rel, col) {
+				continue
+			}
+			cands = append(cands, plan.NewIndexScan(rel, col, preds))
+		}
+		o.access[i] = cands
+	}
+
+	// Inductive case: connected masks in increasing numeric order (every
+	// proper submask of m is numerically smaller than m, so this is a
+	// valid DP order), each with its feasible ordered splits.
+	for m := uint64(1); m <= o.full; m++ {
+		if bits.OnesCount64(m) < 2 || !o.connectedMask(m) {
+			continue
+		}
+		mp := maskPlan{mask: m}
+		for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
+			left, right := sub, m&^sub
+			// Disconnected halves never acquire memo entries; prune
+			// their splits statically.
+			if !o.connectedMask(left) || !o.connectedMask(right) {
+				continue
+			}
+			preds := o.joinPredsBetween(left, right)
+			if len(preds) == 0 {
+				continue // would be a Cartesian product
+			}
+			sort.Ints(preds) // plan.Node.Preds are normalized ascending
+			if sp, ok := o.buildSplit(left, right, preds); ok {
+				mp.splits = append(mp.splits, sp)
+			}
+		}
+		o.masks = append(o.masks, mp)
+	}
+}
+
+// buildSplit assembles the candidate structure of one split. ok is false
+// when the split admits no operator at all (an anti-join predicate in an
+// invalid shape).
+func (o *Optimizer) buildSplit(left, right uint64, preds []int) (split, bool) {
+	// An anti-join predicate admits exactly one shape: the inner base
+	// relation alone on the right, consumed by a hash anti-join.
+	for _, id := range preds {
+		p := o.q.Predicate(id)
+		if p.Kind != query.AntiJoin {
+			continue
+		}
+		if len(preds) == 1 && bits.OnesCount64(right) == 1 &&
+			o.rels[bits.TrailingZeros64(right)] == p.Right.Relation {
+			return split{
+				left: left, right: right,
+				anti: &antiCand{rel: p.Right.Relation, col: p.Right.Column, preds: preds},
+			}, true
+		}
+		return split{}, false // no generic join operator applies to anti predicates
+	}
+
+	sp := split{left: left, right: right, preds: preds}
+
+	// Index nested loops: inner must be a single base relation with an
+	// index on (one of) the join columns. The inner's selection
+	// predicates fold into the join node as residual filters.
+	if bits.OnesCount64(right) == 1 {
+		ri := bits.TrailingZeros64(right)
+		innerRel := o.rels[ri]
+		for _, id := range preds {
+			p := o.q.Predicate(id)
+			var col string
+			switch innerRel {
+			case p.Left.Relation:
+				col = p.Left.Column
+			case p.Right.Relation:
+				col = p.Right.Column
+			default:
+				continue
+			}
+			if !o.q.Catalog.HasIndex(innerRel, col) {
+				continue
+			}
+			all := append(append([]int{}, preds...), o.selPred[ri]...)
+			sort.Ints(all)
+			sp.nl = append(sp.nl, nlCand{rel: innerRel, col: col, preds: all})
+		}
+	}
+	return sp, true
 }
 
 // Query returns the optimizer's query.
@@ -107,9 +290,7 @@ type Result struct {
 
 type memoEntry struct {
 	node *plan.Node
-	cost cost.Cost
-	rows cost.Card
-	wide float64
+	sum  cost.Summary
 }
 
 // Optimize returns the optimal plan and cost at the injected selectivity
@@ -123,129 +304,121 @@ func (o *Optimizer) Optimize(sels cost.Selectivities) Result {
 		panic(fmt.Sprintf("optimizer: selectivity assignment has %d entries, query has %d predicates",
 			len(sels), o.q.NumPredicates()))
 	}
-	n := len(o.rels)
-	full := uint64(1)<<uint(n) - 1
-	memo := make([]memoEntry, full+1)
+
+	memop := o.arena.Get().(*[]memoEntry)
+	memo := *memop
+	clear(memo)
 
 	// Base case: single relations — access path selection.
-	for i := 0; i < n; i++ {
+	for i := range o.rels {
 		memo[1<<uint(i)] = o.bestAccessPath(i, sels)
 	}
 
-	// Inductive case: subsets in increasing popcount order. Iterating
-	// masks in increasing numeric order suffices: every proper submask
-	// of m is numerically smaller than m.
-	for m := uint64(1); m <= full; m++ {
-		if bits.OnesCount64(m) < 2 || !o.connectedMask(m) {
-			continue
-		}
-		best := memoEntry{cost: cost.Cost(math.Inf(1))}
-		// Enumerate ordered splits (left=probe/outer, right=build/inner).
-		for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
-			left, right := sub, m&^sub
-			if memo[left].node == nil || memo[right].node == nil {
-				continue
+	// Inductive case: precomputed connected masks in DP order; each split
+	// prices its candidates from the halves' memoized summaries.
+	for mi := range o.masks {
+		mp := &o.masks[mi]
+		best := memoEntry{sum: cost.Summary{Cost: cost.Cost(math.Inf(1))}}
+		for si := range mp.splits {
+			sp := &mp.splits[si]
+			l, r := memo[sp.left], memo[sp.right]
+			if l.node == nil || r.node == nil {
+				continue // a half with no feasible plan (anti-join shapes)
 			}
-			preds := o.joinPredsBetween(left, right)
-			if len(preds) == 0 {
-				continue // would be a Cartesian product
-			}
-			o.considerJoins(&best, memo[left], memo[right], right, preds, sels)
+			o.considerJoins(&best, l, r, sp, sels)
 		}
-		memo[m] = best
+		memo[mp.mask] = best
 	}
 
-	final := memo[full]
+	final := memo[o.full]
+	o.arena.Put(memop)
 	if final.node == nil {
 		panic(fmt.Sprintf("optimizer: no plan for query %s", o.q.Name))
 	}
 	if col, ok := o.q.GroupBy(); ok {
-		g := o.entryFor(plan.NewGroupAggregate(final.node, col.Relation, col.Column), sels)
-		return Result{Plan: g.node, Cost: g.cost}
+		g := o.stepEntry(plan.NewGroupAggregate(final.node, col.Relation, col.Column), final, memoEntry{}, sels)
+		return Result{Plan: g.node, Cost: g.sum.Cost}
 	}
 	if o.q.Aggregate() {
-		agg := o.entryFor(plan.NewAggregate(final.node), sels)
-		return Result{Plan: agg.node, Cost: agg.cost}
+		agg := o.stepEntry(plan.NewAggregate(final.node), final, memoEntry{}, sels)
+		return Result{Plan: agg.node, Cost: agg.sum.Cost}
 	}
-	return Result{Plan: final.node, Cost: final.cost}
+	return Result{Plan: final.node, Cost: final.sum.Cost}
 }
 
-// bestAccessPath picks the cheapest access path for relation index i:
-// a sequential scan or an index scan driven by one of its selection
-// predicates.
+// bestAccessPath prices the precomputed access-path candidates of
+// relation index i and returns the cheapest.
 func (o *Optimizer) bestAccessPath(i int, sels cost.Selectivities) memoEntry {
-	rel := o.rels[i]
-	preds := o.selPred[i]
-
-	best := o.entryFor(plan.NewSeqScan(rel, preds), sels)
-	for _, id := range preds {
-		col := o.q.Predicate(id).Left.Column
-		if !o.q.Catalog.HasIndex(rel, col) {
-			continue
-		}
-		cand := o.entryFor(plan.NewIndexScan(rel, col, preds), sels)
-		best = o.cheaper(best, cand)
+	cands := o.access[i]
+	best := o.stepEntry(cands[0], memoEntry{}, memoEntry{}, sels)
+	for _, c := range cands[1:] {
+		best = o.cheaper(best, o.stepEntry(c, memoEntry{}, memoEntry{}, sels))
 	}
 	return best
 }
 
-// considerJoins evaluates every physical join of left⋈right and updates
-// best in place. rightMask identifies the right side so single-relation
-// inners can be turned into index nested-loops probes.
-func (o *Optimizer) considerJoins(best *memoEntry, left, right memoEntry, rightMask uint64, preds []int, sels cost.Selectivities) {
-	// An anti-join predicate admits exactly one shape: the inner base
-	// relation alone on the right, consumed by a hash anti-join.
-	for _, id := range preds {
-		p := o.q.Predicate(id)
-		if p.Kind != query.AntiJoin {
-			continue
-		}
-		if len(preds) == 1 && bits.OnesCount64(rightMask) == 1 &&
-			o.rels[bits.TrailingZeros64(rightMask)] == p.Right.Relation {
-			anti := o.entryFor(plan.NewAntiJoin(left.node, p.Right.Relation, p.Right.Column, id), sels)
-			*best = o.cheaper(*best, anti)
-		}
-		return // no generic join operator applies to anti predicates
+// considerJoins evaluates every physical join candidate of the split and
+// updates best in place. Candidates are priced node-free (PriceSpec) and
+// materialized only when they win, so losing candidates cost zero
+// allocations; candidate nodes reference the split's shared predicate
+// slices.
+func (o *Optimizer) considerJoins(best *memoEntry, left, right memoEntry, sp *split, sels cost.Selectivities) {
+	if sp.anti != nil {
+		o.consider(best, cost.OpSpec{
+			Op: plan.OpAntiJoin, Relation: sp.anti.rel, IndexColumn: sp.anti.col, Preds: sp.anti.preds,
+		}, left, memoEntry{}, sels)
+		return
 	}
 
-	hj := o.entryFor(plan.NewHashJoin(left.node, right.node, preds), sels)
-	*best = o.cheaper(*best, hj)
+	o.consider(best, cost.OpSpec{Op: plan.OpHashJoin, Preds: sp.preds}, left, right, sels)
+	o.consider(best, cost.OpSpec{Op: plan.OpMergeJoin, Preds: sp.preds}, left, right, sels)
 
-	mj := o.entryFor(plan.NewMergeJoin(left.node, right.node, preds), sels)
-	*best = o.cheaper(*best, mj)
+	for ci := range sp.nl {
+		c := &sp.nl[ci]
+		o.consider(best, cost.OpSpec{
+			Op: plan.OpIndexNLJoin, Relation: c.rel, IndexColumn: c.col, Preds: c.preds,
+		}, left, memoEntry{}, sels)
+	}
+}
 
-	// Index nested loops: inner must be a single base relation with an
-	// index on (one of) the join columns. The inner's selection
-	// predicates fold into the join node as residual filters.
-	if bits.OnesCount64(rightMask) == 1 {
-		ri := bits.TrailingZeros64(rightMask)
-		innerRel := o.rels[ri]
-		for _, id := range preds {
-			p := o.q.Predicate(id)
-			var col string
-			switch innerRel {
-			case p.Left.Relation:
-				col = p.Left.Column
-			case p.Right.Relation:
-				col = p.Right.Column
-			default:
-				continue
-			}
-			if !o.q.Catalog.HasIndex(innerRel, col) {
-				continue
-			}
-			all := append(append([]int{}, preds...), o.selPred[ri]...)
-			nl := o.entryFor(plan.NewIndexNLJoin(left.node, innerRel, col, all), sels)
-			*best = o.cheaper(*best, nl)
+// consider folds one candidate into best, replicating cheaper()'s total
+// order exactly: a strictly cheaper candidate wins, a strictly costlier
+// one loses, and an exact cost tie (including NaN, which compares neither
+// way) falls back to the fingerprint order — the only case that has to
+// materialize a losing candidate. Under a perturbed coster the node-free
+// fast path is unsound (perturbation keys on node fingerprints), so every
+// candidate is materialized and priced with PriceStep instead.
+func (o *Optimizer) consider(best *memoEntry, spec cost.OpSpec, left, right memoEntry, sels cost.Selectivities) {
+	if !o.specPrice {
+		*best = o.cheaper(*best, o.stepEntry(o.materialize(spec, left, right), left, right, sels))
+		return
+	}
+	sum := o.coster.PriceSpec(spec, left.sum, right.sum, sels)
+	switch {
+	case best.node == nil, sum.Cost < best.sum.Cost:
+		*best = memoEntry{node: o.materialize(spec, left, right), sum: sum}
+	case sum.Cost > best.sum.Cost:
+		// keep best
+	default:
+		if n := o.materialize(spec, left, right); n.Fingerprint() < best.node.Fingerprint() {
+			*best = memoEntry{node: n, sum: sum}
 		}
 	}
 }
 
-// entryFor prices a candidate plan.
-func (o *Optimizer) entryFor(n *plan.Node, sels cost.Selectivities) memoEntry {
-	nc := o.coster.Detail(n, sels)
-	root := nc[len(nc)-1]
-	return memoEntry{node: n, cost: root.TotalCost, rows: root.Rows, wide: root.Width}
+// materialize builds the plan node for a candidate spec over the halves'
+// winning subplans.
+func (o *Optimizer) materialize(spec cost.OpSpec, left, right memoEntry) *plan.Node {
+	return &plan.Node{
+		Op: spec.Op, Relation: spec.Relation, IndexColumn: spec.IndexColumn,
+		Preds: spec.Preds, Left: left.node, Right: right.node,
+	}
+}
+
+// stepEntry prices a candidate operator from its children's memoized
+// summaries — the O(1) costing step that replaces whole-subtree re-costing.
+func (o *Optimizer) stepEntry(n *plan.Node, left, right memoEntry, sels cost.Selectivities) memoEntry {
+	return memoEntry{node: n, sum: o.coster.PriceStep(n, left.sum, right.sum, sels)}
 }
 
 // cheaper returns the lower-cost entry, breaking exact ties by fingerprint
@@ -256,9 +429,9 @@ func (o *Optimizer) cheaper(a, b memoEntry) memoEntry {
 		return a
 	case a.node == nil:
 		return b
-	case b.cost < a.cost:
+	case b.sum.Cost < a.sum.Cost:
 		return b
-	case b.cost > a.cost:
+	case b.sum.Cost > a.sum.Cost:
 		return a
 	case b.node.Fingerprint() < a.node.Fingerprint():
 		return b
@@ -268,7 +441,8 @@ func (o *Optimizer) cheaper(a, b memoEntry) memoEntry {
 }
 
 // joinPredsBetween returns the join (and anti-join) predicate IDs
-// connecting the two relation masks.
+// connecting the two relation masks. Skeleton construction only; Optimize
+// reads the precomputed per-split slices.
 func (o *Optimizer) joinPredsBetween(left, right uint64) []int {
 	var out []int
 	for _, p := range o.q.Predicates() {
@@ -285,7 +459,7 @@ func (o *Optimizer) joinPredsBetween(left, right uint64) []int {
 }
 
 // connectedMask reports whether the relations in m form a connected
-// subgraph of the join graph.
+// subgraph of the join graph. Skeleton construction only.
 func (o *Optimizer) connectedMask(m uint64) bool {
 	if m == 0 {
 		return false

@@ -49,7 +49,16 @@ func (n *Node) UnmarshalJSON(data []byte) error {
 	if err := decoded.Validate(); err != nil {
 		return fmt.Errorf("plan: decoded plan invalid: %w", err)
 	}
-	*n = *decoded
+	// Copy field-by-field rather than *n = *decoded: the fingerprint memo
+	// is an atomic (non-copyable), and a decode target must start with a
+	// cold memo anyway.
+	n.Op = decoded.Op
+	n.Relation = decoded.Relation
+	n.IndexColumn = decoded.IndexColumn
+	n.Preds = decoded.Preds
+	n.Left = decoded.Left
+	n.Right = decoded.Right
+	n.fp.Store(nil)
 	return nil
 }
 

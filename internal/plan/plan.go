@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Op enumerates physical operators.
@@ -106,6 +107,12 @@ type Node struct {
 	// pair, probed per outer row.
 	Left  *Node
 	Right *Node
+
+	// fp memoizes Fingerprint. Nodes are immutable after construction, so
+	// the canonical string is computed at most a handful of times even
+	// under concurrent access; the atomic makes the lazy fill race-free
+	// (recomputation is idempotent).
+	fp atomic.Pointer[string]
 }
 
 // NewSeqScan builds a sequential scan of rel applying the given selection
@@ -243,14 +250,28 @@ func (n *Node) PredDepth(id int) (depth int, ok bool) {
 }
 
 // Fingerprint returns a canonical string uniquely identifying the plan's
-// structure. Plans compare equal iff their fingerprints are equal.
+// structure. Plans compare equal iff their fingerprints are equal. The
+// string is memoized on first use (plans are immutable), so repeated
+// identity checks — optimizer tie-breaks, diagram interning, perturbed
+// costing — do not rebuild it.
 func (n *Node) Fingerprint() string {
+	if p := n.fp.Load(); p != nil {
+		return *p
+	}
 	var sb strings.Builder
 	n.fingerprint(&sb)
-	return sb.String()
+	s := sb.String()
+	n.fp.Store(&s)
+	return s
 }
 
 func (n *Node) fingerprint(sb *strings.Builder) {
+	if p := n.fp.Load(); p != nil {
+		// A memoized subtree (e.g. a shared scan leaf) pastes its
+		// canonical form directly.
+		sb.WriteString(*p)
+		return
+	}
 	sb.WriteString(n.Op.String())
 	if n.Relation != "" {
 		sb.WriteByte('[')

@@ -3,23 +3,37 @@ package posp
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/ess"
 )
+
+// matrixChunk is the target number of (plan, location) pricings per task in
+// CostMatrix. Chunking over locations as well as plans keeps all workers
+// busy even when the diagram holds fewer plans than cores.
+const matrixChunk = 4096
 
 // CostMatrix prices every diagram plan at every grid location:
 // m[planID][flat] = cost of plan planID at location flat. It is the shared
 // input of the anorexic reducer, the SEER baseline, and the sub-optimality
 // metrics — all of which compare foreign plan costs across the ESS.
 //
-// Computation parallelises over plans; each plan costing walks its tree
-// once per location (the paper's abstract-plan-costing capability).
+// Computation parallelises over (plan, location-range) chunks rather than
+// whole plans, so few-plan diagrams still saturate every worker; each
+// pricing walks the plan tree once per location (the paper's abstract-plan-
+// costing capability) through the allocation-free Coster.Price path.
 func CostMatrix(d *Diagram, coster *cost.Coster, workers int) [][]cost.Cost {
 	space := d.Space()
 	n := space.NumPoints()
 	plans := d.Plans()
 	m := make([][]cost.Cost, len(plans))
+	for pid := range m {
+		m[pid] = make([]cost.Cost, n)
+	}
+	if n == 0 || len(plans) == 0 {
+		return m
+	}
 
 	// Pre-materialize the selectivity assignment per location so worker
 	// goroutines share it read-only.
@@ -31,25 +45,38 @@ func CostMatrix(d *Diagram, coster *cost.Coster, workers int) [][]cost.Cost {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Split each plan's location row into equal spans of at most matrixChunk
+	// locations; a task index encodes (plan, span) in row-major order.
+	spans := (n + matrixChunk - 1) / matrixChunk
+	tasks := len(plans) * spans
+	if workers > tasks {
+		workers = tasks
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for pid := range work {
-				costs := make([]cost.Cost, n)
-				for flat := 0; flat < n; flat++ {
-					costs[flat] = coster.Cost(plans[pid], sels[flat])
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= tasks {
+					return
 				}
-				m[pid] = costs
+				pid := t / spans
+				lo := (t % spans) * matrixChunk
+				hi := lo + matrixChunk
+				if hi > n {
+					hi = n
+				}
+				row, p := m[pid], plans[pid]
+				for flat := lo; flat < hi; flat++ {
+					row[flat] = coster.Cost(p, sels[flat])
+				}
 			}
 		}()
 	}
-	for pid := range plans {
-		work <- pid
-	}
-	close(work)
 	wg.Wait()
 	return m
 }

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/ess"
@@ -144,8 +145,7 @@ func Generate(opt *optimizer.Optimizer, space *ess.Space, workers int) *Diagram 
 	results := optimizeAll(opt, space, allFlats(n), workers)
 	d := NewDiagram(space)
 	for flat := 0; flat < n; flat++ {
-		r := results[flat]
-		d.Set(flat, r.Plan, r.Cost)
+		d.Set(flat, results[flat].Plan, results[flat].Cost)
 	}
 	return d
 }
@@ -162,7 +162,7 @@ func GenerateAt(opt *optimizer.Optimizer, space *ess.Space, flats []int, workers
 // skipping locations already covered. Plan numbering remains deterministic:
 // results are merged in ascending flat order.
 func FillAt(d *Diagram, opt *optimizer.Optimizer, flats []int, workers int) {
-	var todo []int
+	todo := make([]int, 0, len(flats))
 	seen := make(map[int]bool, len(flats))
 	for _, f := range flats {
 		if !d.Covered(f) && !seen[f] {
@@ -173,13 +173,13 @@ func FillAt(d *Diagram, opt *optimizer.Optimizer, flats []int, workers int) {
 	if len(todo) == 0 {
 		return
 	}
+	// Sort the deduped work list once: optimizeAll's results slice is
+	// parallel to it, and merging in ascending flat order keeps plan IDs
+	// deterministic.
+	sort.Ints(todo)
 	results := optimizeAll(opt, d.space, todo, workers)
-	// Merge in ascending flat order for deterministic plan IDs.
-	ordered := append([]int{}, todo...)
-	sort.Ints(ordered)
-	for _, flat := range ordered {
-		r := results[flat]
-		d.Set(flat, r.Plan, r.Cost)
+	for i, flat := range todo {
+		d.Set(flat, results[i].Plan, results[i].Cost)
 	}
 }
 
@@ -191,9 +191,11 @@ func allFlats(n int) []int {
 	return out
 }
 
-// optimizeAll runs opt at each listed location with a worker pool and
-// returns a map from flat index to result.
-func optimizeAll(opt *optimizer.Optimizer, space *ess.Space, flats []int, workers int) map[int]optimizer.Result {
+// optimizeAll runs opt at each listed location with a worker pool,
+// returning results positionally parallel to flats. Work distribution is a
+// shared atomic cursor and results land directly in the pre-sized slice —
+// no channels, no per-item sends, no map assembly on the hot compile path.
+func optimizeAll(opt *optimizer.Optimizer, space *ess.Space, flats []int, workers int) []optimizer.Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -203,36 +205,24 @@ func optimizeAll(opt *optimizer.Optimizer, space *ess.Space, flats []int, worker
 	if workers < 1 {
 		workers = 1
 	}
-	type item struct {
-		flat int
-		res  optimizer.Result
-	}
-	in := make(chan int, workers)
-	out := make(chan item, workers)
+	results := make([]optimizer.Result, len(flats))
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for flat := range in {
-				p := space.PointAt(flat)
-				sels := space.Sels(p)
-				out <- item{flat, opt.Optimize(sels)}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(flats) {
+					return
+				}
+				flat := flats[i]
+				results[i] = opt.Optimize(space.Sels(space.PointAt(flat)))
 			}
 		}()
 	}
-	go func() {
-		for _, f := range flats {
-			in <- f
-		}
-		close(in)
-		wg.Wait()
-		close(out)
-	}()
-	results := make(map[int]optimizer.Result, len(flats))
-	for it := range out {
-		results[it.flat] = it.res
-	}
+	wg.Wait()
 	return results
 }
 

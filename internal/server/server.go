@@ -53,6 +53,11 @@ type Config struct {
 	// between contour steps; the request then answers 503. 0 means no
 	// server-side bound (the client context still applies).
 	CompileTimeout time.Duration
+	// CompileWorkers bounds each compile's POSP-generation parallelism
+	// (threaded into core.CompileOptions.Workers). 0 means GOMAXPROCS;
+	// set it below the core count to keep compile bursts from starving
+	// the serving path.
+	CompileWorkers int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Logf, when non-nil, receives middleware diagnostics (recovered
@@ -273,7 +278,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			s.metrics.compiles.Add(1)
 			opt := optimizer.New(cost.NewCoster(q, cost.Postgres()))
 			b, err := core.Compile(opt, space, core.CompileOptions{
-				Lambda: lambda, Ratio: cost.Ratio(ratio), Focused: req.Focused, Ctx: ctx,
+				Lambda: lambda, Ratio: cost.Ratio(ratio), Focused: req.Focused,
+				Workers: s.cfg.CompileWorkers, Ctx: ctx,
 			})
 			if err != nil {
 				return cacheEntry{}, err

@@ -98,6 +98,21 @@ func TestCompileAndRun(t *testing.T) {
 	}
 }
 
+func TestCompileWorkersConfig(t *testing.T) {
+	// A single-worker compile must produce the same bouquet summary as the
+	// default parallel one: worker count is a throughput knob, never a
+	// semantic one (plan IDs stay deterministic by flat-index merge order).
+	serial := httptest.NewServer(NewWithConfig(catalog.TPCHLike(0.05), Config{CompileWorkers: 1}).Handler())
+	t.Cleanup(serial.Close)
+	parallel := newTestServer(t)
+
+	a := compileOne(t, serial, apiEQ2D, 8)
+	b := compileOne(t, parallel, apiEQ2D, 8)
+	if a.Plans != b.Plans || a.Contours != b.Contours || a.BoundMSO != b.BoundMSO {
+		t.Fatalf("serial compile %+v differs from parallel %+v", a, b)
+	}
+}
+
 func TestRunWithSeed(t *testing.T) {
 	srv := newTestServer(t)
 	sum := compileOne(t, srv, apiEQ2D, 12)
