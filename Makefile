@@ -1,13 +1,21 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz lint fmt-check ci bench-compile bench-compile-smoke
+# COVER_FLOOR is the minimum acceptable total statement coverage for
+# `make cover` (the repo sits at ~81% today; the floor leaves a little
+# headroom for run-to-run variation, not for new untested code).
+COVER_FLOOR := 78.0
+
+.PHONY: build test vet race fuzz lint fmt-check ci cover bench-compile bench-compile-smoke bench-check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 race:
 	$(GO) test -race ./...
@@ -52,4 +60,28 @@ bench-compile-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFocusedCompile$$' -benchtime 1x -benchmem -timeout 10m .
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime 1x -benchmem ./internal/optimizer
 
-ci: fmt-check build test lint
+# bench-check is the CI regression gate: re-measure the seeded compile
+# benchmarks (3 repetitions, best-of-N) and fail when any of them
+# regressed beyond 2x ns/op against the checked-in seed baseline.
+bench-check:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkFocusedCompile$$' -benchmem -count 3 -timeout 30m . > $(BIN)/bench_check.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimizeChain3$$|BenchmarkOptimizeBranch8$$' \
+		-benchmem -count 3 ./internal/optimizer >> $(BIN)/bench_check.txt
+	$(BIN)/benchjson -check -max-regress 2.0 -baseline bench/compile_seed.txt < $(BIN)/bench_check.txt
+
+# cover writes an atomic-mode coverage profile for the whole repo and
+# fails when total statement coverage drops below COVER_FLOOR. CI uploads
+# the resulting profile as an artifact.
+cover:
+	@mkdir -p $(BIN)
+	$(GO) test -coverprofile=$(BIN)/coverage.out -covermode=atomic ./...
+	@total=$$($(GO) tool cover -func=$(BIN)/coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# ci mirrors the CI workflow's main job exactly — .github/workflows/ci.yml
+# invokes this target, so local `make ci` and CI cannot diverge.
+ci: fmt-check vet build test race lint bench-compile-smoke

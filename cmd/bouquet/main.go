@@ -52,6 +52,8 @@ func main() {
 	qaFlag := fs.String("qa", "", "comma-separated actual selectivities (run)")
 	optimized := fs.Bool("optimized", true, "include the optimized driver")
 	artifact := fs.String("o", "", "artifact file to write (compile) or read (run)")
+	concrete := fs.Bool("concrete", false, "trace a concrete engine run instead of the abstract driver (trace)")
+	nodes := fs.Bool("nodes", false, "print per-node operator stats for each executed step (trace)")
 
 	args := os.Args[2:]
 	var pos []string
@@ -63,7 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(cmd, pos, *res, *lambda, *workers, *seed, *qaFlag, *optimized, *artifact); err != nil {
+	if err := run(cmd, pos, *res, *lambda, *workers, *seed, *qaFlag, *optimized, *artifact, *concrete, *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "bouquet:", err)
 		os.Exit(1)
 	}
@@ -84,12 +86,15 @@ commands:
   run <workload> -o FILE ...    execute from a persisted artifact
   explain <workload>            compile and describe a bouquet
   run <workload> -qa s1,s2,...  trace one bouquet execution at q_a
+  trace <workload> -qa ...      structured span timeline of one run
+                                (-nodes: per-operator stats; -concrete:
+                                 real engine run of HQ8a)
   list                          list available workloads
 
-flags: -res N -lambda F -workers N -seed N -optimized=BOOL`)
+flags: -res N -lambda F -workers N -seed N -optimized=BOOL -concrete -nodes`)
 }
 
-func run(cmd string, pos []string, res int, lambda float64, workers int, seed int64, qaFlag string, optimized bool, artifact string) error {
+func run(cmd string, pos []string, res int, lambda float64, workers int, seed int64, qaFlag string, optimized bool, artifact string, concrete, nodes bool) error {
 	opts := report.Options{Res: res, Lambda: cost.Ratio(lambda), Workers: workers, SkipOptimized: !optimized}
 	switch cmd {
 	case "list":
@@ -250,6 +255,15 @@ func run(cmd string, pos []string, res int, lambda float64, workers int, seed in
 			return fmt.Errorf("run needs a workload name (try 'bouquet list')")
 		}
 		return traceRun(pos[0], res, lambda, workers, qaFlag, artifact)
+
+	case "trace":
+		if concrete {
+			return traceCmd("", res, lambda, workers, qaFlag, optimized, true, nodes, seed)
+		}
+		if len(pos) != 1 {
+			return fmt.Errorf("trace needs a workload name (try 'bouquet list'), or -concrete")
+		}
+		return traceCmd(pos[0], res, lambda, workers, qaFlag, optimized, false, nodes, seed)
 
 	default:
 		usage()

@@ -25,7 +25,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestListCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("list", nil, 2, 0.2, 0, 42, "", true, "")
+		return run("list", nil, 2, 0.2, 0, 42, "", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +39,7 @@ func TestListCommand(t *testing.T) {
 
 func TestExplainCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("explain", []string{"EQ"}, 20, 0.2, 0, 42, "", true, "")
+		return run("explain", []string{"EQ"}, 20, 0.2, 0, 42, "", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestExplainCommand(t *testing.T) {
 
 func TestRunCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, "")
+		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,20 +67,57 @@ func TestRunCommand(t *testing.T) {
 
 func TestRunCommandBadQa(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("run", []string{"EQ"}, 10, 0.2, 0, 42, "0.1,0.2", true, "")
+		return run("run", []string{"EQ"}, 10, 0.2, 0, 42, "0.1,0.2", true, "", false, false)
 	}); err == nil || !strings.Contains(err.Error(), "needs 1 values") {
 		t.Fatalf("dimension mismatch not rejected: %v", err)
 	}
 	if _, err := capture(t, func() error {
-		return run("run", []string{"EQ"}, 10, 0.2, 0, 42, "zap", true, "")
+		return run("run", []string{"EQ"}, 10, 0.2, 0, 42, "zap", true, "", false, false)
 	}); err == nil {
 		t.Fatal("non-numeric -qa not rejected")
 	}
 }
 
+func TestTraceCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("trace", []string{"EQ2D"}, 10, 0.2, 0, 42, "0.05,0.000002", true, "", false, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"span timeline", "contour", "exec", "learn", "done",
+		"aggregate:", "wasted ratio", "· ", // per-node stat lines from -nodes
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q in:\n%s", want, out)
+		}
+	}
+	// Dispatch rejects a missing workload unless -concrete is set.
+	if _, err := capture(t, func() error {
+		return run("trace", nil, 10, 0.2, 0, 42, "", true, "", false, false)
+	}); err == nil {
+		t.Fatal("trace without workload accepted")
+	}
+}
+
+func TestTraceConcreteCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("trace", nil, 10, 0.2, 0, 42, "", false, "", true, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traced concrete basic run", "span timeline", "out=", "aggregate:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("concrete trace output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestUnknownCommand(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("frobnicate", nil, 0, 0.2, 0, 42, "", true, "")
+		return run("frobnicate", nil, 0, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil || !strings.Contains(err.Error(), "unknown command") {
 		t.Fatalf("unknown command accepted: %v", err)
 	}
@@ -88,12 +125,12 @@ func TestUnknownCommand(t *testing.T) {
 
 func TestExplainNeedsWorkload(t *testing.T) {
 	if _, err := capture(t, func() error {
-		return run("explain", nil, 0, 0.2, 0, 42, "", true, "")
+		return run("explain", nil, 0, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil {
 		t.Fatal("explain without workload accepted")
 	}
 	if _, err := capture(t, func() error {
-		return run("explain", []string{"ghost"}, 0, 0.2, 0, 42, "", true, "")
+		return run("explain", []string{"ghost"}, 0, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil {
 		t.Fatal("explain of unknown workload accepted")
 	}
@@ -101,7 +138,7 @@ func TestExplainNeedsWorkload(t *testing.T) {
 
 func TestFig3Command(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("fig3", nil, 25, 0.2, 0, 42, "", true, "")
+		return run("fig3", nil, 25, 0.2, 0, 42, "", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +150,7 @@ func TestFig3Command(t *testing.T) {
 
 func TestSQLCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("sql", []string{"SELECT * FROM part, lineitem WHERE part.p_retailprice < sel(0.1)? AND part.p_partkey = lineitem.l_partkey"}, 15, 0.2, 0, 42, "", true, "")
+		return run("sql", []string{"SELECT * FROM part, lineitem WHERE part.p_retailprice < sel(0.1)? AND part.p_partkey = lineitem.l_partkey"}, 15, 0.2, 0, 42, "", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -128,13 +165,13 @@ func TestSQLCommand(t *testing.T) {
 func TestSQLCommandErrors(t *testing.T) {
 	// No error-prone predicate.
 	if _, err := capture(t, func() error {
-		return run("sql", []string{"SELECT * FROM part WHERE part.p_retailprice < sel(0.1)"}, 10, 0.2, 0, 42, "", true, "")
+		return run("sql", []string{"SELECT * FROM part WHERE part.p_retailprice < sel(0.1)"}, 10, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil || !strings.Contains(err.Error(), "error-prone") {
 		t.Fatalf("dimension-less sql accepted: %v", err)
 	}
 	// Parse error.
 	if _, err := capture(t, func() error {
-		return run("sql", []string{"SELEC nope"}, 10, 0.2, 0, 42, "", true, "")
+		return run("sql", []string{"SELEC nope"}, 10, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil {
 		t.Fatal("bad sql accepted")
 	}
@@ -142,7 +179,7 @@ func TestSQLCommandErrors(t *testing.T) {
 
 func TestDimsCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("dims", []string{"3D_DS_Q96"}, 4, 0.2, 0, 42, "", true, "")
+		return run("dims", []string{"3D_DS_Q96"}, 4, 0.2, 0, 42, "", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +193,7 @@ func TestDimsCommand(t *testing.T) {
 
 func TestDiagramCommand(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run("diagram", []string{"EQ2D"}, 10, 0.2, 0, 42, "", true, "")
+		return run("diagram", []string{"EQ2D"}, 10, 0.2, 0, 42, "", true, "", false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +205,7 @@ func TestDiagramCommand(t *testing.T) {
 	}
 	// Non-2-D workloads are rejected.
 	if _, err := capture(t, func() error {
-		return run("diagram", []string{"EQ"}, 10, 0.2, 0, 42, "", true, "")
+		return run("diagram", []string{"EQ"}, 10, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil {
 		t.Fatal("1-D diagram accepted")
 	}
@@ -178,12 +215,12 @@ func TestCompileArtifactAndRunFromIt(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/eq.bouquet.json"
 	if _, err := capture(t, func() error {
-		return run("compile", []string{"EQ"}, 20, 0.2, 0, 42, "", true, path)
+		return run("compile", []string{"EQ"}, 20, 0.2, 0, 42, "", true, path, false, false)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := capture(t, func() error {
-		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, path)
+		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, path, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -193,13 +230,13 @@ func TestCompileArtifactAndRunFromIt(t *testing.T) {
 	}
 	// Missing artifact file errors cleanly.
 	if _, err := capture(t, func() error {
-		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, dir+"/ghost.json")
+		return run("run", []string{"EQ"}, 20, 0.2, 0, 42, "0.02", true, dir+"/ghost.json", false, false)
 	}); err == nil {
 		t.Fatal("missing artifact accepted")
 	}
 	// compile without -o rejected.
 	if _, err := capture(t, func() error {
-		return run("compile", []string{"EQ"}, 20, 0.2, 0, 42, "", true, "")
+		return run("compile", []string{"EQ"}, 20, 0.2, 0, 42, "", true, "", false, false)
 	}); err == nil {
 		t.Fatal("compile without -o accepted")
 	}

@@ -46,6 +46,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	grace := flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGTERM")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	runHistory := flag.Int("run-history", server.DefaultRunHistory, "traced runs retained for /runs/{id}/trace")
 	flag.Parse()
 
 	if err := run(*addr, *schema, *sf, server.Config{
@@ -53,6 +54,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		CompileTimeout: *compileTimeout,
 		EnablePprof:    *enablePprof,
+		RunHistory:     *runHistory,
 		Logf:           log.Printf,
 	}, *readTimeout, *writeTimeout, *idleTimeout, *grace); err != nil {
 		log.Fatalf("bouquetd: %v", err)

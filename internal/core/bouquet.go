@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/anorexic"
 	"repro/internal/contour"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/posp"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // CompileOptions tune bouquet identification.
@@ -63,6 +65,11 @@ type CompileOptions struct {
 	// steps, and Compile returns ctx.Err() on expiry. A nil Ctx compiles
 	// to completion (the library default).
 	Ctx context.Context
+	// Trace, when non-nil, receives one compile span when identification
+	// finishes: its Contour field carries the contour count, Rows the
+	// bouquet cardinality |B|, and WallNanos the compile wall time. nil
+	// (the default) records nothing.
+	Trace *trace.Recorder
 }
 
 // Contour is one compiled isocost contour with its (reduced) plan set.
@@ -151,6 +158,7 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	compileStart := stepClock(opts.Trace)
 
 	d := opts.Diagram
 	var raw []contour.Contour
@@ -249,6 +257,12 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 		b.PlanIDs = append(b.PlanIDs, pid)
 	}
 	sort.Ints(b.PlanIDs)
+	if opts.Trace.Enabled() {
+		opts.Trace.Record(trace.Span{
+			Kind: trace.KindCompile, Contour: len(b.Contours), PlanID: -1, Dim: -1, Pred: -1,
+			Rows: int64(len(b.PlanIDs)), WallNanos: time.Since(compileStart).Nanoseconds(),
+		})
+	}
 	return b, nil
 }
 

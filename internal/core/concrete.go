@@ -10,6 +10,7 @@ import (
 	"repro/internal/floats"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // ConcreteStep is one real plan execution on the engine.
@@ -49,12 +50,34 @@ type ConcreteRunner struct {
 	B *Bouquet
 	// Engine executes plans over the generated tables.
 	Engine *exec.Engine
+	// Trace, when non-nil, receives structured spans for the run: contour
+	// entries, exec spans carrying the engine's real per-operator tuple
+	// counters, spill and budget-abort spans (emitted by the engine
+	// itself), and discovered-selectivity learn spans. nil disables
+	// recording entirely.
+	Trace *trace.Recorder
+}
+
+// recordConcreteStep emits the exec span for one real engine execution,
+// attaching the engine's per-operator counters in plan walk order.
+func (r *ConcreteRunner) recordConcreteStep(s ConcreteStep, res exec.Result, pred int) {
+	rec := r.Trace
+	if !rec.Enabled() {
+		return
+	}
+	rec.Record(trace.Span{
+		Kind: trace.KindExec, Contour: s.Contour, PlanID: s.PlanID, Dim: s.Dim, Pred: pred,
+		Budget: trace.SafeCost(s.Budget.F()), Spent: trace.SafeCost(s.Spent.F()),
+		Rows: s.Rows, Completed: s.Completed, WallNanos: s.Wall.Nanoseconds(),
+		Nodes: res.TraceNodes(r.B.Diagram.Plan(s.PlanID)),
+	})
 }
 
 // RunBasic executes the basic algorithm (Fig. 7) on the engine.
 func (r *ConcreteRunner) RunBasic() ConcreteExecution {
 	var out ConcreteExecution
 	for _, c := range r.B.Contours {
+		recordContour(r.Trace, c)
 		for _, pid := range c.PlanIDs {
 			if r.executeGeneric(&out, c, pid) {
 				return out
@@ -66,15 +89,17 @@ func (r *ConcreteRunner) RunBasic() ConcreteExecution {
 	// terminus): run the last contour's plans unbudgeted.
 	last := r.B.Contours[len(r.B.Contours)-1]
 	pid := last.PlanIDs[0]
-	res, wall := r.timedRun(pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
-	out.Steps = append(out.Steps, ConcreteStep{
+	res, wall := r.timedRun(last.K+1, pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
+	step := ConcreteStep{
 		Step: Step{Contour: last.K + 1, PlanID: pid, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: res.CostUsed, Completed: true},
 		Wall: wall, Rows: res.RowsOut,
-	})
+	}
+	out.Steps = append(out.Steps, step)
 	out.TotalCost += res.CostUsed
 	out.Wall += wall
 	out.Completed = true
 	out.ResultRows = res.RowsOut
+	r.recordConcreteStep(step, res, -1)
 	return out
 }
 
@@ -95,21 +120,24 @@ func (r *ConcreteRunner) RunOptimized() ConcreteExecution {
 	// Beyond the last contour: finish unbudgeted with the cheapest
 	// surviving plan at q_run.
 	pid, _ := r.cheapestAt(b.Contours[len(b.Contours)-1].PlanIDs, st)
-	res, wall := r.timedRun(pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
-	out.Steps = append(out.Steps, ConcreteStep{
+	res, wall := r.timedRun(len(b.Contours)+1, pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
+	step := ConcreteStep{
 		Step: Step{Contour: len(b.Contours) + 1, PlanID: pid, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: res.CostUsed, Completed: true},
 		Wall: wall, Rows: res.RowsOut,
-	})
+	}
+	out.Steps = append(out.Steps, step)
 	out.TotalCost += res.CostUsed
 	out.Wall += wall
 	out.Completed = true
 	out.ResultRows = res.RowsOut
 	out.Learned = st.qrun
+	r.recordConcreteStep(step, res, -1)
 	return out
 }
 
 func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, st *runState) bool {
 	b := r.B
+	recordContour(r.Trace, c)
 	remaining := make(map[int]bool, len(c.PlanIDs))
 	spilled := make(map[int]bool, len(c.PlanIDs))
 	for _, pid := range c.PlanIDs {
@@ -140,7 +168,7 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 			spilled[cand.planID] = true
 			dim := b.Query.DimOf(cand.learnID)
 			p := b.Diagram.Plan(cand.planID)
-			res, wall := r.timedRun(cand.planID, exec.Options{Budget: c.Budget, Spill: true, SpillPred: cand.learnID})
+			res, wall := r.timedRun(c.K, cand.planID, exec.Options{Budget: c.Budget, Spill: true, SpillPred: cand.learnID})
 			sel, exact := r.learnFromStats(cand.planID, cand.learnID, st, res)
 			if sel > st.qrun[dim] {
 				st.qrun[dim] = sel
@@ -150,12 +178,15 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 			} else {
 				delete(remaining, cand.planID)
 			}
-			out.Steps = append(out.Steps, ConcreteStep{
+			step := ConcreteStep{
 				Step: Step{Contour: c.K, PlanID: cand.planID, Dim: dim, Budget: c.Budget, Spent: res.CostUsed, Completed: exact},
 				Wall: wall, Rows: res.RowsOut,
-			})
+			}
+			out.Steps = append(out.Steps, step)
 			out.TotalCost += res.CostUsed
 			out.Wall += wall
+			r.recordConcreteStep(step, res, cand.learnID)
+			recordLearn(r.Trace, c.K, cand.planID, dim, cand.learnID, st.qrun[dim], exact)
 			if exact && spillNode(p, cand.learnID) == p {
 				// The error node is the plan root: the completed
 				// "spilled" subtree was the whole plan, so the
@@ -198,7 +229,7 @@ func (r *ConcreteRunner) cheapestAt(ids []int, st *runState) (int, cost.Cost) {
 // executeGeneric runs plan pid cost-limited under contour c, appending the
 // step and reporting completion.
 func (r *ConcreteRunner) executeGeneric(out *ConcreteExecution, c Contour, pid int) bool {
-	res, wall := r.timedRun(pid, exec.Options{Budget: c.Budget})
+	res, wall := r.timedRun(c.K, pid, exec.Options{Budget: c.Budget})
 	step := ConcreteStep{
 		Step: Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: res.CostUsed, Completed: res.Completed},
 		Wall: wall, Rows: res.RowsOut,
@@ -210,6 +241,7 @@ func (r *ConcreteRunner) executeGeneric(out *ConcreteExecution, c Contour, pid i
 		out.Completed = true
 		out.ResultRows = res.RowsOut
 	}
+	r.recordConcreteStep(step, res, -1)
 	return res.Completed
 }
 
@@ -220,7 +252,12 @@ func (r *ConcreteRunner) executeGenericState(out *ConcreteExecution, c Contour, 
 	return r.executeGeneric(out, c, pid)
 }
 
-func (r *ConcreteRunner) timedRun(pid int, opts exec.Options) (exec.Result, time.Duration) {
+func (r *ConcreteRunner) timedRun(contour, pid int, opts exec.Options) (exec.Result, time.Duration) {
+	if r.Trace.Enabled() {
+		opts.Trace = r.Trace
+		opts.TraceContour = contour
+		opts.TracePlan = pid
+	}
 	t0 := time.Now()
 	res := r.Engine.MustRun(r.B.Diagram.Plan(pid), opts)
 	return res, time.Since(t0)

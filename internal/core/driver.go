@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/ess"
+	"repro/internal/trace"
 )
 
 // Step records one (possibly partial) plan execution of a bouquet run.
@@ -120,7 +121,7 @@ func (b *Bouquet) RunBasic(qa ess.Point) Execution {
 // The MSO guarantee is preserved for any valid (dominated) seed; a seed
 // that overestimates q_a voids it, exactly as the paper cautions.
 func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
-	e, _ := b.runBasic(context.Background(), qa, seed) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
+	e, _ := b.runBasic(context.Background(), qa, seed, nil) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
 	return e
 }
 
@@ -128,10 +129,10 @@ func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
 // cooperatively between contour steps, and the partial Execution so far is
 // returned alongside ctx's error when the deadline expires mid-run.
 func (b *Bouquet) RunBasicContext(ctx context.Context, qa, seed ess.Point) (Execution, error) {
-	return b.runBasic(ctx, qa, seed)
+	return b.runBasic(ctx, qa, seed, nil)
 }
 
-func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point) (Execution, error) {
+func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point, rec *trace.Recorder) (Execution, error) {
 	t := b.truthAt(qa)
 	var e Execution
 	e.OptCost = t.opt
@@ -143,6 +144,7 @@ func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point) (Execution, 
 		}
 	}
 	for _, c := range b.Contours[start:] {
+		recordContour(rec, c)
 		for _, pid := range c.PlanIDs {
 			// Cooperative cancellation between contour steps, not
 			// merely between contours: a dense contour can hold ρ
@@ -151,28 +153,36 @@ func (b *Bouquet) runBasic(ctx context.Context, qa, seed ess.Point) (Execution, 
 			if err := ctx.Err(); err != nil {
 				return e, err
 			}
+			t0 := stepClock(rec)
 			full := b.execCost(b.Diagram.Plan(pid), t.sels)
 			if full <= c.Budget {
-				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
+				s := Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true}
+				e.Steps = append(e.Steps, s)
 				e.TotalCost += full
 				e.Completed = true
+				b.recordStep(rec, s, t.sels, t0)
 				return e, nil
 			}
-			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
+			s := Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget}
+			e.Steps = append(e.Steps, s)
 			e.TotalCost += c.Budget
+			b.recordStep(rec, s, t.sels, t0)
 		}
 	}
 	// q_a exceeded every contour: only possible for off-grid locations
 	// beyond the terminus; finish with the cheapest bouquet plan,
 	// unbudgeted.
+	t0 := stepClock(rec)
 	best, bestCost := -1, cost.Cost(math.Inf(1))
 	for _, pid := range b.PlanIDs {
 		if c := b.execCost(b.Diagram.Plan(pid), t.sels); c < bestCost {
 			best, bestCost = pid, c
 		}
 	}
-	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: bestCost, Completed: true})
+	s := Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: bestCost, Completed: true}
+	e.Steps = append(e.Steps, s)
 	e.TotalCost += bestCost
 	e.Completed = true
+	b.recordStep(rec, s, t.sels, t0)
 	return e, nil
 }

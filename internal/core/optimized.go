@@ -9,6 +9,7 @@ import (
 	"repro/internal/ess"
 	"repro/internal/floats"
 	"repro/internal/plan"
+	"repro/internal/trace"
 )
 
 // equivalenceSlack is the cost closeness within which AxisPlans candidates
@@ -259,7 +260,7 @@ func (b *Bouquet) RunOptimized(qa ess.Point) Execution {
 // test. A nil seed starts at the origin. Overestimating seeds void the
 // first-quadrant invariant, as the paper cautions.
 func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
-	e, _ := b.runOptimized(context.Background(), qa, seed) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
+	e, _ := b.runOptimized(context.Background(), qa, seed, nil) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
 	return e
 }
 
@@ -267,10 +268,10 @@ func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
 // checked cooperatively between contour steps, and the partial Execution so
 // far is returned alongside ctx's error when the deadline expires mid-run.
 func (b *Bouquet) RunOptimizedContext(ctx context.Context, qa, seed ess.Point) (Execution, error) {
-	return b.runOptimized(ctx, qa, seed)
+	return b.runOptimized(ctx, qa, seed, nil)
 }
 
-func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Execution, error) {
+func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point, rec *trace.Recorder) (Execution, error) {
 	t := b.truthAt(qa)
 	var e Execution
 	e.OptCost = t.opt
@@ -289,7 +290,7 @@ func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Executi
 	}
 
 	for ci := 0; ci < len(b.Contours); ci++ {
-		done, err := b.runContour(ctx, &e, b.Contours[ci], st, t)
+		done, err := b.runContour(ctx, &e, b.Contours[ci], st, t, rec)
 		if err != nil {
 			return e, err
 		}
@@ -301,15 +302,18 @@ func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Executi
 	// Beyond the last contour (off-grid q_a past the terminus, or every
 	// plan eliminated under a divergent actual model): finish with the
 	// cheapest bouquet plan, unbudgeted.
+	t0 := stepClock(rec)
 	best, bestCost := -1, cost.Cost(math.Inf(1))
 	for _, pid := range b.PlanIDs {
 		if cst := b.execCost(b.Diagram.Plan(pid), t.sels); cst < bestCost {
 			best, bestCost = pid, cst
 		}
 	}
-	e.Steps = append(e.Steps, Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: bestCost, Completed: true})
+	s := Step{Contour: len(b.Contours) + 1, PlanID: best, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: bestCost, Completed: true}
+	e.Steps = append(e.Steps, s)
 	e.TotalCost += bestCost
 	e.Completed = true
+	b.recordStep(rec, s, t.sels, t0)
 	return e, nil
 }
 
@@ -323,7 +327,8 @@ func (b *Bouquet) runOptimized(ctx context.Context, qa, seed ess.Point) (Executi
 // complete at q_a either (§5.1's pincer elimination). The contour is left
 // when either q_run provably crossed it, or every plan has been eliminated
 // or has failed.
-func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *runState, t truth) (done bool, err error) {
+func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *runState, t truth, rec *trace.Recorder) (done bool, err error) {
+	recordContour(rec, c)
 	remaining := make(map[int]bool, len(c.PlanIDs))
 	spilled := make(map[int]bool, len(c.PlanIDs))
 	for _, pid := range c.PlanIDs {
@@ -353,15 +358,20 @@ func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *r
 			if pid < 0 || est > c.Budget {
 				return false, nil
 			}
+			t0 := stepClock(rec)
 			full := b.execCost(b.Diagram.Plan(pid), t.sels)
 			if full <= c.Budget {
-				e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
+				s := Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true}
+				e.Steps = append(e.Steps, s)
 				e.TotalCost += full
 				e.Completed = true
+				b.recordStep(rec, s, t.sels, t0)
 				return true, nil
 			}
-			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
+			s := Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget}
+			e.Steps = append(e.Steps, s)
 			e.TotalCost += c.Budget
+			b.recordStep(rec, s, t.sels, t0)
 			delete(remaining, pid)
 			continue
 		}
@@ -395,6 +405,8 @@ func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *r
 			dim := b.Query.DimOf(cand.learnID)
 			spilled[cand.planID] = true
 
+			t0 := stepClock(rec)
+			recordSpill(rec, c.K, cand.planID, dim, cand.learnID, c.Budget)
 			spent, exact := b.simulateSpill(sub, dim, st, t, c.Budget)
 			if exact {
 				st.qrun[dim] = t.qa[dim]
@@ -404,8 +416,11 @@ func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *r
 				// budget, so the full plan would too.
 				delete(remaining, cand.planID)
 			}
-			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: cand.planID, Dim: dim, Budget: c.Budget, Spent: spent, Completed: exact})
+			s := Step{Contour: c.K, PlanID: cand.planID, Dim: dim, Budget: c.Budget, Spent: spent, Completed: exact}
+			e.Steps = append(e.Steps, s)
 			e.TotalCost += spent
+			b.recordSpillStep(rec, s, p, sub, cand.learnID, t.sels, t0)
+			recordLearn(rec, c.K, cand.planID, dim, cand.learnID, st.qrun[dim], exact)
 			continue
 		}
 
@@ -415,16 +430,21 @@ func (b *Bouquet) runContour(ctx context.Context, e *Execution, c Contour, st *r
 		// the one the coverage guarantee speaks for if q_a is near
 		// q_run — falling back to the cheapest at q_run.
 		pid := b.genericPick(c, st, remaining, qrunSels)
+		t0 := stepClock(rec)
 		full := b.execCost(b.Diagram.Plan(pid), t.sels)
 		if full <= c.Budget {
-			e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true})
+			s := Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: full, Completed: true}
+			e.Steps = append(e.Steps, s)
 			e.TotalCost += full
 			e.Completed = true
+			b.recordStep(rec, s, t.sels, t0)
 			return true, nil
 		}
 		delete(remaining, pid)
-		e.Steps = append(e.Steps, Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget})
+		s := Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: c.Budget}
+		e.Steps = append(e.Steps, s)
 		e.TotalCost += c.Budget
+		b.recordStep(rec, s, t.sels, t0)
 	}
 }
 

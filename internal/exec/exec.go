@@ -21,11 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/data"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // ErrBudgetExceeded is returned when an execution exhausts its cost budget.
@@ -81,6 +83,15 @@ type Options struct {
 	// Perturb, when non-nil, scales each node's charges (bounded
 	// modeling error, §3.4). Must return values in [1/(1+δ), 1+δ].
 	Perturb func(*plan.Node) float64
+	// Trace, when non-nil, receives engine-level spans: a spill span
+	// when the pipeline is broken for a spilled execution, and a
+	// budget-abort span at the moment the cost meter trips. nil (the
+	// default) disables recording entirely.
+	Trace *trace.Recorder
+	// TraceContour and TracePlan label the emitted spans with the run
+	// driver's step context (0/-1 when unknown).
+	TraceContour int
+	TracePlan    int
 }
 
 // Engine executes plans for one query over one database.
@@ -126,6 +137,12 @@ func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
 			return Result{}, fmt.Errorf("exec: plan does not apply predicate %d", opts.SpillPred)
 		}
 		driven = n
+		if opts.Trace.Enabled() {
+			opts.Trace.Record(trace.Span{
+				Kind: trace.KindSpill, Contour: opts.TraceContour, PlanID: opts.TracePlan,
+				Dim: -1, Pred: opts.SpillPred, Budget: trace.SafeCost(budget),
+			})
+		}
 	}
 
 	b := &builder{e: e, m: m, stats: res.Stats, perturb: opts.Perturb}
@@ -157,7 +174,46 @@ func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
 	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
 		return res, err
 	}
+	if err != nil && opts.Trace.Enabled() {
+		// The meter tripped: surface the abort with the charge actually
+		// accumulated (the crossing charge is included, so Spent may
+		// slightly exceed Budget) and the rows produced so far.
+		opts.Trace.Record(trace.Span{
+			Kind: trace.KindBudgetAbort, Contour: opts.TraceContour, PlanID: opts.TracePlan,
+			Dim: -1, Pred: -1, Budget: trace.SafeCost(budget), Spent: m.used, Rows: res.RowsOut,
+		})
+	}
 	return res, nil
+}
+
+// TraceNodes surfaces one execution's per-operator counters as an ordered
+// span payload: nodes appear in root's depth-first walk order, so the
+// same plan always yields the same node sequence. Operators the execution
+// never built — everything downstream of a spilled subtree (§5.3) — are
+// marked Starved with zero counters.
+func (res Result) TraceNodes(root *plan.Node) []trace.NodeStat {
+	out := make([]trace.NodeStat, 0, root.NumNodes())
+	root.Walk(func(n *plan.Node) {
+		ns := trace.NodeStat{Op: n.Op.String(), Relation: n.Relation}
+		st := res.Stats[n]
+		if st == nil {
+			ns.Starved = true
+		} else {
+			ns.Out, ns.In, ns.Matches, ns.Done = st.Out, st.InTuples, st.Matches, st.Done
+			if len(st.PassBy) > 0 {
+				ids := make([]int, 0, len(st.PassBy))
+				for id := range st.PassBy {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				for _, id := range ids {
+					ns.Pass = append(ns.Pass, trace.PredCount{Pred: id, Count: st.PassBy[id]})
+				}
+			}
+		}
+		out = append(out, ns)
+	})
+	return out
 }
 
 // MustRun is Run for callers holding plans from a compiled, validated

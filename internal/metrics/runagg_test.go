@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAggregateCounts(t *testing.T) {
+	spans := []trace.Span{
+		{Kind: trace.KindCompile},
+		{Kind: trace.KindContour, Contour: 1},
+		{Kind: trace.KindExec, Contour: 1, Spent: 10, WallNanos: 100},
+		{Kind: trace.KindBudgetAbort, Contour: 1, Spent: 10},
+		{Kind: trace.KindContour, Contour: 2},
+		{Kind: trace.KindSpill, Contour: 2, Pred: 3},
+		{Kind: trace.KindExec, Contour: 2, Dim: 1, Spent: 20, WallNanos: 400},
+		{Kind: trace.KindLearn, Contour: 2, Dim: 1, Sel: 0.2},
+		{Kind: trace.KindExec, Contour: 2, Spent: 30, Rows: 7, Completed: true, WallNanos: 250},
+		{Kind: trace.KindLearn, Contour: 2, Dim: 0, Sel: 0.4, Completed: true},
+	}
+	a := Aggregate(spans)
+	if a.Execs != 3 || a.Completed != 1 || a.Spills != 1 || a.Aborts != 1 {
+		t.Fatalf("counts = %+v", a)
+	}
+	if a.Learns != 2 || a.ExactLearns != 1 {
+		t.Fatalf("learns = %d/%d, want 2/1", a.Learns, a.ExactLearns)
+	}
+	if math.Abs(a.UsefulCost-30) > 1e-12 || math.Abs(a.WastedCost-30) > 1e-12 {
+		t.Fatalf("useful/wasted = %g/%g, want 30/30", a.UsefulCost, a.WastedCost)
+	}
+	if math.Abs(a.WastedRatio()-0.5) > 1e-12 {
+		t.Fatalf("wasted ratio = %g, want 0.5", a.WastedRatio())
+	}
+	if a.WallNanos != 750 || a.MaxStepWallNanos != 400 {
+		t.Fatalf("wall = %d max %d, want 750/400", a.WallNanos, a.MaxStepWallNanos)
+	}
+	if a.Rows != 7 {
+		t.Fatalf("rows = %d, want 7", a.Rows)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	a := Aggregate(nil)
+	if a.Execs != 0 || a.WastedRatio() != 0 {
+		t.Fatalf("empty aggregate = %+v ratio %g", a, a.WastedRatio())
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // This file implements a minimal, dependency-free metrics registry that
@@ -118,6 +121,14 @@ type serverMetrics struct {
 	lastRunOptCost gauge   // oracle OptCost of the most recent run
 	runSubOpt      *histogram
 
+	tracedRuns      counter    // /run requests that recorded a trace
+	traceExecSteps  counter    // exec spans across all traced runs
+	traceAborts     counter    // budget-abort spans across all traced runs
+	traceSpills     counter    // spill spans across all traced runs
+	traceLearns     counter    // discovered-selectivity spans across all traced runs
+	lastWastedRatio gauge      // wasted/(useful+wasted) cost of the most recent traced run
+	stepWall        *histogram // per-step execution wall time, seconds
+
 	panics   counter // panics recovered by the middleware
 	timeouts counter // requests abandoned at their deadline
 }
@@ -130,11 +141,16 @@ var latencyBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25
 // definition and bounded by 4(1+λ)ρ in practice (tens).
 var subOptBuckets = []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
 
+// stepWallBuckets spans microsecond simulated steps through second-scale
+// concrete engine executions.
+var stepWallBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2.5, 5}
+
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
 		requests:  newLabeledCounter(),
 		latency:   newHistogram(latencyBuckets),
 		runSubOpt: newHistogram(subOptBuckets),
+		stepWall:  newHistogram(stepWallBuckets),
 	}
 }
 
@@ -147,6 +163,23 @@ func (m *serverMetrics) observeRun(totalCost, optCost, subOpt float64, steps int
 	m.lastRunOptCost.Set(optCost)
 	m.lastRunSubOpt.Set(subOpt)
 	m.runSubOpt.Observe("", subOpt)
+}
+
+// observeTrace folds one traced run's aggregate into the bouquetd_trace_*
+// series and each exec span's wall time into the per-step latency
+// histogram.
+func (m *serverMetrics) observeTrace(a metrics.RunAggregate, spans []trace.Span) {
+	m.tracedRuns.Add(1)
+	m.traceExecSteps.Add(int64(a.Execs))
+	m.traceAborts.Add(int64(a.Aborts))
+	m.traceSpills.Add(int64(a.Spills))
+	m.traceLearns.Add(int64(a.Learns))
+	m.lastWastedRatio.Set(a.WastedRatio())
+	for _, s := range spans {
+		if s.Kind == trace.KindExec {
+			m.stepWall.Observe("", float64(s.WallNanos)/1e9)
+		}
+	}
 }
 
 func writeHeader(w io.Writer, name, help, typ string) {
@@ -203,10 +236,10 @@ func (h *histogram) write(w io.Writer, name, help string) {
 	}
 }
 
-// render writes every metric in Prometheus text format. cache, bouquets
-// and optCalls are sampled by the caller (the /metrics handler) so the
-// registry has no back-pointer to the server.
-func (m *serverMetrics) render(w io.Writer, cache CacheStats, bouquets int, optCalls int64) {
+// render writes every metric in Prometheus text format. cache, bouquets,
+// optCalls and retainedTraces are sampled by the caller (the /metrics
+// handler) so the registry has no back-pointer to the server.
+func (m *serverMetrics) render(w io.Writer, cache CacheStats, bouquets int, optCalls int64, retainedTraces int) {
 	writeLabeledCounter(w, "bouquetd_requests_total", "HTTP requests by path pattern and status code.", m.requests)
 	m.latency.write(w, "bouquetd_request_duration_seconds", "HTTP request latency by path pattern.")
 
@@ -237,6 +270,22 @@ func (m *serverMetrics) render(w io.Writer, cache CacheStats, bouquets int, optC
 	writeHeader(w, "bouquetd_last_run_opt_cost", "Oracle (optimal) cost of the most recent run.", "gauge")
 	fmt.Fprintf(w, "bouquetd_last_run_opt_cost %g\n", m.lastRunOptCost.Value())
 	m.runSubOpt.write(w, "bouquetd_run_subopt", "Distribution of per-run SubOpt values.")
+
+	writeHeader(w, "bouquetd_traced_runs_total", "Runs that recorded a structured execution trace.", "counter")
+	fmt.Fprintf(w, "bouquetd_traced_runs_total %d\n", m.tracedRuns.Value())
+	writeHeader(w, "bouquetd_trace_exec_steps_total", "Plan executions (generic and spilled) across traced runs.", "counter")
+	fmt.Fprintf(w, "bouquetd_trace_exec_steps_total %d\n", m.traceExecSteps.Value())
+	writeHeader(w, "bouquetd_trace_budget_aborts_total", "Executions jettisoned at budget exhaustion across traced runs.", "counter")
+	fmt.Fprintf(w, "bouquetd_trace_budget_aborts_total %d\n", m.traceAborts.Value())
+	writeHeader(w, "bouquetd_trace_spills_total", "Spilled executions (pipeline broken for selectivity learning, paper §5.3) across traced runs.", "counter")
+	fmt.Fprintf(w, "bouquetd_trace_spills_total %d\n", m.traceSpills.Value())
+	writeHeader(w, "bouquetd_trace_learns_total", "Discovered-selectivity updates (paper §5.2) across traced runs.", "counter")
+	fmt.Fprintf(w, "bouquetd_trace_learns_total %d\n", m.traceLearns.Value())
+	writeHeader(w, "bouquetd_last_run_wasted_ratio", "Exploration-overhead fraction (wasted/(useful+wasted) cost) of the most recent traced run.", "gauge")
+	fmt.Fprintf(w, "bouquetd_last_run_wasted_ratio %g\n", m.lastWastedRatio.Value())
+	m.stepWall.write(w, "bouquetd_trace_step_wall_seconds", "Per-step execution wall time across traced runs.")
+	writeHeader(w, "bouquetd_retained_traces", "Traced runs currently retained for /runs/{id}/trace.", "gauge")
+	fmt.Fprintf(w, "bouquetd_retained_traces %d\n", retainedTraces)
 
 	writeHeader(w, "bouquetd_panics_recovered_total", "Handler panics recovered by the middleware.", "counter")
 	fmt.Fprintf(w, "bouquetd_panics_recovered_total %d\n", m.panics.Value())

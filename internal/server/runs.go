@@ -1,0 +1,72 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// DefaultRunHistory is the retained traced-run count when
+// Config.RunHistory is 0. Traces are a debugging artifact, not a system
+// of record: a run's full span list can reach a few hundred KiB, so the
+// registry keeps a bounded FIFO window and evicts the oldest.
+const DefaultRunHistory = 64
+
+// runRecord is one retained traced run, served by /runs/{id}/trace.
+type runRecord struct {
+	ID        string               `json:"runId"`
+	BouquetID string               `json:"bouquetId"`
+	Dropped   uint64               `json:"droppedSpans,omitempty"`
+	Aggregate metrics.RunAggregate `json:"aggregate"`
+	Spans     []trace.Span         `json:"spans"`
+}
+
+// runStore is a bounded FIFO registry of traced runs, safe for concurrent
+// use. IDs are monotone ("r1", "r2", …) so clients can correlate a /run
+// response with its trace even after eviction makes the lookup 404.
+type runStore struct {
+	mu    sync.Mutex
+	cap   int
+	next  int
+	order []string
+	runs  map[string]*runRecord
+}
+
+func newRunStore(capacity int) *runStore {
+	if capacity <= 0 {
+		capacity = DefaultRunHistory
+	}
+	return &runStore{cap: capacity, runs: make(map[string]*runRecord)}
+}
+
+// add retains one traced run and returns its new run ID, evicting the
+// oldest retained run when the window is full.
+func (st *runStore) add(bouquetID string, spans []trace.Span, dropped uint64, agg metrics.RunAggregate) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := fmt.Sprintf("r%d", st.next)
+	st.runs[id] = &runRecord{ID: id, BouquetID: bouquetID, Dropped: dropped, Aggregate: agg, Spans: spans}
+	st.order = append(st.order, id)
+	if len(st.order) > st.cap {
+		delete(st.runs, st.order[0])
+		st.order = st.order[1:]
+	}
+	return id
+}
+
+func (st *runStore) get(id string) (*runRecord, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.runs[id]
+	return r, ok
+}
+
+// size returns the retained run count (for /metrics).
+func (st *runStore) size() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.runs)
+}

@@ -35,8 +35,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/ess"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
+	"repro/internal/trace"
 )
 
 // Config tunes the server's production behaviour. The zero value selects
@@ -60,6 +62,10 @@ type Config struct {
 	CompileWorkers int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// RunHistory bounds how many traced runs are retained for
+	// /runs/{id}/trace (FIFO eviction beyond it). 0 selects
+	// DefaultRunHistory.
+	RunHistory int
 	// Logf, when non-nil, receives middleware diagnostics (recovered
 	// panics). nil discards them — the default for tests.
 	Logf func(format string, args ...interface{})
@@ -85,6 +91,7 @@ type Server struct {
 
 	cache   *compileCache
 	metrics *serverMetrics
+	runs    *runStore
 }
 
 // New builds a server compiling against cat with default Config.
@@ -107,6 +114,7 @@ func NewWithConfig(cat *catalog.Catalog, cfg Config) *Server {
 		bouquets: make(map[string]*core.Bouquet),
 		cache:    newCompileCache(cfg.CacheSize),
 		metrics:  newServerMetrics(),
+		runs:     newRunStore(cfg.RunHistory),
 	}
 }
 
@@ -124,6 +132,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /bouquets/{id}/export", s.handleExport)
 	mux.HandleFunc("GET /bouquets/{id}/diagram", s.handleDiagram)
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -402,6 +411,11 @@ type runRequest struct {
 	// Seed, when non-empty, starts from a guaranteed-underestimate
 	// location (§8).
 	Seed []float64 `json:"seed,omitempty"`
+	// Trace requests a structured execution trace: the run records
+	// contour/exec/spill/abort/learn spans with per-node operator stats,
+	// retained for GET /runs/{runId}/trace. The response carries the
+	// assigned runId.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type runStep struct {
@@ -419,6 +433,8 @@ type runResponse struct {
 	SubOpt    float64   `json:"subOpt"`
 	Execs     int       `json:"execs"`
 	Steps     []runStep `json:"steps"`
+	// RunID identifies the retained trace of this run (traced runs only).
+	RunID string `json:"runId,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -451,12 +467,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		seed = req.Seed
 	}
 
+	var rec *trace.Recorder
+	if req.Trace {
+		rec = trace.New(0)
+	}
 	var e core.Execution
 	var err error
 	if req.Optimized {
-		e, err = b.RunOptimizedContext(r.Context(), req.QA, seed)
+		e, err = b.RunOptimizedTraced(r.Context(), req.QA, seed, rec)
 	} else {
-		e, err = b.RunBasicContext(r.Context(), req.QA, seed)
+		e, err = b.RunBasicTraced(r.Context(), req.QA, seed, rec)
 	}
 	if err != nil {
 		s.metrics.timeouts.Add(1)
@@ -473,10 +493,30 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	for _, st := range e.Steps {
 		out.Steps = append(out.Steps, runStep{
 			Contour: st.Contour, Plan: st.PlanID, Dim: st.Dim,
-			Budget: st.Budget.F(), Spent: st.Spent.F(), Completed: st.Completed,
+			// Terminal (beyond-terminus) steps carry a +Inf budget,
+			// which encoding/json rejects; 0 is the documented
+			// "unbudgeted" wire value.
+			Budget: trace.SafeCost(st.Budget.F()), Spent: st.Spent.F(), Completed: st.Completed,
 		})
 	}
+	if rec.Enabled() {
+		spans := rec.Spans()
+		agg := metrics.Aggregate(spans)
+		s.metrics.observeTrace(agg, spans)
+		out.RunID = s.runs.add(req.ID, spans, rec.Dropped(), agg)
+	}
 	writeJSON(w, out)
+}
+
+// handleRunTrace serves a retained run trace: the full span sequence plus
+// its aggregate summary.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	rr, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no trace for run %q (traces are retained for the last %d traced runs)", r.PathValue("id"), s.runs.cap)
+		return
+	}
+	writeJSON(w, rr)
 }
 
 // handleHealthz answers liveness probes: the process is up and routing.
@@ -489,5 +529,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics exports the registry in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, s.cache.stats(), s.numBouquets(), optimizer.TotalCalls())
+	s.metrics.render(w, s.cache.stats(), s.numBouquets(), optimizer.TotalCalls(), s.runs.size())
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TestRunTraceRoundTrip pins the tentpole acceptance criterion: a traced
+// run's full span sequence round-trips through /runs/{id}/trace JSON with
+// per-node operator stats present for every executed step.
+func TestRunTraceRoundTrip(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 12)
+
+	resp, raw := postJSON(t, srv.URL+"/run", runRequest{
+		ID: sum.ID, QA: []float64{0.05, 2e-6}, Optimized: true, Trace: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %v", resp.StatusCode, raw)
+	}
+	var run runResponse
+	reencode(t, raw, &run)
+	if run.RunID == "" {
+		t.Fatal("traced run returned no runId")
+	}
+
+	tresp, err := http.Get(srv.URL + "/runs/" + run.RunID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tresp.StatusCode)
+	}
+	var rr struct {
+		RunID     string               `json:"runId"`
+		BouquetID string               `json:"bouquetId"`
+		Aggregate metrics.RunAggregate `json:"aggregate"`
+		Spans     []trace.Span         `json:"spans"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&rr); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	if rr.RunID != run.RunID || rr.BouquetID != sum.ID {
+		t.Fatalf("trace identity = %s/%s, want %s/%s", rr.RunID, rr.BouquetID, run.RunID, sum.ID)
+	}
+
+	var execs []trace.Span
+	for _, s := range rr.Spans {
+		if s.Kind == trace.KindExec {
+			execs = append(execs, s)
+		}
+	}
+	if len(execs) != len(run.Steps) {
+		t.Fatalf("%d exec spans for %d run steps", len(execs), len(run.Steps))
+	}
+	for i, s := range execs {
+		st := run.Steps[i]
+		if s.Contour != st.Contour || s.PlanID != st.Plan || s.Completed != st.Completed {
+			t.Fatalf("exec span %d = %+v does not mirror step %+v", i, s, st)
+		}
+		// The acceptance criterion: per-node operator stats for every
+		// executed step, surviving the JSON round trip.
+		if len(s.Nodes) == 0 {
+			t.Fatalf("exec span %d lost its node stats over the wire", i)
+		}
+		for _, n := range s.Nodes {
+			if n.Op == "" {
+				t.Fatalf("exec span %d node with empty op: %+v", i, n)
+			}
+		}
+	}
+	if rr.Aggregate.Execs != len(execs) || rr.Aggregate.Completed == 0 {
+		t.Fatalf("aggregate %+v inconsistent with %d exec spans", rr.Aggregate, len(execs))
+	}
+
+	// An untraced run must not mint a run ID.
+	_, rawPlain := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}})
+	if _, ok := rawPlain["runId"]; ok {
+		t.Fatal("untraced run minted a runId")
+	}
+
+	// Unknown run IDs 404.
+	missing, err := http.Get(srv.URL + "/runs/r999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace status %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestTraceMetricsExported pins the new bouquetd_trace_* Prometheus series.
+func TestTraceMetricsExported(t *testing.T) {
+	srv := newTestServer(t)
+	sum := compileOne(t, srv, apiEQ2D, 12)
+	resp, _ := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}, Optimized: true, Trace: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	data, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, want := range []string{
+		"bouquetd_traced_runs_total 1",
+		"bouquetd_trace_exec_steps_total",
+		"bouquetd_trace_budget_aborts_total",
+		"bouquetd_trace_spills_total",
+		"bouquetd_trace_learns_total",
+		"bouquetd_last_run_wasted_ratio",
+		"bouquetd_trace_step_wall_seconds_count",
+		"bouquetd_retained_traces 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestRunStoreEviction(t *testing.T) {
+	st := newRunStore(2)
+	id1 := st.add("b1", nil, 0, metrics.RunAggregate{})
+	id2 := st.add("b1", nil, 0, metrics.RunAggregate{})
+	id3 := st.add("b1", nil, 0, metrics.RunAggregate{})
+	if _, ok := st.get(id1); ok {
+		t.Fatal("oldest run survived eviction")
+	}
+	for _, id := range []string{id2, id3} {
+		if _, ok := st.get(id); !ok {
+			t.Fatalf("run %s evicted early", id)
+		}
+	}
+	if st.size() != 2 {
+		t.Fatalf("size = %d, want 2", st.size())
+	}
+}

@@ -1,0 +1,265 @@
+// Package trace provides flag-gated, low-overhead structured execution
+// traces for the bouquet runtime.
+//
+// The paper's §5 evidence — MSO/ASO, per-step budgeted executions, spill
+// behaviour — is only as trustworthy as the visibility into what the
+// run-time actually did. A Recorder captures that as an ordered sequence
+// of fixed-shape Spans: contour entries, budgeted plan executions (with
+// per-operator counters), spilled executions, budget aborts, and
+// discovered-selectivity updates. The run drivers in internal/core and
+// the Volcano engine in internal/exec emit spans when (and only when) a
+// Recorder is supplied.
+//
+// Design constraints, in order:
+//
+//   - disabled tracing must be free: a nil *Recorder is the "off" state,
+//     every method is nil-safe, and the hot loops guard span construction
+//     behind Enabled() — internal/core pins this with an AllocsPerRun
+//     parity test;
+//   - enabled tracing must stay off the allocator: spans land in a
+//     preallocated power-of-two ring via a single atomic slot claim
+//     (lock-free, no mutex on the record path), overwriting the oldest
+//     entries when the run outgrows the ring;
+//   - spans must survive the wire: they marshal to JSON (served by the
+//     bouquetd /runs/{id}/trace endpoint) with non-finite budgets
+//     sanitized at record time, since encoding/json rejects ±Inf.
+//
+// Snapshotting with Spans is meant for after the traced run completes;
+// concurrent Record calls are safe against each other, but a snapshot
+// taken mid-run may observe partially ordered history.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Kind classifies a Span.
+type Kind uint8
+
+const (
+	// KindCompile marks a bouquet compilation (one span per compile).
+	KindCompile Kind = iota + 1
+	// KindContour marks the run entering an isocost contour.
+	KindContour
+	// KindExec is one (possibly partial) plan execution step: generic or
+	// spilled, budgeted or terminal. Completed=false means the whole
+	// budget was spent and the intermediate results jettisoned.
+	KindExec
+	// KindSpill marks the engine breaking the pipeline above a chosen
+	// predicate's node, starving downstream operators (§5.3). Emitted by
+	// internal/exec before the spilled subtree runs.
+	KindSpill
+	// KindBudgetAbort marks an execution aborting at budget exhaustion.
+	// Emitted by internal/exec at the moment the meter trips.
+	KindBudgetAbort
+	// KindLearn is a discovered-selectivity update: q_run moved along Dim
+	// to Sel (Completed=true when the value is exact, §5.2).
+	KindLearn
+)
+
+var kindNames = [...]string{
+	KindCompile:     "compile",
+	KindContour:     "contour",
+	KindExec:        "exec",
+	KindSpill:       "spill",
+	KindBudgetAbort: "budget-abort",
+	KindLearn:       "learn",
+}
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range kindNames {
+		if name == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown span kind %q", s)
+}
+
+// PredCount is one predicate's pass count at an operator (the counter
+// selectivity learning divides by the input cardinality, §5.2).
+type PredCount struct {
+	Pred  int   `json:"pred"`
+	Count int64 `json:"count"`
+}
+
+// NodeStat is one operator's counters within an executed step: real
+// tuple counts surfaced from the engine's instrumentation for concrete
+// runs, or the cost model's realized cardinalities for simulated runs.
+type NodeStat struct {
+	// Op is the operator name (plan.Op.String()).
+	Op string `json:"op"`
+	// Relation is the base relation for scan-like operators.
+	Relation string `json:"relation,omitempty"`
+	// Out is the number of tuples the operator emitted.
+	Out int64 `json:"out"`
+	// In is the number of tuples consumed from the outer/left input.
+	In int64 `json:"in,omitempty"`
+	// Matches counts join-predicate matches before residual filters.
+	Matches int64 `json:"matches,omitempty"`
+	// Pass holds per-predicate pass counts, ascending by predicate ID.
+	Pass []PredCount `json:"pass,omitempty"`
+	// EstCost is the cost model's subtree cost estimate (simulated runs;
+	// zero for engine-surfaced stats, whose charges are metered globally).
+	EstCost float64 `json:"estCost,omitempty"`
+	// Done reports whether the operator ran to completion.
+	Done bool `json:"done"`
+	// Starved marks operators never built because a spilled execution
+	// broke the pipeline below them (§5.3).
+	Starved bool `json:"starved,omitempty"`
+}
+
+// Span is one structured event of a traced run. All fields are plain
+// values so a Span costs nothing to construct on the stack; only Nodes
+// (attached exclusively in enabled mode) touches the allocator.
+type Span struct {
+	// Seq is the record order, assigned by the Recorder.
+	Seq uint64 `json:"seq"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Contour is the 1-based isocost step index (0 when not applicable).
+	Contour int `json:"contour"`
+	// PlanID is the diagram plan ID (-1 when not applicable).
+	PlanID int `json:"plan"`
+	// Dim is the ESS dimension a spilled execution learns, -1 otherwise.
+	Dim int `json:"dim"`
+	// Pred is the predicate ID a spill/learn span concerns, -1 otherwise.
+	Pred int `json:"pred"`
+	// Budget is the cost limit the step ran under (0 = unbudgeted).
+	Budget float64 `json:"budget"`
+	// Spent is the cost actually charged.
+	Spent float64 `json:"spent"`
+	// Rows is the row count the driven node produced.
+	Rows int64 `json:"rows"`
+	// Sel is the discovered selectivity value (KindLearn).
+	Sel float64 `json:"sel,omitempty"`
+	// Completed reports step completion (KindExec) or exact learning
+	// (KindLearn).
+	Completed bool `json:"completed"`
+	// WallNanos is the step's wall-clock duration in nanoseconds.
+	WallNanos int64 `json:"wallNs,omitempty"`
+	// Nodes carries per-operator counters for executed steps.
+	Nodes []NodeStat `json:"nodes,omitempty"`
+}
+
+// SafeCost sanitizes a cost value for span fields: non-finite budgets
+// (the +Inf "unbudgeted" sentinel of the terminal execution) become 0,
+// which Span documents as "no limit" — and which encoding/json accepts.
+func SafeCost(c float64) float64 {
+	if math.IsInf(c, 0) || math.IsNaN(c) {
+		return 0
+	}
+	return c
+}
+
+// DefaultCapacity is the ring size New selects for capacity <= 0: roomy
+// enough for every step of a deep bouquet run (contours × ρ × a few
+// spans per step) while staying a few hundred KiB.
+const DefaultCapacity = 4096
+
+// Recorder collects spans into a lock-free ring buffer. The zero state
+// for callers is a nil *Recorder, which disables tracing entirely; every
+// method is nil-safe.
+type Recorder struct {
+	buf  []Span
+	mask uint64
+	pos  atomic.Uint64
+}
+
+// New builds a Recorder retaining the last capacity spans (rounded up to
+// a power of two; capacity <= 0 selects DefaultCapacity).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{buf: make([]Span, n), mask: uint64(n - 1)}
+}
+
+// Enabled reports whether spans are being collected. Hot loops guard
+// span construction (and any time.Now calls) behind it so the disabled
+// path stays allocation- and syscall-free.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends one span: a single atomic claims the next slot, the
+// span is copied in, and its Seq is the claim order. When the ring is
+// full the oldest span is overwritten. Safe for concurrent use; no-op
+// on a nil Recorder.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	seq := r.pos.Add(1) - 1
+	s.Seq = seq
+	r.buf[seq&r.mask] = s
+}
+
+// Len returns the number of retained spans (at most the ring capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.pos.Load()
+	if n > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(n)
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	n := r.pos.Load()
+	if n <= uint64(len(r.buf)) {
+		return 0
+	}
+	return n - uint64(len(r.buf))
+}
+
+// Spans snapshots the retained spans in record order (oldest first).
+// Intended for use after the traced run completes; see the package
+// comment for mid-run caveats. Returns nil on a nil Recorder.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	n := r.pos.Load()
+	if n == 0 {
+		return nil
+	}
+	if n <= uint64(len(r.buf)) {
+		out := make([]Span, n)
+		copy(out, r.buf[:n])
+		return out
+	}
+	// Wrapped: the oldest retained span sits at the write cursor.
+	out := make([]Span, len(r.buf))
+	head := n & r.mask
+	copy(out, r.buf[head:])
+	copy(out[uint64(len(r.buf))-head:], r.buf[:head])
+	return out
+}
