@@ -6,7 +6,7 @@ BIN := bin
 # headroom for run-to-run variation, not for new untested code).
 COVER_FLOOR := 78.0
 
-.PHONY: build test vet race fuzz lint fmt-check ci cover bench-compile bench-compile-smoke bench-check
+.PHONY: build test vet race fuzz lint fmt-check ci cover bench-compile bench-compile-smoke bench-check bench-exec bench-exec-smoke
 
 build:
 	$(GO) build ./...
@@ -60,9 +60,29 @@ bench-compile-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFocusedCompile$$' -benchtime 1x -benchmem -timeout 10m .
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime 1x -benchmem ./internal/optimizer
 
+# bench-exec measures executor throughput — the Volcano engine against
+# the vectorized engine at 1 and 8 morsel workers on a 400k-row
+# three-way join (plus the aggregate pipeline) — and converts the raw
+# output into BENCH_exec.json with speedups against the checked-in seed
+# baseline (bench/exec_seed.txt).
+bench-exec:
+	@mkdir -p $(BIN)
+	$(GO) test -run '^$$' -bench 'BenchmarkExecJoin|BenchmarkExecAggregate' \
+		-benchmem -count 3 -timeout 30m ./internal/exec | tee $(BIN)/bench_exec.txt
+	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
+	$(BIN)/benchjson -baseline bench/exec_seed.txt -o BENCH_exec.json < $(BIN)/bench_exec.txt
+	@echo "wrote BENCH_exec.json"
+
+# bench-exec-smoke is the CI variant: single short iterations on both
+# engines, so a benchmark that no longer compiles or crashes fails fast.
+bench-exec-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkExecJoinVolcano$$|BenchmarkExecJoinVector8$$' \
+		-benchtime 1x -benchmem ./internal/exec
+
 # bench-check is the CI regression gate: re-measure the seeded compile
-# benchmarks (3 repetitions, best-of-N) and fail when any of them
-# regressed beyond 2x ns/op against the checked-in seed baseline.
+# and executor benchmarks (3 repetitions, best-of-N) and fail when any
+# of them regressed beyond 2x ns/op against the checked-in seed
+# baselines.
 bench-check:
 	@mkdir -p $(BIN)
 	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
@@ -70,6 +90,9 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimizeChain3$$|BenchmarkOptimizeBranch8$$' \
 		-benchmem -count 3 ./internal/optimizer >> $(BIN)/bench_check.txt
 	$(BIN)/benchjson -check -max-regress 2.0 -baseline bench/compile_seed.txt < $(BIN)/bench_check.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkExecJoinVector8$$|BenchmarkExecJoinVolcano$$' \
+		-benchmem -count 3 -timeout 30m ./internal/exec > $(BIN)/bench_check_exec.txt
+	$(BIN)/benchjson -check -max-regress 2.0 -baseline bench/exec_seed.txt < $(BIN)/bench_check_exec.txt
 
 # cover writes an atomic-mode coverage profile for the whole repo and
 # fails when total statement coverage drops below COVER_FLOOR. CI uploads
@@ -84,4 +107,4 @@ cover:
 
 # ci mirrors the CI workflow's main job exactly — .github/workflows/ci.yml
 # invokes this target, so local `make ci` and CI cannot diverge.
-ci: fmt-check vet build test race lint bench-compile-smoke
+ci: fmt-check vet build test race lint bench-compile-smoke bench-exec-smoke

@@ -34,10 +34,9 @@ import (
 	"strings"
 )
 
-// benchLine matches one `go test -bench -benchmem` result line, with or
-// without the -GOMAXPROCS name suffix and the memory columns.
-var benchLine = regexp.MustCompile(
-	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchName matches a benchmark result line's first field, with or
+// without the -GOMAXPROCS suffix.
+var benchName = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?$`)
 
 // sample is one benchmark run's measurements.
 type sample struct {
@@ -70,25 +69,46 @@ type output struct {
 	Benchmarks []entry `json:"benchmarks"`
 }
 
+// parse reads `go test -bench -benchmem` result lines. Measurement
+// columns come in "<value> <unit>" pairs; unknown units (custom
+// b.ReportMetric columns such as rows/s) are skipped, so the known
+// columns are found wherever they sit on the line.
 func parse(r io.Reader) (map[string][]sample, error) {
 	out := make(map[string][]sample)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		m := benchName.FindStringSubmatch(fields[0])
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count — not a result line
 		}
-		s := sample{nsPerOp: ns}
-		if m[4] != "" {
-			s.bytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		var s sample
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				ns, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+				}
+				s.nsPerOp = ns
+				sawNs = true
+			case "B/op":
+				s.bytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				s.allocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
 		}
-		if m[5] != "" {
-			s.allocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if !sawNs {
+			continue
 		}
 		out[m[1]] = append(out[m[1]], s)
 	}

@@ -56,6 +56,24 @@ func TestRunProducesSpeedups(t *testing.T) {
 	}
 }
 
+func TestParseSkipsCustomMetricColumns(t *testing.T) {
+	// b.ReportMetric inserts extra "<value> <unit>" pairs (the exec
+	// benchmarks report rows/s); the known columns must still parse.
+	text := "BenchmarkExecJoinVector8 	      96	  11741582 ns/op	   4909145 rows/s	 5078643 B/op	     426 allocs/op\n"
+	got, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := got["ExecJoinVector8"]
+	if len(samples) != 1 {
+		t.Fatalf("parsed %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	if s.nsPerOp != 11741582 || s.bytesPerOp != 5078643 || s.allocsPerOp != 426 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
 func TestRunWithoutBaseline(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(strings.NewReader(currentText), "", "test", &buf); err != nil {

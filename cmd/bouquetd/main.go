@@ -45,6 +45,7 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server write timeout (must exceed compile-timeout)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	grace := flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGTERM")
+	execWorkers := flag.Int("exec-workers", 0, "default worker count for concrete /run executions (0 = tuple-at-a-time engine, n>0 = vectorized with n morsel workers)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	runHistory := flag.Int("run-history", server.DefaultRunHistory, "traced runs retained for /runs/{id}/trace")
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		MaxBodyBytes:   *maxBody,
 		CompileTimeout: *compileTimeout,
+		ExecWorkers:    *execWorkers,
 		EnablePprof:    *enablePprof,
 		RunHistory:     *runHistory,
 		Logf:           log.Printf,

@@ -1,0 +1,70 @@
+// Package pkgdoc keeps package documentation real.
+//
+// Every library package is someone's entry point into the codebase, and
+// `go doc <pkg>` is the first thing they run — a missing or one-line
+// package comment makes that output useless and the architecture docs
+// the only (staleness-prone) source of truth. The analyzer requires
+// each non-main package to carry a package comment that follows the
+// godoc convention ("Package <name> ...") and says something
+// substantive: at least MinDocLen characters once the comment markers
+// are stripped. Test files and external _test packages are ignored;
+// command binaries (package main) document themselves through their
+// usage text instead.
+package pkgdoc
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// MinDocLen is the minimum substantive package-comment length in
+// characters. One honest sentence about what the package owns clears
+// it; a placeholder ("Package x implements x.") does not.
+const MinDocLen = 60
+
+// Analyzer implements the pkgdoc invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc:  "library packages carry a substantive godoc package comment",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil
+	}
+	var docs []string
+	first := -1
+	for i, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		if f.Doc != nil {
+			docs = append(docs, f.Doc.Text())
+		}
+	}
+	if first < 0 {
+		return nil // test-only view of the package
+	}
+	if len(docs) == 0 {
+		pass.Reportf(pass.Files[first].Name.Pos(),
+			"package %s has no package comment; add a doc.go describing what the package owns", pass.Pkg.Name())
+		return nil
+	}
+	doc := strings.TrimSpace(strings.Join(docs, "\n"))
+	if !strings.HasPrefix(doc, "Package "+pass.Pkg.Name()+" ") {
+		pass.Reportf(pass.Files[first].Name.Pos(),
+			"package comment for %s must start %q (godoc convention)", pass.Pkg.Name(), "Package "+pass.Pkg.Name())
+		return nil
+	}
+	if len(doc) < MinDocLen {
+		pass.Reportf(pass.Files[first].Name.Pos(),
+			"package comment for %s is a stub (%d chars, need %d); say what the package owns and how it is used",
+			pass.Pkg.Name(), len(doc), MinDocLen)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pkgdoc"
+)
+
+func TestPkgdocMissing(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/src/a")
+}
+
+func TestPkgdocStub(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/src/stub")
+}
+
+func TestPkgdocWrongPrefix(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/src/wrongprefix")
+}
+
+// TestPkgdocGood checks that a substantive doc.go comment (split across
+// a dedicated file while the code files carry none) passes clean.
+func TestPkgdocGood(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/src/good")
+}

@@ -1,0 +1,4 @@
+package a // want `package a has no package comment; add a doc.go describing what the package owns`
+
+// Exported is documented, but the package itself is not.
+func Exported() int { return 1 }

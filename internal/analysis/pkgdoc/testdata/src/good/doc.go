@@ -1,0 +1,4 @@
+// Package good is the passing fixture: its package comment follows the
+// godoc convention, lives in a dedicated doc.go, and says enough about
+// what the package owns to be worth reading.
+package good

@@ -1,0 +1,4 @@
+package good
+
+// Exported exists so the package is non-empty.
+func Exported() int { return 1 }

@@ -1,0 +1,5 @@
+// Package stub does stub things.
+package stub // want `package comment for stub is a stub \(30 chars, need 60\); say what the package owns and how it is used`
+
+// Exported exists so the package is non-empty.
+func Exported() int { return 1 }

@@ -1,0 +1,6 @@
+// This package handles widgets, but its comment ignores the godoc
+// convention of naming the package it documents first.
+package wrongprefix // want `package comment for wrongprefix must start "Package wrongprefix" \(godoc convention\)`
+
+// Exported exists so the package is non-empty.
+func Exported() int { return 1 }

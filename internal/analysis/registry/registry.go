@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/infguard"
 	"repro/internal/analysis/panicdoc"
+	"repro/internal/analysis/pkgdoc"
 	"repro/internal/analysis/printless"
 	"repro/internal/analysis/seededrand"
 	"repro/internal/analysis/selbounds"
@@ -24,6 +25,7 @@ func All() []*analysis.Analyzer {
 		floatcmp.Analyzer,
 		infguard.Analyzer,
 		panicdoc.Analyzer,
+		pkgdoc.Analyzer,
 		printless.Analyzer,
 		selbounds.Analyzer,
 		seededrand.Analyzer,

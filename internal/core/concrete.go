@@ -56,6 +56,12 @@ type ConcreteRunner struct {
 	// itself), and discovered-selectivity learn spans. nil disables
 	// recording entirely.
 	Trace *trace.Recorder
+	// Parallelism, when positive, runs every execution step on the
+	// vectorized morsel-parallel engine with that many workers (batch
+	// size exec.DefaultBatchSize). Zero keeps the tuple-at-a-time
+	// Volcano engine. Both engines report identical tuple counters, so
+	// selectivity learning is unaffected.
+	Parallelism int
 }
 
 // recordConcreteStep emits the exec span for one real engine execution,
@@ -69,6 +75,7 @@ func (r *ConcreteRunner) recordConcreteStep(s ConcreteStep, res exec.Result, pre
 		Kind: trace.KindExec, Contour: s.Contour, PlanID: s.PlanID, Dim: s.Dim, Pred: pred,
 		Budget: trace.SafeCost(s.Budget.F()), Spent: trace.SafeCost(s.Spent.F()),
 		Rows: s.Rows, Completed: s.Completed, WallNanos: s.Wall.Nanoseconds(),
+		Batches: res.Batches, Workers: res.Workers,
 		Nodes: res.TraceNodes(r.B.Diagram.Plan(s.PlanID)),
 	})
 }
@@ -257,6 +264,11 @@ func (r *ConcreteRunner) timedRun(contour, pid int, opts exec.Options) (exec.Res
 		opts.Trace = r.Trace
 		opts.TraceContour = contour
 		opts.TracePlan = pid
+	}
+	if r.Parallelism > 0 {
+		opts.Vectorized = true
+		opts.BatchSize = exec.DefaultBatchSize
+		opts.Parallelism = r.Parallelism
 	}
 	t0 := time.Now()
 	res := r.Engine.MustRun(r.B.Diagram.Plan(pid), opts)

@@ -206,6 +206,36 @@ func TestConcrete3D(t *testing.T) {
 	}
 }
 
+// TestConcreteParallelismMatchesVolcano drives the whole bouquet
+// protocol through the vectorized morsel-parallel engine. Completed
+// (non-aborted) executions carry identical tuple counters on both
+// engines, so the discovered selectivities and the final result are
+// pinned; aborted budgeted steps may overshoot by up to one batch of
+// charges, so step-level cost is only bound-checked.
+func TestConcreteParallelismMatchesVolcano(t *testing.T) {
+	rw, r, opt := concreteFixture(t, 42)
+	wantRows, oracleCost := oracleRows(t, rw, r, opt)
+	for _, workers := range []int{1, 8} {
+		rp := &ConcreteRunner{B: r.B, Engine: r.Engine, Parallelism: workers}
+		basic := rp.RunBasic()
+		if !basic.Completed || basic.ResultRows != wantRows {
+			t.Fatalf("w%d basic: completed=%v rows=%d want %d", workers, basic.Completed, basic.ResultRows, wantRows)
+		}
+		if subopt := basic.TotalCost.Over(oracleCost).F(); subopt > r.B.BoundMSO().F()*1.5 {
+			t.Fatalf("w%d basic sub-optimality %g beyond slack bound", workers, subopt)
+		}
+		optim := rp.RunOptimized()
+		if !optim.Completed || optim.ResultRows != wantRows {
+			t.Fatalf("w%d optimized: completed=%v rows=%d want %d", workers, optim.Completed, optim.ResultRows, wantRows)
+		}
+		for d, learned := range optim.Learned {
+			if learned > rw.Actual[d]*1.05 {
+				t.Errorf("w%d dim %d learned %g, actual %g", workers, d, learned, rw.Actual[d])
+			}
+		}
+	}
+}
+
 // TestDistributionShiftRobustness checks the paper's §8 claim that the
 // bouquet "is inherently robust to changes in data distribution, since
 // these changes only shift the location of q_a in the existing ESS": one

@@ -1,0 +1,37 @@
+// Package exec executes physical plans over the synthetic tables of
+// internal/data, providing the three run-time capabilities the bouquet
+// mechanism needs from an engine (paper §5.4):
+//
+//   - cost-limited partial execution: every operator charges its work in
+//     the *same cost units as the optimizer's cost model*, and execution
+//     aborts as soon as the accumulated charge exceeds the budget;
+//   - node-granularity instrumentation: per-operator tuple counters,
+//     including per-predicate pass counts, from which running selectivity
+//     lower bounds are derived (§5.2);
+//   - spilled execution: the pipeline is broken immediately after a chosen
+//     predicate's node, starving all downstream operators, so the entire
+//     budget is spent learning that predicate's selectivity (§5.3).
+//
+// Charging in model units makes the engine a "perfect cost model" engine
+// by construction; a δ-perturbed charger reproduces §3.4's bounded
+// modeling errors.
+//
+// Two engines share one Engine front door and those contracts. The
+// default is a Volcano-style tuple-at-a-time iterator tree — the
+// reference implementation, deliberately simple. Options.Vectorized
+// selects the batch engine instead: operators exchange column batches
+// of Options.BatchSize rows carrying selection vectors, scans are split
+// into fixed-size morsels claimed by Options.Parallelism workers, and
+// pipeline breakers (hash build, sort, aggregation) collect per-worker
+// partitions merged at the stage barrier. The cost meter is checked
+// once per delivered batch, so a budgeted vectorized run aborts on the
+// first batch that crosses the budget rather than mid-tuple.
+//
+// The two engines are counter-compatible: a completed run reports
+// identical Result counters (RowsOut, per-node Out/InTuples/Matches/
+// PassBy) on either engine, and costs equal up to float summation
+// order. The differential tests in vector_workload_test.go pin that
+// equivalence across all ten paper workloads; EXECUTION.md at the
+// repository root documents the batch layout, the morsel scheduler, and
+// the abort/spill mapping in detail.
+package exec

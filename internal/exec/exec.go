@@ -1,20 +1,3 @@
-// Package exec is a Volcano-style (iterator) execution engine over the
-// synthetic tables of internal/data. It provides the three run-time
-// capabilities the bouquet mechanism needs from an engine (paper §5.4):
-//
-//   - cost-limited partial execution: every operator charges its work in
-//     the *same cost units as the optimizer's cost model*, and execution
-//     aborts as soon as the accumulated charge exceeds the budget;
-//   - node-granularity instrumentation: per-operator tuple counters,
-//     including per-predicate pass counts, from which running selectivity
-//     lower bounds are derived (§5.2);
-//   - spilled execution: the pipeline is broken immediately after a chosen
-//     predicate's node, starving all downstream operators, so the entire
-//     budget is spent learning that predicate's selectivity (§5.3).
-//
-// Charging in model units makes the engine a "perfect cost model" engine by
-// construction; a δ-perturbed charger reproduces §3.4's bounded modeling
-// errors.
 package exec
 
 import (
@@ -66,32 +49,12 @@ type Result struct {
 	RowsOut int64
 	// Stats maps each plan node to its counters.
 	Stats map[*plan.Node]*NodeStats
-}
-
-// Options configure one execution.
-type Options struct {
-	// Budget is the cost limit in model units; +Inf or 0 means
-	// unlimited.
-	Budget cost.Cost
-	// Spill selects spill mode: only the subtree up to and including
-	// the node applying SpillPred executes; downstream operators are
-	// starved (§5.3).
-	Spill bool
-	// SpillPred is the predicate whose node the spilled execution
-	// drives (meaningful only when Spill is set).
-	SpillPred int
-	// Perturb, when non-nil, scales each node's charges (bounded
-	// modeling error, §3.4). Must return values in [1/(1+δ), 1+δ].
-	Perturb func(*plan.Node) float64
-	// Trace, when non-nil, receives engine-level spans: a spill span
-	// when the pipeline is broken for a spilled execution, and a
-	// budget-abort span at the moment the cost meter trips. nil (the
-	// default) disables recording entirely.
-	Trace *trace.Recorder
-	// TraceContour and TracePlan label the emitted spans with the run
-	// driver's step context (0/-1 when unknown).
-	TraceContour int
-	TracePlan    int
+	// Batches is the number of column batches the vectorized engine
+	// metered (0 for Volcano runs).
+	Batches int64
+	// Workers is the morsel worker count a vectorized run used (0 for
+	// Volcano runs).
+	Workers int
 }
 
 // Engine executes plans for one query over one database.
@@ -115,14 +78,21 @@ func NewEngine(q *query.Query, db *data.Database, model cost.Model, bindings map
 	return &Engine{q: q, db: db, params: model.P, bindings: bindings}, nil
 }
 
-// Run executes root under opts. It returns an error when the plan
-// violates the engine's contract — unknown operators, a spill predicate
-// the plan never applies, join nodes carrying selection predicates, or an
-// index scan missing its index predicate. Exhausting the cost budget is
-// not an error: the Result reports Completed=false with the budget fully
-// charged. Run panics only on internal schema-bookkeeping corruption —
-// an engine bug, never a caller error.
+// Run executes root under opts. It returns an error when the options are
+// invalid (see Options.validate) or when the plan violates the engine's
+// contract — unknown operators, a spill predicate the plan never applies,
+// join nodes carrying selection predicates, or an index scan missing its
+// index predicate. Exhausting the cost budget is not an error: the Result
+// reports Completed=false with the budget fully charged. Run panics only
+// on internal schema-bookkeeping corruption — an engine bug, never a
+// caller error.
 func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Vectorized {
+		return e.runVectorized(root, opts)
+	}
 	budget := opts.Budget.F()
 	if budget <= 0 {
 		budget = math.Inf(1)
@@ -155,7 +125,7 @@ func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
 	if err == nil {
 		st := res.Stats[driven]
 		for {
-			_, ok, nerr := it.next()
+			r, ok, nerr := it.next()
 			if nerr != nil {
 				err = nerr
 				break
@@ -163,6 +133,9 @@ func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
 			if !ok {
 				st.Done = true
 				break
+			}
+			if opts.Collect != nil {
+				opts.Collect(append([]int64(nil), r...))
 			}
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 )
@@ -981,3 +983,1059 @@ func (g *groupAggregate) next() (row, bool, error) {
 }
 
 func (g *groupAggregate) close() { g.child.close() }
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels (morsel-parallel engine; runtime in vector.go)
+//
+// Each kernel mirrors its Volcano counterpart above: the same per-row
+// charge formulas and the same counter semantics (independent predicate
+// evaluation on scans, Matches counted after residual join keys but
+// before inner selection filters), evaluated a batch at a time. Charges
+// accumulate in the worker's pending total and hit the shared meter once
+// per batch.
+
+// vecScanPreds binds a node's predicates against a scan schema, exactly
+// as the Volcano scan builders do.
+func (v *vecEngine) vecScanPreds(ids []int, sch schema) []scanPred {
+	var preds []scanPred
+	for _, id := range ids {
+		p := v.e.q.Predicate(id)
+		preds = append(preds, scanPred{
+			id:      id,
+			off:     sch.offset(p.Left.Relation, p.Left.Column),
+			bound:   v.e.bindings[id],
+			negated: p.Negated,
+		})
+	}
+	return preds
+}
+
+// pageBreaks counts the page-boundary rows (i % rpp == 0) in [lo, hi),
+// so a scan batch charges exactly the page reads its rows would have
+// charged one at a time.
+func pageBreaks(lo, hi, rpp int) int {
+	if hi <= lo {
+		return 0
+	}
+	first := (lo + rpp - 1) / rpp * rpp
+	if first >= hi {
+		return 0
+	}
+	return (hi-1-first)/rpp + 1
+}
+
+// filterBatch evaluates every predicate independently over the batch
+// (no short-circuit, matching the cost model and the Volcano scan),
+// accumulates per-predicate pass counts, and fills the slot's selection
+// vector with the surviving rows. vals maps a predicate offset to the
+// column vector the batch rows index into with base+i.
+func filterBatch(st *NodeStats, ws *wslot, preds []scanPred, vals func(off int) []int64, base, nrows int) []int32 {
+	fail := ws.failbuf(nrows)
+	for _, sp := range preds {
+		col := vals(sp.off)
+		var passed int64
+		for i := 0; i < nrows; i++ {
+			if sp.eval(col[base+i]) {
+				passed++
+			} else {
+				fail[i] = true
+			}
+		}
+		st.pass(sp.id, passed)
+	}
+	if ws.sel == nil {
+		// A nil selection vector means "all rows live", so the empty
+		// result of an all-fail batch must still be non-nil.
+		ws.sel = make([]int32, 0, nrows)
+	}
+	sel := ws.sel[:0]
+	for i := 0; i < nrows; i++ {
+		if !fail[i] {
+			sel = append(sel, int32(i))
+		}
+	}
+	ws.sel = sel
+	return sel
+}
+
+// streamSeqScan is the vectorized sequential scan: morsels over the heap,
+// cut into batches whose columns alias the base table's storage, with a
+// selection vector from the bound predicates.
+func (v *vecEngine) streamSeqScan(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	sch := v.vb.relSchema(n.Relation)
+	tbl := v.e.db.Table(n.Relation)
+	rel := v.e.q.Catalog.MustRelation(n.Relation)
+	rpp := int(v.e.q.Catalog.PageSize / rel.TupleWidth)
+	if rpp < 1 {
+		rpp = 1
+	}
+	f := v.factor(n)
+	pr := v.e.params
+	cols := make([][]int64, len(sch))
+	for i := range sch {
+		cols[i] = tbl.Column(sch[i].Column)
+	}
+	preds := v.vecScanPreds(n.Preds, sch)
+	perRow := pr.CPUTupleCost + float64(len(preds))*pr.CPUOperatorCost
+	slot := v.newSlot()
+	err := v.parallelFor(tbl.NumRows(), func(w *vecWorker, lo, hi int) error {
+		st := w.st(id)
+		ws := w.slot(slot, len(cols))
+		for s := lo; s < hi; s += v.batch {
+			e := min(s+v.batch, hi)
+			nrows := e - s
+			w.pending += f * (float64(nrows)*perRow + float64(pageBreaks(s, e, rpp))*pr.SeqPageCost)
+			st.InTuples += int64(nrows)
+			b := &ws.b
+			for c := range cols {
+				b.cols[c] = cols[c][s:e]
+			}
+			b.n = nrows
+			b.sel = nil
+			if len(preds) > 0 {
+				b.sel = filterBatch(st, ws, preds, func(off int) []int64 { return cols[off] }, s, nrows)
+			}
+			live := b.live()
+			st.Out += int64(live)
+			if live == 0 {
+				if err := w.flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := w.deliver(b, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, func(w *vecWorker) error {
+		if err := sink.done(w); err != nil {
+			return err
+		}
+		return w.flush()
+	})
+	if err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// streamIndexScan is the vectorized index scan: the qualifying range of
+// the sorted order is located once by binary search (the descent charge,
+// as the Volcano open), then morsels over the range gather rows into
+// worker-owned batches.
+func (v *vecEngine) streamIndexScan(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	sch := v.vb.relSchema(n.Relation)
+	tbl := v.e.db.Table(n.Relation)
+	f := v.factor(n)
+	pr := v.e.params
+	cols := make([][]int64, len(sch))
+	for i := range sch {
+		cols[i] = tbl.Column(sch[i].Column)
+	}
+	var driving scanPred
+	var resid []scanPred
+	found := false
+	for _, pid := range n.Preds {
+		p := v.e.q.Predicate(pid)
+		sp := scanPred{
+			id:      pid,
+			off:     sch.offset(p.Left.Relation, p.Left.Column),
+			bound:   v.e.bindings[pid],
+			negated: p.Negated,
+		}
+		if !found && p.Left.Column == n.IndexColumn {
+			driving = sp
+			found = true
+		} else {
+			resid = append(resid, sp)
+		}
+	}
+	order := tbl.SortedBy(n.IndexColumn)
+	perPage := pr.RandomPageCost
+	if idx := v.e.q.Catalog.Index(n.Relation, n.IndexColumn); idx != nil && idx.Clustered {
+		perPage = pr.SeqPageCost
+	}
+	if err := v.m.add(math.Log2(float64(len(order))+1) * pr.CPUIndexTupleCost * f); err != nil {
+		return err
+	}
+	drv := cols[driving.off]
+	boundary := sort.Search(len(order), func(i int) bool { return drv[order[i]] >= driving.bound })
+	rlo, rhi := 0, boundary
+	if driving.negated {
+		rlo, rhi = boundary, len(order)
+	}
+	perRow := pr.CPUIndexTupleCost + perPage + float64(len(resid))*pr.CPUOperatorCost + pr.CPUTupleCost
+	width := len(cols)
+	slot := v.newSlot()
+	err := v.parallelFor(rhi-rlo, func(w *vecWorker, lo, hi int) error {
+		st := w.st(id)
+		ws := w.slot(slot, width)
+		ws.owned(width, v.batch)
+		for s := lo; s < hi; s += v.batch {
+			e := min(s+v.batch, hi)
+			nrows := e - s
+			w.pending += f * float64(nrows) * perRow
+			st.InTuples += int64(nrows)
+			st.pass(driving.id, int64(nrows))
+			b := &ws.b
+			for c := 0; c < width; c++ {
+				dst := ws.data[c][:nrows]
+				src := cols[c]
+				for i := 0; i < nrows; i++ {
+					dst[i] = src[order[rlo+s+i]]
+				}
+				b.cols[c] = dst
+			}
+			b.n = nrows
+			b.sel = nil
+			if len(resid) > 0 {
+				b.sel = filterBatch(st, ws, resid, func(off int) []int64 { return b.cols[off] }, 0, nrows)
+			}
+			live := b.live()
+			st.Out += int64(live)
+			if live == 0 {
+				if err := w.flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := w.deliver(b, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, func(w *vecWorker) error {
+		if err := sink.done(w); err != nil {
+			return err
+		}
+		return w.flush()
+	})
+	if err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// flushOut delivers a transform's accumulated output batch downstream and
+// resets the slot's column buffers for the next one.
+func flushOut(w *vecWorker, ws *wslot, sink vecSink) error {
+	for c := range ws.data {
+		ws.b.cols[c] = ws.data[c]
+	}
+	ws.b.n = len(ws.data[0])
+	ws.b.sel = nil
+	if err := w.deliver(&ws.b, sink); err != nil {
+		return err
+	}
+	for c := range ws.data {
+		ws.data[c] = ws.data[c][:0]
+	}
+	return nil
+}
+
+// hashPart is one worker's build-side partition: row-major copies of the
+// build rows in column layout. The partitions are merged into one table
+// before the probe phase starts.
+type hashPart struct {
+	cols [][]int64
+	n    int
+}
+
+// joinTable is a flat open-addressing hash index over the build side's
+// merged key column: heads[slot] holds the first build row whose key
+// hashes to the slot (-1 when empty), and next chains further rows with
+// the same key. Probing costs two or three array loads instead of a
+// runtime map lookup, which is where a vectorized probe spends most of
+// its time otherwise. The table is sized to stay at most half full, so
+// linear probing always terminates at an empty slot.
+type joinTable struct {
+	mask  uint64
+	heads []int32
+	next  []int32
+	keys  []int64
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche hash for
+// int64 join keys.
+func mix64(x int64) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// newJoinTable indexes keys (the build side's key column, borrowed, not
+// copied). Duplicate keys chain newest-first; the probe only cares
+// about the multiset of matches.
+func newJoinTable(keys []int64) *joinTable {
+	size := 1
+	for size < 2*len(keys)+1 {
+		size <<= 1
+	}
+	t := &joinTable{
+		mask:  uint64(size - 1),
+		heads: make([]int32, size),
+		next:  make([]int32, len(keys)),
+		keys:  keys,
+	}
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	for i, k := range keys {
+		h := mix64(k) & t.mask
+		for {
+			head := t.heads[h]
+			if head < 0 {
+				t.next[i] = -1
+				t.heads[h] = int32(i)
+				break
+			}
+			if keys[head] == k {
+				t.next[i] = head
+				t.heads[h] = int32(i)
+				break
+			}
+			h = (h + 1) & t.mask
+		}
+	}
+	return t
+}
+
+// lookup returns the first build row with key k (-1 if none); further
+// rows follow the next chain.
+func (t *joinTable) lookup(k int64) int32 {
+	h := mix64(k) & t.mask
+	for {
+		r := t.heads[h]
+		if r < 0 {
+			return -1
+		}
+		if t.keys[r] == k {
+			return r
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// streamHashJoin is the vectorized hash join: the right child drains into
+// per-worker build partitions (merged before probe), then a probe
+// transform streams over the left pipeline.
+func (v *vecEngine) streamHashJoin(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	leftSch := v.schemaOf(n.Left)
+	rightSch := v.schemaOf(n.Right)
+	joins, _ := v.vb.predSplit(n.Preds)
+	keys := v.vb.bindJoinKeys(joins, leftSch, rightSch)
+	f := v.factor(n)
+	pr := v.e.params
+	ps := float64(v.e.q.Catalog.PageSize)
+	leftPageRows := ps / (8 * float64(len(leftSch)))
+	rightPageRows := ps / (8 * float64(len(rightSch)))
+
+	// Build phase.
+	bslot := v.newSlot()
+	var pmu sync.Mutex
+	var parts []*hashPart
+	rw := len(rightSch)
+	rkey := keys[0].rightOff
+	buildCharge := (pr.CPUOperatorCost + pr.CPUTupleCost) * f
+	collector := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			part := sharedPart[hashPart](w, bslot, &pmu, &parts)
+			if part.cols == nil {
+				part.cols = make([][]int64, rw)
+			}
+			nl := b.live()
+			w.pending += buildCharge * float64(nl)
+			for k := 0; k < nl; k++ {
+				ri := b.row(k)
+				for c := 0; c < rw; c++ {
+					part.cols[c] = append(part.cols[c], b.cols[c][ri])
+				}
+				part.n++
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error { return nil },
+	}
+	if err := v.stream(n.Right, collector); err != nil {
+		return err
+	}
+
+	// Merge the per-worker partitions into the probe table.
+	built := 0
+	for _, p := range parts {
+		built += p.n
+	}
+	mat := make([][]int64, rw)
+	for c := range mat {
+		mat[c] = make([]int64, 0, built)
+	}
+	for _, p := range parts {
+		for c := 0; c < rw; c++ {
+			mat[c] = append(mat[c], p.cols[c]...)
+		}
+	}
+	jt := newJoinTable(mat[rkey])
+
+	// Grace-join spill charge, as the Volcano open.
+	spilled := false
+	if float64(built)*8*float64(rw) > pr.WorkMemBytes {
+		pages := math.Ceil(float64(built) / rightPageRows)
+		if pages < 1 {
+			pages = 1
+		}
+		if err := v.m.add(pages * pr.SpillPageCost * f); err != nil {
+			return err
+		}
+		spilled = true
+	}
+
+	// Probe phase: transform over the left pipeline.
+	oslot := v.newSlot()
+	lw := len(leftSch)
+	ow := lw + rw
+	lkey := keys[0].leftOff
+	resid := keys[1:]
+	spillEvery := int64(leftPageRows + 1)
+	var probed atomic.Int64
+	probe := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			nl := b.live()
+			if nl == 0 {
+				return nil
+			}
+			st := w.st(id)
+			charge := pr.HashQualCost * float64(nl)
+			if spilled {
+				// The Volcano probe charges a spill page every
+				// spillEvery-th input tuple; claim a range of the shared
+				// input counter so the multiset of charges is identical
+				// regardless of batch arrival order.
+				lo := probed.Add(int64(nl)) - int64(nl)
+				charge += pr.SpillPageCost * float64((lo+int64(nl))/spillEvery-lo/spillEvery)
+			}
+			st.InTuples += int64(nl)
+			ws := w.slot(oslot, ow)
+			ws.owned(ow, v.batch)
+			// Gather match index pairs first, then copy column-major:
+			// the split keeps the lookup loop branch-light and turns the
+			// output construction into sequential per-column gathers.
+			lidx, ridx := ws.idxa[:0], ws.idxb[:0]
+			keyCol := b.cols[lkey]
+			residCmps := 0
+			if len(resid) == 0 {
+				for k := 0; k < nl; k++ {
+					ri := b.row(k)
+					for mi := jt.lookup(keyCol[ri]); mi >= 0; mi = jt.next[mi] {
+						lidx = append(lidx, int32(ri))
+						ridx = append(ridx, mi)
+					}
+				}
+			} else {
+				for k := 0; k < nl; k++ {
+					ri := b.row(k)
+					for mi := jt.lookup(keyCol[ri]); mi >= 0; mi = jt.next[mi] {
+						ok := true
+						for _, kk := range resid {
+							residCmps++
+							if b.cols[kk.leftOff][ri] != mat[kk.rightOff][mi] {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							lidx = append(lidx, int32(ri))
+							ridx = append(ridx, mi)
+						}
+					}
+				}
+			}
+			ws.idxa, ws.idxb = lidx, ridx
+			matches := len(lidx)
+			w.pending += charge*f +
+				(pr.CPUOperatorCost*float64(residCmps)+pr.CPUTupleCost*float64(matches))*f
+			st.Matches += int64(matches)
+			st.Out += int64(matches)
+			for pos := 0; pos < matches; {
+				take := v.batch - len(ws.data[0])
+				if take > matches-pos {
+					take = matches - pos
+				}
+				for c := 0; c < lw; c++ {
+					col, dst := b.cols[c], ws.data[c]
+					for _, ri := range lidx[pos : pos+take] {
+						dst = append(dst, col[ri])
+					}
+					ws.data[c] = dst
+				}
+				for c := 0; c < rw; c++ {
+					col, dst := mat[c], ws.data[lw+c]
+					for _, mi := range ridx[pos : pos+take] {
+						dst = append(dst, col[mi])
+					}
+					ws.data[lw+c] = dst
+				}
+				pos += take
+				if len(ws.data[0]) == v.batch {
+					if err := flushOut(w, ws, sink); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error {
+			ws := w.slot(oslot, ow)
+			if ws.data != nil && len(ws.data[0]) > 0 {
+				if err := flushOut(w, ws, sink); err != nil {
+					return err
+				}
+			}
+			if err := w.flush(); err != nil {
+				return err
+			}
+			return sink.done(w)
+		},
+	}
+	if err := v.stream(n.Left, probe); err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// streamIndexNL is the vectorized index nested-loops join: a transform
+// over the outer pipeline probing the inner table's hash index per outer
+// row, with the Volcano engine's descent and per-match charges.
+func (v *vecEngine) streamIndexNL(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	outerSch := v.schemaOf(n.Left)
+	innerSch := v.vb.relSchema(n.Relation)
+	tbl := v.e.db.Table(n.Relation)
+	joins, sels := v.vb.predSplit(n.Preds)
+	keys := v.vb.bindJoinKeys(joins, outerSch, innerSch)
+	// The probed key must be the one on the index column; reorder, as the
+	// Volcano builder does.
+	for i, k := range keys {
+		p := v.e.q.Predicate(k.id)
+		col := p.Left
+		if p.Left.Relation != n.Relation {
+			col = p.Right
+		}
+		if col.Relation == n.Relation && col.Column == n.IndexColumn {
+			keys[0], keys[i] = keys[i], keys[0]
+			break
+		}
+	}
+	var filters []scanPred
+	for _, pid := range sels {
+		p := v.e.q.Predicate(pid)
+		filters = append(filters, scanPred{
+			id:      pid,
+			off:     innerSch.offset(p.Left.Relation, p.Left.Column),
+			bound:   v.e.bindings[pid],
+			negated: p.Negated,
+		})
+	}
+	innerCols := make([][]int64, len(innerSch))
+	for c := range innerSch {
+		innerCols[c] = tbl.Column(innerSch[c].Column)
+	}
+	probeMap := tbl.HashOn(n.IndexColumn)
+	f := v.factor(n)
+	pr := v.e.params
+	perMatch := pr.RandomPageCost
+	if idx := v.e.q.Catalog.Index(n.Relation, n.IndexColumn); idx != nil && idx.Clustered {
+		perMatch = pr.SeqPageCost
+	}
+	descent := math.Log2(float64(tbl.NumRows())+1) * pr.CPUIndexTupleCost
+	lw, iw := len(outerSch), len(innerSch)
+	ow := lw + iw
+	oslot := v.newSlot()
+	lkey := keys[0].leftOff
+	tr := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			nl := b.live()
+			if nl == 0 {
+				return nil
+			}
+			st := w.st(id)
+			st.InTuples += int64(nl)
+			w.pending += descent * float64(nl) * f
+			ws := w.slot(oslot, ow)
+			ws.owned(ow, v.batch)
+			for k := 0; k < nl; k++ {
+				ri := b.row(k)
+				for _, mi := range probeMap[b.cols[lkey][ri]] {
+					w.pending += (pr.CPUIndexTupleCost + perMatch) * f
+					ok := true
+					for _, kk := range keys[1:] {
+						w.pending += pr.CPUOperatorCost * f
+						if b.cols[kk.leftOff][ri] != innerCols[kk.rightOff][mi] {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					st.Matches++
+					for _, fp := range filters {
+						w.pending += pr.CPUOperatorCost * f
+						if !fp.eval(innerCols[fp.off][mi]) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					w.pending += pr.CPUTupleCost * f
+					for c := 0; c < lw; c++ {
+						ws.data[c] = append(ws.data[c], b.cols[c][ri])
+					}
+					for c := 0; c < iw; c++ {
+						ws.data[lw+c] = append(ws.data[lw+c], innerCols[c][mi])
+					}
+					st.Out++
+					if len(ws.data[0]) == v.batch {
+						if err := flushOut(w, ws, sink); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error {
+			ws := w.slot(oslot, ow)
+			if ws.data != nil && len(ws.data[0]) > 0 {
+				if err := flushOut(w, ws, sink); err != nil {
+					return err
+				}
+			}
+			if err := w.flush(); err != nil {
+				return err
+			}
+			return sink.done(w)
+		},
+	}
+	if err := v.stream(n.Left, tr); err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// streamAntiJoin is the vectorized NOT EXISTS: a filter transform that
+// narrows the selection vector to outer rows with no match in the inner
+// set, passing batches through without copying.
+func (v *vecEngine) streamAntiJoin(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	outerSch := v.schemaOf(n.Left)
+	p0 := v.e.q.Predicate(n.Preds[0])
+	tbl := v.e.db.Table(n.Relation)
+	off := outerSch.offset(p0.Left.Relation, p0.Left.Column)
+	vals := tbl.Column(n.IndexColumn)
+	innerSet := make(map[int64]bool, len(vals))
+	for _, val := range vals {
+		innerSet[val] = true
+	}
+	f := v.factor(n)
+	pr := v.e.params
+	// Build-phase charge for hashing the inner relation (Volcano open).
+	if err := v.m.add(float64(tbl.NumRows()) * (pr.CPUOperatorCost + pr.CPUTupleCost) * f); err != nil {
+		return err
+	}
+	pred := n.Preds[0]
+	aslot := v.newSlot()
+	tr := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			nl := b.live()
+			if nl == 0 {
+				return nil
+			}
+			st := w.st(id)
+			st.InTuples += int64(nl)
+			w.pending += pr.HashQualCost * float64(nl) * f
+			ws := w.slot(aslot, len(b.cols))
+			sel := ws.sel[:0]
+			col := b.cols[off]
+			for k := 0; k < nl; k++ {
+				ri := b.row(k)
+				if innerSet[col[ri]] {
+					continue // a match exists: the NOT EXISTS fails
+				}
+				sel = append(sel, ri)
+			}
+			ws.sel = sel
+			surv := int64(len(sel))
+			if surv == 0 {
+				return nil
+			}
+			st.pass(pred, surv)
+			st.Matches += surv
+			st.Out += surv
+			w.pending += pr.CPUTupleCost * float64(surv) * f
+			ob := &ws.b
+			ob.cols = b.cols
+			ob.n = b.n
+			ob.sel = sel
+			return w.deliver(ob, sink)
+		},
+		done: func(w *vecWorker) error {
+			if err := w.flush(); err != nil {
+				return err
+			}
+			return sink.done(w)
+		},
+	}
+	if err := v.stream(n.Left, tr); err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// rowPart is one worker's slice of a materialized (row-major) input.
+type rowPart struct {
+	rows [][]int64
+}
+
+// collectRows materializes a pipeline into row-major form — the sort
+// input for the vectorized merge join.
+func (v *vecEngine) collectRows(n *plan.Node, width int) ([][]int64, error) {
+	slot := v.newSlot()
+	var mu sync.Mutex
+	var parts []*rowPart
+	collector := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			part := sharedPart[rowPart](w, slot, &mu, &parts)
+			for k, nl := 0, b.live(); k < nl; k++ {
+				ri := b.row(k)
+				r := make([]int64, width)
+				for c := 0; c < width; c++ {
+					r[c] = b.cols[c][ri]
+				}
+				part.rows = append(part.rows, r)
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error { return nil },
+	}
+	if err := v.stream(n, collector); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.rows)
+	}
+	rows := make([][]int64, 0, total)
+	for _, p := range parts {
+		rows = append(rows, p.rows...)
+	}
+	return rows, nil
+}
+
+// chargeSortDrain charges the incremental sort costs drainSorted accrues
+// per arrived row (Σ log2(i+1) comparisons plus external-sort spill I/O
+// once the run outgrows work memory), metered in batch-sized slices.
+func (v *vecEngine) chargeSortDrain(nrows, width int, f float64) error {
+	pr := v.e.params
+	rowBytes := 8 * float64(width)
+	pageRows := float64(v.e.q.Catalog.PageSize) / rowBytes
+	var pending float64
+	for i := 1; i <= nrows; i++ {
+		nf := float64(i)
+		c := math.Log2(nf+1) * pr.SortCmpCost
+		if bytes := nf * rowBytes; bytes > pr.WorkMemBytes {
+			passes := math.Ceil(math.Log2(bytes/pr.WorkMemBytes)) + 1
+			c += passes * pr.SpillPageCost / pageRows
+		}
+		pending += c
+		if i%v.batch == 0 {
+			v.batches.Add(1)
+			if err := v.m.add(pending * f); err != nil {
+				return err
+			}
+			pending = 0
+		}
+	}
+	v.batches.Add(1)
+	return v.m.add(pending * f)
+}
+
+// streamMergeJoin is the vectorized sort-merge join: both inputs
+// materialize in parallel (a pipeline breaker), sort charges replicate
+// drainSorted's totals, and the merge loop itself — inherently ordered —
+// runs serially, replicating the Volcano merge verbatim so InTuples and
+// Matches agree exactly.
+func (v *vecEngine) streamMergeJoin(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	leftSch := v.schemaOf(n.Left)
+	rightSch := v.schemaOf(n.Right)
+	joins, _ := v.vb.predSplit(n.Preds)
+	keys := v.vb.bindJoinKeys(joins, leftSch, rightSch)
+	f := v.factor(n)
+	pr := v.e.params
+	lrows, err := v.collectRows(n.Left, len(leftSch))
+	if err != nil {
+		return err
+	}
+	if err := v.chargeSortDrain(len(lrows), len(leftSch), f); err != nil {
+		return err
+	}
+	rrows, err := v.collectRows(n.Right, len(rightSch))
+	if err != nil {
+		return err
+	}
+	if err := v.chargeSortDrain(len(rrows), len(rightSch), f); err != nil {
+		return err
+	}
+	lk, rk := keys[0].leftOff, keys[0].rightOff
+	sort.SliceStable(lrows, func(a, b int) bool { return lrows[a][lk] < lrows[b][lk] })
+	sort.SliceStable(rrows, func(a, b int) bool { return rrows[a][rk] < rrows[b][rk] })
+	lw, rw := len(leftSch), len(rightSch)
+	ow := lw + rw
+	oslot := v.newSlot()
+	err = v.serial(func(sw *vecWorker) error {
+		st := sw.st(id)
+		ws := sw.slot(oslot, ow)
+		ws.owned(ow, v.batch)
+		var group [][]int64
+		gi := 0
+		var curLeft []int64
+		li, ri := 0, 0
+		for {
+			for gi < len(group) {
+				m := group[gi]
+				gi++
+				ok := true
+				for _, kk := range keys[1:] {
+					sw.pending += pr.CPUOperatorCost * f
+					if curLeft[kk.leftOff] != m[kk.rightOff] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				st.Matches++
+				sw.pending += pr.CPUTupleCost * f
+				for c := 0; c < lw; c++ {
+					ws.data[c] = append(ws.data[c], curLeft[c])
+				}
+				for c := 0; c < rw; c++ {
+					ws.data[lw+c] = append(ws.data[lw+c], m[c])
+				}
+				st.Out++
+				if len(ws.data[0]) == v.batch {
+					if err := flushOut(sw, ws, sink); err != nil {
+						return err
+					}
+				}
+			}
+
+			if group != nil && li < len(lrows) {
+				li++
+				st.InTuples++
+				if li < len(lrows) && lrows[li][lk] == curLeft[lk] {
+					curLeft = lrows[li]
+					gi = 0
+					continue
+				}
+				group = nil
+			}
+
+			if li >= len(lrows) || ri >= len(rrows) {
+				break
+			}
+
+			lv, rv := lrows[li][lk], rrows[ri][rk]
+			sw.pending += pr.CPUOperatorCost * f
+			switch {
+			case lv < rv:
+				li++
+				st.InTuples++
+			case lv > rv:
+				ri++
+			default:
+				start := ri
+				for ri < len(rrows) && rrows[ri][rk] == rv {
+					ri++
+				}
+				group = rrows[start:ri]
+				curLeft = lrows[li]
+				gi = 0
+			}
+		}
+		if len(ws.data[0]) > 0 {
+			if err := flushOut(sw, ws, sink); err != nil {
+				return err
+			}
+		}
+		if err := sw.flush(); err != nil {
+			return err
+		}
+		return sink.done(sw)
+	})
+	if err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// aggPart is one worker's scalar-aggregate accumulator.
+type aggPart struct {
+	count, sum int64
+}
+
+// streamAggregate is the vectorized COUNT/SUM root: per-worker
+// accumulators merged at the barrier, then a single output row.
+func (v *vecEngine) streamAggregate(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	f := v.factor(n)
+	pr := v.e.params
+	slot := v.newSlot()
+	var mu sync.Mutex
+	var parts []*aggPart
+	collector := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			nl := b.live()
+			if nl == 0 {
+				return nil
+			}
+			st := w.st(id)
+			st.InTuples += int64(nl)
+			w.pending += pr.CPUOperatorCost * float64(nl) * f
+			part := sharedPart[aggPart](w, slot, &mu, &parts)
+			part.count += int64(nl)
+			if len(b.cols) > 0 {
+				col := b.cols[0]
+				for k := 0; k < nl; k++ {
+					part.sum += col[b.row(k)]
+				}
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error { return nil },
+	}
+	if err := v.stream(n.Left, collector); err != nil {
+		return err
+	}
+	var count, sum int64
+	for _, p := range parts {
+		count += p.count
+		sum += p.sum
+	}
+	if err := v.m.add(pr.CPUTupleCost * f); err != nil {
+		return err
+	}
+	v.stats[n].Out = 1
+	err := v.serial(func(sw *vecWorker) error {
+		b := &vbatch{cols: [][]int64{{count}, {sum}}, n: 1}
+		if err := sw.deliver(b, sink); err != nil {
+			return err
+		}
+		if err := sink.done(sw); err != nil {
+			return err
+		}
+		return sw.flush()
+	})
+	if err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}
+
+// groupPart is one worker's grouped-aggregate accumulator.
+type groupPart struct {
+	groups map[int64]int64
+}
+
+// streamGroupAggregate is the vectorized grouped COUNT: per-worker hash
+// partitions merged at the barrier, groups emitted in ascending key
+// order (as the Volcano operator) in batch-sized slices.
+func (v *vecEngine) streamGroupAggregate(n *plan.Node, sink vecSink) error {
+	id := v.idx[n]
+	childSch := v.schemaOf(n.Left)
+	off := childSch.offset(n.Relation, n.IndexColumn)
+	f := v.factor(n)
+	pr := v.e.params
+	slot := v.newSlot()
+	var mu sync.Mutex
+	var parts []*groupPart
+	perRow := (pr.CPUOperatorCost + pr.HashQualCost) * f
+	collector := vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			nl := b.live()
+			if nl == 0 {
+				return nil
+			}
+			st := w.st(id)
+			st.InTuples += int64(nl)
+			w.pending += perRow * float64(nl)
+			part := sharedPart[groupPart](w, slot, &mu, &parts)
+			if part.groups == nil {
+				part.groups = make(map[int64]int64)
+			}
+			col := b.cols[off]
+			for k := 0; k < nl; k++ {
+				part.groups[col[b.row(k)]]++
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error { return nil },
+	}
+	if err := v.stream(n.Left, collector); err != nil {
+		return err
+	}
+	groups := make(map[int64]int64)
+	for _, p := range parts {
+		for k, c := range p.groups {
+			groups[k] += c
+		}
+	}
+	order := make([]int64, 0, len(groups))
+	for k := range groups {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	err := v.serial(func(sw *vecWorker) error {
+		st := sw.st(id)
+		for s := 0; s < len(order); s += v.batch {
+			e := min(s+v.batch, len(order))
+			nrows := e - s
+			sw.pending += pr.CPUTupleCost * float64(nrows) * f
+			kcol := make([]int64, nrows)
+			ccol := make([]int64, nrows)
+			for i := 0; i < nrows; i++ {
+				kcol[i] = order[s+i]
+				ccol[i] = groups[order[s+i]]
+			}
+			st.Out += int64(nrows)
+			b := &vbatch{cols: [][]int64{kcol, ccol}, n: nrows}
+			if err := sw.deliver(b, sink); err != nil {
+				return err
+			}
+		}
+		if err := sink.done(sw); err != nil {
+			return err
+		}
+		return sw.flush()
+	})
+	if err != nil {
+		return err
+	}
+	v.markDone(n)
+	return nil
+}

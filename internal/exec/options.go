@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// DefaultBatchSize is the column-batch row count the vectorized engine
+// uses when callers have no reason to pick another: large enough to
+// amortize per-batch dispatch and metering, small enough that a batch of
+// a few columns stays L1/L2-resident.
+const DefaultBatchSize = 1024
+
+// MorselRows is the fixed number of base-table rows in one scan morsel.
+// Workers claim whole morsels from a shared atomic cursor and cut them
+// into batches locally, so the morsel size bounds scheduling granularity
+// (and therefore tail imbalance), not batch size.
+const MorselRows = 4096
+
+// Options configure one execution.
+type Options struct {
+	// Budget is the cost limit in model units; +Inf or 0 means
+	// unlimited.
+	Budget cost.Cost
+	// Spill selects spill mode: only the subtree up to and including
+	// the node applying SpillPred executes; downstream operators are
+	// starved (§5.3).
+	Spill bool
+	// SpillPred is the predicate whose node the spilled execution
+	// drives (meaningful only when Spill is set).
+	SpillPred int
+	// Perturb, when non-nil, scales each node's charges (bounded
+	// modeling error, §3.4). Must return values in [1/(1+δ), 1+δ].
+	Perturb func(*plan.Node) float64
+	// Trace, when non-nil, receives engine-level spans: a spill span
+	// when the pipeline is broken for a spilled execution, and a
+	// budget-abort span at the moment the cost meter trips. nil (the
+	// default) disables recording entirely.
+	Trace *trace.Recorder
+	// TraceContour and TracePlan label the emitted spans with the run
+	// driver's step context (0/-1 when unknown).
+	TraceContour int
+	TracePlan    int
+
+	// Vectorized selects the batch-at-a-time morsel-parallel engine
+	// instead of the tuple-at-a-time Volcano interpreter. Both engines
+	// honour the same contract (counters, budgeted abort in cost units,
+	// spill-mode starvation); the vectorized engine meters the budget
+	// per batch rather than per tuple.
+	Vectorized bool
+	// BatchSize is the column-batch row count for a vectorized run.
+	// Required (≥ 1) when Vectorized is set; DefaultBatchSize is the
+	// recommended value. Must be zero otherwise.
+	BatchSize int
+	// Parallelism is the morsel worker count for a vectorized run.
+	// Required (≥ 1) when Vectorized is set; 1 executes the batched
+	// plan serially (and deterministically). Must be zero otherwise.
+	Parallelism int
+	// Collect, when non-nil, receives a copy of every row the driven
+	// node emits. The engine serializes calls, but parallel vectorized
+	// runs deliver rows in a nondeterministic order.
+	Collect func(row []int64)
+}
+
+// validate rejects option combinations Run must not silently reinterpret:
+// a vectorized run with a non-positive batch size or worker count (which
+// earlier drafts either panicked on or silently serialized), and batch or
+// parallelism settings without Vectorized (which would silently run the
+// tuple-at-a-time engine).
+func (o Options) validate() error {
+	if !o.Vectorized {
+		if o.BatchSize != 0 || o.Parallelism != 0 {
+			return fmt.Errorf("exec: BatchSize/Parallelism (%d/%d) set without Vectorized", o.BatchSize, o.Parallelism)
+		}
+		return nil
+	}
+	if o.BatchSize <= 0 {
+		return fmt.Errorf("exec: vectorized run with non-positive batch size %d", o.BatchSize)
+	}
+	if o.Parallelism <= 0 {
+		return fmt.Errorf("exec: vectorized run with non-positive worker count %d", o.Parallelism)
+	}
+	return nil
+}

@@ -1,0 +1,495 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// This file is the morsel-parallel batch runtime: column batches with
+// selection vectors, a fixed-size morsel scheduler over an atomic cursor,
+// per-worker instrumentation merged after every pipeline, and an atomic
+// cost meter checked once per batch. The per-operator kernels live in
+// operators.go next to their Volcano counterparts; both engines charge
+// the same per-row formulas, so a completed vectorized run reports the
+// same tuple counters (and the same cost up to float summation order) as
+// the tuple-at-a-time interpreter.
+
+// vbatch is one column batch: width-many int64 vectors of n rows plus an
+// optional selection vector listing the live row indices. Scan batches
+// alias the base table's column storage; transform outputs own their
+// buffers. A batch is only valid for the duration of the sink call it is
+// passed to — workers reuse the backing arrays for the next batch.
+type vbatch struct {
+	cols [][]int64
+	sel  []int32 // live rows, ascending; nil means all n rows are live
+	n    int
+}
+
+// live returns the number of selected rows.
+func (b *vbatch) live() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// row maps the k-th live row to its physical index.
+func (b *vbatch) row(k int) int32 {
+	if b.sel != nil {
+		return b.sel[k]
+	}
+	return int32(k)
+}
+
+// vecSink consumes a pipeline's batches. emit is called once per batch
+// from worker goroutines (each call entirely within one worker); done is
+// called once per worker after the morsel cursor drains, flushing any
+// carried partial output downstream.
+type vecSink struct {
+	emit func(w *vecWorker, b *vbatch) error
+	done func(w *vecWorker) error
+}
+
+// atomicMeter is the shared budget meter: a float64 accumulated by CAS so
+// concurrent workers can charge without a lock. Like the serial meter it
+// trips on strictly-greater, after the crossing charge is applied.
+type atomicMeter struct {
+	budget float64
+	bits   atomic.Uint64
+}
+
+func (m *atomicMeter) add(c float64) error {
+	for {
+		old := m.bits.Load()
+		next := math.Float64frombits(old) + c
+		if m.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			if next > m.budget {
+				return ErrBudgetExceeded
+			}
+			return nil
+		}
+	}
+}
+
+func (m *atomicMeter) used() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// vecWorker is one morsel worker's private state: per-node counters
+// (merged into the shared stats after the pipeline joins), the pending
+// charge accumulated since the last meter flush, and per-slot scratch
+// buffers for batches built by the operators along its pipeline.
+type vecWorker struct {
+	v       *vecEngine
+	stats   []NodeStats
+	pending float64
+	nbatch  int64
+	slots   map[int]*wslot
+	aux     map[int]any
+}
+
+// wslot is one operator's scratch in one worker: a reusable batch header,
+// a selection-vector buffer, a per-row fail bitmap, and owned column
+// buffers for gathered or constructed output.
+type wslot struct {
+	b    vbatch
+	sel  []int32
+	fail []bool
+	data [][]int64
+	// idxa/idxb are match-index scratch buffers (probe row, build row)
+	// for join kernels that gather matches before copying columns.
+	idxa []int32
+	idxb []int32
+}
+
+// failbuf returns the slot's per-row failure bitmap, zeroed, sized n.
+func (ws *wslot) failbuf(n int) []bool {
+	if cap(ws.fail) < n {
+		ws.fail = make([]bool, n)
+	} else {
+		ws.fail = ws.fail[:n]
+		clear(ws.fail)
+	}
+	return ws.fail
+}
+
+func (w *vecWorker) st(i int) *NodeStats { return &w.stats[i] }
+
+// pass bumps a predicate's pass counter, creating the map lazily (worker
+// stats start without maps so untouched nodes cost nothing to merge).
+func (s *NodeStats) pass(id int, n int64) {
+	if s.PassBy == nil {
+		s.PassBy = make(map[int]int64)
+	}
+	s.PassBy[id] += n
+}
+
+// slot returns the worker's scratch for slot id, sized for width columns.
+func (w *vecWorker) slot(id, width int) *wslot {
+	ws := w.slots[id]
+	if ws == nil {
+		ws = &wslot{}
+		w.slots[id] = ws
+	}
+	if ws.b.cols == nil || len(ws.b.cols) != width {
+		ws.b.cols = make([][]int64, width)
+	}
+	return ws
+}
+
+// owned ensures the slot's column buffers exist (width columns with batch
+// capacity) and resets their lengths for a fresh output batch.
+func (ws *wslot) owned(width, batchCap int) {
+	if ws.data == nil || len(ws.data) != width {
+		ws.data = make([][]int64, width)
+		for c := range ws.data {
+			ws.data[c] = make([]int64, 0, batchCap)
+		}
+	}
+}
+
+// flush pushes the worker's pending charge to the shared meter — the
+// per-batch budget check — and counts the metered batch.
+func (w *vecWorker) flush() error {
+	c := w.pending
+	w.pending = 0
+	w.nbatch++
+	return w.v.m.add(c)
+}
+
+// deliver flushes pending charges (aborting before the batch crosses the
+// budget downstream) and hands the batch to the sink.
+func (w *vecWorker) deliver(b *vbatch, s vecSink) error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return s.emit(w, b)
+}
+
+// vecEngine drives one vectorized execution.
+type vecEngine struct {
+	e       *Engine
+	opts    Options
+	m       *atomicMeter
+	vb      *builder // schema/predicate binding helpers only
+	stats   map[*plan.Node]*NodeStats
+	idx     map[*plan.Node]int
+	nodes   []*plan.Node
+	batch   int
+	workers int
+	nslots  int
+	stop    atomic.Bool
+	batches atomic.Int64
+
+	collectMu sync.Mutex
+}
+
+func (v *vecEngine) factor(n *plan.Node) float64 {
+	if v.opts.Perturb == nil {
+		return 1
+	}
+	return v.opts.Perturb(n)
+}
+
+// newSlot hands out a scratch-slot id at pipeline-composition time.
+func (v *vecEngine) newSlot() int {
+	s := v.nslots
+	v.nslots++
+	return s
+}
+
+func (v *vecEngine) newWorker() *vecWorker {
+	return &vecWorker{
+		v:     v,
+		stats: make([]NodeStats, len(v.nodes)),
+		slots: make(map[int]*wslot),
+		aux:   make(map[int]any),
+	}
+}
+
+// mergeWorkers folds per-worker counters into the shared stats. Called
+// after every pipeline joins, so the shared map is never written
+// concurrently.
+func (v *vecEngine) mergeWorkers(ws []*vecWorker) {
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		for i := range w.stats {
+			s := &w.stats[i]
+			if s.Out == 0 && s.Matches == 0 && s.InTuples == 0 && len(s.PassBy) == 0 {
+				continue
+			}
+			g := v.stats[v.nodes[i]]
+			g.Out += s.Out
+			g.Matches += s.Matches
+			g.InTuples += s.InTuples
+			for id, c := range s.PassBy {
+				g.PassBy[id] += c
+			}
+		}
+		v.batches.Add(w.nbatch)
+	}
+}
+
+// parallelFor is the morsel scheduler: rows [0, total) are cut into
+// fixed-size morsels claimed from an atomic cursor by v.workers worker
+// goroutines. body processes one morsel (cutting it into batches
+// locally); fin runs once per worker after the cursor drains, flushing
+// carried transform state downstream. Workers that find the cursor
+// exhausted (worker count > morsel count) run only fin. The first error
+// stops all workers at their next morsel boundary; counters accumulated
+// before the stop are still merged.
+func (v *vecEngine) parallelFor(total int, body func(w *vecWorker, lo, hi int) error, fin func(w *vecWorker) error) error {
+	nw := v.workers
+	ws := make([]*vecWorker, nw)
+	errs := make([]error, nw)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		w := v.newWorker()
+		ws[i] = w
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !v.stop.Load() {
+				lo := int(cursor.Add(1)-1) * MorselRows
+				if lo >= total || lo < 0 {
+					break
+				}
+				hi := min(lo+MorselRows, total)
+				if err := body(w, lo, hi); err != nil {
+					errs[i] = err
+					v.stop.Store(true)
+					return
+				}
+			}
+			if v.stop.Load() {
+				return
+			}
+			if err := fin(w); err != nil {
+				errs[i] = err
+				v.stop.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	v.mergeWorkers(ws)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serial runs body on a single fresh worker — the path for pipeline
+// stages that are inherently ordered (the merge-join merge loop, final
+// aggregate emission) — and merges its counters afterwards.
+func (v *vecEngine) serial(body func(w *vecWorker) error) error {
+	w := v.newWorker()
+	err := body(w)
+	v.mergeWorkers([]*vecWorker{w})
+	return err
+}
+
+// sharedPart returns the worker's instance of a per-worker partition
+// (hash-build partition, row collector, aggregate accumulator),
+// registering it in the pipeline-shared list so the stage barrier can
+// merge all partitions after the workers join.
+func sharedPart[T any](w *vecWorker, slot int, mu *sync.Mutex, all *[]*T) *T {
+	if p, ok := w.aux[slot]; ok {
+		return p.(*T)
+	}
+	p := new(T)
+	w.aux[slot] = p
+	mu.Lock()
+	*all = append(*all, p)
+	mu.Unlock()
+	return p
+}
+
+// schemaOf computes a node's output schema without building anything.
+func (v *vecEngine) schemaOf(n *plan.Node) schema {
+	switch n.Op {
+	case plan.OpSeqScan, plan.OpIndexScan:
+		return v.vb.relSchema(n.Relation)
+	case plan.OpHashJoin, plan.OpMergeJoin:
+		return append(append(schema{}, v.schemaOf(n.Left)...), v.schemaOf(n.Right)...)
+	case plan.OpIndexNLJoin:
+		return append(append(schema{}, v.schemaOf(n.Left)...), v.vb.relSchema(n.Relation)...)
+	case plan.OpAntiJoin:
+		return v.schemaOf(n.Left)
+	case plan.OpAggregate:
+		return schema{{Relation: "", Column: "count"}, {Relation: "", Column: "sum"}}
+	case plan.OpGroupAggregate:
+		return schema{{Relation: n.Relation, Column: n.IndexColumn}, {Relation: "", Column: "count"}}
+	}
+	panic(fmt.Sprintf("exec: schemaOf on unknown operator %v", n.Op))
+}
+
+// validate walks the driven subtree surfacing the same contract errors
+// the Volcano builder reports, before any work is charged.
+func (v *vecEngine) validate(root *plan.Node) error {
+	var verr error
+	root.Walk(func(n *plan.Node) {
+		if verr != nil {
+			return
+		}
+		switch n.Op {
+		case plan.OpSeqScan, plan.OpIndexNLJoin, plan.OpAggregate, plan.OpAntiJoin, plan.OpGroupAggregate:
+		case plan.OpIndexScan:
+			found := false
+			for _, id := range n.Preds {
+				if v.e.q.Predicate(id).Left.Column == n.IndexColumn {
+					found = true
+					break
+				}
+			}
+			if !found {
+				verr = errors.New("exec: index scan without a predicate on its index column")
+			}
+		case plan.OpHashJoin:
+			if _, sels := v.vb.predSplit(n.Preds); len(sels) > 0 {
+				verr = errors.New("exec: hash join with selection predicates")
+			}
+		case plan.OpMergeJoin:
+			if _, sels := v.vb.predSplit(n.Preds); len(sels) > 0 {
+				verr = errors.New("exec: merge join with selection predicates")
+			}
+		default:
+			verr = fmt.Errorf("exec: unknown operator %v", n.Op)
+		}
+	})
+	return verr
+}
+
+// rootSink terminates the driven pipeline: counters are maintained by the
+// operators themselves, so the root only materializes rows for Collect.
+func (v *vecEngine) rootSink() vecSink {
+	collect := v.opts.Collect
+	return vecSink{
+		emit: func(w *vecWorker, b *vbatch) error {
+			if collect == nil {
+				return nil
+			}
+			v.collectMu.Lock()
+			defer v.collectMu.Unlock()
+			for k, nl := 0, b.live(); k < nl; k++ {
+				ri := b.row(k)
+				r := make([]int64, len(b.cols))
+				for c := range b.cols {
+					r[c] = b.cols[c][ri]
+				}
+				collect(r)
+			}
+			return nil
+		},
+		done: func(w *vecWorker) error { return nil },
+	}
+}
+
+// stream executes the pipeline rooted at n, pushing its output batches
+// into sink. Pipeline breakers (hash build sides, sorts, aggregates)
+// materialize inside their stream functions; on return the subtree's
+// counters are merged and, when err is nil, its nodes are marked Done.
+func (v *vecEngine) stream(n *plan.Node, sink vecSink) error {
+	switch n.Op {
+	case plan.OpSeqScan:
+		return v.streamSeqScan(n, sink)
+	case plan.OpIndexScan:
+		return v.streamIndexScan(n, sink)
+	case plan.OpHashJoin:
+		return v.streamHashJoin(n, sink)
+	case plan.OpIndexNLJoin:
+		return v.streamIndexNL(n, sink)
+	case plan.OpAntiJoin:
+		return v.streamAntiJoin(n, sink)
+	case plan.OpMergeJoin:
+		return v.streamMergeJoin(n, sink)
+	case plan.OpAggregate:
+		return v.streamAggregate(n, sink)
+	case plan.OpGroupAggregate:
+		return v.streamGroupAggregate(n, sink)
+	}
+	return fmt.Errorf("exec: unknown operator %v", n.Op)
+}
+
+// markDone records a node's successful completion in the shared stats.
+func (v *vecEngine) markDone(n *plan.Node) {
+	st := v.stats[n]
+	st.Done = true
+	st.InputsDone = true
+}
+
+// runVectorized is Run's batch-at-a-time implementation. The executor
+// contract is the Volcano engine's: budgeted abort in optimizer cost
+// units (metered per batch), spill-mode starvation, and per-node tuple
+// counters identical on completed runs.
+func (e *Engine) runVectorized(root *plan.Node, opts Options) (Result, error) {
+	budget := opts.Budget.F()
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	driven := root
+	if opts.Spill {
+		n := findPredNode(root, opts.SpillPred)
+		if n == nil {
+			return Result{}, fmt.Errorf("exec: plan does not apply predicate %d", opts.SpillPred)
+		}
+		driven = n
+		if opts.Trace.Enabled() {
+			opts.Trace.Record(trace.Span{
+				Kind: trace.KindSpill, Contour: opts.TraceContour, PlanID: opts.TracePlan,
+				Dim: -1, Pred: opts.SpillPred, Budget: trace.SafeCost(budget),
+				Workers: opts.Parallelism,
+			})
+		}
+	}
+
+	v := &vecEngine{
+		e:       e,
+		opts:    opts,
+		m:       &atomicMeter{budget: budget},
+		vb:      &builder{e: e},
+		stats:   make(map[*plan.Node]*NodeStats),
+		idx:     make(map[*plan.Node]int),
+		batch:   opts.BatchSize,
+		workers: opts.Parallelism,
+	}
+	if err := v.validate(driven); err != nil {
+		return Result{}, err
+	}
+	driven.Walk(func(n *plan.Node) {
+		v.idx[n] = len(v.nodes)
+		v.nodes = append(v.nodes, n)
+		v.stats[n] = &NodeStats{PassBy: make(map[int]int64)}
+	})
+
+	err := v.stream(driven, v.rootSink())
+
+	res := Result{
+		Stats:   v.stats,
+		Batches: v.batches.Load(),
+		Workers: v.workers,
+	}
+	res.CostUsed = cost.Cost(v.m.used())
+	res.RowsOut = v.stats[driven].Out
+	res.Completed = err == nil
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		return res, err
+	}
+	if err != nil && opts.Trace.Enabled() {
+		opts.Trace.Record(trace.Span{
+			Kind: trace.KindBudgetAbort, Contour: opts.TraceContour, PlanID: opts.TracePlan,
+			Dim: -1, Pred: -1, Budget: trace.SafeCost(budget), Spent: v.m.used(), Rows: res.RowsOut,
+			Batches: res.Batches, Workers: res.Workers,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// benchFixture is a scaled-up copy of the test fixture (400k lineitem
+// rows) so the executor benchmarks measure kernel throughput rather
+// than per-run setup. It is built once per process: go test -bench
+// re-enters each benchmark at increasing b.N, and regeneration would
+// dominate the measurement.
+type benchFixture struct {
+	eng  *Engine
+	join *plan.Node
+	agg  *plan.Node
+}
+
+var (
+	benchOnce sync.Once
+	benchFx   *benchFixture
+)
+
+func newBenchFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	benchOnce.Do(func() {
+		cat := catalog.NewCatalog()
+		cat.AddRelation(&catalog.Relation{
+			Name: "part", Card: 20000, TupleWidth: 32,
+			Columns: []catalog.Column{
+				{Name: "p_id", Type: catalog.TypeKey, DistinctCount: 20000},
+				{Name: "p_price", Type: catalog.TypeInt, DistinctCount: 100},
+			},
+		})
+		cat.AddRelation(&catalog.Relation{
+			Name: "lineitem", Card: 400000, TupleWidth: 40,
+			Columns: []catalog.Column{
+				{Name: "l_part", Type: catalog.TypeForeignKey, Refs: "part", DistinctCount: 20000},
+				{Name: "l_order", Type: catalog.TypeForeignKey, Refs: "orders", DistinctCount: 40000},
+				{Name: "l_qty", Type: catalog.TypeInt, DistinctCount: 50},
+			},
+		})
+		cat.AddRelation(&catalog.Relation{
+			Name: "orders", Card: 40000, TupleWidth: 24,
+			Columns: []catalog.Column{
+				{Name: "o_id", Type: catalog.TypeKey, DistinctCount: 40000},
+				{Name: "o_total", Type: catalog.TypeInt, DistinctCount: 200},
+			},
+		})
+		cat.IndexAllColumns()
+
+		db := data.Generate(cat, nil, map[string]data.Spec{
+			"lineitem": {MatchFrac: map[string]float64{"l_part": 0.6, "l_order": 0.8}},
+		}, 77)
+
+		q := query.NewBuilder("benchq", cat).
+			Relation("part").Relation("lineitem").Relation("orders").
+			SelectionPred("part", "p_price", 0.3, true).
+			JoinPred("part", "p_id", "lineitem", "l_part", query.PKFKSel(cat, "part"), true).
+			JoinPred("lineitem", "l_order", "orders", "o_id", query.PKFKSel(cat, "orders"), true).
+			MustBuild()
+
+		bound, _ := db.SelectionBound("part", "p_price", 0.3)
+		eng, err := NewEngine(q, db, cost.Postgres(), map[int]int64{0: bound})
+		if err != nil {
+			panic(err)
+		}
+
+		seqP := plan.NewSeqScan("part", []int{0})
+		seqL := plan.NewSeqScan("lineitem", nil)
+		seqO := plan.NewSeqScan("orders", nil)
+		join := plan.NewHashJoin(plan.NewHashJoin(seqL, seqP, []int{1}), seqO, []int{2})
+		if err := join.Validate(); err != nil {
+			panic(err)
+		}
+		benchFx = &benchFixture{eng: eng, join: join, agg: plan.NewAggregate(join)}
+	})
+	return benchFx
+}
+
+// benchRun drives one plan repeatedly under fixed options, reporting
+// output-row throughput so the vectorized speedup is directly visible
+// in rows/s across the Volcano/Vector1/Vector8 triplet.
+func benchRun(b *testing.B, p *plan.Node, opts Options) {
+	fx := newBenchFixture(b)
+	b.ResetTimer()
+	var rows int64
+	for i := 0; i < b.N; i++ {
+		res := fx.eng.MustRun(p, opts)
+		if !res.Completed {
+			b.Fatal("benchmark run did not complete")
+		}
+		rows += res.RowsOut
+	}
+	b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkExecJoinVolcano(b *testing.B) {
+	benchRun(b, newBenchFixture(b).join, Options{})
+}
+
+func BenchmarkExecJoinVector1(b *testing.B) {
+	benchRun(b, newBenchFixture(b).join, Options{Vectorized: true, BatchSize: DefaultBatchSize, Parallelism: 1})
+}
+
+func BenchmarkExecJoinVector8(b *testing.B) {
+	benchRun(b, newBenchFixture(b).join, Options{Vectorized: true, BatchSize: DefaultBatchSize, Parallelism: 8})
+}
+
+func BenchmarkExecAggregateVolcano(b *testing.B) {
+	benchRun(b, newBenchFixture(b).agg, Options{})
+}
+
+func BenchmarkExecAggregateVector8(b *testing.B) {
+	benchRun(b, newBenchFixture(b).agg, Options{Vectorized: true, BatchSize: DefaultBatchSize, Parallelism: 8})
+}

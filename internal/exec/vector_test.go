@@ -1,0 +1,395 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// vopts is the vectorized-run option set the parity tests use.
+func vopts(workers int) Options {
+	return Options{Vectorized: true, BatchSize: DefaultBatchSize, Parallelism: workers}
+}
+
+// capture is one run's result plus its collected output rows, sorted so
+// multisets compare as slices regardless of emission order.
+type capture struct {
+	res  Result
+	rows []string
+}
+
+func runCollected(t testing.TB, eng *Engine, p *plan.Node, opts Options) capture {
+	t.Helper()
+	var rows []string
+	opts.Collect = func(r []int64) { rows = append(rows, fmt.Sprint(r)) }
+	res, err := eng.Run(p, opts)
+	if err != nil {
+		t.Fatalf("run (vectorized=%v workers=%d): %v", opts.Vectorized, opts.Parallelism, err)
+	}
+	sort.Strings(rows)
+	return capture{res: res, rows: rows}
+}
+
+// assertParity pins the counter-compatibility contract between the two
+// engines on completed runs: identical result multisets, identical
+// per-node tuple counters (Out, InTuples, Matches, per-predicate passes,
+// Done marks), and the same total cost up to float summation order.
+func assertParity(t *testing.T, name string, vol, vec capture) {
+	t.Helper()
+	if !vol.res.Completed || !vec.res.Completed {
+		t.Fatalf("%s: completed volcano=%v vector=%v", name, vol.res.Completed, vec.res.Completed)
+	}
+	if vec.res.RowsOut != vol.res.RowsOut {
+		t.Fatalf("%s: RowsOut vector %d vs volcano %d", name, vec.res.RowsOut, vol.res.RowsOut)
+	}
+	if len(vec.rows) != len(vol.rows) {
+		t.Fatalf("%s: result sets differ in size: vector %d vs volcano %d rows", name, len(vec.rows), len(vol.rows))
+	}
+	for i := range vol.rows {
+		if vol.rows[i] != vec.rows[i] {
+			t.Fatalf("%s: result sets differ at sorted row %d: vector %s vs volcano %s", name, i, vec.rows[i], vol.rows[i])
+		}
+	}
+	cv, cc := vol.res.CostUsed.F(), vec.res.CostUsed.F()
+	if math.Abs(cv-cc) > 1e-9*math.Max(1, math.Abs(cv)) {
+		t.Fatalf("%s: cost diverged beyond summation-order tolerance: volcano %g vector %g", name, cv, cc)
+	}
+	if len(vec.res.Stats) != len(vol.res.Stats) {
+		t.Fatalf("%s: stats cover %d nodes, volcano %d", name, len(vec.res.Stats), len(vol.res.Stats))
+	}
+	for node, vst := range vol.res.Stats {
+		cst := vec.res.Stats[node]
+		if cst == nil {
+			t.Fatalf("%s: vector run has no stats for %v node", name, node.Op)
+		}
+		if cst.Out != vst.Out || cst.InTuples != vst.InTuples || cst.Matches != vst.Matches {
+			t.Fatalf("%s/%v: (out,in,match) vector (%d,%d,%d) vs volcano (%d,%d,%d)",
+				name, node.Op, cst.Out, cst.InTuples, cst.Matches, vst.Out, vst.InTuples, vst.Matches)
+		}
+		ids := map[int]bool{}
+		for id := range vst.PassBy {
+			ids[id] = true
+		}
+		for id := range cst.PassBy {
+			ids[id] = true
+		}
+		for id := range ids {
+			if cst.PassBy[id] != vst.PassBy[id] {
+				t.Fatalf("%s/%v: PassBy[%d] vector %d vs volcano %d",
+					name, node.Op, id, cst.PassBy[id], vst.PassBy[id])
+			}
+		}
+		if cst.Done != vst.Done || cst.InputsDone != vst.InputsDone {
+			t.Fatalf("%s/%v: done marks vector (%v,%v) vs volcano (%v,%v)",
+				name, node.Op, cst.Done, cst.InputsDone, vst.Done, vst.InputsDone)
+		}
+	}
+}
+
+// TestVectorizedMatchesVolcanoOnFixturePlans is the operator-matrix
+// differential: every fixture plan (plus aggregate roots) must produce
+// the same result multiset and counters on the batch engine, serially
+// and with more workers than there is work.
+func TestVectorizedMatchesVolcanoOnFixturePlans(t *testing.T) {
+	fx := newFixture(t)
+	plans := map[string]*plan.Node{}
+	for name, p := range fx.plans {
+		plans[name] = p
+	}
+	plans["agg"] = plan.NewAggregate(fx.plans["hj"])
+	plans["gagg"] = plan.NewGroupAggregate(fx.plans["mj"], "orders", "o_id")
+	for name, p := range plans {
+		vol := runCollected(t, fx.eng, p, Options{})
+		for _, workers := range []int{1, 8, 32} {
+			vec := runCollected(t, fx.eng, p, vopts(workers))
+			assertParity(t, fmt.Sprintf("%s/w%d", name, workers), vol, vec)
+			if vec.res.Workers != workers {
+				t.Fatalf("%s: Result.Workers = %d, want %d", name, vec.res.Workers, workers)
+			}
+			if vec.res.Batches <= 0 {
+				t.Fatalf("%s: vectorized run metered %d batches", name, vec.res.Batches)
+			}
+		}
+	}
+}
+
+// TestVectorizedPerturbedChargeParity pins that the δ-perturbed charger
+// (§3.4) scales batch charges exactly like per-tuple charges.
+func TestVectorizedPerturbedChargeParity(t *testing.T) {
+	fx := newFixture(t)
+	perturb := func(n *plan.Node) float64 {
+		if n.Op == plan.OpSeqScan {
+			return 1.37
+		}
+		return 0.81
+	}
+	for name, p := range fx.plans {
+		vol := runCollected(t, fx.eng, p, Options{Perturb: perturb})
+		vec := runCollected(t, fx.eng, p, Options{
+			Vectorized: true, BatchSize: 256, Parallelism: 4, Perturb: perturb,
+		})
+		assertParity(t, name, vol, vec)
+	}
+}
+
+// TestVectorizedOptionsValidation is the regression test for the Run-entry
+// validation: non-positive batch sizes or worker counts — and batch
+// options without Vectorized — must error, not panic or silently fall
+// back to a serial or tuple-at-a-time run.
+func TestVectorizedOptionsValidation(t *testing.T) {
+	fx := newFixture(t)
+	p := fx.plans["hj"]
+	bad := []Options{
+		{Vectorized: true, BatchSize: 0, Parallelism: 1},
+		{Vectorized: true, BatchSize: -1024, Parallelism: 1},
+		{Vectorized: true, BatchSize: 1024, Parallelism: 0},
+		{Vectorized: true, BatchSize: 1024, Parallelism: -8},
+		{BatchSize: 1024},
+		{Parallelism: 8},
+	}
+	for i, opts := range bad {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("case %d: Run panicked on invalid options: %v", i, r)
+				}
+			}()
+			res, err := fx.eng.Run(p, opts)
+			if err == nil {
+				t.Fatalf("case %d (%+v): invalid options accepted (completed=%v)", i, opts, res.Completed)
+			}
+			if !strings.Contains(err.Error(), "exec:") {
+				t.Fatalf("case %d: unexpected error %v", i, err)
+			}
+		}()
+	}
+	// The boundary-valid configuration runs.
+	if res := fx.eng.MustRun(p, Options{Vectorized: true, BatchSize: 1, Parallelism: 1}); !res.Completed {
+		t.Fatal("batch size 1 / one worker should complete")
+	}
+}
+
+// TestVectorizedWorkersExceedMorselCount pins the scheduler's tail case:
+// every fixture table is smaller than one morsel, so with 32 workers most
+// workers never claim work and must still run their pipeline finalizers
+// exactly once (double-flushing would corrupt counters or charges).
+func TestVectorizedWorkersExceedMorselCount(t *testing.T) {
+	fx := newFixture(t)
+	const workers = 32
+	for _, tbl := range []string{"part", "lineitem", "orders"} {
+		if morsels := (fx.db.Table(tbl).NumRows() + MorselRows - 1) / MorselRows; morsels >= workers {
+			t.Fatalf("fixture table %s spans %d morsels, want fewer than %d workers", tbl, morsels, workers)
+		}
+	}
+	for name, p := range fx.plans {
+		vol := runCollected(t, fx.eng, p, Options{})
+		vec := runCollected(t, fx.eng, p, vopts(workers))
+		assertParity(t, name, vol, vec)
+	}
+}
+
+// TestVectorizedAbortAtBatchBoundary is the batch-granularity analogue of
+// TestAbortExactlyAtBudgetExhaustion: with one worker the charge sequence
+// is deterministic, so a budget of exactly the full cost completes while
+// one ULP less aborts on the final batch flush — spending exactly the
+// full cost, with a single budget-abort span carrying the batch count.
+func TestVectorizedAbortAtBatchBoundary(t *testing.T) {
+	fx := newFixture(t)
+	for name, p := range fx.plans {
+		o := vopts(1)
+		full := fx.eng.MustRun(p, o)
+
+		o.Budget = full.CostUsed
+		exact := fx.eng.MustRun(p, o)
+		if !exact.Completed {
+			t.Errorf("%s: budget == full cost (%g) aborted", name, full.CostUsed)
+		}
+		if exact.RowsOut != full.RowsOut {
+			t.Errorf("%s: exact-budget run lost rows: %d vs %d", name, exact.RowsOut, full.RowsOut)
+		}
+
+		rec := trace.New(16)
+		o.Budget = cost.Cost(math.Nextafter(full.CostUsed.F(), 0))
+		o.Trace, o.TraceContour, o.TracePlan = rec, 3, 7
+		partial := fx.eng.MustRun(p, o)
+		if partial.Completed {
+			t.Errorf("%s: completed under a budget one ULP below full cost", name)
+			continue
+		}
+		// The abort lands on the final batch flush, so the spend equals
+		// the full cost exactly.
+		if partial.CostUsed != full.CostUsed {
+			t.Errorf("%s: aborted spend %g, want full cost %g", name, partial.CostUsed, full.CostUsed)
+		}
+		aborts := 0
+		for _, s := range rec.Spans() {
+			if s.Kind != trace.KindBudgetAbort {
+				continue
+			}
+			aborts++
+			if s.Contour != 3 || s.PlanID != 7 {
+				t.Errorf("%s: abort span carries context %d/%d, want 3/7", name, s.Contour, s.PlanID)
+			}
+			if !(s.Spent > s.Budget) {
+				t.Errorf("%s: abort span spent %g does not exceed budget %g", name, s.Spent, s.Budget)
+			}
+			if s.Batches <= 0 || s.Workers != 1 {
+				t.Errorf("%s: abort span batches/workers = %d/%d, want >0/1", name, s.Batches, s.Workers)
+			}
+		}
+		if aborts != 1 {
+			t.Errorf("%s: %d budget-abort spans, want 1", name, aborts)
+		}
+	}
+}
+
+// TestVectorizedBudgetAbortsUnderParallelism: abort behaviour with many
+// workers is not bit-deterministic, but the hard invariants must hold —
+// partial results, monotone-ish spend near the budget, and counters never
+// exceeding the complete run's.
+func TestVectorizedBudgetAbortsUnderParallelism(t *testing.T) {
+	fx := newFixture(t)
+	for name, p := range fx.plans {
+		full := fx.eng.MustRun(p, vopts(8))
+		o := vopts(8)
+		o.Budget = full.CostUsed / 4
+		partial := fx.eng.MustRun(p, o)
+		if partial.Completed {
+			t.Errorf("%s: completed under a quarter budget", name)
+			continue
+		}
+		// Overshoot is bounded by one in-flight batch charge per worker.
+		if partial.CostUsed > full.CostUsed {
+			t.Errorf("%s: aborted run charged %g, more than the whole plan (%g)", name, partial.CostUsed, full.CostUsed)
+		}
+		for node, st := range partial.Stats {
+			fst := full.Stats[node]
+			if fst != nil && st.Out > fst.Out {
+				t.Errorf("%s/%v: partial Out %d exceeds full %d", name, node.Op, st.Out, fst.Out)
+			}
+		}
+	}
+}
+
+// TestVectorizedSpillStarvesDownstream mirrors the Volcano spill contract
+// on the batch engine: only the driven subtree runs, downstream operators
+// surface as Starved, the spill span carries the worker count, and the
+// driven subtree's counters match a Volcano spill of the same plan.
+func TestVectorizedSpillStarvesDownstream(t *testing.T) {
+	fx := newFixture(t)
+	p := fx.plans["hj"] // HJ( HJ(lineitem, part{0}) {1}, orders ) {2}
+	vol := runCollected(t, fx.eng, p, Options{Spill: true, SpillPred: 1})
+	rec := trace.New(16)
+	o := vopts(4)
+	o.Spill, o.SpillPred, o.Trace = true, 1, rec
+	vec := runCollected(t, fx.eng, p, o)
+	assertParity(t, "spill-hj", vol, vec)
+
+	nodes := vec.res.TraceNodes(p)
+	var starved, live int
+	for _, n := range nodes {
+		if n.Starved {
+			starved++
+			if n.Out != 0 || n.In != 0 || n.Done {
+				t.Fatalf("starved node %s carries counters: %+v", n.Op, n)
+			}
+		} else {
+			live++
+			if !n.Done {
+				t.Errorf("completed spill left live node %s not Done", n.Op)
+			}
+		}
+	}
+	if starved != 2 || live != 3 {
+		t.Fatalf("starved/live = %d/%d, want 2/3", starved, live)
+	}
+	spills := 0
+	for _, s := range rec.Spans() {
+		if s.Kind == trace.KindSpill {
+			spills++
+			if s.Pred != 1 || s.Workers != 4 {
+				t.Fatalf("spill span pred/workers = %d/%d, want 1/4", s.Pred, s.Workers)
+			}
+		}
+	}
+	if spills != 1 {
+		t.Fatalf("%d spill spans, want 1", spills)
+	}
+}
+
+// TestVectorizedZeroRowBatches pins empty-batch flow: a selection bound
+// below every value starves all joins of input, and the batch engine must
+// drain cleanly — including in spill mode and under a budget — reporting
+// true zeros, identical to Volcano.
+func TestVectorizedZeroRowBatches(t *testing.T) {
+	fx := newFixture(t)
+	eng, err := NewEngine(fx.q, fx.db, cost.Postgres(), map[int]int64{0: math.MinInt64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range fx.plans {
+		vol := runCollected(t, eng, p, Options{})
+		for _, workers := range []int{1, 8} {
+			vec := runCollected(t, eng, p, vopts(workers))
+			assertParity(t, fmt.Sprintf("%s/w%d", name, workers), vol, vec)
+			if vec.res.RowsOut != 0 {
+				t.Errorf("%s: produced %d rows from an empty selection", name, vec.res.RowsOut)
+			}
+			if !(vec.res.CostUsed > 0) {
+				t.Errorf("%s: zero-row run charged no cost (scans still read pages)", name)
+			}
+		}
+	}
+	// Spill mode over zero-row input: the driven subtree completes with
+	// zero output, matching Volcano.
+	p := fx.plans["hj"]
+	volSpill := runCollected(t, eng, p, Options{Spill: true, SpillPred: 1})
+	o := vopts(8)
+	o.Spill, o.SpillPred = true, 1
+	vecSpill := runCollected(t, eng, p, o)
+	assertParity(t, "zero-spill", volSpill, vecSpill)
+	if vecSpill.res.RowsOut != 0 {
+		t.Fatalf("zero-row spill produced %d rows", vecSpill.res.RowsOut)
+	}
+	// Budgeted zero-row runs keep reporting zero rows.
+	o = vopts(8)
+	o.Budget = vecSpill.res.CostUsed / 2
+	tight := eng.MustRun(p, o)
+	if tight.RowsOut != 0 {
+		t.Fatalf("budgeted zero-row run produced %d rows", tight.RowsOut)
+	}
+}
+
+// TestVectorizedSerialDeterminism: one worker claims morsels in order, so
+// budgeted runs are bit-reproducible like the Volcano engine's.
+func TestVectorizedSerialDeterminism(t *testing.T) {
+	fx := newFixture(t)
+	p := fx.plans["mj"]
+	o := vopts(1)
+	o.Budget = 500
+	a := fx.eng.MustRun(p, o)
+	b := fx.eng.MustRun(p, o)
+	if a.RowsOut != b.RowsOut || a.CostUsed != b.CostUsed || a.Completed != b.Completed {
+		t.Fatal("serial vectorized budgeted runs are not deterministic")
+	}
+}
+
+// TestVectorizedUnknownOperator: contract violations surface as errors
+// from Run, exactly like the Volcano builder's.
+func TestVectorizedUnknownOperator(t *testing.T) {
+	fx := newFixture(t)
+	bogus := &plan.Node{Op: plan.Op(9999)}
+	if _, err := fx.eng.Run(bogus, vopts(2)); err == nil || !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("vectorized run of unknown operator: %v", err)
+	}
+	nested := plan.NewAggregate(bogus)
+	if _, err := fx.eng.Run(nested, vopts(2)); err == nil || !strings.Contains(err.Error(), "unknown operator") {
+		t.Fatalf("nested unknown operator: %v", err)
+	}
+}

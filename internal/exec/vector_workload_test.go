@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestVectorizedMatchesVolcanoOnAllTenWorkloads is the acceptance-level
+// differential: every one of the ten Table-2 workloads, rebuilt at a
+// small scale factor so the queries actually execute, must produce
+// identical result multisets and per-node tuple counters on the batch
+// engine (serially and at 8 workers) as on the Volcano engine, across
+// the distinct plans the optimizer picks over a sweep of selectivity
+// points.
+func TestVectorizedMatchesVolcanoOnAllTenWorkloads(t *testing.T) {
+	fracs := []float64{0.9, 0.1, 0.01}
+	if testing.Short() {
+		fracs = fracs[:1]
+	}
+	for _, w := range workload.AllAt(0.004, 3) {
+		t.Run(w.Name, func(t *testing.T) {
+			q := w.Query
+			db := data.Generate(q.Catalog, q.Relations(), nil, 1234)
+			// The ten workloads are join-only, so no selection bindings.
+			eng, err := NewEngine(q, db, w.Model, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := optimizer.New(cost.NewCoster(q, w.Model))
+			seen := map[string]bool{}
+			for _, frac := range fracs {
+				sels := make(cost.Selectivities, q.NumPredicates())
+				for id := 0; id < q.NumPredicates(); id++ {
+					sels[id] = cost.Sel(frac * query.MaxLegalSel(q.Catalog, q.Predicate(id)))
+				}
+				p := opt.Optimize(sels).Plan
+				if seen[p.Fingerprint()] {
+					continue
+				}
+				seen[p.Fingerprint()] = true
+				vol := runCollected(t, eng, p, Options{})
+				if !vol.res.Completed {
+					t.Fatalf("volcano run of %s did not complete", p)
+				}
+				for _, workers := range []int{1, 8} {
+					vec := runCollected(t, eng, p, vopts(workers))
+					assertParity(t, fmt.Sprintf("plan %s w%d", p.Fingerprint(), workers), vol, vec)
+				}
+			}
+			if len(seen) == 0 {
+				t.Fatal("no plans exercised")
+			}
+		})
+	}
+}

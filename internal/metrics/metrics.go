@@ -1,18 +1,3 @@
-// Package metrics computes the paper's robustness statistics (§2) over a
-// discretized ESS:
-//
-//	SubOpt(qe, qa)  = c_oe(qa) / c_oa(qa)                      (Eq. 1)
-//	SubOptworst(qa) = max_qe SubOpt(qe, qa)                    (Eq. 2)
-//	MSO             = max_qa SubOptworst(qa)                   (Eq. 3)
-//	ASO             = avg over (qe, qa) of SubOpt               (Eq. 4)
-//	MH              = max_qa (SubOpt(*,qa)/SubOptworst(qa) − 1) (Eq. 5)
-//
-// Estimated and actual locations are uniformly and independently
-// distributed over the grid, per the paper's framework. Single-plan
-// strategies (native optimizer, SEER) are described by an Assignment: the
-// plan executed when the optimizer's estimate lands at each location. The
-// bouquet is described by its per-q_a execution cost c_b(q_a), with the
-// estimate a "don't care".
 package metrics
 
 import (

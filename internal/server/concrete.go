@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/trace"
+)
+
+// Concrete execution support for /run: instead of simulating a bouquet
+// run on the cost surfaces, a request with "concrete": true generates a
+// deterministic database for the bouquet's relations, binds its
+// selection predicates, and drives core.ConcreteRunner over real rows —
+// tuple-at-a-time by default, or on the vectorized morsel-parallel
+// engine when a worker count is configured (Config.ExecWorkers /
+// bouquetd's -exec-workers) or requested per run ("parallelism").
+//
+// Data generation cost scales with the catalog's scale factor, so
+// concrete runs are intended for servers started at small -sf. Engines
+// are cached per (bouquet, dataSeed) in a small FIFO cache; runs on one
+// engine serialize (the generated tables hold lazily built sort/hash
+// caches that are not safe for concurrent runs).
+
+// DefaultEngineCacheSize bounds the concrete-run engine cache (each
+// entry retains a full generated database).
+const DefaultEngineCacheSize = 4
+
+// engineEntry pairs a built engine with the mutex serializing runs on it.
+type engineEntry struct {
+	eng *exec.Engine
+	mu  sync.Mutex
+}
+
+// engineCache is a bounded FIFO cache of concrete-run engines keyed by
+// "bouquetID#dataSeed". Builds run under the cache lock: generation is
+// deterministic, so a stampede would only waste work building identical
+// engines.
+type engineCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*engineEntry
+	order   []string
+}
+
+func newEngineCache(capacity int) *engineCache {
+	if capacity < 1 {
+		capacity = DefaultEngineCacheSize
+	}
+	return &engineCache{cap: capacity, entries: make(map[string]*engineEntry)}
+}
+
+func (c *engineCache) getOrBuild(key string, build func() (*exec.Engine, error)) (*engineEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, nil
+	}
+	eng, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.order) >= c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	e := &engineEntry{eng: eng}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	return e, nil
+}
+
+// engineFor returns (building and caching if needed) the execution
+// engine for bouquet id at the given data seed.
+func (s *Server) engineFor(id string, b *core.Bouquet, seed int64) (*engineEntry, error) {
+	return s.engines.getOrBuild(fmt.Sprintf("%s#%d", id, seed), func() (*exec.Engine, error) {
+		db := data.Generate(s.cat, b.Query.Relations(), nil, seed)
+		// Bind every selection predicate to the constant realizing its
+		// declared selectivity on the generated (uniform) column.
+		bindings := map[int]int64{}
+		for _, p := range b.Query.Predicates() {
+			if p.Kind != query.Selection {
+				continue
+			}
+			target := p.DefaultSel
+			if p.Negated {
+				target = 1 - target
+			}
+			bound, _ := db.SelectionBound(p.Left.Relation, p.Left.Column, target)
+			bindings[p.ID] = bound
+		}
+		return exec.NewEngine(b.Query, db, cost.Postgres(), bindings)
+	})
+}
+
+// handleRunConcrete executes a /run request with "concrete": true on
+// real generated rows. The actual selectivities are whatever the data
+// realizes — the runner discovers them from tuple counters, so the
+// request's qa field is ignored.
+func (s *Server) handleRunConcrete(w http.ResponseWriter, req runRequest, b *core.Bouquet) {
+	workers := s.cfg.ExecWorkers
+	if req.Parallelism != nil {
+		workers = *req.Parallelism
+	}
+	if workers < 0 {
+		jsonError(w, http.StatusBadRequest, "parallelism %d must be >= 0", workers)
+		return
+	}
+	seed := req.DataSeed
+	if seed == 0 {
+		seed = 1
+	}
+	entry, err := s.engineFor(req.ID, b, seed)
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, "building execution engine: %v", err)
+		return
+	}
+
+	var rec *trace.Recorder
+	if req.Trace {
+		rec = trace.New(0)
+	}
+	runner := &core.ConcreteRunner{B: b, Engine: entry.eng, Trace: rec, Parallelism: workers}
+	entry.mu.Lock()
+	var e core.ConcreteExecution
+	if req.Optimized {
+		e = runner.RunOptimized()
+	} else {
+		e = runner.RunBasic()
+	}
+	entry.mu.Unlock()
+
+	// Concrete runs never consult ground truth, so there is no SubOpt to
+	// observe — count the run and its steps, and record its cost.
+	s.metrics.runsTotal.Add(1)
+	s.metrics.runSteps.Add(int64(e.NumExecs()))
+	s.metrics.lastRunCost.Set(e.TotalCost.F())
+
+	out := runResponse{
+		TotalCost:  e.TotalCost.F(),
+		Execs:      e.NumExecs(),
+		ResultRows: e.ResultRows,
+		Workers:    workers,
+		Concrete:   true,
+	}
+	for _, st := range e.Steps {
+		out.Steps = append(out.Steps, runStep{
+			Contour: st.Contour, Plan: st.PlanID, Dim: st.Dim,
+			Budget: trace.SafeCost(st.Budget.F()), Spent: st.Spent.F(), Completed: st.Completed,
+		})
+	}
+	if rec.Enabled() {
+		spans := rec.Spans()
+		agg := metrics.Aggregate(spans)
+		s.metrics.observeTrace(agg, spans)
+		out.RunID = s.runs.add(req.ID, spans, rec.Dropped(), agg)
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// newConcreteServer serves a small catalog so concrete runs generate
+// modest row counts.
+func newConcreteServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewWithConfig(catalog.TPCHLike(0.01), cfg).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func runConcrete(t *testing.T, srv *httptest.Server, req runRequest) runResponse {
+	t.Helper()
+	resp, raw := postJSON(t, srv.URL+"/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("concrete run status %d: %v", resp.StatusCode, raw)
+	}
+	var out runResponse
+	reencode(t, raw, &out)
+	return out
+}
+
+func TestRunConcreteVolcanoAndVectorizedAgree(t *testing.T) {
+	srv := newConcreteServer(t, Config{})
+	sum := compileOne(t, srv, apiEQ2D, 12)
+
+	vol := runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true})
+	if !vol.Concrete || vol.Execs == 0 || len(vol.Steps) != vol.Execs {
+		t.Fatalf("volcano concrete run = %+v", vol)
+	}
+	if vol.Workers != 0 {
+		t.Fatalf("default workers = %d, want 0 (tuple-at-a-time)", vol.Workers)
+	}
+	if last := vol.Steps[len(vol.Steps)-1]; !last.Completed {
+		t.Fatalf("final step did not complete: %+v", last)
+	}
+
+	eight := 8
+	vec := runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true, Parallelism: &eight})
+	if vec.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", vec.Workers)
+	}
+	// Same bouquet, same cached engine: the vectorized run must land on
+	// the same final result cardinality.
+	if vec.ResultRows != vol.ResultRows {
+		t.Fatalf("vectorized resultRows %d != volcano %d", vec.ResultRows, vol.ResultRows)
+	}
+	// The optimized driver completes too, on both engines.
+	volOpt := runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true, Optimized: true})
+	vecOpt := runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true, Optimized: true, Parallelism: &eight})
+	if volOpt.ResultRows != vol.ResultRows || vecOpt.ResultRows != vol.ResultRows {
+		t.Fatalf("optimized rows volcano=%d vectorized=%d, want %d", volOpt.ResultRows, vecOpt.ResultRows, vol.ResultRows)
+	}
+}
+
+func TestRunConcreteDefaultsToConfiguredWorkers(t *testing.T) {
+	srv := newConcreteServer(t, Config{ExecWorkers: 4})
+	sum := compileOne(t, srv, apiEQ2D, 12)
+	out := runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true})
+	if out.Workers != 4 {
+		t.Fatalf("workers = %d, want config default 4", out.Workers)
+	}
+	// An explicit 0 overrides the default back to the Volcano engine.
+	zero := 0
+	out = runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true, Parallelism: &zero})
+	if out.Workers != 0 {
+		t.Fatalf("workers = %d, want explicit 0", out.Workers)
+	}
+}
+
+func TestRunConcreteTraceRetained(t *testing.T) {
+	srv := newConcreteServer(t, Config{ExecWorkers: 2})
+	sum := compileOne(t, srv, apiEQ2D, 12)
+	out := runConcrete(t, srv, runRequest{ID: sum.ID, Concrete: true, Trace: true})
+	if out.RunID == "" {
+		t.Fatal("traced concrete run returned no runId")
+	}
+	resp, err := http.Get(srv.URL + "/runs/" + out.RunID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d", resp.StatusCode)
+	}
+
+	// Concrete runs count toward the run telemetry even though they
+	// carry no SubOpt.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "bouquetd_runs_total 1") {
+		t.Error("concrete run not counted in bouquetd_runs_total")
+	}
+	if !strings.Contains(string(body), "bouquetd_traced_runs_total 1") {
+		t.Error("concrete traced run not counted in bouquetd_traced_runs_total")
+	}
+}
+
+func TestRunConcreteValidation(t *testing.T) {
+	srv := newConcreteServer(t, Config{})
+	sum := compileOne(t, srv, apiEQ2D, 12)
+
+	neg := -1
+	resp, _ := postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, Concrete: true, Parallelism: &neg})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative parallelism status %d, want 400", resp.StatusCode)
+	}
+
+	// parallelism is meaningless on a simulated run.
+	two := 2
+	resp, _ = postJSON(t, srv.URL+"/run", runRequest{ID: sum.ID, QA: []float64{0.05, 2e-6}, Parallelism: &two})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("simulated run with parallelism status %d, want 400", resp.StatusCode)
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// set it below the core count to keep compile bursts from starving
 	// the serving path.
 	CompileWorkers int
+	// ExecWorkers is the default worker count for concrete /run
+	// executions: 0 runs the tuple-at-a-time Volcano engine, n > 0 the
+	// vectorized engine with n morsel workers. A request's parallelism
+	// field overrides it per run.
+	ExecWorkers int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// RunHistory bounds how many traced runs are retained for
@@ -92,6 +97,7 @@ type Server struct {
 	cache   *compileCache
 	metrics *serverMetrics
 	runs    *runStore
+	engines *engineCache
 }
 
 // New builds a server compiling against cat with default Config.
@@ -115,6 +121,7 @@ func NewWithConfig(cat *catalog.Catalog, cfg Config) *Server {
 		cache:    newCompileCache(cfg.CacheSize),
 		metrics:  newServerMetrics(),
 		runs:     newRunStore(cfg.RunHistory),
+		engines:  newEngineCache(DefaultEngineCacheSize),
 	}
 }
 
@@ -416,6 +423,20 @@ type runRequest struct {
 	// retained for GET /runs/{runId}/trace. The response carries the
 	// assigned runId.
 	Trace bool `json:"trace,omitempty"`
+	// Concrete executes the run on real generated rows instead of
+	// simulating it on the cost surfaces: the actual selectivities come
+	// from the data (qa is ignored), and the response carries resultRows
+	// and the worker count used. See concrete.go.
+	Concrete bool `json:"concrete,omitempty"`
+	// DataSeed seeds the deterministic data generation for concrete
+	// runs (0 means seed 1). Each (bouquet, seed) pair's engine is
+	// cached across requests.
+	DataSeed int64 `json:"dataSeed,omitempty"`
+	// Parallelism overrides the server's -exec-workers default for a
+	// concrete run: 0 selects the tuple-at-a-time Volcano engine, n > 0
+	// the vectorized engine with n morsel workers. Rejected on
+	// simulated (non-concrete) runs.
+	Parallelism *int `json:"parallelism,omitempty"`
 }
 
 type runStep struct {
@@ -435,6 +456,13 @@ type runResponse struct {
 	Steps     []runStep `json:"steps"`
 	// RunID identifies the retained trace of this run (traced runs only).
 	RunID string `json:"runId,omitempty"`
+	// Concrete marks a run executed on real rows; ResultRows is its
+	// final cardinality and Workers the morsel worker count (0 =
+	// tuple-at-a-time). OptCost/SubOpt are zero for concrete runs — the
+	// server never consults ground truth there.
+	Concrete   bool  `json:"concrete,omitempty"`
+	ResultRows int64 `json:"resultRows,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +474,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	b, ok := s.lookup(req.ID)
 	if !ok {
 		jsonError(w, http.StatusNotFound, "no bouquet %q", req.ID)
+		return
+	}
+	if req.Concrete {
+		s.handleRunConcrete(w, req, b)
+		return
+	}
+	if req.Parallelism != nil {
+		jsonError(w, http.StatusBadRequest, "parallelism applies to concrete runs only")
 		return
 	}
 	if len(req.QA) != b.Space.Dims() {

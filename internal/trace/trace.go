@@ -1,32 +1,3 @@
-// Package trace provides flag-gated, low-overhead structured execution
-// traces for the bouquet runtime.
-//
-// The paper's §5 evidence — MSO/ASO, per-step budgeted executions, spill
-// behaviour — is only as trustworthy as the visibility into what the
-// run-time actually did. A Recorder captures that as an ordered sequence
-// of fixed-shape Spans: contour entries, budgeted plan executions (with
-// per-operator counters), spilled executions, budget aborts, and
-// discovered-selectivity updates. The run drivers in internal/core and
-// the Volcano engine in internal/exec emit spans when (and only when) a
-// Recorder is supplied.
-//
-// Design constraints, in order:
-//
-//   - disabled tracing must be free: a nil *Recorder is the "off" state,
-//     every method is nil-safe, and the hot loops guard span construction
-//     behind Enabled() — internal/core pins this with an AllocsPerRun
-//     parity test;
-//   - enabled tracing must stay off the allocator: spans land in a
-//     preallocated power-of-two ring via a single atomic slot claim
-//     (lock-free, no mutex on the record path), overwriting the oldest
-//     entries when the run outgrows the ring;
-//   - spans must survive the wire: they marshal to JSON (served by the
-//     bouquetd /runs/{id}/trace endpoint) with non-finite budgets
-//     sanitized at record time, since encoding/json rejects ±Inf.
-//
-// Snapshotting with Spans is meant for after the traced run completes;
-// concurrent Record calls are safe against each other, but a snapshot
-// taken mid-run may observe partially ordered history.
 package trace
 
 import (
@@ -157,6 +128,12 @@ type Span struct {
 	Completed bool `json:"completed"`
 	// WallNanos is the step's wall-clock duration in nanoseconds.
 	WallNanos int64 `json:"wallNs,omitempty"`
+	// Batches is the number of column batches a vectorized execution
+	// metered (0 for tuple-at-a-time runs).
+	Batches int64 `json:"batches,omitempty"`
+	// Workers is the morsel worker count of a vectorized execution (0
+	// for tuple-at-a-time runs).
+	Workers int `json:"workers,omitempty"`
 	// Nodes carries per-operator counters for executed steps.
 	Nodes []NodeStat `json:"nodes,omitempty"`
 }

@@ -141,6 +141,23 @@ func All(res int) []*Workload {
 	}
 }
 
+// AllAt returns the ten Table-2 workloads rebuilt over fresh TPC-H- and
+// TPC-DS-shaped catalogs at scale factor sf (relation cardinalities are
+// floored at 10 rows; see catalog.TPCHLike). The shared sf-1.0 singletons
+// behind All are untouched. Small scale factors make the workloads cheap
+// enough to actually execute — the differential tests in internal/exec
+// run both engines over generated data for every one of the ten. Like
+// All, it panics if a workload's ESS cannot be built, which only a
+// broken catalog/resolution combination can cause.
+func AllAt(sf catalog.ScaleFactor, res int) []*Workload {
+	h := catalog.TPCHLike(sf)
+	d := catalog.TPCDSLike(sf)
+	return []*Workload{
+		hq5(h, res), hq7x3(h, res), hq8(h, res), hq7x5(h, res),
+		dsq15(d, res), dsq96(d, res), dsq7(d, res), dsq26(d, res), dsq91(d, res), dsq19(d, res),
+	}
+}
+
 // ByName returns the named workload at default resolution, or an error.
 func ByName(name string, res int) (*Workload, error) {
 	all := append(All(res), EQ(res), EQ2D(res), HQ5b(res), HQ8b(res))
@@ -156,8 +173,9 @@ func ByName(name string, res int) (*Workload, error) {
 // join selectivities (Table 2: chain(6), Cmax/Cmin 16).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func HQ5(res int) *Workload {
-	cat := tpch()
+func HQ5(res int) *Workload { return hq5(tpch(), res) }
+
+func hq5(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("3D_H_Q5", cat).
 		Relation("region").Relation("nation").Relation("customer").
 		Relation("orders").Relation("lineitem").Relation("supplier").
@@ -178,8 +196,9 @@ func HQ5(res int) *Workload {
 // mix (Table 2: chain(6), Cmax/Cmin 5).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func HQ7x3(res int) *Workload {
-	cat := tpch()
+func HQ7x3(res int) *Workload { return hq7x3(tpch(), res) }
+
+func hq7x3(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("3D_H_Q7", cat).
 		Relation("supplier").Relation("lineitem").Relation("orders").
 		Relation("customer").Relation("nation").Relation("region").
@@ -200,8 +219,9 @@ func HQ7x3(res int) *Workload {
 // selectivities (Table 2: branch(8), Cmax/Cmin 28).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func HQ8(res int) *Workload {
-	cat := tpch()
+func HQ8(res int) *Workload { return hq8(tpch(), res) }
+
+func hq8(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("4D_H_Q8", cat).
 		Relation("part").Relation("partsupp").Relation("lineitem").
 		Relation("supplier").Relation("orders").Relation("customer").
@@ -225,8 +245,9 @@ func HQ8(res int) *Workload {
 // (Table 2: chain(6), Cmax/Cmin 50).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func HQ7x5(res int) *Workload {
-	cat := tpch()
+func HQ7x5(res int) *Workload { return hq7x5(tpch(), res) }
+
+func hq7x5(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("5D_H_Q7", cat).
 		Relation("supplier").Relation("lineitem").Relation("orders").
 		Relation("customer").Relation("nation").Relation("region").
@@ -247,8 +268,9 @@ func HQ7x5(res int) *Workload {
 // Cmax/Cmin 668).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func DSQ15(res int) *Workload {
-	cat := tpcds()
+func DSQ15(res int) *Workload { return dsq15(tpcds(), res) }
+
+func dsq15(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("3D_DS_Q15", cat).
 		Relation("date_dim").Relation("catalog_sales").
 		Relation("customer").Relation("customer_address").
@@ -267,8 +289,9 @@ func DSQ15(res int) *Workload {
 // star(4), Cmax/Cmin 185).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func DSQ96(res int) *Workload {
-	cat := tpcds()
+func DSQ96(res int) *Workload { return dsq96(tpcds(), res) }
+
+func dsq96(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("3D_DS_Q96", cat).
 		Relation("store_sales").Relation("date_dim").Relation("store").Relation("item").
 		JoinPred("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk", query.PKFKSel(cat, "date_dim"), true).
@@ -286,8 +309,9 @@ func DSQ96(res int) *Workload {
 // star(5), Cmax/Cmin 283).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func DSQ7(res int) *Workload {
-	cat := tpcds()
+func DSQ7(res int) *Workload { return dsq7(tpcds(), res) }
+
+func dsq7(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("4D_DS_Q7", cat).
 		Relation("store_sales").Relation("customer_demographics").
 		Relation("date_dim").Relation("item").Relation("promotion").
@@ -307,8 +331,9 @@ func DSQ7(res int) *Workload {
 // star(5), Cmax/Cmin 341).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func DSQ26(res int) *Workload {
-	cat := tpcds()
+func DSQ26(res int) *Workload { return dsq26(tpcds(), res) }
+
+func dsq26(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("4D_DS_Q26", cat).
 		Relation("catalog_sales").Relation("customer_demographics").
 		Relation("date_dim").Relation("item").Relation("promotion").
@@ -328,8 +353,9 @@ func DSQ26(res int) *Workload {
 // Cmax/Cmin 149).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func DSQ91(res int) *Workload {
-	cat := tpcds()
+func DSQ91(res int) *Workload { return dsq91(tpcds(), res) }
+
+func dsq91(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("4D_DS_Q91", cat).
 		Relation("catalog_sales").Relation("date_dim").Relation("item").
 		Relation("customer").Relation("customer_address").
@@ -352,8 +378,9 @@ func DSQ91(res int) *Workload {
 // (Table 2: branch(6), Cmax/Cmin 183; Fig. 16's distribution subject).
 // Panics if the error-space construction fails (a malformed workload
 // definition is a programming error, not a runtime condition).
-func DSQ19(res int) *Workload {
-	cat := tpcds()
+func DSQ19(res int) *Workload { return dsq19(tpcds(), res) }
+
+func dsq19(cat *catalog.Catalog, res int) *Workload {
 	q := query.NewBuilder("5D_DS_Q19", cat).
 		Relation("store_sales").Relation("date_dim").Relation("item").
 		Relation("customer").Relation("customer_address").Relation("store").
