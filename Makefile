@@ -6,7 +6,7 @@ BIN := bin
 # headroom for run-to-run variation, not for new untested code).
 COVER_FLOOR := 78.0
 
-.PHONY: build test vet race fuzz lint fmt-check ci cover bench-compile bench-compile-smoke bench-check bench-exec bench-exec-smoke
+.PHONY: build test vet race fuzz lint lint-timing lint-budget fmt-check ci cover bench-compile bench-compile-smoke bench-check bench-exec bench-exec-smoke
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# fuzz runs the parser fuzz target for a short, CI-friendly budget. Run
-# it by hand with a longer -fuzztime to explore further.
+# fuzz runs the fuzz targets (SQL parser, CFG builder) for a short,
+# CI-friendly budget each. Run one by hand with a longer -fuzztime to
+# explore further.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+	$(GO) test -fuzz=FuzzBuild -fuzztime=30s ./internal/analysis/cfg
 
 # lint builds the repository's own analyzer suite and runs it through the
 # go vet driver. CI invokes this same target, so local and CI findings
@@ -31,6 +33,28 @@ fuzz:
 lint:
 	$(GO) build -o $(BIN)/bouquetvet ./cmd/bouquetvet
 	$(GO) vet -vettool=$(abspath $(BIN)/bouquetvet) ./...
+
+# lint-timing prints cumulative per-analyzer wall time over the repo,
+# slowest first — the data source for attributing lint-budget failures.
+lint-timing:
+	$(GO) build -o $(BIN)/bouquetvet ./cmd/bouquetvet
+	$(BIN)/bouquetvet -timing ./...
+
+# LINT_BUDGET_SECONDS is 3x the cold-cache `make lint` wall time measured
+# when the concurrency analyzers landed (~43s cold, ~2s warm). The gate
+# exists to catch pathological analyzer slowdowns (a fixpoint that stops
+# converging, an accidental quadratic walk), not routine drift; raise it
+# deliberately if the suite legitimately grows.
+LINT_BUDGET_SECONDS := 130
+
+lint-budget:
+	@start=$$(date +%s); $(MAKE) lint; end=$$(date +%s); \
+	elapsed=$$((end - start)); \
+	echo "lint wall time: $${elapsed}s (budget $(LINT_BUDGET_SECONDS)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECONDS) ]; then \
+		echo "lint exceeded its $(LINT_BUDGET_SECONDS)s budget; run 'make lint-timing' to find the analyzer that pays for it"; \
+		exit 1; \
+	fi
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

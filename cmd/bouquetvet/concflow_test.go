@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dualMode runs one scratch-module fixture through both entry modes —
+// the direct driver and the `go vet -vettool` unitchecker protocol —
+// and requires the wanted diagnostic (and a non-zero exit) from each.
+func dualMode(t *testing.T, src, want string) {
+	t.Helper()
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module vetfixture\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), src)
+
+	direct := exec.Command(bin, "./...")
+	direct.Dir = dir
+	out, err := direct.CombinedOutput()
+	if err == nil {
+		t.Fatalf("direct mode exited 0 on the fixture\n%s", out)
+	}
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("direct mode output missing %q:\n%s", want, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err = vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 on the fixture\n%s", out)
+	}
+	if !strings.Contains(string(out), want) {
+		t.Fatalf("vettool output missing %q:\n%s", want, out)
+	}
+}
+
+// TestAtomicmixDualMode: a counter bumped with sync/atomic in one
+// function and read plainly in another must be reported in both modes.
+func TestAtomicmixDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func report() int64 { return hits }
+`, "hits is accessed with sync/atomic elsewhere in this package")
+}
+
+// TestGoleakDualMode: a goroutine sending on a launcher-local channel
+// the launcher can abandon on its error path must be reported in both
+// modes.
+func TestGoleakDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+func compute() int { return 1 }
+
+func abandoned(fail bool) int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	if fail {
+		return -1
+	}
+	return <-ch
+}
+`, "goroutine sends on ch, but the launching function can return without receiving from it")
+}
+
+// TestLockheldDualMode: a channel receive while holding a mutex must be
+// reported in both modes.
+func TestLockheldDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+import "sync"
+
+type q struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (x *q) wait() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return <-x.out
+}
+`, "mu may be held across a channel receive")
+}
+
+// TestPoollifeDualMode: reading a pooled buffer after returning it to
+// the pool must be reported in both modes.
+func TestPoollifeDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func use(data []byte) int {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Write(data)
+	bufs.Put(buf)
+	return buf.Len()
+}
+`, "buf is used after being returned to the pool")
+}

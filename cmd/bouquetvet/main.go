@@ -20,19 +20,23 @@
 // with go vet's caching and output.
 //
 // Findings are suppressed by an explicit directive on or directly above
-// the offending line:
+// the offending line; the reason is mandatory (a reason-less directive
+// suppresses nothing and is itself reported as [allowformat]):
 //
-//	//bouquet:allow <analyzer>[,<analyzer>...] — reason
+//	//bouquet:allow <analyzer>[,<analyzer>...]: <reason>
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/registry"
@@ -46,6 +50,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("bouquetvet", flag.ContinueOnError)
 	versionFlag := fs.String("V", "", "print version and exit (go vet tool protocol)")
 	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet tool protocol)")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array on stdout (direct mode only)")
+	timingFlag := fs.Bool("timing", false, "print per-analyzer wall time instead of findings (direct mode only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,21 +95,93 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	findings := 0
+
+	if *timingFlag {
+		return runTiming(pkgs)
+	}
+
+	var all []analysis.Diagnostic
 	for _, p := range pkgs {
 		diags, err := analysis.RunPackage(registry.All(), p.Fset, p.Files, p.Pkg, p.Info)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		for _, d := range diags {
+		all = append(all, diags...)
+	}
+	if *jsonFlag {
+		printJSON(all)
+	} else {
+		for _, d := range all {
 			fmt.Printf("%s\n", d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "bouquetvet: %d finding(s)\n", findings)
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "bouquetvet: %d finding(s)\n", len(all))
 		return 1
 	}
+	return 0
+}
+
+// diagJSON is the machine-readable finding shape emitted by -json: one
+// object per diagnostic, stable field names, positions 1-based.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(diags []analysis.Diagnostic) {
+	out := make([]diagJSON, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, diagJSON{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	//bouquet:allow errflow: encoding a slice of plain structs to stdout cannot fail short of a broken pipe
+	_ = enc.Encode(out)
+}
+
+// runTiming runs each analyzer separately over every loaded package and
+// prints cumulative wall time per analyzer, slowest first. It is the
+// data source for the lint budget: when `make lint` drifts, the table
+// names the analyzer that paid for it.
+func runTiming(pkgs []*analysis.LoadedPackage) int {
+	totals := make(map[string]time.Duration)
+	for _, az := range registry.All() {
+		single := []*analysis.Analyzer{az}
+		for _, p := range pkgs {
+			start := time.Now()
+			if _, err := analysis.RunPackage(single, p.Fset, p.Files, p.Pkg, p.Info); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			totals[az.Name] += time.Since(start)
+		}
+	}
+	names := make([]string, 0, len(totals))
+	var total time.Duration
+	for name, d := range totals {
+		names = append(names, name)
+		total += d
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		fmt.Printf("%-12s %10.2fms\n", name, float64(totals[name].Microseconds())/1000)
+	}
+	fmt.Printf("%-12s %10.2fms (%d packages)\n", "total", float64(total.Microseconds())/1000, len(pkgs))
 	return 0
 }

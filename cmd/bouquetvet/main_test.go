@@ -80,7 +80,7 @@ func equal(x, y float64) bool {
 }
 
 func suppressed(x float64) bool {
-	return x == 0 //bouquet:allow floatcmp — sentinel
+	return x == 0 //bouquet:allow floatcmp: sentinel
 }
 `)
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")

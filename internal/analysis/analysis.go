@@ -21,12 +21,15 @@
 //
 // A finding can be acknowledged in place with a directive comment
 //
-//	//bouquet:allow <name>[,<name>...] [— reason]
+//	//bouquet:allow <name>[,<name>...]: <reason>
 //
 // placed on the same line as the flagged expression or on the line
 // immediately above it. Suppressions are deliberate, reviewable markers:
 // the invariant still holds, the directive records why this site is an
-// exception.
+// exception. The reason is mandatory — a directive without ": <reason>"
+// suppresses nothing and is itself reported (analyzer name
+// "allowformat"), so an unexplained exception cannot slip through
+// review.
 package analysis
 
 import (
@@ -123,9 +126,26 @@ func (ai allowIndex) covers(analyzer string, pos token.Position) bool {
 
 const allowPrefix = "//bouquet:allow"
 
-// buildAllowIndex scans every comment in files for suppression directives.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+// AllowFormatName is the analyzer name under which malformed
+// //bouquet:allow directives are reported. It is a framework check, not
+// a registry analyzer: the suppression parser itself enforces that every
+// directive names its analyzers and states a reason.
+const AllowFormatName = "allowformat"
+
+// buildAllowIndex scans every comment in files for suppression
+// directives. Well-formed directives — //bouquet:allow <name>[,...]:
+// <reason> with a non-empty reason — populate the index; malformed ones
+// suppress nothing and come back as diagnostics.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
 	ai := allowIndex{}
+	var malformed []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		malformed = append(malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: AllowFormatName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -133,21 +153,32 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				if !ok {
 					continue
 				}
-				rest = strings.TrimSpace(rest)
-				// Directive form: names[,names] [freeform reason].
-				names, _, _ := strings.Cut(rest, " ")
 				pos := fset.Position(c.Pos())
+				names, reason, found := strings.Cut(rest, ":")
+				if !found {
+					report(pos, "//bouquet:allow directive is missing its reason; write //bouquet:allow <analyzer>: <reason>")
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					report(pos, "//bouquet:allow directive has an empty reason; state why this site is an exception")
+					continue
+				}
+				any := false
 				for _, name := range strings.Split(names, ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
+					any = true
 					ai[allowKey{name, pos.Filename, pos.Line}] = true
+				}
+				if !any {
+					report(pos, "//bouquet:allow directive names no analyzer; write //bouquet:allow <analyzer>: <reason>")
 				}
 			}
 		}
 	}
-	return ai
+	return ai, malformed
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers consult
@@ -167,8 +198,7 @@ func NewTypesInfo() *types.Info {
 // RunPackage applies each analyzer to one type-checked package and returns
 // the surviving (non-suppressed) diagnostics sorted by position.
 func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	allow := buildAllowIndex(fset, files)
+	allow, diags := buildAllowIndex(fset, files)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,

@@ -1,0 +1,205 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// build parses and type-checks src as one package and returns its graph.
+func build(t *testing.T, src string) (*Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("a", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New([]*ast.File{f}, info, pkg), info
+}
+
+// nodeByName finds a declared function node.
+func nodeByName(t *testing.T, g *Graph, suffix string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Func != nil && strings.HasSuffix(n.Name(), suffix) {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q; have %v", suffix, names(g))
+	return nil
+}
+
+func names(g *Graph) []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+func calleeNames(n *Node) []string {
+	var out []string
+	for _, e := range n.Calls {
+		out = append(out, e.Callee.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestStaticAndMethodEdges(t *testing.T) {
+	g, _ := build(t, `package a
+
+type T struct{}
+
+func (T) M() { helper() }
+
+func helper() {}
+
+func top() {
+	var t T
+	t.M()
+	helper()
+}
+`)
+	top := nodeByName(t, g, "a.top")
+	got := calleeNames(top)
+	want := []string{"(a.T).M", "a.helper"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("top calls %v, want %v", got, want)
+	}
+	m := nodeByName(t, g, "(a.T).M")
+	if got := calleeNames(m); len(got) != 1 || got[0] != "a.helper" {
+		t.Fatalf("M calls %v, want [a.helper]", got)
+	}
+}
+
+func TestInterfaceDispatchCHA(t *testing.T) {
+	g, _ := build(t, `package a
+
+type runner interface{ Run() }
+
+type fast struct{}
+type slow struct{}
+
+func (fast) Run()  {}
+func (*slow) Run() {}
+
+func drive(r runner) { r.Run() }
+`)
+	drive := nodeByName(t, g, "a.drive")
+	got := calleeNames(drive)
+	if len(got) != 2 {
+		t.Fatalf("CHA dispatch resolved %v, want both fast.Run and slow.Run", got)
+	}
+	for _, e := range drive.Calls {
+		if !e.Dynamic {
+			t.Fatalf("interface edge to %s not marked Dynamic", e.Callee.Name())
+		}
+	}
+}
+
+func TestLiteralNodesAndGoLaunches(t *testing.T) {
+	g, info := build(t, `package a
+
+func launch() {
+	go func() {
+		inner()
+	}()
+	func() { inner() }() // immediately invoked: synchronous edge
+}
+
+func inner() {}
+`)
+	launch := nodeByName(t, g, "a.launch")
+	if len(launch.GoLaunches) != 1 {
+		t.Fatalf("GoLaunches = %d, want 1", len(launch.GoLaunches))
+	}
+	// The go-launched literal must NOT be a synchronous call edge; the
+	// immediately-invoked one must be.
+	if len(launch.Calls) != 1 {
+		t.Fatalf("launch has %d synchronous call edges (%v), want 1 (the IIFE)", len(launch.Calls), calleeNames(launch))
+	}
+	launched := g.Launched(launch.GoLaunches[0], info)
+	if launched == nil || launched.Lit == nil {
+		t.Fatalf("Launched did not resolve the goroutine literal")
+	}
+	if got := calleeNames(launched); len(got) != 1 || got[0] != "a.inner" {
+		t.Fatalf("goroutine body calls %v, want [a.inner]", got)
+	}
+	if launched.Parent != launch {
+		t.Fatalf("literal's Parent = %v, want launch", launched.Parent)
+	}
+}
+
+func TestUnresolvedAndExternal(t *testing.T) {
+	g, _ := build(t, `package a
+
+import "strings"
+
+func opaque(f func()) {
+	f()                      // function value: unresolved
+	strings.TrimSpace("x")   // other package: external
+}
+`)
+	n := nodeByName(t, g, "a.opaque")
+	if len(n.Unresolved) != 1 {
+		t.Fatalf("Unresolved = %d, want 1", len(n.Unresolved))
+	}
+	if len(n.External) != 1 || n.External[0].Callee.Name() != "TrimSpace" {
+		t.Fatalf("External = %v, want [TrimSpace]", n.External)
+	}
+	if len(n.Calls) != 0 {
+		t.Fatalf("unexpected internal edges %v", calleeNames(n))
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	src := `package a
+
+func c() { a(); b() }
+func a() {}
+func b() { a() }
+`
+	g1, _ := build(t, src)
+	g2, _ := build(t, src)
+	n1, n2 := names(g1), names(g2)
+	if strings.Join(n1, ",") != strings.Join(n2, ",") {
+		t.Fatalf("node order differs: %v vs %v", n1, n2)
+	}
+	if !sort.SliceIsSorted(g1.Nodes(), func(i, j int) bool {
+		return g1.Nodes()[i].Pos() < g1.Nodes()[j].Pos()
+	}) {
+		t.Fatalf("nodes not sorted by position: %v", n1)
+	}
+}
+
+func TestGoNamedFunctionNotSynchronousEdge(t *testing.T) {
+	g, info := build(t, `package a
+
+func launch() { go worker() }
+func worker() {}
+`)
+	launch := nodeByName(t, g, "a.launch")
+	if len(launch.Calls) != 0 {
+		t.Fatalf("go worker() became a synchronous edge: %v", calleeNames(launch))
+	}
+	if n := g.Launched(launch.GoLaunches[0], info); n == nil || n.Func == nil || n.Func.Name() != "worker" {
+		t.Fatalf("Launched(go worker()) = %v, want worker", n)
+	}
+}

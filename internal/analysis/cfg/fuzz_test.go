@@ -1,0 +1,205 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzBuild throws arbitrary Go source at the CFG builder. Any function
+// body that parses must yield a structurally sound graph: no panics, a
+// well-formed Entry/Exit pair, bidirectionally consistent edges, Index
+// agreeing with position, and a reverse postorder that visits each
+// reachable block exactly once. The builder underpins every dataflow
+// analyzer in bouquetvet, so "weird but parseable control flow" (dead
+// code after return, labeled breaks out of selects, goto into a loop)
+// must never take the lint gate down.
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		`package p
+func f(x int) int {
+	if x > 0 {
+		return x
+	}
+	return -x
+}`,
+		`package p
+func f(xs []int) int {
+	n := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, v := range xs {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue
+			}
+			n += v
+		}
+	}
+	return n
+}`,
+		`package p
+func f(ch chan int, quit chan struct{}) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-quit:
+			return
+		default:
+		}
+	}
+}`,
+		`package p
+func f(x int) string {
+	switch x {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	default:
+		panic("big")
+	}
+}`,
+		`package p
+func f() {
+	defer cleanup()
+	defer func() { recover() }()
+	goto end
+	println("dead")
+end:
+}`,
+		`package p
+func f() {}`,
+		`package p
+func f(x any) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	}
+	return 0
+}`,
+		`package p
+func f() {
+	for {
+	}
+}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			checkGraph(t, New(body))
+			return true
+		})
+	})
+}
+
+// checkGraph asserts the structural invariants every client of the CFG
+// relies on.
+func checkGraph(t *testing.T, g *Graph) {
+	t.Helper()
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("graph missing entry or exit block")
+	}
+	if len(g.Blocks) == 0 || g.Blocks[0] != g.Entry {
+		t.Fatal("Entry is not Blocks[0]")
+	}
+	inGraph := make(map[*Block]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Fatalf("block %s has Index %d at position %d", b, b.Index, i)
+		}
+		inGraph[b] = true
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !inGraph[s] {
+				t.Fatalf("successor of %s is not in Blocks", b)
+			}
+			if !containsBlock(s.Preds, b) {
+				t.Fatalf("edge %s -> %s missing from Preds", b, s)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inGraph[p] {
+				t.Fatalf("predecessor of %s is not in Blocks", b)
+			}
+			if !containsBlock(p.Succs, b) {
+				t.Fatalf("edge %s -> %s missing from Succs", p, b)
+			}
+		}
+		if b.Cond != nil && len(b.Succs) < 2 {
+			t.Fatalf("conditional block %s has %d successor(s)", b, len(b.Succs))
+		}
+		// Accessors must agree with the edge layout and never panic.
+		if ts := b.TrueSucc(); ts != nil && ts != b.Succs[0] {
+			t.Fatalf("TrueSucc of %s disagrees with Succs[0]", b)
+		}
+		if fs := b.FalseSucc(); fs != nil && fs != b.Succs[1] {
+			t.Fatalf("FalseSucc of %s disagrees with Succs[1]", b)
+		}
+	}
+	rpo := g.ReversePostorder()
+	seen := make(map[*Block]bool, len(rpo))
+	for _, b := range rpo {
+		if !inGraph[b] {
+			t.Fatalf("reverse postorder emitted foreign block %s", b)
+		}
+		if seen[b] {
+			t.Fatalf("reverse postorder visits %s twice", b)
+		}
+		seen[b] = true
+	}
+	if len(rpo) > 0 && rpo[0] != g.Entry {
+		t.Fatalf("reverse postorder does not start at entry (got %s)", rpo[0])
+	}
+	// Every block reachable from Entry must be visited by the RPO.
+	reachable := map[*Block]bool{}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[b] {
+			continue
+		}
+		reachable[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	for b := range reachable {
+		if !seen[b] {
+			t.Fatalf("reachable block %s missing from reverse postorder", b)
+		}
+	}
+}
+
+func containsBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

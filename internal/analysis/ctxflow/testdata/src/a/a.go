@@ -37,5 +37,5 @@ func noContextHeld(s *Store) {
 }
 
 func suppressed(ctx context.Context, s *Store) {
-	_ = s.Get("k") //bouquet:allow ctxflow — metrics write must complete even after cancellation
+	_ = s.Get("k") //bouquet:allow ctxflow: metrics write must complete even after cancellation
 }

@@ -1,0 +1,71 @@
+package dataflow
+
+import (
+	"repro/internal/analysis/callgraph"
+)
+
+// This file is the interprocedural summary mode: where Forward runs one
+// function's facts to a fixpoint over its CFG, Summaries runs one fact
+// per *function* to a fixpoint over the package call graph, so flow
+// analyses can see through calls. A summary is whatever Fact the
+// analyzer chooses — "may this function block", "does it Put its pooled
+// argument", "which parameters reach atomic operations" — computed
+// bottom-up with callee summaries visible.
+//
+// The same lattice contract as Forward applies: Bottom is the initial
+// assumption for every function (and the permanent answer for bodies the
+// graph cannot see), Join folds multiple sources, and the summarizer
+// must be monotone in the callee summaries it reads, or the fixpoint may
+// not terminate. Recursion (cycles in the call graph) is handled by
+// iteration: in-cycle callees are read at their previous-round value,
+// starting from Bottom, until a full pass changes nothing.
+
+// A Summarizer computes one function's summary. callee reads the current
+// summary of any call-graph node (Bottom for nil nodes, so analyzers can
+// pass unresolved targets without checking).
+type Summarizer func(n *callgraph.Node, callee func(*callgraph.Node) Fact) Fact
+
+// Summaries computes the fixpoint summary of every node in g. Nodes are
+// processed in the graph's deterministic position order, so diagnostics
+// derived from summaries are stable across runs.
+func Summaries(g *callgraph.Graph, lat Lattice, f Summarizer) map[*callgraph.Node]Fact {
+	nodes := g.Nodes()
+	out := make(map[*callgraph.Node]Fact, len(nodes))
+	for _, n := range nodes {
+		out[n] = lat.Bottom()
+	}
+	read := func(n *callgraph.Node) Fact {
+		if n == nil {
+			return lat.Bottom()
+		}
+		return out[n]
+	}
+	// Chaotic iteration to fixpoint. Passes are bounded by the lattice
+	// height times the longest call chain; the guard caps pathological
+	// (non-monotone) summarizers rather than looping forever.
+	const maxPasses = 64
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, n := range nodes {
+			next := f(n, read)
+			if !lat.Equal(next, out[n]) {
+				out[n] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return out
+		}
+	}
+	return out
+}
+
+// BoolLattice is the two-point lattice {false ⊑ true} used by predicate
+// summaries ("may block", "may escape"): Bottom is false, Join is OR.
+type BoolLattice struct{}
+
+func (BoolLattice) Bottom() Fact { return false }
+func (BoolLattice) Join(x, y Fact) Fact {
+	return x.(bool) || y.(bool)
+}
+func (BoolLattice) Equal(x, y Fact) bool { return x.(bool) == y.(bool) }

@@ -1,0 +1,132 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+)
+
+func buildCG(t *testing.T, src string) (*callgraph.Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("a", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return callgraph.New([]*ast.File{f}, info, pkg), info
+}
+
+// blocksSummarizer marks a function as blocking when its own body
+// contains a channel receive, or when any callee's summary is blocking —
+// the lockheld analyzer's core summary, reduced for the test.
+func blocksSummarizer(g *callgraph.Graph) Summarizer {
+	return func(n *callgraph.Node, callee func(*callgraph.Node) Fact) Fact {
+		blocks := false
+		n.Inspect(func(m ast.Node) bool {
+			if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				blocks = true
+			}
+			return true
+		})
+		for _, e := range n.Calls {
+			if callee(e.Callee).(bool) {
+				blocks = true
+			}
+		}
+		return blocks
+	}
+}
+
+func summaryByName(t *testing.T, g *callgraph.Graph, sums map[*callgraph.Node]Fact, suffix string) bool {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Func != nil && strings.HasSuffix(n.Name(), suffix) {
+			return sums[n].(bool)
+		}
+	}
+	t.Fatalf("no node %q", suffix)
+	return false
+}
+
+func TestSummariesPropagateThroughCalls(t *testing.T) {
+	g, _ := buildCG(t, `package a
+
+func recv(ch chan int) int { return <-ch }
+
+func middle(ch chan int) int { return recv(ch) }
+
+func top(ch chan int) int { return middle(ch) }
+
+func pure() int { return 42 }
+
+func alsoPure() int { return pure() }
+`)
+	sums := Summaries(g, BoolLattice{}, blocksSummarizer(g))
+	for name, want := range map[string]bool{
+		"a.recv": true, "a.middle": true, "a.top": true,
+		"a.pure": false, "a.alsoPure": false,
+	} {
+		if got := summaryByName(t, g, sums, name); got != want {
+			t.Errorf("summary(%s) = %t, want %t", name, got, want)
+		}
+	}
+}
+
+func TestSummariesHandleRecursion(t *testing.T) {
+	g, _ := buildCG(t, `package a
+
+func ping(ch chan int, n int) {
+	if n == 0 {
+		<-ch
+		return
+	}
+	pong(ch, n-1)
+}
+
+func pong(ch chan int, n int) { ping(ch, n) }
+
+func loopPure(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return loopPure(n - 1)
+}
+`)
+	sums := Summaries(g, BoolLattice{}, blocksSummarizer(g))
+	if !summaryByName(t, g, sums, "a.ping") || !summaryByName(t, g, sums, "a.pong") {
+		t.Errorf("mutual recursion through a blocking base case must summarize as blocking")
+	}
+	if summaryByName(t, g, sums, "a.loopPure") {
+		t.Errorf("pure self-recursion must stay non-blocking")
+	}
+}
+
+func TestSummariesGoroutineBodiesDoNotLeakIntoLauncher(t *testing.T) {
+	g, _ := buildCG(t, `package a
+
+func launch(ch chan int) {
+	go func() { <-ch }()
+}
+`)
+	sums := Summaries(g, BoolLattice{}, blocksSummarizer(g))
+	if summaryByName(t, g, sums, "a.launch") {
+		t.Errorf("a go-launched literal's blocking must not mark the launcher as blocking")
+	}
+}

@@ -41,8 +41,8 @@ func deferred() error {
 }
 
 func suppressed() int {
-	v, _ := mayFail() //bouquet:allow errflow — probe call, failure means "absent" which is fine here
-	//bouquet:allow errflow — best-effort cache warm, errors intentionally dropped
+	v, _ := mayFail() //bouquet:allow errflow: probe call, failure means "absent" which is fine here
+	//bouquet:allow errflow: best-effort cache warm, errors intentionally dropped
 	justErr()
 	return v
 }

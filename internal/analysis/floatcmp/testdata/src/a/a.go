@@ -20,9 +20,9 @@ func mixed(f float32, n int) bool {
 }
 
 func suppressed(ratio float64) bool {
-	if ratio == 0 { //bouquet:allow floatcmp — zero is the unset sentinel, exactness intended
+	if ratio == 0 { //bouquet:allow floatcmp: zero is the unset sentinel, exactness intended
 		return true
 	}
-	//bouquet:allow floatcmp — the directive on the line above also covers this compare
+	//bouquet:allow floatcmp: the directive on the line above also covers this compare
 	return ratio == 1
 }

@@ -1,0 +1,541 @@
+// Package goleak checks that every goroutine the package launches has a
+// reachable termination path.
+//
+// The runtime's goroutines are few and deliberate: morsel workers that
+// drain an atomic cursor and signal a WaitGroup, a compile goroutine the
+// server abandons on deadline, a listener goroutine the daemon joins
+// during drain. Each is correct for a stated reason, and each reason is
+// checkable:
+//
+//   - a goroutine that signals a sync.WaitGroup (directly, deferred, or
+//     through an in-package callee) terminates when its work does — the
+//     Wait side owns the join;
+//   - an infinite `for` loop inside a goroutine must contain a way out:
+//     a return, a break, a channel operation, a select, or a call to an
+//     in-package function that blocks on one — otherwise the goroutine
+//     runs forever and is reported;
+//   - a goroutine that sends on a channel created by the launching
+//     function is checked against the launcher's CFG: if some path from
+//     the `go` statement reaches the function's exit without receiving
+//     from that channel, the send can block forever — or, with a buffer,
+//     the result is silently dropped. Both deserve either a receive on
+//     every path or an annotation documenting the abandonment contract
+//     (typically a one-slot buffer plus a context race, as in the
+//     server's compile handler).
+//
+// Call-graph summaries make the receive/Done checks interprocedural:
+// a goroutine body that delegates its blocking to a helper in the same
+// package is recognized.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer implements the goleak invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "report goroutines with no reachable termination path and sends the launcher can abandon",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	files := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if !pass.InTestFile(f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	g := callgraph.New(files, pass.TypesInfo, pass.Pkg)
+	a := &analyzer{pass: pass, graph: g}
+
+	// Interprocedural summaries: does a function (transitively through
+	// in-package synchronous calls) signal a WaitGroup, and may it block
+	// on channel communication?
+	a.doneSummary = dataflow.Summaries(g, dataflow.BoolLattice{}, a.summarize(a.hasWGDone))
+	a.recvSummary = dataflow.Summaries(g, dataflow.BoolLattice{}, a.summarize(a.hasReceive))
+
+	for _, n := range g.Nodes() {
+		for _, gs := range n.GoLaunches {
+			a.checkLaunch(n, gs)
+		}
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+
+	doneSummary map[*callgraph.Node]dataflow.Fact
+	recvSummary map[*callgraph.Node]dataflow.Fact
+}
+
+// summarize lifts a direct syntactic predicate into a call-graph
+// summary: true when the node's own body satisfies it or any synchronous
+// in-package callee's summary does.
+func (a *analyzer) summarize(direct func(n *callgraph.Node) bool) dataflow.Summarizer {
+	return func(n *callgraph.Node, callee func(*callgraph.Node) dataflow.Fact) dataflow.Fact {
+		if direct(n) {
+			return true
+		}
+		for _, e := range n.Calls {
+			if callee(e.Callee).(bool) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// hasWGDone reports a direct wg.Done() call on a sync.WaitGroup in n's
+// own statements.
+func (a *analyzer) hasWGDone(n *callgraph.Node) bool {
+	found := false
+	n.Inspect(func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && a.isWaitGroupDone(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasReceive reports direct channel communication in n's own statements:
+// a receive expression, a select, or a range over a channel.
+func (a *analyzer) hasReceive(n *callgraph.Node) bool {
+	found := false
+	n.Inspect(func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if a.isChanType(m.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLaunch applies the goroutine rules to one `go` statement of
+// parent.
+func (a *analyzer) checkLaunch(parent *callgraph.Node, gs *ast.GoStmt) {
+	launched := a.graph.Launched(gs, a.pass.TypesInfo)
+	if launched == nil || launched.Body == nil {
+		return // external or dynamic target: no body to judge
+	}
+	if a.doneSummary[launched].(bool) {
+		return // WaitGroup-joined worker: the Wait side owns termination
+	}
+	a.checkInfiniteLoops(launched)
+	a.checkAbandonedSends(parent, gs, launched)
+}
+
+// checkInfiniteLoops reports `for {}` loops in the launched body with no
+// way out.
+func (a *analyzer) checkInfiniteLoops(launched *callgraph.Node) {
+	launched.Inspect(func(m ast.Node) bool {
+		loop, ok := m.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if a.loopHasExit(launched, loop) {
+			return true
+		}
+		a.pass.Reportf(loop.Pos(), "goroutine loops forever with no termination signal: no return, break, channel operation, or blocking callee in the loop body")
+		return true
+	})
+}
+
+// loopHasExit reports whether an infinite loop's body contains a way
+// out: a return, a break targeting this loop, channel communication, a
+// call into an in-package function that blocks on a channel, or a call
+// that terminates the goroutine outright. Breaks swallowed by nested
+// loops, switches, and selects do not count; labeled branches do (they
+// target an enclosing statement).
+func (a *analyzer) loopHasExit(owner *callgraph.Node, loop *ast.ForStmt) bool {
+	exit := false
+	var scan func(stmts []ast.Stmt, swallowed bool)
+	var scanStmt func(s ast.Stmt, swallowed bool)
+	scanExpr := func(e ast.Expr) {
+		if e == nil || exit {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // runs on its own schedule
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					exit = true
+				}
+			case *ast.CallExpr:
+				for _, callee := range a.graph.Callees(owner, n) {
+					if a.recvSummary[callee].(bool) {
+						exit = true
+					}
+				}
+				if a.isRuntimeExit(n) {
+					exit = true
+				}
+			}
+			return !exit
+		})
+	}
+	scanStmt = func(s ast.Stmt, swallowed bool) {
+		if exit || s == nil {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if s.Tok == token.GOTO || (s.Tok == token.BREAK && (s.Label != nil || !swallowed)) {
+				exit = true
+			}
+		case *ast.SelectStmt:
+			exit = true
+		case *ast.SendStmt:
+			exit = true
+		case *ast.RangeStmt:
+			if a.isChanType(s.X) {
+				exit = true
+				return
+			}
+			scanExpr(s.X)
+			scan(s.Body.List, true)
+		case *ast.ForStmt:
+			scanStmt(s.Init, swallowed)
+			scanExpr(s.Cond)
+			scan(s.Body.List, true)
+		case *ast.SwitchStmt:
+			scanStmt(s.Init, swallowed)
+			scanExpr(s.Tag)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scan(cc.Body, true)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scan(cc.Body, true)
+				}
+			}
+		case *ast.IfStmt:
+			scanStmt(s.Init, swallowed)
+			scanExpr(s.Cond)
+			scan(s.Body.List, swallowed)
+			scanStmt(s.Else, swallowed)
+		case *ast.BlockStmt:
+			scan(s.List, swallowed)
+		case *ast.LabeledStmt:
+			scanStmt(s.Stmt, swallowed)
+		case *ast.ExprStmt:
+			scanExpr(s.X)
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				scanExpr(e)
+			}
+			for _, e := range s.Lhs {
+				scanExpr(e)
+			}
+		case *ast.IncDecStmt:
+			scanExpr(s.X)
+		case *ast.DeferStmt:
+			scanExpr(s.Call)
+		case *ast.GoStmt:
+			// The launched body is its own goroutine's problem.
+		case *ast.DeclStmt:
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					scanExpr(e)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	scan = func(stmts []ast.Stmt, swallowed bool) {
+		for _, s := range stmts {
+			if exit {
+				return
+			}
+			scanStmt(s, swallowed)
+		}
+	}
+	scan(loop.Body.List, false)
+	return exit
+}
+
+// checkAbandonedSends reports sends in the goroutine on channels local
+// to the launcher that some launcher path never receives from.
+func (a *analyzer) checkAbandonedSends(parent *callgraph.Node, gs *ast.GoStmt, launched *callgraph.Node) {
+	if parent.Body == nil {
+		return
+	}
+	locals := a.localChans(parent)
+	if len(locals) == 0 {
+		return
+	}
+	sent := a.sentParentChans(gs, launched, locals)
+	if len(sent) == 0 {
+		return
+	}
+	g := cfg.New(parent.Body)
+	for _, ch := range sent {
+		if a.parentMayAbandon(g, gs, ch) {
+			a.pass.Reportf(gs.Pos(), "goroutine sends on %s, but the launching function can return without receiving from it; the send blocks forever (or an unread buffer swallows the result) — receive on every path or annotate the abandonment contract", ch.Name())
+		}
+	}
+}
+
+// localChans collects channels the parent creates with make.
+func (a *analyzer) localChans(parent *callgraph.Node) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if fid, ok := call.Fun.(*ast.Ident); !ok || fid.Name != "make" {
+			return
+		}
+		tv, ok := a.pass.TypesInfo.Types[call]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if v, ok := a.pass.TypesInfo.Defs[id].(*types.Var); ok {
+			out[v] = true
+		} else if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	parent.Inspect(func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != len(m.Rhs) {
+				return true
+			}
+			for i, lhs := range m.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					record(id, m.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(m.Names) != len(m.Values) {
+				return true
+			}
+			for i, id := range m.Names {
+				record(id, m.Values[i])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sentParentChans resolves the goroutine's sends back to parent-local
+// channel variables: captured directly by a literal, or passed as an
+// argument to a named function.
+func (a *analyzer) sentParentChans(gs *ast.GoStmt, launched *callgraph.Node, locals map[*types.Var]bool) []*types.Var {
+	// For named launches, map parameters back to `go f(args)` arguments.
+	paramArg := map[*types.Var]*types.Var{}
+	if launched.Func != nil {
+		if sig, ok := launched.Func.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len() && i < len(gs.Call.Args); i++ {
+				argID, ok := ast.Unparen(gs.Call.Args[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if av, ok := a.pass.TypesInfo.Uses[argID].(*types.Var); ok {
+					paramArg[sig.Params().At(i)] = av
+				}
+			}
+		}
+	}
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	launched.Inspect(func(m ast.Node) bool {
+		send, ok := m.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(send.Chan).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if mapped, ok := paramArg[v]; ok {
+			v = mapped
+		}
+		if locals[v] && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// parentMayAbandon reports whether some path from the go statement to
+// the launcher's exit never receives from ch. Receives in deferred calls
+// cover every path.
+func (a *analyzer) parentMayAbandon(g *cfg.Graph, gs *ast.GoStmt, ch *types.Var) bool {
+	for _, d := range g.Defers {
+		if a.stmtReceivesFrom(d, ch, true) {
+			return false
+		}
+	}
+	// Locate the go statement's block.
+	var start *cfg.Block
+	startIdx := -1
+	for _, b := range g.Blocks {
+		for i, s := range b.Nodes {
+			if s == ast.Stmt(gs) {
+				start, startIdx = b, i
+				break
+			}
+		}
+		if start != nil {
+			break
+		}
+	}
+	if start == nil {
+		return false // unreachable code; nothing to report
+	}
+	// The remainder of the launch block may receive.
+	for _, s := range start.Nodes[startIdx+1:] {
+		if a.stmtReceivesFrom(s, ch, false) {
+			return false
+		}
+	}
+	// BFS: a path that reaches the exit without passing a receiving
+	// block is an abandonment.
+	visited := map[*cfg.Block]bool{start: true}
+	queue := append([]*cfg.Block(nil), start.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		received := false
+		for _, s := range b.Nodes {
+			if a.stmtReceivesFrom(s, ch, false) {
+				received = true
+				break
+			}
+		}
+		if received {
+			continue // this path is satisfied; don't expand it
+		}
+		if b == g.Exit || len(b.Succs) == 0 {
+			return true
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return false
+}
+
+// stmtReceivesFrom reports whether s receives from ch: a <-ch unary or
+// a range over ch. Function literal bodies are skipped unless inDefer
+// (a deferred closure runs before the function returns).
+func (a *analyzer) stmtReceivesFrom(s ast.Stmt, ch *types.Var, inDefer bool) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return inDefer
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && a.exprIsVar(n.X, ch) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if a.exprIsVar(n.X, ch) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprIsVar reports whether e is an identifier bound to v.
+func (a *analyzer) exprIsVar(e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	u, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+	return ok && u == v
+}
+
+// isWaitGroupDone reports a call to (*sync.WaitGroup).Done.
+func (a *analyzer) isWaitGroupDone(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}
+
+// isRuntimeExit reports calls that terminate the goroutine or process.
+func (a *analyzer) isRuntimeExit(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := a.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "runtime.Goexit", "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// isChanType reports whether e's type is a channel.
+func (a *analyzer) isChanType(e ast.Expr) bool {
+	tv, ok := a.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

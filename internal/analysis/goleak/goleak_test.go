@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,198 @@
+// Package a is the goleak fixture: goroutine termination paths. The
+// positive patterns mirror the server's compile handler (a result sent
+// on a local channel the launcher can abandon on deadline) and an
+// unstoppable spinner; the clean section covers the runtime's worker
+// idioms — WaitGroup joins, range-over-channel drains, stop flags, and
+// always-received results.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var sink int
+
+func compute() int { return 42 }
+
+func step() { sink++ }
+
+// --- abandoned sends ---
+
+// The launcher can return before receiving: the unbuffered send blocks
+// the goroutine forever.
+func abandonedSend(fail bool) int {
+	ch := make(chan int)
+	go func() { // want `goroutine sends on ch, but the launching function can return without receiving from it`
+		ch <- compute()
+	}()
+	if fail {
+		return -1
+	}
+	return <-ch
+}
+
+// The server-handler shape: a one-slot buffer and a deadline race. The
+// done arm abandons the channel, so the result can be silently dropped.
+func deadlineRace(done chan struct{}) int {
+	ch := make(chan int, 1)
+	go func() { // want `goroutine sends on ch, but the launching function can return without receiving from it`
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return -1
+	}
+}
+
+// A named launch: the channel flows through the parameter, and the
+// error path returns without draining it.
+func produce(out chan int) {
+	out <- compute()
+}
+
+func namedAbandon(fail bool) int {
+	ch := make(chan int)
+	go produce(ch) // want `goroutine sends on ch, but the launching function can return without receiving from it`
+	if fail {
+		return 0
+	}
+	return <-ch
+}
+
+// --- unstoppable loops ---
+
+func spinner() {
+	go func() {
+		for { // want `goroutine loops forever with no termination signal`
+			step()
+		}
+	}()
+}
+
+// --- clean: WaitGroup-joined workers ---
+
+func joinedWorkers(parts []int) int {
+	var wg sync.WaitGroup
+	total := make([]int, len(parts))
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total[i] = parts[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	for _, v := range total {
+		n += v
+	}
+	return n
+}
+
+// The Done call may live in a named helper; the call-graph summary
+// carries it back to the launch.
+func drainInto(wg *sync.WaitGroup, work chan int) {
+	defer wg.Done()
+	for v := range work {
+		sink += v
+	}
+}
+
+func helperJoined(work chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drainInto(&wg, work)
+	close(work)
+	wg.Wait()
+}
+
+// --- clean: loops with termination signals ---
+
+func stopFlagWorker(stop *atomic.Bool) {
+	go func() {
+		for !stop.Load() {
+			step()
+		}
+	}()
+}
+
+func checkedLoop(stop *atomic.Bool) {
+	go func() {
+		for {
+			if stop.Load() {
+				return
+			}
+			step()
+		}
+	}()
+}
+
+func selectLoop(quit chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				sink += v
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// --- clean: sends the launcher always receives ---
+
+func alwaysReceived() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+func receivedOnEveryBranch(double bool) int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	if double {
+		return 2 * <-ch
+	}
+	return <-ch
+}
+
+func deferredDrain() (n int) {
+	ch := make(chan int, 1)
+	defer func() { n = <-ch }()
+	go func() {
+		ch <- compute()
+	}()
+	step()
+	return
+}
+
+// A straight-line goroutine body terminates on its own.
+func fireAndForget() {
+	go func() {
+		step()
+	}()
+}
+
+// --- suppressed: documented abandonment contract ---
+
+func timedCompute(done chan struct{}) int {
+	ch := make(chan int, 1)
+	//bouquet:allow goleak: the one-slot buffer lets the send complete; dropping the result on timeout is the contract
+	go func() {
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return -1
+	}
+}

@@ -120,5 +120,5 @@ func compoundAndNoRefine(v float64) float64 {
 // suppressed: +Inf budget arithmetic can be intentional (Inf stays Inf).
 func suppressed() float64 {
 	budget := math.Inf(1)
-	return budget * 2 //bouquet:allow infguard — scaling an infinite budget is still infinite, intended
+	return budget * 2 //bouquet:allow infguard: scaling an infinite budget is still infinite, intended
 }

@@ -1,0 +1,467 @@
+// Package lockheld checks that no mutex is held across an operation
+// that can block indefinitely.
+//
+// The server and runtime use short critical sections by design: the
+// query cache unlocks before waiting on an in-flight computation, the
+// metrics registry only appends under its lock, the vector runtime's
+// collect mutex exists precisely to serialize a callback. lockheld
+// verifies the design flow-sensitively: a forward dataflow over each
+// function's CFG tracks the set of mutexes that may be held before
+// every statement, so an Unlock on one branch is distinguished from a
+// lock held straight through — the cache's unlock-then-wait pattern
+// analyzes clean without annotation.
+//
+// While any lock may be held, the analyzer reports:
+//
+//   - channel sends, receives, ranges over channels, and select
+//     statements without a default clause;
+//   - (*sync.WaitGroup).Wait and time.Sleep — (*sync.Cond).Wait is
+//     exempt, since it requires the lock by contract;
+//   - calls to in-package functions whose call-graph summary says they
+//     may block on one of the above (computed interprocedurally over
+//     the package call graph);
+//   - calls through function values, which the call graph cannot
+//     resolve — the callee is opaque, so holding a lock across it is a
+//     policy that deserves an annotation (the concrete-plan cache
+//     deliberately builds engines under its lock to suppress
+//     thundering herds, and says so).
+//
+// Calls into other packages are trusted not to block; flagging every
+// fmt.Fprintf would bury the real findings.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer implements the lockheld invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "report blocking operations performed while a mutex may be held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	files := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if !pass.InTestFile(f.Pos()) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	g := callgraph.New(files, pass.TypesInfo, pass.Pkg)
+	a := &analyzer{pass: pass, graph: g}
+
+	// Interprocedural may-block summaries: a function may block when its
+	// own body has a blocking operation or any synchronous in-package
+	// callee may.
+	a.blockSummary = dataflow.Summaries(g, dataflow.BoolLattice{}, func(n *callgraph.Node, callee func(*callgraph.Node) dataflow.Fact) dataflow.Fact {
+		if a.bodyMayBlock(n) {
+			return true
+		}
+		for _, e := range n.Calls {
+			if callee(e.Callee).(bool) {
+				return true
+			}
+		}
+		return false
+	})
+
+	for _, n := range g.Nodes() {
+		a.checkNode(n)
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass         *analysis.Pass
+	graph        *callgraph.Graph
+	blockSummary map[*callgraph.Node]dataflow.Fact
+}
+
+// lockFact is the set of mutex variables that may be held. nil is
+// bottom (block not yet reached).
+type lockFact map[*types.Var]bool
+
+type lockLattice struct{}
+
+func (lockLattice) Bottom() dataflow.Fact { return lockFact(nil) }
+
+// Join is set union: "may be held" on either path means may be held.
+func (lockLattice) Join(x, y dataflow.Fact) dataflow.Fact {
+	xf, yf := x.(lockFact), y.(lockFact)
+	if xf == nil {
+		return yf
+	}
+	if yf == nil {
+		return xf
+	}
+	merged := xf
+	copied := false
+	for v := range yf {
+		if !merged[v] {
+			if !copied {
+				m := make(lockFact, len(xf)+len(yf))
+				for k := range xf {
+					m[k] = true
+				}
+				merged, copied = m, true
+			}
+			merged[v] = true
+		}
+	}
+	return merged
+}
+
+func (lockLattice) Equal(x, y dataflow.Fact) bool {
+	xf, yf := x.(lockFact), y.(lockFact)
+	if len(xf) != len(yf) {
+		return false
+	}
+	for v := range xf {
+		if !yf[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkNode runs the lock-state dataflow over one function body and
+// reports blocking operations reached while a lock may be held.
+func (a *analyzer) checkNode(n *callgraph.Node) {
+	if n.Body == nil {
+		return
+	}
+	g := cfg.New(n.Body)
+	res := dataflow.Forward(g, lockLattice{}, a.transfer, nil)
+	nonBlockingComms := a.defaultedCommStmts(n)
+	for _, b := range g.Blocks {
+		res.FactAt(b, func(stmt ast.Stmt, before dataflow.Fact) {
+			held := before.(lockFact)
+			if len(held) == 0 {
+				return
+			}
+			if nonBlockingComms[stmt] {
+				return // comm of a select with default: never blocks
+			}
+			for _, op := range a.blockingOps(n, stmt) {
+				a.pass.Reportf(op.pos, "%s may be held across %s; the critical section stalls every other acquirer while it blocks — move the operation outside the lock or annotate the policy", heldName(held), op.what)
+			}
+		})
+	}
+}
+
+// transfer updates the held-lock set across one statement: Lock/RLock
+// on a sync mutex adds its root variable, Unlock/RUnlock removes it.
+// Deferred unlocks do not clear the set — the lock genuinely stays held
+// until the function returns.
+func (a *analyzer) transfer(stmt ast.Stmt, in dataflow.Fact) dataflow.Fact {
+	fact := in.(lockFact)
+	walk := func(e ast.Expr) {
+		ast.Inspect(e, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				v, op := a.mutexOp(m)
+				if v == nil {
+					return true
+				}
+				switch op {
+				case "Lock", "RLock":
+					next := make(lockFact, len(fact)+1)
+					for k := range fact {
+						next[k] = true
+					}
+					next[v] = true
+					fact = next
+				case "Unlock", "RUnlock":
+					if fact[v] {
+						next := make(lockFact, len(fact))
+						for k := range fact {
+							if k != v {
+								next[k] = true
+							}
+						}
+						fact = next
+					}
+				}
+			}
+			return true
+		})
+	}
+	switch s := stmt.(type) {
+	case *ast.DeferStmt:
+		// Runs at return; the lock stays held through the body.
+	case *ast.RangeStmt:
+		// Only the range operand lives in this block; the body has its
+		// own blocks.
+		walk(s.X)
+	default:
+		ast.Inspect(stmt, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case ast.Expr:
+				walk(m)
+				return false
+			}
+			return true
+		})
+	}
+	return fact
+}
+
+// blockingOp is one operation that can block indefinitely.
+type blockingOp struct {
+	pos  token.Pos
+	what string
+}
+
+// blockingOps finds the blocking operations syntactically inside one
+// CFG statement. Function literals and deferred calls are skipped (they
+// run elsewhere); a RangeStmt contributes only its operand.
+func (a *analyzer) blockingOps(owner *callgraph.Node, stmt ast.Stmt) []blockingOp {
+	var ops []blockingOp
+	unresolved := map[*ast.CallExpr]bool{}
+	for _, c := range owner.Unresolved {
+		unresolved[c] = true
+	}
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.SendStmt:
+				ops = append(ops, blockingOp{m.Arrow, "a channel send"})
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					ops = append(ops, blockingOp{m.OpPos, "a channel receive"})
+				}
+			case *ast.CallExpr:
+				if op := a.callBlocking(owner, m, unresolved); op != "" {
+					ops = append(ops, blockingOp{m.Pos(), op})
+				}
+			}
+			return true
+		})
+	}
+	switch s := stmt.(type) {
+	case *ast.RangeStmt:
+		if a.isChanType(s.X) {
+			ops = append(ops, blockingOp{s.For, "a range over a channel"})
+		} else {
+			scan(s.X)
+		}
+	case *ast.DeferStmt:
+		// Deferred calls run after the body; out of scope.
+	default:
+		scan(stmt)
+	}
+	return ops
+}
+
+// callBlocking classifies one call as a blocking operation, returning a
+// description or "".
+func (a *analyzer) callBlocking(owner *callgraph.Node, call *ast.CallExpr, unresolved map[*ast.CallExpr]bool) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sync":
+				// Cond.Wait requires holding the lock by contract.
+				if fn.Name() == "Wait" && recvTypeName(fn) == "WaitGroup" {
+					return "WaitGroup.Wait"
+				}
+				return ""
+			case "time":
+				if fn.Name() == "Sleep" {
+					return "time.Sleep"
+				}
+				return ""
+			}
+		}
+	}
+	for _, callee := range a.graph.Callees(owner, call) {
+		if a.blockSummary[callee].(bool) {
+			return "a call to " + callee.Name() + ", which may block on channel communication"
+		}
+	}
+	if unresolved[call] {
+		return "an opaque function-value call"
+	}
+	return ""
+}
+
+// bodyMayBlock is the direct (intraprocedural) may-block predicate used
+// to seed the interprocedural summary: channel operations, selects
+// without a default, WaitGroup.Wait, time.Sleep, or an unresolved
+// function-value call anywhere in the node's own statements.
+func (a *analyzer) bodyMayBlock(n *callgraph.Node) bool {
+	found := false
+	n.Inspect(func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if a.isChanType(m.X) {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if !hasDefaultClause(m) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					p := fn.Pkg().Path()
+					if (p == "sync" && fn.Name() == "Wait" && recvTypeName(fn) == "WaitGroup") ||
+						(p == "time" && fn.Name() == "Sleep") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	return len(n.Unresolved) > 0
+}
+
+// defaultedCommStmts collects the comm statements of selects that have
+// a default clause: those communications never block.
+func (a *analyzer) defaultedCommStmts(n *callgraph.Node) map[ast.Stmt]bool {
+	out := map[ast.Stmt]bool{}
+	n.Inspect(func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok || !hasDefaultClause(sel) {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				out[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp classifies a call as a mutex acquire/release, returning the
+// root mutex variable and the method name.
+func (a *analyzer) mutexOp(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if tn := recvTypeName(fn); tn != "Mutex" && tn != "RWMutex" && tn != "Locker" {
+		return nil, ""
+	}
+	v := rootVar(a.pass.TypesInfo, sel.X)
+	if v == nil {
+		return nil, ""
+	}
+	return v, sel.Sel.Name
+}
+
+// recvTypeName returns the name of a method's receiver type, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// rootVar resolves the variable a mutex expression is rooted at: the
+// field object for recv.mu (shared by all instances, which is the right
+// granularity for an intra-function may-held set) or the local/package
+// variable for a plain identifier.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// heldName renders the held set deterministically: the
+// lexicographically first lock name (one name keeps the message
+// readable; the sort keeps runs stable).
+func heldName(held lockFact) string {
+	names := make([]string, 0, len(held))
+	for v := range held {
+		names = append(names, v.Name())
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// isChanType reports whether e's type is a channel.
+func (a *analyzer) isChanType(e ast.Expr) bool {
+	tv, ok := a.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,162 @@
+// Package a is the lockheld fixture: blocking operations under a
+// mutex. The clean section mirrors the server's cache (unlock before
+// waiting on an in-flight computation) and the registry's short
+// append-only critical sections; the positives are the stalls those
+// designs exist to avoid.
+package a
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	items []int
+	out   chan int
+}
+
+// --- channel operations under a lock ---
+
+func (q *queue) flush() {
+	q.mu.Lock()
+	for _, v := range q.items {
+		q.out <- v // want `mu may be held across a channel send`
+	}
+	q.mu.Unlock()
+}
+
+func (q *queue) waitOne() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.out // want `mu may be held across a channel receive`
+}
+
+func (q *queue) drainAll() int {
+	n := 0
+	q.mu.Lock()
+	for v := range q.out { // want `mu may be held across a range over a channel`
+		n += v
+	}
+	q.mu.Unlock()
+	return n
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows []int
+}
+
+// Read locks stall writers just the same.
+func (t *table) publish(out chan []int) {
+	t.rw.RLock()
+	out <- append([]int(nil), t.rows...) // want `rw may be held across a channel send`
+	t.rw.RUnlock()
+}
+
+// A select without a default blocks until an arm is ready.
+func emitOrQuit(mu *sync.Mutex, out chan int, quit chan struct{}) {
+	mu.Lock()
+	select {
+	case out <- 1: // want `mu may be held across a channel send`
+	case <-quit: // want `mu may be held across a channel receive`
+	}
+	mu.Unlock()
+}
+
+// --- waits and sleeps under a lock ---
+
+func joinUnderLock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait() // want `mu may be held across WaitGroup.Wait`
+	mu.Unlock()
+}
+
+func sleepUnderLock(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want `mu may be held across time.Sleep`
+	mu.Unlock()
+}
+
+// --- calls under a lock ---
+
+// The call graph carries blocking through in-package helpers.
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+func lockedWait(mu *sync.Mutex, done chan struct{}) {
+	mu.Lock()
+	waitDone(done) // want `mu may be held across a call to .*waitDone, which may block on channel communication`
+	mu.Unlock()
+}
+
+// A function value is opaque: holding a lock across it is a policy.
+func getOrBuild(mu *sync.Mutex, build func() int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return build() // want `mu may be held across an opaque function-value call`
+}
+
+// --- clean: unlock before blocking (the cache shape) ---
+
+func (q *queue) pop(done chan struct{}) int {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		<-done
+		return 0
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return v
+}
+
+// --- clean: short critical sections ---
+
+func bump(n *int) { *n++ }
+
+func lockedBump(mu *sync.Mutex, n *int) {
+	mu.Lock()
+	bump(n)
+	mu.Unlock()
+}
+
+func (t *table) insert(v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.rows = append(t.rows, v)
+	sort.Ints(t.rows)
+}
+
+// --- clean: operations that cannot block ---
+
+// Cond.Wait requires the lock by contract.
+func condWait(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// A select with a default never blocks.
+func tryEmit(mu *sync.Mutex, out chan int) {
+	mu.Lock()
+	select {
+	case out <- 1:
+	default:
+	}
+	mu.Unlock()
+}
+
+// --- suppressed: documented hold-across-call policy ---
+
+func buildCached(mu *sync.Mutex, build func() int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	//bouquet:allow lockheld: building under the lock suppresses a thundering herd; builds are deterministic and fast
+	return build()
+}

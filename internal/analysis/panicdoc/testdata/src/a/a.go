@@ -51,4 +51,4 @@ type hidden struct{}
 // outside the package and so is not part of the documented surface.
 func (hidden) Boom() { panic("x") }
 
-func Suppressed() { panic("fail fast") } //bouquet:allow panicdoc — process-fatal by design, sign-off 2026-08-05
+func Suppressed() { panic("fail fast") } //bouquet:allow panicdoc: process-fatal by design, sign-off 2026-08-05

@@ -1,0 +1,391 @@
+// Package poollife checks sync.Pool object lifetimes with a
+// flow-sensitive dataflow over each function's CFG.
+//
+// A pooled object has exactly one safe shape per function: Get it, use
+// it, Put it back once, and never look at it again — because the moment
+// it returns to the pool another goroutine may Get it and start writing.
+// The optimizer's memo arena and the server's response buffers lean on
+// this discipline for their allocation-free hot paths. The analyzer
+// tracks every local bound to a pool.Get result (through type
+// assertions, dereferences like memo := *memop, and byte-aliasing
+// accessors like buf.Bytes()) and reports:
+//
+//   - use after Put: any read of the value on a path where it has
+//     definitely been returned to the pool;
+//   - double Put: a second Put of the same value on a path where the
+//     first has definitely happened;
+//   - escape: the value (or an alias of its memory) returned to the
+//     caller or stored into a field, index, or global while still live —
+//     ownership is leaving the function without a Put, which is only
+//     correct for a documented ownership transfer (annotate those), and
+//     never correct when a deferred Put releases the value at return.
+//
+// The analysis is per-function and definite-state: conditional puts
+// (joins of live and put paths) are not reported, so the analyzer stays
+// quiet on patterns it cannot prove wrong.
+package poollife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer implements the poollife invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "poollife",
+	Doc:  "report sync.Pool values used after Put, Put twice, or escaping without a documented ownership transfer",
+	Run:  run,
+}
+
+// Lifetime states. Absent from the fact map means untracked.
+const (
+	stLive  = iota + 1 // holds a pooled object not yet returned
+	stPut              // definitely returned to the pool
+	stMaybe            // returned on some paths only
+)
+
+// poolFact maps each tracked root variable to its lifetime state. A nil
+// map is the lattice bottom.
+type poolFact map[*types.Var]int
+
+type poolLattice struct{}
+
+func (poolLattice) Bottom() dataflow.Fact { return poolFact(nil) }
+
+func (poolLattice) Join(x, y dataflow.Fact) dataflow.Fact {
+	a, b := x.(poolFact), y.(poolFact)
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(poolFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; ok && prev != v {
+			out[k] = stMaybe
+		} else if !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (poolLattice) Equal(x, y dataflow.Fact) bool {
+	a, b := x.(poolFact), y.(poolFact)
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{pass: pass}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.analyzeFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				a.analyzeFunc(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+
+	// rootOf canonicalizes aliases: memo := *memop and data := buf.Bytes()
+	// share their source's lifetime state.
+	rootOf map[*types.Var]*types.Var
+	// deferredPut holds roots released by a deferred pool.Put.
+	deferredPut map[*types.Var]bool
+}
+
+func (a *analyzer) analyzeFunc(body *ast.BlockStmt) {
+	a.rootOf = map[*types.Var]*types.Var{}
+	a.deferredPut = map[*types.Var]bool{}
+	a.collectAliases(body)
+
+	g := cfg.New(body)
+	res := dataflow.Forward(g, poolLattice{}, a.transfer, nil)
+	for _, b := range g.Blocks {
+		res.FactAt(b, func(s ast.Stmt, before dataflow.Fact) {
+			a.check(s, before.(poolFact))
+		})
+	}
+}
+
+// collectAliases records alias edges and deferred Puts in one syntactic
+// pass (nested literals excluded — they are analyzed on their own).
+func (a *analyzer) collectAliases(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				lv := a.varOf(lhs)
+				src := a.aliasSource(n.Rhs[i])
+				if lv != nil && src != nil {
+					a.rootOf[lv] = a.root(src)
+				}
+			}
+		case *ast.DeferStmt:
+			if v := a.putArg(n.Call); v != nil {
+				a.deferredPut[a.root(v)] = true
+			}
+		}
+		return true
+	})
+}
+
+// aliasSource returns the variable whose memory rhs aliases: a bare
+// ident, a dereference *x, or a buf.Bytes() accessor.
+func (a *analyzer) aliasSource(rhs ast.Expr) *types.Var {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		v, _ := a.pass.TypesInfo.Uses[e].(*types.Var)
+		return v
+	case *ast.StarExpr:
+		return a.aliasSource(e.X)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Bytes" && len(e.Args) == 0 {
+			return a.aliasSource(sel.X)
+		}
+	case *ast.TypeAssertExpr:
+		return a.aliasSource(e.X)
+	}
+	return nil
+}
+
+func (a *analyzer) root(v *types.Var) *types.Var {
+	for {
+		r, ok := a.rootOf[v]
+		if !ok || r == v {
+			return v
+		}
+		v = r
+	}
+}
+
+// transfer updates lifetime states across one statement.
+func (a *analyzer) transfer(s ast.Stmt, in dataflow.Fact) dataflow.Fact {
+	m := in.(poolFact)
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return m
+		}
+		out := m
+		for i, lhs := range s.Lhs {
+			lv := a.varOf(lhs)
+			if lv == nil {
+				continue
+			}
+			switch {
+			case a.isPoolGet(s.Rhs[i]):
+				out = clone(out)
+				out[a.root(lv)] = stLive
+			case out[a.root(lv)] != 0 && a.aliasSource(s.Rhs[i]) == nil:
+				// Rebinding a tracked name to unrelated memory ends the
+				// tracked lifetime for that name.
+				out = clone(out)
+				delete(out, a.root(lv))
+			}
+		}
+		return out
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if v := a.putArg(call); v != nil {
+				out := clone(m)
+				out[a.root(v)] = stPut
+				return out
+			}
+		}
+	}
+	return m
+}
+
+// check reports lifetime violations visible at one statement given the
+// states holding before it.
+func (a *analyzer) check(s ast.Stmt, m poolFact) {
+	// Double Put and use-after-Put at a Put site.
+	putArgs := map[*ast.Ident]bool{}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		v := a.putArg(call)
+		if v == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			putArgs[id] = true
+		}
+		if m[a.root(v)] == stPut {
+			a.pass.Reportf(call.Pos(), "%s is returned to the pool twice on this path; the second Put hands out one object to two owners", v.Name())
+		}
+		return true
+	})
+
+	// Rebinding targets are not reads: x = pool.Get() after a Put is the
+	// reuse idiom, not a use-after-Put.
+	rebinds := map[*ast.Ident]bool{}
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				rebinds[id] = true
+			}
+		}
+	}
+
+	// Use after Put: any remaining read of a definitely-Put root.
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || putArgs[id] || rebinds[id] {
+			return true
+		}
+		v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if m[a.root(v)] == stPut {
+			a.pass.Reportf(id.Pos(), "%s is used after being returned to the pool; another goroutine may already own it", id.Name)
+		}
+		return true
+	})
+
+	// Escapes: pooled memory leaving the function while live.
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			v := a.aliasSource(res)
+			if v == nil {
+				continue
+			}
+			r := a.root(v)
+			switch {
+			case a.deferredPut[r] && m[r] == stLive:
+				a.pass.Reportf(res.Pos(), "%s is returned while a deferred Put releases it; the caller receives pool-owned memory", v.Name())
+			case m[r] == stLive || m[r] == stMaybe:
+				a.pass.Reportf(res.Pos(), "pooled value %s escapes via return without a Put; Put it on every path or annotate the ownership transfer", v.Name())
+			}
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				continue
+			}
+			v := a.aliasSource(s.Rhs[i])
+			if v == nil {
+				continue
+			}
+			if r := a.root(v); m[r] == stLive || m[r] == stMaybe {
+				a.pass.Reportf(s.Rhs[i].Pos(), "pooled value %s escapes into longer-lived storage while live; Put cannot be proven to happen-after all uses", v.Name())
+			}
+		}
+	}
+}
+
+// isPoolGet reports whether rhs is pool.Get() (possibly through a type
+// assertion) on a sync.Pool.
+func (a *analyzer) isPoolGet(rhs ast.Expr) bool {
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	return a.isPool(sel.X)
+}
+
+// putArg returns the root variable handed to pool.Put(x), nil for other
+// calls.
+func (a *analyzer) putArg(call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 || !a.isPool(sel.X) {
+		return nil
+	}
+	return a.aliasSource(call.Args[0])
+}
+
+// isPool reports whether e has type sync.Pool or *sync.Pool.
+func (a *analyzer) isPool(e ast.Expr) bool {
+	tv, ok := a.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+func (a *analyzer) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := a.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := a.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func clone(m poolFact) poolFact {
+	out := make(poolFact, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package poollife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poollife"
+)
+
+func TestPoollife(t *testing.T) {
+	analysistest.Run(t, poollife.Analyzer, "testdata/src/a")
+}

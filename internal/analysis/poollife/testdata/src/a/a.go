@@ -1,0 +1,131 @@
+// Package a is the poollife fixture: sync.Pool object lifetimes. The
+// clean section mirrors the optimizer's memo-arena shape (Get through a
+// type assertion, a dereference alias, uses, one Put, nothing after)
+// and the server's pooled encode buffers; the positive patterns are the
+// lifetime violations those hot paths must never regress into.
+package a
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// --- clean: the canonical get/use/put shape ---
+
+func roundTrip(data []byte) string {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.Write(data)
+	out := buf.String()
+	bufs.Put(buf)
+	return out
+}
+
+// --- use after Put ---
+
+func useAfterPut(data []byte) int {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Write(data)
+	bufs.Put(buf)
+	return buf.Len() // want `buf is used after being returned to the pool`
+}
+
+// --- double Put ---
+
+func doublePut() {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	bufs.Put(buf)
+	bufs.Put(buf) // want `buf is returned to the pool twice on this path`
+}
+
+// A conditional Put joining with a live path is not definite: no report
+// at the second Put, but the escape at return is.
+func conditionalPut(flush bool) *bytes.Buffer {
+	buf := bufs.Get().(*bytes.Buffer)
+	if flush {
+		bufs.Put(buf)
+	}
+	return buf // want `pooled value buf escapes via return without a Put`
+}
+
+// --- escapes ---
+
+func escapeByReturn() *bytes.Buffer {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf // want `pooled value buf escapes via return without a Put`
+}
+
+type holder struct {
+	scratch *bytes.Buffer
+}
+
+func escapeByField(h *holder) {
+	buf := bufs.Get().(*bytes.Buffer)
+	h.scratch = buf // want `pooled value buf escapes into longer-lived storage while live`
+	bufs.Put(buf)
+}
+
+func escapeByAliasedBytes(data []byte) []byte {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Write(data)
+	view := buf.Bytes()
+	bufs.Put(buf)
+	return view // want `view is used after being returned to the pool`
+}
+
+// Returning while a deferred Put releases the value is a use-after-free
+// handed to the caller.
+func deferredPutEscape() *bytes.Buffer {
+	buf := bufs.Get().(*bytes.Buffer)
+	defer bufs.Put(buf)
+	buf.Reset()
+	return buf // want `buf is returned while a deferred Put releases it`
+}
+
+// The deferred Put itself, with no escape, is the idiomatic shape.
+func deferredPutClean(data []byte) string {
+	buf := bufs.Get().(*bytes.Buffer)
+	defer bufs.Put(buf)
+	buf.Reset()
+	buf.Write(data)
+	return buf.String()
+}
+
+// --- the arena shape: Get with assertion, deref alias, put, done ---
+
+type entry struct{ n int }
+
+var arena = sync.Pool{New: func() any { s := make([]entry, 64); return &s }}
+
+func optimize(k int) entry {
+	memop := arena.Get().(*[]entry)
+	memo := *memop
+	clear(memo)
+	memo[k] = entry{n: k}
+	final := memo[k]
+	arena.Put(memop)
+	return final
+}
+
+// The same shape reading the alias after Put is the regression poollife
+// is there to catch.
+func optimizeBroken(k int) entry {
+	memop := arena.Get().(*[]entry)
+	memo := *memop
+	memo[k] = entry{n: k}
+	arena.Put(memop)
+	return memo[k] // want `memo is used after being returned to the pool`
+}
+
+// --- suppressed: documented ownership transfer ---
+
+func newPooled() *bytes.Buffer {
+	buf := bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	//bouquet:allow poollife: ownership transfers to the caller, which must release via bufs.Put
+	return buf
+}

@@ -26,5 +26,5 @@ func Dump(v int) {
 }
 
 func suppressed() {
-	fmt.Println("bouquet") //bouquet:allow printless — one-shot banner sanctioned for the demo path
+	fmt.Println("bouquet") //bouquet:allow printless: one-shot banner sanctioned for the demo path
 }

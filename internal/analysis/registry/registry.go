@@ -5,12 +5,16 @@ package registry
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/infguard"
+	"repro/internal/analysis/lockheld"
 	"repro/internal/analysis/panicdoc"
 	"repro/internal/analysis/pkgdoc"
+	"repro/internal/analysis/poollife"
 	"repro/internal/analysis/printless"
 	"repro/internal/analysis/seededrand"
 	"repro/internal/analysis/selbounds"
@@ -20,15 +24,19 @@ import (
 // All returns the full bouquetvet suite in diagnostic-name order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctxflow.Analyzer,
 		errflow.Analyzer,
 		floatcmp.Analyzer,
+		goleak.Analyzer,
 		infguard.Analyzer,
+		lockheld.Analyzer,
 		panicdoc.Analyzer,
 		pkgdoc.Analyzer,
+		poollife.Analyzer,
 		printless.Analyzer,
-		selbounds.Analyzer,
 		seededrand.Analyzer,
+		selbounds.Analyzer,
 		unitflow.Analyzer,
 	}
 }

@@ -16,5 +16,5 @@ func global(n int) float64 {
 }
 
 func suppressed() int64 {
-	return rand.Int63() //bouquet:allow seededrand — startup jitter, reproducibility not required
+	return rand.Int63() //bouquet:allow seededrand: startup jitter, reproducibility not required
 }

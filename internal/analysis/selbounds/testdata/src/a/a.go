@@ -32,5 +32,5 @@ func use() {
 	_ = ScaleTyped(1.25)        // want `selectivity argument 1.25 for parameter "s" outside \(0,1\]`
 	_ = Width(40.0)             // not a selectivity parameter
 	_ = []float64{7.5}          // anonymous slices carry no selectivity meaning
-	_ = Point{5}                //bouquet:allow selbounds — stress fixture deliberately leaves the domain
+	_ = Point{5}                //bouquet:allow selbounds: stress fixture deliberately leaves the domain
 }

@@ -81,8 +81,11 @@ func RunUnitchecker(analyzers []*Analyzer, cfgPath string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	// One diagnostic per line in the same "path:line:col: message
+	// [analyzer]" shape as the direct driver, so problem matchers and
+	// editors parse both modes with one pattern.
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+		fmt.Fprintf(os.Stderr, "%s\n", d)
 	}
 	if len(diags) > 0 {
 		return 1

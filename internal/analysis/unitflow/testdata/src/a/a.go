@@ -92,7 +92,7 @@ func joins(c1, c2 Cost, s Sel, flag bool) float64 {
 func suppressed(c Cost, s Sel) float64 {
 	x := c.F()
 	y := s.F()
-	//bouquet:allow unitflow — normalized scoring heuristic mixes units on purpose
+	//bouquet:allow unitflow: normalized scoring heuristic mixes units on purpose
 	score := x + y
-	return score + x + y //bouquet:allow unitflow — same heuristic, trailing form
+	return score + x + y //bouquet:allow unitflow: same heuristic, trailing form
 }

@@ -144,7 +144,7 @@ func (b *Bouquet) execCost(p *plan.Node, sels cost.Selectivities) cost.Cost {
 // opts.Ctx carries a deadline, compilation is abandoned cooperatively (and
 // ctx's error returned) at the next stage boundary or contour step.
 func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*Bouquet, error) {
-	//bouquet:allow floatcmp — 0 is the zero-value "unset option" sentinel, never a computed cost
+	//bouquet:allow floatcmp: 0 is the zero-value "unset option" sentinel, never a computed cost
 	if opts.Ratio == 0 {
 		opts.Ratio = 2
 	}
@@ -181,7 +181,7 @@ func Compile(opt *optimizer.Optimizer, space *ess.Space, opts CompileOptions) (*
 		if err != nil {
 			return nil, err
 		}
-		//bouquet:allow floatcmp — Coverage is covered/total and is exactly 1.0 iff the diagram is dense
+		//bouquet:allow floatcmp: Coverage is covered/total and is exactly 1.0 iff the diagram is dense
 		if d.Coverage() == 1.0 {
 			raw, err = contour.Identify(d, ladder)
 			if err != nil {

@@ -121,7 +121,7 @@ func (b *Bouquet) RunBasic(qa ess.Point) Execution {
 // The MSO guarantee is preserved for any valid (dominated) seed; a seed
 // that overestimates q_a voids it, exactly as the paper cautions.
 func (b *Bouquet) RunBasicFrom(qa, seed ess.Point) Execution {
-	e, _ := b.runBasic(context.Background(), qa, seed, nil) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
+	e, _ := b.runBasic(context.Background(), qa, seed, nil) //bouquet:allow errflow: Background is never cancelled, so the error is always nil
 	return e
 }
 

@@ -260,7 +260,7 @@ func (b *Bouquet) RunOptimized(qa ess.Point) Execution {
 // test. A nil seed starts at the origin. Overestimating seeds void the
 // first-quadrant invariant, as the paper cautions.
 func (b *Bouquet) RunOptimizedFrom(qa, seed ess.Point) Execution {
-	e, _ := b.runOptimized(context.Background(), qa, seed, nil) //bouquet:allow errflow — Background is never cancelled, so the error is always nil
+	e, _ := b.runOptimized(context.Background(), qa, seed, nil) //bouquet:allow errflow: Background is never cancelled, so the error is always nil
 	return e
 }
 

@@ -221,7 +221,7 @@ func TestTracingDisabledAllocParity(t *testing.T) {
 
 	base := testing.AllocsPerRun(10, func() { b.RunBasicFrom(qa, nil) })
 	traced := testing.AllocsPerRun(10, func() {
-		b.RunBasicTraced(ctx, qa, nil, nil) //bouquet:allow errflow — Background never expires
+		b.RunBasicTraced(ctx, qa, nil, nil) //bouquet:allow errflow: Background never expires
 	})
 	if traced > base {
 		t.Errorf("RunBasicTraced(nil) allocates %.0f/run, untraced %.0f", traced, base)
@@ -229,7 +229,7 @@ func TestTracingDisabledAllocParity(t *testing.T) {
 
 	base = testing.AllocsPerRun(10, func() { b.RunOptimizedFrom(qa, nil) })
 	traced = testing.AllocsPerRun(10, func() {
-		b.RunOptimizedTraced(ctx, qa, nil, nil) //bouquet:allow errflow — Background never expires
+		b.RunOptimizedTraced(ctx, qa, nil, nil) //bouquet:allow errflow: Background never expires
 	})
 	if traced > base {
 		t.Errorf("RunOptimizedTraced(nil) allocates %.0f/run, untraced %.0f", traced, base)

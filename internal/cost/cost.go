@@ -186,7 +186,7 @@ func (c *Coster) WithPerturbation(delta float64, seed uint64) *Coster {
 	cp.perturb = func(n *plan.Node) float64 {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%d|", seed)
-		h.Write([]byte(n.Fingerprint())) //bouquet:allow errflow — hash.Hash.Write never returns an error
+		h.Write([]byte(n.Fingerprint())) //bouquet:allow errflow: hash.Hash.Write never returns an error
 		// Map hash to u in [0,1), then to a log-uniform factor in
 		// [1/(1+δ), 1+δ] so under- and over-estimation are symmetric.
 		u := float64(h.Sum64()%1_000_003) / 1_000_003.0

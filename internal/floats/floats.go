@@ -30,7 +30,7 @@ func EqWithin(a, b, rel, abs float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return false
 	}
-	if a == b { //bouquet:allow floatcmp — exact match (incl. equal infinities) short-circuits the tolerance test
+	if a == b { //bouquet:allow floatcmp: exact match (incl. equal infinities) short-circuits the tolerance test
 		return true
 	}
 	if math.IsInf(a, 0) || math.IsInf(b, 0) {

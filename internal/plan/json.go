@@ -49,17 +49,24 @@ func (n *Node) UnmarshalJSON(data []byte) error {
 	if err := decoded.Validate(); err != nil {
 		return fmt.Errorf("plan: decoded plan invalid: %w", err)
 	}
-	// Copy field-by-field rather than *n = *decoded: the fingerprint memo
-	// is an atomic (non-copyable), and a decode target must start with a
-	// cold memo anyway.
+	n.setDecoded(decoded)
+	n.fp.Store(nil)
+	return nil
+}
+
+// setDecoded copies the structural fields one by one rather than
+// *n = *decoded: the fingerprint memo is an atomic (non-copyable), and
+// a decode target must start with a cold memo anyway. The plain writes
+// live in their own method, apart from the memo's atomic reset, because
+// a decode target is unshared by contract — no concurrent reader exists
+// until UnmarshalJSON returns.
+func (n *Node) setDecoded(decoded *Node) {
 	n.Op = decoded.Op
 	n.Relation = decoded.Relation
 	n.IndexColumn = decoded.IndexColumn
 	n.Preds = decoded.Preds
 	n.Left = decoded.Left
 	n.Right = decoded.Right
-	n.fp.Store(nil)
-	return nil
 }
 
 func opFromString(s string) (Op, error) {

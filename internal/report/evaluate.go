@@ -190,7 +190,7 @@ func paperInt(v int) string {
 }
 
 func paperFloat(v float64) string {
-	//bouquet:allow floatcmp — 0 is the "absent table cell" sentinel, assigned literally
+	//bouquet:allow floatcmp: 0 is the "absent table cell" sentinel, assigned literally
 	if v == 0 {
 		return "-"
 	}

@@ -42,7 +42,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 
 func formatFloat(v float64) string {
 	switch {
-	//bouquet:allow floatcmp — rendering distinguishes the literal zero cell, not a computed cost
+	//bouquet:allow floatcmp: rendering distinguishes the literal zero cell, not a computed cost
 	case v == 0:
 		return "0"
 	case v >= 1e5 || v < 1e-3:

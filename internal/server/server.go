@@ -20,6 +20,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -156,14 +157,40 @@ func (s *Server) Handler() http.Handler {
 func jsonError(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	//bouquet:allow errflow — a failed response write means the client hung up; nothing to do
+	//bouquet:allow errflow: a failed response write means the client hung up; nothing to do
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// jsonBufs recycles encode buffers across responses: success bodies are
+// encoded to a pooled buffer first so an encoding failure can still
+// produce a 500 instead of a half-written 200.
+var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeJSON renders v into a pooled buffer. On success the caller owns
+// the buffer and must release it with releaseBuf after writing.
+func encodeJSON(v interface{}) (*bytes.Buffer, error) {
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufs.Put(buf)
+		return nil, err
+	}
+	//bouquet:allow poollife: ownership transfers to the caller, which must release via releaseBuf once the body is written
+	return buf, nil
+}
+
+func releaseBuf(buf *bytes.Buffer) { jsonBufs.Put(buf) }
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
+	buf, err := encodeJSON(v)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	//bouquet:allow errflow — a failed response write means the client hung up; nothing to do
-	_ = json.NewEncoder(w).Encode(v)
+	//bouquet:allow errflow: a failed response write means the client hung up; nothing to do
+	_, _ = w.Write(buf.Bytes())
+	releaseBuf(buf)
 }
 
 // decodeJSON decodes a request body, distinguishing the body-limit breach
@@ -267,7 +294,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		lambda = cost.Ratio(*req.Lambda)
 	}
 	ratio := req.Ratio
-	//bouquet:allow floatcmp — 0 is the "field omitted from the JSON request" sentinel
+	//bouquet:allow floatcmp: 0 is the "field omitted from the JSON request" sentinel
 	if ratio == 0 {
 		ratio = 2
 	}
@@ -289,6 +316,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		err   error
 	}
 	ch := make(chan outcome, 1)
+	//bouquet:allow goleak: the one-slot buffer lets the send complete even when the deadline arm wins; dropping the finished compile is the 503 contract
 	go func() {
 		entry, hit, err := s.cache.getOrCompute(key, func() (cacheEntry, error) {
 			s.metrics.compiles.Add(1)

@@ -190,6 +190,7 @@ func (r *Recorder) Record(s Span) {
 	}
 	seq := r.pos.Add(1) - 1
 	s.Seq = seq
+	//bouquet:allow atomicmix: the overwrite-oldest ring tolerates torn slot writes by contract; Spans documents that a snapshot taken mid-run may see partially written spans
 	r.buf[seq&r.mask] = s
 }
 
