@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// Dual-mode acceptance for the escape-analysis pair: allocbound and
+// maporder must fire through both the direct driver and the
+// `go vet -vettool` unitchecker protocol, since CI runs one and
+// developers often run the other.
+
+// TestAllocboundDualMode: a //bouquet:allocfree function that appends
+// must be reported in both modes.
+func TestAllocboundDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+//bouquet:allocfree
+func grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+`, "append may grow its backing array on the //bouquet:allocfree path of vetfixture.grow")
+}
+
+// TestAllocboundCalleeDualMode: the violation may live in an in-package
+// callee; the diagnostic must name it.
+func TestAllocboundCalleeDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+//bouquet:allocfree
+func hot(n int) int { return len(scratch(n)) }
+
+func scratch(n int) []byte { return make([]byte, n) }
+`, "(in vetfixture.scratch)")
+}
+
+// TestMaporderDualMode: map iteration appended to an output slice with
+// no later sort must be reported in both modes.
+func TestMaporderDualMode(t *testing.T) {
+	dualMode(t, `package a
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`, "map iteration order reaches ordered output")
+}

@@ -51,6 +51,7 @@ func run(args []string) int {
 	versionFlag := fs.String("V", "", "print version and exit (go vet tool protocol)")
 	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet tool protocol)")
 	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array on stdout (direct mode only)")
+	sarifFlag := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout and exit 0 (direct mode only; the lint gate is a separate run)")
 	timingFlag := fs.Bool("timing", false, "print per-analyzer wall time instead of findings (direct mode only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,6 +110,16 @@ func run(args []string) int {
 		}
 		all = append(all, diags...)
 	}
+	if *sarifFlag {
+		// Code-scanning mode: the artifact is the product, findings
+		// surface as upload annotations. Exit 0 either way so the upload
+		// step runs; the pass/fail lint gate is a separate plain run.
+		if err := printSARIF(all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
 	if *jsonFlag {
 		printJSON(all)
 	} else {
@@ -154,13 +165,27 @@ func printJSON(diags []analysis.Diagnostic) {
 // prints cumulative wall time per analyzer, slowest first. It is the
 // data source for the lint budget: when `make lint` drifts, the table
 // names the analyzer that paid for it.
+//
+// Shared infrastructure — the per-package call graph and CFGs that the
+// interprocedural analyzers all consult — is primed before any analyzer
+// runs and reported on its own "(infra)" row. Without that, the whole
+// construction cost lands on whichever consumer happens to run first
+// and the table blames the wrong analyzer.
 func runTiming(pkgs []*analysis.LoadedPackage) int {
 	totals := make(map[string]time.Duration)
+	const infraRow = "(infra)"
+	infras := make([]*analysis.Infra, len(pkgs))
+	for i, p := range pkgs {
+		infras[i] = analysis.NewInfra(p.Fset, p.Files, p.Pkg, p.Info)
+		start := time.Now()
+		infras[i].Prime()
+		totals[infraRow] += time.Since(start)
+	}
 	for _, az := range registry.All() {
 		single := []*analysis.Analyzer{az}
-		for _, p := range pkgs {
+		for i := range pkgs {
 			start := time.Now()
-			if _, err := analysis.RunPackage(single, p.Fset, p.Files, p.Pkg, p.Info); err != nil {
+			if _, err := analysis.RunPackageWithInfra(single, infras[i]); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}

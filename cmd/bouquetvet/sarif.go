@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/registry"
+)
+
+// SARIF 2.1.0 output for GitHub code scanning. Only the subset the
+// upload API reads is emitted: one run, the driver's rule table, and one
+// result per finding with a physical location. Paths are repository-
+// relative with forward slashes — the uploader resolves them against the
+// checkout root, so absolute or OS-specific paths would break
+// annotation placement.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRules builds the driver's rule table: every registered analyzer
+// plus allowformat, the framework's own reporter for malformed
+// //bouquet:allow directives. The first Doc line is the short
+// description; ids are returned in table order for ruleIndex lookup.
+func sarifRules() ([]sarifRule, map[string]int) {
+	rules := []sarifRule{{
+		ID:               "allowformat",
+		ShortDescription: sarifMessage{Text: "report //bouquet:allow directives without a mandatory reason"},
+	}}
+	for _, az := range registry.All() {
+		doc := az.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		rules = append(rules, sarifRule{ID: az.Name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	index := make(map[string]int, len(rules))
+	for i, r := range rules {
+		index[r.ID] = i
+	}
+	return rules, index
+}
+
+// relPath makes a diagnostic path repository-relative with forward
+// slashes; paths outside the working tree pass through unchanged (still
+// slash-normalized) rather than sprouting ../ chains.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return filepath.ToSlash(name)
+}
+
+// printSARIF writes the findings as one SARIF run on stdout. Unknown
+// analyzer names (none today) get ruleIndex -1 rather than a panic so a
+// future analyzer missing from the registry degrades to an un-indexed
+// result instead of losing the upload.
+func printSARIF(diags []analysis.Diagnostic) error {
+	root, err := os.Getwd()
+	if err != nil {
+		root = "."
+	}
+	rules, index := sarifRules()
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		ri, ok := index[d.Analyzer]
+		if !ok {
+			ri = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ri,
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "bouquetvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

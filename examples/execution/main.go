@@ -12,12 +12,14 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/anorexic"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/optimizer"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -48,8 +50,17 @@ func main() {
 	fmt.Printf("budgeted run: completed=%v, charged %.4g of budget %.4g\n",
 		res.Completed, res.CostUsed, wrong.Cost*4)
 
-	// (b) Instrumentation: per-node tuple counters.
-	for node, st := range res.Stats {
+	// (b) Instrumentation: per-node tuple counters, in stable label
+	// order so two runs print identically.
+	nodes := make([]*plan.Node, 0, len(res.Stats))
+	for node := range res.Stats {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].Op.String()+"/"+nodes[i].Relation < nodes[j].Op.String()+"/"+nodes[j].Relation
+	})
+	for _, node := range nodes {
+		st := res.Stats[node]
 		fmt.Printf("  %-30s in=%-7d out=%-7d matches=%-7d done=%v\n",
 			node.Op.String()+"/"+node.Relation, st.InTuples, st.Out, st.Matches, st.Done)
 	}

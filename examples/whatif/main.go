@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/anorexic"
 	"repro/internal/catalog"
@@ -58,6 +59,7 @@ func main() {
 	for pid := range candidates {
 		cands = append(cands, pid)
 	}
+	sort.Ints(cands)
 	matrix := posp.CostMatrix(diagram, coster, 0)
 	red, err := anorexic.Reduce(flats, optCost, cands, matrix, anorexic.DefaultLambda)
 	if err != nil {

@@ -1,0 +1,373 @@
+// Package allocbound statically enforces the repository's
+// zero-allocation hot-path contracts.
+//
+// A function annotated
+//
+//	//bouquet:allocfree
+//
+// in its doc comment promises that calling it allocates nothing on the
+// steady-state path. The repository's cost kernel (cost.Price,
+// cost.PriceStep, cost.PriceSpec), the execution tracer (trace.Record),
+// the vectorized engine's per-batch inner kernels, and the bouquet
+// ladder lookup (contour.Ladder.StepFor) all carry this contract: the
+// paper's MSO guarantee prices plans under the assumption that the
+// pricing and execution inner loops cost what the model says, and a
+// stray allocation (with the GC pressure it brings) silently breaks
+// that. Today the contracts are pinned dynamically by AllocsPerRun
+// tests; allocbound pins them statically on every build, including on
+// paths the benchmarks never drive.
+//
+// The analyzer walks each annotated function and every in-package
+// callee reachable from it (through the package call graph, with
+// may-allocate summaries propagated bottom-up through
+// dataflow.Summaries) and reports:
+//
+//   - every reachable allocation site — new, make, composite literals,
+//     append, interface boxing, string concatenation, capturing
+//     closures, variadic argument slices, goroutine launches — as
+//     located by the escape layer (internal/analysis/escape), except
+//     sites the layer proves stack-allocatable and sites reachable only
+//     as panic(...) arguments (an aborting path may allocate);
+//   - calls through function values, which cannot be proven
+//     allocation-free;
+//   - calls into other packages, unless the callee is on the
+//     allocation-free allowlist: pure-math stdlib packages (math,
+//     math/bits, sync/atomic), sort.Search and its variants, and a
+//     short list of repository-internal leaf accessors whose
+//     allocation-freedom is pinned by AllocsPerRun tests in their home
+//     packages.
+//
+// Findings are reported at the allocating site (or the unprovable call),
+// so a deliberate exception is annotated exactly where it happens:
+//
+//	//bouquet:allow allocbound: <reason>
+//
+// A //bouquet:allocfree directive attached to anything but a function
+// declaration is itself reported — an orphaned contract protects
+// nothing.
+package allocbound
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/escape"
+)
+
+// Directive marks a function as contractually allocation-free.
+const Directive = "//bouquet:allocfree"
+
+// Analyzer implements the allocbound invariant.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocbound",
+	Doc:  "verify //bouquet:allocfree functions reach no allocation site, through in-package calls",
+	Run:  run,
+}
+
+// trustedPkgs are stdlib packages none of whose functions allocate on
+// any path the repository calls: pure arithmetic and atomics.
+var trustedPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// trustedFuncs are individual external functions verified
+// allocation-free. Stdlib entries are compiler-verified facts
+// (sort.Search's closure stays on the caller's stack); repository
+// entries are leaf accessors whose allocation-freedom is pinned by an
+// AllocsPerRun test in their home package — the dynamic half of the
+// trust this static allowlist extends across package boundaries.
+var trustedFuncs = map[string]bool{
+	"sort.Search":         true,
+	"sort.SearchInts":     true,
+	"sort.SearchFloat64s": true,
+	"sort.SearchStrings":  true,
+
+	// Leaf accessors the cost kernel crosses package boundaries for.
+	// Each is pinned by an AllocsPerRun test next to its definition:
+	// catalog accessors by TestAccessorsAllocFree (internal/catalog),
+	// Query.Predicate by TestPredicateAllocFree (internal/query).
+	// Catalog.Index concatenates its map key, but a key that does not
+	// escape stays in the runtime's 32-byte stack buffer — the pin
+	// holds as long as relation.column names stay short.
+	"(*repro/internal/catalog.Catalog).MustRelation": true,
+	"(*repro/internal/catalog.Catalog).Index":        true,
+	"(*repro/internal/catalog.Relation).Pages":       true,
+	"(*repro/internal/catalog.Relation).Column":      true,
+	"(*repro/internal/query.Query).Predicate":        true,
+}
+
+func run(pass *analysis.Pass) error {
+	if len(pass.NonTestFiles()) == 0 {
+		return nil
+	}
+	g := pass.CallGraph()
+	a := &analyzer{
+		pass:     pass,
+		graph:    g,
+		infos:    map[*callgraph.Node]*escape.Info{},
+		panics:   map[*callgraph.Node][]posRange{},
+		reported: map[token.Pos]bool{},
+	}
+	roots := a.collectRoots()
+	if len(roots) == 0 {
+		return nil
+	}
+	// Bottom-up may-allocate summaries: a function may allocate when its
+	// own statements hold a live (non-stack, non-panic) site or an
+	// unprovable call, or when any in-package callee may. The summary
+	// prunes the reporting walk and closes call-graph cycles soundly.
+	a.mayAlloc = dataflow.Summaries(g, dataflow.BoolLattice{}, func(n *callgraph.Node, callee func(*callgraph.Node) dataflow.Fact) dataflow.Fact {
+		if a.mayAllocDirect(n) {
+			return true
+		}
+		for _, e := range n.Calls {
+			if e.Callee.Body == nil || callee(e.Callee).(bool) {
+				return true
+			}
+		}
+		return false
+	})
+	for _, root := range roots {
+		a.checkRoot(root)
+	}
+	return nil
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+type analyzer struct {
+	pass     *analysis.Pass
+	graph    *callgraph.Graph
+	infos    map[*callgraph.Node]*escape.Info
+	panics   map[*callgraph.Node][]posRange
+	mayAlloc map[*callgraph.Node]dataflow.Fact
+	// reported de-duplicates sites shared by several annotated roots —
+	// one finding per offending position, attributed to the first root
+	// (in position order) that reaches it.
+	reported map[token.Pos]bool
+}
+
+// hasDirective reports whether a doc comment group carries the
+// //bouquet:allocfree directive (an optional trailing note is allowed:
+// "//bouquet:allocfree — steady-state pricing path").
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isDirectiveComment(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func isDirectiveComment(c *ast.Comment) bool {
+	rest, ok := strings.CutPrefix(c.Text, Directive)
+	if !ok {
+		return false
+	}
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// collectRoots returns the annotated functions' call-graph nodes in
+// position order and reports orphaned directives.
+func (a *analyzer) collectRoots() []*callgraph.Node {
+	var roots []*callgraph.Node
+	attached := map[*ast.Comment]bool{}
+	for _, f := range a.pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc) {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if isDirectiveComment(c) {
+					attached[c] = true
+				}
+			}
+			fn, ok := a.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if n := a.graph.NodeOf(fn); n != nil {
+				roots = append(roots, n)
+			}
+		}
+	}
+	// Any directive comment not consumed by a function declaration's doc
+	// is an orphan: it reads like a contract but constrains nothing.
+	for _, f := range a.pass.Files {
+		if a.pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isDirectiveComment(c) && !attached[c] {
+					a.pass.Reportf(c.Pos(), "%s is attached to nothing; place it in the doc comment of the function it constrains", Directive)
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// info returns the memoized escape analysis of one node.
+func (a *analyzer) info(n *callgraph.Node) *escape.Info {
+	in, ok := a.infos[n]
+	if !ok {
+		in = escape.Analyze(n, a.pass.TypesInfo)
+		a.infos[n] = in
+	}
+	return in
+}
+
+// panicRanges returns the source ranges of panic(...) arguments in n's
+// own statements: calls placed there only run on an aborting path, so
+// the allocation exemption that covers escape sites covers them too.
+func (a *analyzer) panicRanges(n *callgraph.Node) []posRange {
+	if rs, ok := a.panics[n]; ok {
+		return rs
+	}
+	var rs []posRange
+	n.Inspect(func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return true // a local function shadowing the builtin
+		}
+		for _, arg := range call.Args {
+			rs = append(rs, posRange{arg.Pos(), arg.End()})
+		}
+		return true
+	})
+	a.panics[n] = rs
+	return rs
+}
+
+func (a *analyzer) inPanic(n *callgraph.Node, pos token.Pos) bool {
+	for _, r := range a.panicRanges(n) {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// liveSites returns n's allocation sites minus the stack-allocatable
+// and panic-path exemptions.
+func (a *analyzer) liveSites(n *callgraph.Node) []escape.Site {
+	var out []escape.Site
+	for _, s := range a.info(n).Sites {
+		if !s.Stack && !s.InPanic {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (a *analyzer) trustedExternal(e callgraph.ExternalEdge) bool {
+	if e.Callee.Pkg() != nil && trustedPkgs[e.Callee.Pkg().Path()] {
+		return true
+	}
+	return trustedFuncs[e.Callee.FullName()]
+}
+
+// mayAllocDirect reports whether n's own statements can allocate: a
+// live escape site, an unresolved call, an untrusted external call, all
+// outside panic arguments.
+func (a *analyzer) mayAllocDirect(n *callgraph.Node) bool {
+	if n.Body == nil {
+		return true
+	}
+	if len(a.liveSites(n)) > 0 {
+		return true
+	}
+	for _, site := range n.Unresolved {
+		if !a.inPanic(n, site.Pos()) {
+			return true
+		}
+	}
+	for _, e := range n.External {
+		if !a.trustedExternal(e) && !a.inPanic(n, e.Site.Pos()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRoot reports every live allocation reachable from one annotated
+// function, at the allocating site.
+func (a *analyzer) checkRoot(root *callgraph.Node) {
+	if root.Body == nil {
+		a.reportOnce(root.Pos(), "%s is %s but has no body to verify", root.Name(), Directive)
+		return
+	}
+	visited := map[*callgraph.Node]bool{}
+	var visit func(n *callgraph.Node)
+	visit = func(n *callgraph.Node) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		where := ""
+		if n != root {
+			where = " (in " + n.Name() + ")"
+		}
+		for _, s := range a.liveSites(n) {
+			a.reportOnce(s.Pos, "%s on the %s path of %s%s; hoist it, pool it, or annotate it with //bouquet:allow allocbound: <reason>", s.What, Directive, root.Name(), where)
+		}
+		for _, site := range n.Unresolved {
+			if a.inPanic(n, site.Pos()) {
+				continue
+			}
+			a.reportOnce(site.Pos(), "call through a function value on the %s path of %s%s cannot be proven allocation-free; call a named function or annotate it with //bouquet:allow allocbound: <reason>", Directive, root.Name(), where)
+		}
+		for _, e := range n.External {
+			if a.trustedExternal(e) || a.inPanic(n, e.Site.Pos()) {
+				continue
+			}
+			a.reportOnce(e.Site.Pos(), "call to %s on the %s path of %s%s is outside the allocation-free allowlist; verify the callee (and pin it with an AllocsPerRun test) or annotate it with //bouquet:allow allocbound: <reason>", e.Callee.FullName(), Directive, root.Name(), where)
+		}
+		for _, e := range n.Calls {
+			if e.Site != nil && a.inPanic(n, e.Site.Pos()) {
+				continue
+			}
+			if e.Callee.Body == nil {
+				pos := n.Pos()
+				if e.Site != nil {
+					pos = e.Site.Pos()
+				}
+				a.reportOnce(pos, "call to bodyless %s on the %s path of %s%s cannot be verified", e.Callee.Name(), Directive, root.Name(), where)
+				continue
+			}
+			if a.mayAlloc[e.Callee].(bool) {
+				visit(e.Callee)
+			}
+		}
+	}
+	visit(root)
+}
+
+// reportOnce reports at pos unless an earlier root already claimed the
+// position — shared callees yield one finding, not one per contract.
+func (a *analyzer) reportOnce(pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,147 @@
+package allocbound_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/allocbound"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, allocbound.Analyzer, "testdata/src/a")
+}
+
+// runSrc applies the analyzer to one in-memory file.
+func runSrc(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("a", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPackage([]*analysis.Analyzer{allocbound.Analyzer}, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestOrphanDirective pins that a //bouquet:allocfree comment attached
+// to anything but a function declaration is reported: an orphaned
+// contract constrains nothing, which is worse than no contract.
+func TestOrphanDirective(t *testing.T) {
+	diags := runSrc(t, `package a
+
+//bouquet:allocfree
+var steps = []float64{1, 2}
+
+func fine() {}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 orphan finding, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "attached to nothing") {
+		t.Fatalf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestDirectiveWithNote pins that a trailing note after the directive
+// still annotates ("//bouquet:allocfree steady-state pricing path"),
+// while a longer identifier does not ("//bouquet:allocfreeze").
+func TestDirectiveWithNote(t *testing.T) {
+	diags := runSrc(t, `package a
+
+// grow has a note after the directive.
+//
+//bouquet:allocfree steady-state path
+func grow(s []int, v int) []int {
+	return append(s, v)
+}
+
+//bouquet:allocfreeze
+func notAnnotated(s []int, v int) []int {
+	return append(s, v)
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the noted function's finding, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "a.grow") {
+		t.Fatalf("finding should attribute a.grow: %s", diags[0].Message)
+	}
+}
+
+// TestBodylessRoot pins the verdict on an annotated declaration with no
+// body (assembly stub shape): unverifiable, therefore reported.
+func TestBodylessRoot(t *testing.T) {
+	diags := runSrc(t, `package a
+
+//bouquet:allocfree
+func stub(x int) int
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no body to verify") {
+		t.Fatalf("want bodyless finding, got %v", diags)
+	}
+}
+
+// TestSharedCalleeReportedOnce pins de-duplication: two annotated roots
+// reaching the same allocating callee yield one finding at the site,
+// not one per contract.
+func TestSharedCalleeReportedOnce(t *testing.T) {
+	diags := runSrc(t, `package a
+
+//bouquet:allocfree
+func rootA(n int) int { return helper(n) }
+
+//bouquet:allocfree
+func rootB(n int) int { return helper(n) + 1 }
+
+func helper(n int) int {
+	return len(make([]int, n))
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("shared callee must be reported once, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "a.rootA") {
+		t.Fatalf("finding should attribute the first root in position order: %s", diags[0].Message)
+	}
+}
+
+// TestRecursionTerminates pins that mutually recursive annotated
+// functions neither loop nor crash the summary fixpoint.
+func TestRecursionTerminates(t *testing.T) {
+	diags := runSrc(t, `package a
+
+//bouquet:allocfree
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("allocation-free recursion must be clean, got %v", diags)
+	}
+}

@@ -1,0 +1,130 @@
+// Package a is the allocbound fixture: //bouquet:allocfree contracts
+// in the shapes the repository's hot paths actually take. The clean
+// section mirrors the cost kernel (pure arithmetic over trusted math
+// calls), the ladder lookup (sort.Search with a local closure), and
+// stack-allocatable scratch; the positives are the regressions the
+// contract exists to catch.
+package a
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// --- clean: pure arithmetic and trusted callees ---
+
+// price mirrors the cost kernel: arithmetic plus trusted math calls.
+//
+//bouquet:allocfree
+func price(pages, sel float64) float64 {
+	if sel <= 0 {
+		return 0
+	}
+	return pages*sel + math.Ceil(math.Log2(pages))
+}
+
+// stepFor mirrors contour.Ladder.StepFor: sort.Search does not retain
+// its closure, so the lookup stays allocation-free.
+//
+//bouquet:allocfree
+func stepFor(steps []float64, c float64) int {
+	return sort.Search(len(steps), func(i int) bool { return c <= steps[i] }) + 1
+}
+
+// localScratch's new never escapes; the compiler keeps it on the stack.
+//
+//bouquet:allocfree
+func localScratch(x int) int {
+	p := new(int)
+	*p = x * 2
+	return *p
+}
+
+// guarded allocates only while aborting: panic arguments are exempt.
+//
+//bouquet:allocfree
+func guarded(kind int, name string) int {
+	switch kind {
+	case 1:
+		return 1
+	default:
+		panic("unknown kind " + name)
+	}
+}
+
+// viaClean reaches only allocation-free in-package callees.
+//
+//bouquet:allocfree
+func viaClean(pages, sel float64) float64 {
+	return price(pages, sel) * 2
+}
+
+// --- positives: every reachable allocation class ---
+
+// grow is annotated but appends.
+//
+//bouquet:allocfree
+func grow(s []int, v int) []int {
+	return append(s, v) // want `append may grow its backing array on the //bouquet:allocfree path of a\.grow`
+}
+
+// boxed launders an int through an interface.
+//
+//bouquet:allocfree
+func boxed(x int) any {
+	var v any = x // want `boxing int into an interface on the //bouquet:allocfree path of a\.boxed`
+	return v
+}
+
+// viaHelper reaches an allocation through an in-package callee: the
+// finding lands on the callee's site, summary-propagated to the root.
+//
+//bouquet:allocfree
+func viaHelper(n int) int {
+	return helperAlloc(n)
+}
+
+func helperAlloc(n int) int {
+	buf := make([]int, n) // want `make\(slice\) on the //bouquet:allocfree path of a\.viaHelper \(in a\.helperAlloc\)`
+	return len(buf)
+}
+
+// funcValue calls through a function value, which proves nothing.
+//
+//bouquet:allocfree
+func funcValue(f func() int) int {
+	return f() // want `call through a function value on the //bouquet:allocfree path of a\.funcValue`
+}
+
+// external calls a stdlib function outside the allowlist.
+//
+//bouquet:allocfree
+func external(s string) string {
+	return strings.ToUpper(s) // want `call to strings\.ToUpper on the //bouquet:allocfree path of a\.external`
+}
+
+// concat builds a string per call.
+//
+//bouquet:allocfree
+func concat(a, b string) string {
+	return a + b // want `string concatenation on the //bouquet:allocfree path of a\.concat`
+}
+
+// escapingNew is the stack exemption's negative: the same new as
+// localScratch, heap-bound because it escapes.
+//
+//bouquet:allocfree
+func escapingNew() *int {
+	return new(int) // want `new on the //bouquet:allocfree path of a\.escapingNew`
+}
+
+// --- suppression: a deliberate, documented exception ---
+
+// coldPath documents its one-off allocation in place.
+//
+//bouquet:allocfree
+func coldPath(n int) []int {
+	//bouquet:allow allocbound: cold path, runs once per plan switch and is measured by the ladder test
+	return make([]int, n)
+}

@@ -67,8 +67,9 @@ type Pass struct {
 	// TypesInfo holds the type-checker's findings for Files.
 	TypesInfo *types.Info
 
-	diags *[]Diagnostic
-	allow allowIndex
+	diags  *[]Diagnostic
+	allow  allowIndex
+	shared *Infra
 }
 
 // A Diagnostic is one reported finding.
@@ -196,18 +197,27 @@ func NewTypesInfo() *types.Info {
 }
 
 // RunPackage applies each analyzer to one type-checked package and returns
-// the surviving (non-suppressed) diagnostics sorted by position.
+// the surviving (non-suppressed) diagnostics sorted by position. The
+// analyzers share one Infra cache, so the call graph and CFGs are built
+// once per package no matter how many analyzers consult them.
 func RunPackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	allow, diags := buildAllowIndex(fset, files)
+	return RunPackageWithInfra(analyzers, NewInfra(fset, files, pkg, info))
+}
+
+// RunPackageWithInfra is RunPackage with a caller-supplied shared cache,
+// for drivers (-timing) that prime or reuse infrastructure explicitly.
+func RunPackageWithInfra(analyzers []*Analyzer, infra *Infra) ([]Diagnostic, error) {
+	allow, diags := buildAllowIndex(infra.fset, infra.files)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Fset:      infra.fset,
+			Files:     infra.files,
+			Pkg:       infra.pkg,
+			TypesInfo: infra.info,
 			diags:     &diags,
 			allow:     allow,
+			shared:    infra,
 		}
 		if err := a.Run(pass); err != nil {
 			return diags, fmt.Errorf("%s: %w", a.Name, err)

@@ -49,16 +49,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	files := make([]*ast.File, 0, len(pass.Files))
-	for _, f := range pass.Files {
-		if !pass.InTestFile(f.Pos()) {
-			files = append(files, f)
-		}
-	}
+	files := pass.NonTestFiles()
 	if len(files) == 0 {
 		return nil
 	}
-	g := callgraph.New(files, pass.TypesInfo, pass.Pkg)
+	g := pass.CallGraph()
 	a := &analyzer{pass: pass, graph: g}
 	a.collectAtomicTargets()
 	a.checkAddressMixed()

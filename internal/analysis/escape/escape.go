@@ -1,0 +1,905 @@
+// Package escape is the allocation/escape layer of the bouquetvet
+// analysis framework: an intraprocedural analysis that locates every
+// construct in one function body that may allocate on the heap, and
+// classifies which of those allocations the compiler can provably keep
+// on the stack because the allocated value never escapes the function.
+//
+// It is the substrate for the allocbound analyzer, which enforces the
+// repository's zero-allocation hot-path contracts (//bouquet:allocfree)
+// statically — the same contracts the AllocsPerRun tests pin
+// dynamically. The two pins are deliberately redundant: the dynamic
+// test catches what the model misses, the static gate catches
+// regressions on paths the benchmarks never drive.
+//
+// # Allocation sites
+//
+// A Site is one syntactic construct that may allocate:
+//
+//   - new(T) and &T{...} — pointer-producing allocations;
+//   - composite literals — slice and map literals always reference heap
+//     storage; struct/array value literals are copies and only allocate
+//     when their address escapes;
+//   - make — slices, maps, channels;
+//   - append — may grow its backing array;
+//   - interface boxing — a concrete non-pointer-shaped value converted
+//     (explicitly or implicitly: assignment, call argument, return,
+//     send, map store) to an interface type copies the value to the
+//     heap; fmt-style ...any arguments are the canonical case;
+//   - variadic calls — the implicit backing slice for the collected
+//     arguments;
+//   - string concatenation — non-constant + on strings builds a new
+//     string; so do []byte/string/[]rune conversions;
+//   - capturing closures — a func literal that captures enclosing
+//     variables materializes a closure object;
+//   - go statements — launching a goroutine allocates its stack.
+//
+// # Escape classification
+//
+// The analysis is flow-insensitive and conservative: a local escapes
+// when its value is returned, sent on a channel, stored outside the
+// function's locals (global, field, slice/map element, pointer target),
+// captured by a function literal, or passed to any call — except
+// builtins that retain nothing and a short list of trusted callees
+// (sort.Search and friends) known not to retain their arguments.
+// Assignments propagate escape backwards (if the destination escapes,
+// so does the source), to a fixpoint.
+//
+// A pointer-producing site bound to a local that never escapes is
+// marked Stack — provably stack-allocatable, exempt from the allocfree
+// contract. Sites reachable only as panic(...) arguments are marked
+// InPanic: a panicking path's allocation is irrelevant to steady-state
+// budgets, so allocbound exempts those too.
+package escape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// Kind classifies one allocation site.
+type Kind int
+
+const (
+	// KindNew is new(T).
+	KindNew Kind = iota
+	// KindMake is make(slice/map/chan).
+	KindMake
+	// KindComposite is a composite literal (value, &T{...}, or
+	// slice/map literal).
+	KindComposite
+	// KindAppend is an append call, which may grow its backing array.
+	KindAppend
+	// KindBox is a concrete value converted to an interface type.
+	KindBox
+	// KindConcat is non-constant string concatenation or an allocating
+	// string conversion.
+	KindConcat
+	// KindClosure is a function literal that captures enclosing
+	// variables.
+	KindClosure
+	// KindGo is a go statement (goroutine stack).
+	KindGo
+	// KindVariadic is the implicit argument slice of a non-ellipsis
+	// variadic call.
+	KindVariadic
+)
+
+var kindNames = [...]string{
+	KindNew:       "new",
+	KindMake:      "make",
+	KindComposite: "composite literal",
+	KindAppend:    "append may grow its backing array",
+	KindBox:       "interface boxing",
+	KindConcat:    "string concatenation",
+	KindClosure:   "capturing closure",
+	KindGo:        "goroutine launch",
+	KindVariadic:  "variadic argument slice",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "allocation"
+}
+
+// A Site is one construct that may allocate.
+type Site struct {
+	// Pos locates the allocating expression or statement.
+	Pos token.Pos
+	// Kind classifies the allocation.
+	Kind Kind
+	// What is a short human-readable rendering for diagnostics
+	// ("make([]int32, ...)", "boxing int into any").
+	What string
+	// Stack reports that the allocated value provably never escapes the
+	// function, so the compiler keeps it on the stack: the site is
+	// exempt from zero-allocation contracts.
+	Stack bool
+	// InPanic reports that the site sits inside a panic(...) argument:
+	// it only allocates on a path that is already aborting.
+	InPanic bool
+}
+
+// Info is the analysis result for one function body.
+type Info struct {
+	// Sites are the allocation sites in source order.
+	Sites []Site
+
+	escaped map[*types.Var]bool
+}
+
+// Escapes reports whether the local variable v's value may leave the
+// function (returned, stored to the heap, sent, captured, or passed to
+// an untrusted call).
+func (i *Info) Escapes(v *types.Var) bool { return i.escaped[v] }
+
+// noEscapeArgCallees lists external functions known not to retain their
+// arguments: a closure passed to them can stay on the caller's stack
+// and their arguments do not escape. Kept deliberately tiny — each
+// entry is a compiler-verified fact about the stdlib.
+var noEscapeArgCallees = map[string]bool{
+	"sort.Search":         true,
+	"sort.SearchInts":     true,
+	"sort.SearchFloat64s": true,
+	"sort.SearchStrings":  true,
+}
+
+// Analyze computes allocation sites and escape classification for the
+// statements lexically owned by n (its body minus nested function
+// literal bodies, which are their own call-graph nodes). It tolerates
+// incomplete type information — missing entries degrade to the
+// conservative answer, they never panic.
+func Analyze(n *callgraph.Node, info *types.Info) *Info {
+	a := &analysis{
+		node:    n,
+		info:    info,
+		parents: map[ast.Node]ast.Node{},
+		escaped: map[*types.Var]bool{},
+		edges:   map[*types.Var][]*types.Var{},
+	}
+	if n.Body == nil {
+		return &Info{escaped: a.escaped}
+	}
+	a.walk()
+	a.seedEscapes()
+	a.propagate()
+	a.classify()
+	return &Info{Sites: a.sites, escaped: a.escaped}
+}
+
+type analysis struct {
+	node *callgraph.Node
+	info *types.Info
+
+	// parents maps every owned node to its syntactic parent, for
+	// context classification (what consumes this allocation?).
+	parents map[ast.Node]ast.Node
+	// order is every owned node in depth-first source order; the
+	// collection passes iterate it so Sites come out deterministic.
+	order []ast.Node
+
+	escaped  map[*types.Var]bool
+	edges    map[*types.Var][]*types.Var // escape(dst) ⇒ escape(each src)
+	worklist []*types.Var
+
+	sites []Site
+}
+
+// walk records parent links and DFS order for the node's own syntax,
+// skipping nested function literal bodies (their allocations belong to
+// their own call-graph nodes).
+func (a *analysis) walk() {
+	var stack []ast.Node
+	ast.Inspect(a.node.Body, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			a.parents[m] = stack[len(stack)-1]
+		}
+		a.order = append(a.order, m)
+		if lit, ok := m.(*ast.FuncLit); ok && lit != a.node.Lit {
+			// The literal expression is visible to its parent (it may
+			// be a site); its body is another node's problem.
+			return false
+		}
+		stack = append(stack, m)
+		return true
+	})
+}
+
+// localVar resolves an identifier to the local (or parameter) variable
+// it names, nil for globals, fields, and unresolved names.
+func (a *analysis) localVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var v *types.Var
+	if d, ok := a.info.Defs[id].(*types.Var); ok {
+		v = d
+	} else if u, ok := a.info.Uses[id].(*types.Var); ok {
+		v = u
+	}
+	if v == nil || v.IsField() {
+		return nil
+	}
+	// A variable declared outside this function (package-level, or a
+	// capture from an enclosing function) is not a local.
+	if fn := a.funcScopePos(); fn != token.NoPos && (v.Pos() < fn || v.Pos() >= a.node.Body.End()) {
+		return nil
+	}
+	return v
+}
+
+func (a *analysis) funcScopePos() token.Pos {
+	switch {
+	case a.node.Decl != nil:
+		return a.node.Decl.Pos()
+	case a.node.Lit != nil:
+		return a.node.Lit.Pos()
+	}
+	return token.NoPos
+}
+
+// pointerFree reports whether values of t contain no pointers: copying
+// such a value out of the function cannot leak any local's storage.
+func pointerFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString == 0 && u.Kind() != types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !pointerFree(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return pointerFree(u.Elem())
+	}
+	return false
+}
+
+// markEscape records that e's value leaves the function: the base local
+// behind any selector/index/star/paren chain escapes. Escaping a copy
+// of a pointer-free value (return *p with p *int) marks nothing — the
+// copy cannot alias the local's storage.
+func (a *analysis) markEscape(e ast.Expr) {
+	if tv, ok := a.info.Types[e]; ok && tv.Type != nil && pointerFree(tv.Type) {
+		return
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = x.X
+				continue
+			}
+			return
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if v := a.localVar(x); v != nil && !a.escaped[v] {
+				a.escaped[v] = true
+				a.worklist = append(a.worklist, v)
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// addEdge records that if dst escapes, src escapes too.
+func (a *analysis) addEdge(dst ast.Expr, src ast.Expr) {
+	dv := a.localVar(dst)
+	if dv == nil {
+		a.markEscape(src)
+		return
+	}
+	// src: unwrap &x and x alike — both tie x's fate to dst's.
+	var sv *types.Var
+	se := ast.Unparen(src)
+	if u, ok := se.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		se = ast.Unparen(u.X)
+	}
+	if id, ok := se.(*ast.Ident); ok {
+		sv = a.localVar(id)
+	}
+	if sv == nil {
+		return
+	}
+	a.edges[dv] = append(a.edges[dv], sv)
+	if a.escaped[dv] {
+		a.markEscape(se)
+	}
+}
+
+// seedEscapes walks the owned syntax once, seeding the escaped set and
+// the assignment edges.
+func (a *analysis) seedEscapes() {
+	for _, m := range a.order {
+		switch m := m.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				a.markEscape(r)
+			}
+		case *ast.SendStmt:
+			a.markEscape(m.Value)
+		case *ast.GoStmt:
+			for _, arg := range m.Call.Args {
+				a.markEscape(arg)
+			}
+			a.markEscape(m.Call.Fun)
+		case *ast.DeferStmt:
+			for _, arg := range m.Call.Args {
+				a.markEscape(arg)
+			}
+		case *ast.AssignStmt:
+			a.seedAssign(m)
+		case *ast.ValueSpec:
+			for i, name := range m.Names {
+				if i < len(m.Values) {
+					a.addEdge(name, m.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			a.seedCall(m)
+		case *ast.FuncLit:
+			// Captured variables' values outlive the enclosing frame if
+			// the closure does; conservatively, any capture escapes.
+			if m != a.node.Lit {
+				for _, v := range a.captures(m) {
+					if !a.escaped[v] {
+						a.escaped[v] = true
+						a.worklist = append(a.worklist, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *analysis) seedAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			lhs, rhs := s.Lhs[i], s.Rhs[i]
+			if a.localVar(lhs) == nil {
+				// Stored outside the frame: global, field, element,
+				// pointer target.
+				a.markEscape(rhs)
+				continue
+			}
+			// append(s, elems...): the result aliases s, and the
+			// elements land in its backing array.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && a.isBuiltin(call, "append") {
+				for _, arg := range call.Args {
+					a.addEdge(lhs, arg)
+				}
+				continue
+			}
+			a.addEdge(lhs, rhs)
+		}
+		return
+	}
+	// x, y := f() — multi-value: nothing to tie variables to.
+	_ = s
+}
+
+// seedCall marks arguments (and method receivers) of untrusted calls as
+// escaping. Builtins retain nothing; the trusted list covers external
+// callees proven not to retain arguments.
+func (a *analysis) seedCall(call *ast.CallExpr) {
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if a.builtinName(call) != "" {
+		// len/cap/copy/delete/clear/min/max retain nothing; append is
+		// handled at its assignment; panic's argument escapes (but the
+		// site exemption handles the aborting path).
+		if a.isBuiltin(call, "panic") || a.isBuiltin(call, "print") || a.isBuiltin(call, "println") {
+			for _, arg := range call.Args {
+				a.markEscape(arg)
+			}
+		}
+		return
+	}
+	if a.trustedNoEscape(call) {
+		return
+	}
+	for _, arg := range call.Args {
+		a.markEscape(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method receiver: conservatively escapes (a pointer receiver
+		// aliases the local).
+		if _, ok := a.info.Uses[sel.Sel].(*types.Func); ok {
+			a.markEscape(sel.X)
+		}
+	}
+}
+
+// propagate runs the escape worklist to fixpoint over assignment edges.
+func (a *analysis) propagate() {
+	for len(a.worklist) > 0 {
+		v := a.worklist[len(a.worklist)-1]
+		a.worklist = a.worklist[:len(a.worklist)-1]
+		for _, src := range a.edges[v] {
+			if !a.escaped[src] {
+				a.escaped[src] = true
+				a.worklist = append(a.worklist, src)
+			}
+		}
+	}
+}
+
+// builtinName returns the name of the builtin a call invokes, "" for
+// non-builtins.
+func (a *analysis) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := a.info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	// panic/print parse as idents with Uses entries of *types.Builtin;
+	// under incomplete type info fall back to the universe names.
+	if a.info.Uses[id] == nil && types.Universe.Lookup(id.Name) != nil {
+		if _, ok := types.Universe.Lookup(id.Name).(*types.Builtin); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func (a *analysis) isBuiltin(call *ast.CallExpr, name string) bool {
+	return a.builtinName(call) == name
+}
+
+// calleeFullName resolves a call to its static callee's qualified name
+// ("sort.Search", "(*sync.Pool).Get"), "" when unresolved.
+func (a *analysis) calleeFullName(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = a.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = a.info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.FullName()
+}
+
+func (a *analysis) trustedNoEscape(call *ast.CallExpr) bool {
+	return noEscapeArgCallees[a.calleeFullName(call)]
+}
+
+// captures returns the enclosing-function variables a literal's body
+// references, in first-use order.
+func (a *analysis) captures(lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := a.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared outside the literal but inside this
+		// function (or any enclosing one — conservatively, any
+		// non-package variable declared before the literal).
+		if v.Pos() != token.NoPos && v.Pos() < lit.Pos() && !a.isPackageLevel(v) && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+func (a *analysis) isPackageLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// classify is the site-collection pass: it revisits the owned syntax in
+// source order and records every allocating construct with its
+// stack/panic exemptions.
+func (a *analysis) classify() {
+	for _, m := range a.order {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			a.classifyCall(m)
+		case *ast.CompositeLit:
+			a.classifyComposite(m)
+		case *ast.BinaryExpr:
+			if m.Op == token.ADD && a.isStringType(m) && !a.isConstant(m) {
+				a.add(m.Pos(), KindConcat, "string concatenation", false, a.inPanic(m))
+			}
+		case *ast.AssignStmt:
+			if m.Tok == token.ADD_ASSIGN && len(m.Lhs) == 1 && a.isStringType(m.Lhs[0]) {
+				a.add(m.Pos(), KindConcat, "string concatenation", false, a.inPanic(m))
+			}
+		case *ast.FuncLit:
+			if m != a.node.Lit {
+				a.classifyClosure(m)
+			}
+		case *ast.GoStmt:
+			a.add(m.Pos(), KindGo, "starting a goroutine", false, false)
+		}
+	}
+	// Implicit boxing at assignment/return/send boundaries.
+	a.classifyBoxing()
+}
+
+func (a *analysis) classifyCall(call *ast.CallExpr) {
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+		a.classifyConversion(call, tv.Type)
+		return
+	}
+	switch a.builtinName(call) {
+	case "new":
+		bound := a.binding(call)
+		stack := bound != nil && !a.escaped[bound]
+		a.add(call.Pos(), KindNew, "new", stack, a.inPanic(call))
+		return
+	case "make":
+		a.classifyMake(call)
+		return
+	case "append":
+		a.add(call.Pos(), KindAppend, "append may grow its backing array", false, a.inPanic(call))
+		return
+	case "":
+		// Not a builtin: fall through to signature checks.
+	default:
+		return // len, cap, copy, panic, ... allocate nothing themselves
+	}
+	sig := a.callSignature(call)
+	if sig == nil {
+		return
+	}
+	// Interface boxing of arguments, including fmt-style variadics.
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = sig.Params().At(np - 1).Type()
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		a.checkBox(arg, pt)
+	}
+	// The implicit backing slice of a non-ellipsis variadic call.
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= np {
+		a.add(call.Pos(), KindVariadic, "variadic call allocates its argument slice", false, a.inPanic(call))
+	}
+}
+
+func (a *analysis) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := a.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func (a *analysis) classifyMake(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := a.info.Types[call.Args[0]]
+	what, constSize := "make", true
+	if ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			what = "make(map)"
+			constSize = false
+		case *types.Chan:
+			what = "make(chan)"
+			constSize = false
+		case *types.Slice:
+			what = "make(slice)"
+			for _, arg := range call.Args[1:] {
+				if !a.isConstant(arg) {
+					constSize = false
+				}
+			}
+		}
+	} else {
+		constSize = false
+	}
+	bound := a.binding(call)
+	stack := constSize && bound != nil && !a.escaped[bound]
+	a.add(call.Pos(), KindMake, what, stack, a.inPanic(call))
+}
+
+func (a *analysis) classifyConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if types.IsInterface(to.Underlying()) {
+		a.checkBox(arg, to)
+		return
+	}
+	from, ok := a.info.Types[arg]
+	if !ok || from.Type == nil {
+		return
+	}
+	fs, isFromString := from.Type.Underlying().(*types.Basic)
+	toSlice, isToSlice := to.Underlying().(*types.Slice)
+	toBasic, isToBasic := to.Underlying().(*types.Basic)
+	switch {
+	case isFromString && fs.Info()&types.IsString != 0 && isToSlice:
+		// string -> []byte / []rune
+		_ = toSlice
+		a.add(call.Pos(), KindConcat, "string-to-slice conversion copies", false, a.inPanic(call))
+	case isToBasic && toBasic.Info()&types.IsString != 0 && !a.isConstant(arg):
+		if _, fromSlice := from.Type.Underlying().(*types.Slice); fromSlice {
+			// []byte / []rune -> string
+			a.add(call.Pos(), KindConcat, "slice-to-string conversion copies", false, a.inPanic(call))
+		}
+	}
+}
+
+// classifyComposite records composite-literal sites. The &T{...} form
+// is attributed to the literal (the unary & is just its address).
+func (a *analysis) classifyComposite(lit *ast.CompositeLit) {
+	tv, ok := a.info.Types[lit]
+	if !ok || tv.Type == nil {
+		// Unknown type: conservative heap site.
+		a.add(lit.Pos(), KindComposite, "composite literal", false, a.inPanic(lit))
+		return
+	}
+	// Skip literals nested inside another literal — the outermost one
+	// carries the site (its classification covers the storage).
+	if _, ok := a.parents[lit].(*ast.CompositeLit); ok {
+		if _, isRef := tv.Type.Underlying().(*types.Slice); !isRef {
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+		}
+	}
+	if kv, ok := a.parents[lit].(*ast.KeyValueExpr); ok {
+		if _, ok := a.parents[kv].(*ast.CompositeLit); ok {
+			if _, isRef := tv.Type.Underlying().(*types.Slice); !isRef {
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return
+				}
+			}
+		}
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		bound := a.binding(lit)
+		stack := bound != nil && !a.escaped[bound]
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			stack = false // map headers and buckets live on the heap
+		}
+		a.add(lit.Pos(), KindComposite, types.TypeString(tv.Type, nil)+" literal", stack, a.inPanic(lit))
+		return
+	}
+	// Struct/array literal: a value copy unless its address is the
+	// allocation (&T{...}) — then it behaves like new.
+	if u, ok := a.parents[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		bound := a.binding(u)
+		stack := bound != nil && !a.escaped[bound]
+		a.add(u.Pos(), KindComposite, "&"+types.TypeString(tv.Type, nil)+"{...}", stack, a.inPanic(u))
+		return
+	}
+	// Plain value literal: stack unless boxed (boxing is its own site).
+	a.add(lit.Pos(), KindComposite, types.TypeString(tv.Type, nil)+"{...} value", true, a.inPanic(lit))
+}
+
+func (a *analysis) classifyClosure(lit *ast.FuncLit) {
+	caps := a.captures(lit)
+	if len(caps) == 0 {
+		return // a capture-free literal is a static function value
+	}
+	parent := a.parents[lit]
+	stack := false
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == ast.Expr(lit) {
+			stack = true // immediately invoked
+		} else if a.trustedNoEscape(p) {
+			stack = true // callee proven not to retain the literal
+		}
+	case *ast.GoStmt:
+		return // the KindGo site covers the launch
+	}
+	if !stack {
+		if bound := a.binding(lit); bound != nil && !a.escaped[bound] {
+			stack = true // local func value, called here only
+		}
+	}
+	a.add(lit.Pos(), KindClosure, "closure captures variables", stack, a.inPanic(lit))
+}
+
+// classifyBoxing finds implicit interface conversions at assignment,
+// declaration, return, and send boundaries (call arguments are handled
+// per-call).
+func (a *analysis) classifyBoxing() {
+	results := a.resultTypes()
+	for _, m := range a.order {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != len(m.Rhs) {
+				continue
+			}
+			for i := range m.Lhs {
+				if lt, ok := a.info.Types[m.Lhs[i]]; ok && lt.Type != nil {
+					a.checkBox(m.Rhs[i], lt.Type)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range m.Names {
+				if i >= len(m.Values) {
+					break
+				}
+				if nt, ok := a.info.Defs[name]; ok && nt != nil {
+					a.checkBox(m.Values[i], nt.Type())
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, r := range m.Results {
+				if i < len(results) {
+					a.checkBox(r, results[i])
+				}
+			}
+		case *ast.SendStmt:
+			if ct, ok := a.info.Types[m.Chan]; ok && ct.Type != nil {
+				if ch, ok := ct.Type.Underlying().(*types.Chan); ok {
+					a.checkBox(m.Value, ch.Elem())
+				}
+			}
+		}
+	}
+}
+
+func (a *analysis) resultTypes() []types.Type {
+	var sig *types.Signature
+	switch {
+	case a.node.Func != nil:
+		sig, _ = a.node.Func.Type().(*types.Signature)
+	case a.node.Lit != nil:
+		if tv, ok := a.info.Types[a.node.Lit]; ok && tv.Type != nil {
+			sig, _ = tv.Type.Underlying().(*types.Signature)
+		}
+	}
+	if sig == nil {
+		return nil
+	}
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+// checkBox records a boxing site when expr's concrete, non-pointer-
+// shaped value is converted to the interface type target.
+func (a *analysis) checkBox(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := a.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if types.IsInterface(from.Underlying()) {
+		return // interface-to-interface carries the word, no copy
+	}
+	if tv.IsNil() {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface word
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	a.add(expr.Pos(), KindBox, "boxing "+types.TypeString(from, nil)+" into an interface", false, a.inPanic(expr))
+}
+
+// binding returns the local variable a site expression is directly
+// bound to (x := site, var x = site, x = site), nil otherwise.
+func (a *analysis) binding(site ast.Node) *types.Var {
+	child := site
+	parent := a.parents[child]
+	for {
+		if p, ok := parent.(*ast.ParenExpr); ok {
+			child, parent = parent, a.parents[p]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return nil
+		}
+		for i, r := range p.Rhs {
+			if ast.Unparen(r) == child {
+				return a.localVar(p.Lhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if ast.Unparen(v) == child && i < len(p.Names) {
+				return a.localVar(p.Names[i])
+			}
+		}
+	}
+	return nil
+}
+
+// isStringType reports whether the expression has string type.
+func (a *analysis) isStringType(e ast.Expr) bool {
+	tv, ok := a.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstant reports whether the expression is a compile-time constant
+// (constant folding means it allocates nothing at run time).
+func (a *analysis) isConstant(e ast.Expr) bool {
+	tv, ok := a.info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// inPanic reports whether the node sits inside a panic(...) argument.
+func (a *analysis) inPanic(n ast.Node) bool {
+	for cur := n; cur != nil; cur = a.parents[cur] {
+		call, ok := cur.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if a.isBuiltin(call, "panic") && n != ast.Node(call) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analysis) add(pos token.Pos, kind Kind, what string, stack, inPanic bool) {
+	a.sites = append(a.sites, Site{Pos: pos, Kind: kind, What: what, Stack: stack, InPanic: inPanic})
+}

@@ -1,0 +1,387 @@
+package escape
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// analyzeFunc type-checks src, builds its call graph, and runs the
+// escape analysis on the named function.
+func analyzeFunc(t *testing.T, src, name string) *Info {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("a", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := callgraph.New([]*ast.File{f}, info, pkg)
+	for _, n := range g.Nodes() {
+		if n.Func != nil && strings.HasSuffix(n.Name(), name) {
+			return Analyze(n, info)
+		}
+	}
+	t.Fatalf("no function %q in graph", name)
+	return nil
+}
+
+// kinds projects the non-exempt (heap, non-panic) sites to their kinds.
+func heapKinds(info *Info) []Kind {
+	var out []Kind
+	for _, s := range info.Sites {
+		if !s.Stack && !s.InPanic {
+			out = append(out, s.Kind)
+		}
+	}
+	return out
+}
+
+func TestPureArithmeticHasNoSites(t *testing.T) {
+	info := analyzeFunc(t, `package a
+func f(x, y int) int {
+	z := x*y + 3
+	if z > 10 {
+		z -= x
+	}
+	for i := 0; i < 4; i++ {
+		z += i
+	}
+	return z
+}
+`, "a.f")
+	if len(info.Sites) != 0 {
+		t.Fatalf("pure arithmetic produced sites: %+v", info.Sites)
+	}
+}
+
+func TestNewStackVsEscaping(t *testing.T) {
+	info := analyzeFunc(t, `package a
+func local() int {
+	p := new(int)
+	*p = 4
+	return *p
+}
+func leaked() *int {
+	p := new(int)
+	return p
+}
+`, "a.local")
+	if len(info.Sites) != 1 || !info.Sites[0].Stack {
+		t.Fatalf("non-escaping new should be a Stack site, got %+v", info.Sites)
+	}
+	info = analyzeFunc(t, `package a
+func leaked() *int {
+	p := new(int)
+	return p
+}
+`, "a.leaked")
+	if len(info.Sites) != 1 || info.Sites[0].Stack {
+		t.Fatalf("returned new must be a heap site, got %+v", info.Sites)
+	}
+}
+
+func TestMakeClassification(t *testing.T) {
+	src := `package a
+func constSlice() int {
+	s := make([]int, 8)
+	return len(s)
+}
+func varSlice(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+func mapAlloc() int {
+	m := make(map[int]int)
+	return len(m)
+}
+`
+	if got := heapKinds(analyzeFunc(t, src, "a.constSlice")); len(got) != 0 {
+		t.Errorf("constant-size local make should be stack-exempt, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.varSlice")); len(got) != 1 || got[0] != KindMake {
+		t.Errorf("variable-size make must be a heap site, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.mapAlloc")); len(got) != 1 || got[0] != KindMake {
+		t.Errorf("make(map) must be a heap site, got %v", got)
+	}
+}
+
+func TestAppendIsAlwaysASite(t *testing.T) {
+	info := analyzeFunc(t, `package a
+func f(s []int, v int) []int {
+	s = append(s, v)
+	return s
+}
+`, "a.f")
+	got := heapKinds(info)
+	if len(got) != 1 || got[0] != KindAppend {
+		t.Fatalf("append must be a heap site, got %+v", info.Sites)
+	}
+}
+
+func TestInterfaceBoxing(t *testing.T) {
+	src := `package a
+func box(x int) any {
+	var v any = x
+	return v
+}
+func pointerShaped(p *int) any {
+	var v any = p
+	return v
+}
+func nilNoBox() any {
+	var v any = nil
+	return v
+}
+`
+	if got := heapKinds(analyzeFunc(t, src, "a.box")); len(got) != 1 || got[0] != KindBox {
+		t.Errorf("int-to-any must box, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.pointerShaped")); len(got) != 0 {
+		t.Errorf("pointer-to-any fits the interface word, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.nilNoBox")); len(got) != 0 {
+		t.Errorf("nil assignment must not box, got %v", got)
+	}
+}
+
+func TestVariadicBoxing(t *testing.T) {
+	info := analyzeFunc(t, `package a
+import "fmt"
+func f(x int) {
+	fmt.Println("x =", x)
+}
+`, "a.f")
+	var box, variadic bool
+	for _, s := range info.Sites {
+		if s.Stack || s.InPanic {
+			continue
+		}
+		switch s.Kind {
+		case KindBox:
+			box = true
+		case KindVariadic:
+			variadic = true
+		}
+	}
+	if !box || !variadic {
+		t.Fatalf("fmt.Println(int) must report boxing and the variadic slice, got %+v", info.Sites)
+	}
+}
+
+func TestEllipsisCallDoesNotReVariadic(t *testing.T) {
+	info := analyzeFunc(t, `package a
+import "fmt"
+func f(args []any) {
+	fmt.Println(args...)
+}
+`, "a.f")
+	for _, s := range info.Sites {
+		if s.Kind == KindVariadic {
+			t.Fatalf("args... passes the slice through, got %+v", s)
+		}
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	src := `package a
+func dynamic(a, b string) string { return a + b }
+func folded() string { return "a" + "b" }
+`
+	if got := heapKinds(analyzeFunc(t, src, "a.dynamic")); len(got) != 1 || got[0] != KindConcat {
+		t.Errorf("dynamic concat must be a site, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.folded")); len(got) != 0 {
+		t.Errorf("constant concat folds at compile time, got %v", got)
+	}
+}
+
+func TestStringSliceConversions(t *testing.T) {
+	src := `package a
+func toBytes(s string) []byte { return []byte(s) }
+func toString(b []byte) string { return string(b) }
+`
+	if got := heapKinds(analyzeFunc(t, src, "a.toBytes")); len(got) != 1 || got[0] != KindConcat {
+		t.Errorf("[]byte(s) must be a site, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.toString")); len(got) != 1 || got[0] != KindConcat {
+		t.Errorf("string(b) must be a site, got %v", got)
+	}
+}
+
+func TestClosures(t *testing.T) {
+	src := `package a
+func capture(n int) func() int {
+	return func() int { return n }
+}
+func iife(n int) int {
+	return func() int { return n }()
+}
+func captureFree() func() int {
+	return func() int { return 7 }
+}
+`
+	if got := heapKinds(analyzeFunc(t, src, "a.capture")); len(got) != 1 || got[0] != KindClosure {
+		t.Errorf("escaping capture must be a site, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.iife")); len(got) != 0 {
+		t.Errorf("immediately-invoked literal stays on the stack, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.captureFree")); len(got) != 0 {
+		t.Errorf("capture-free literal is a static function value, got %v", got)
+	}
+}
+
+func TestSortSearchClosureIsTrusted(t *testing.T) {
+	info := analyzeFunc(t, `package a
+import "sort"
+func f(steps []float64, c float64) int {
+	return sort.Search(len(steps), func(i int) bool { return c <= steps[i] }) + 1
+}
+`, "a.f")
+	if got := heapKinds(info); len(got) != 0 {
+		t.Fatalf("sort.Search does not retain its closure, got %v (sites %+v)", got, info.Sites)
+	}
+}
+
+func TestGoStatement(t *testing.T) {
+	info := analyzeFunc(t, `package a
+func f(ch chan int) {
+	go func() { ch <- 1 }()
+}
+`, "a.f")
+	got := heapKinds(info)
+	if len(got) != 1 || got[0] != KindGo {
+		t.Fatalf("go statement must be one site (closure subsumed), got %+v", info.Sites)
+	}
+}
+
+func TestPanicPathExemption(t *testing.T) {
+	info := analyzeFunc(t, `package a
+import "fmt"
+func f(kind int) int {
+	switch kind {
+	case 1:
+		return 10
+	default:
+		panic(fmt.Sprintf("unknown kind %d", kind))
+	}
+}
+`, "a.f")
+	if len(info.Sites) == 0 {
+		t.Fatal("panic argument should still report sites")
+	}
+	for _, s := range info.Sites {
+		if !s.InPanic {
+			t.Fatalf("site %+v should be marked InPanic", s)
+		}
+	}
+	if got := heapKinds(info); len(got) != 0 {
+		t.Fatalf("all sites are panic-path, got %v", got)
+	}
+}
+
+func TestCompositeLiterals(t *testing.T) {
+	src := `package a
+type pt struct{ x, y int }
+func value() int {
+	p := pt{1, 2}
+	return p.x
+}
+func escapingRef() *pt {
+	return &pt{1, 2}
+}
+func localRef() int {
+	p := &pt{1, 2}
+	return p.x
+}
+func sliceLit() []int {
+	return []int{1, 2, 3}
+}
+`
+	if got := heapKinds(analyzeFunc(t, src, "a.value")); len(got) != 0 {
+		t.Errorf("value literal copy must be exempt, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.escapingRef")); len(got) != 1 || got[0] != KindComposite {
+		t.Errorf("returned &T{} must be a heap site, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.localRef")); len(got) != 0 {
+		t.Errorf("local-only &T{} is stack-allocatable, got %v", got)
+	}
+	if got := heapKinds(analyzeFunc(t, src, "a.sliceLit")); len(got) != 1 || got[0] != KindComposite {
+		t.Errorf("returned slice literal must be a heap site, got %v", got)
+	}
+}
+
+func TestEscapePropagation(t *testing.T) {
+	// q escapes via return; p := q ties p to q, so p's new is heap.
+	info := analyzeFunc(t, `package a
+func f() *int {
+	p := new(int)
+	q := p
+	return q
+}
+`, "a.f")
+	if len(info.Sites) != 1 || info.Sites[0].Stack {
+		t.Fatalf("aliased-then-returned new must be heap, got %+v", info.Sites)
+	}
+}
+
+func TestEscapeThroughUntrustedCall(t *testing.T) {
+	info := analyzeFunc(t, `package a
+func sink(p *int)
+func f() {
+	p := new(int)
+	sink(p)
+}
+`, "a.f")
+	if len(info.Sites) != 1 || info.Sites[0].Stack {
+		t.Fatalf("value passed to an untrusted call must count as escaping, got %+v", info.Sites)
+	}
+}
+
+func TestSitesAreInSourceOrder(t *testing.T) {
+	info := analyzeFunc(t, `package a
+func f(n int) []int {
+	a := make([]int, n)
+	b := make([]int, n)
+	a = append(a, len(b))
+	return a
+}
+`, "a.f")
+	for i := 1; i < len(info.Sites); i++ {
+		if info.Sites[i].Pos < info.Sites[i-1].Pos {
+			t.Fatalf("sites out of source order: %+v", info.Sites)
+		}
+	}
+	if len(info.Sites) < 3 {
+		t.Fatalf("expected at least 3 sites, got %+v", info.Sites)
+	}
+}
+
+func TestNilBodyIsEmpty(t *testing.T) {
+	// A declared-but-not-defined function (assembly stub shape).
+	info := analyzeFunc(t, `package a
+func stub(x int) int
+`, "a.stub")
+	if len(info.Sites) != 0 {
+		t.Fatalf("bodyless function has no sites, got %+v", info.Sites)
+	}
+}

@@ -1,0 +1,147 @@
+package escape
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// FuzzEscape throws arbitrary Go source at the escape layer. Any source
+// that parses and type-checks (import-free, so the corpus needs no
+// export data) must analyze without panicking, and the result must obey
+// the structural invariants allocbound relies on: sites in source
+// order, positions inside the analyzed body, kinds in range, and a
+// verdict that does not change when the same node is analyzed twice.
+func FuzzEscape(f *testing.F) {
+	seeds := []string{
+		`package p
+func f(x int) *int {
+	p := new(int)
+	*p = x
+	return p
+}`,
+		`package p
+func f(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i*i)
+	}
+	return s
+}`,
+		`package p
+func f(n int) func() int {
+	c := 0
+	inc := func() int { c++; return c }
+	defer func() { c = 0 }()
+	if n > 0 {
+		return inc
+	}
+	return func() int { return n }
+}`,
+		`package p
+func f(vals []float64) any {
+	type box struct{ v float64 }
+	var out any
+	for _, v := range vals {
+		out = box{v}
+	}
+	return out
+}`,
+		`package p
+func f(a, b string) string {
+	s := a + b
+	bs := []byte(s)
+	return string(bs)
+}`,
+		`package p
+func f(ch chan *int) {
+	go func() {
+		x := new(int)
+		ch <- x
+	}()
+	y := 1
+	ch <- &y
+}`,
+		`package p
+func f(kind int) int {
+	switch kind {
+	case 1:
+		return 1
+	default:
+		panic("bad kind")
+	}
+}`,
+		`package p
+func f() {}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Error: func(error) {}}
+		pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+		if err != nil || pkg == nil {
+			return // only well-typed programs carry the invariants
+		}
+		g := callgraph.New([]*ast.File{file}, info, pkg)
+		for _, n := range g.Nodes() {
+			first := Analyze(n, info)
+			checkInfo(t, n, first)
+			second := Analyze(n, info)
+			if len(first.Sites) != len(second.Sites) {
+				t.Fatalf("analysis not deterministic: %d vs %d sites", len(first.Sites), len(second.Sites))
+			}
+			for i := range first.Sites {
+				if first.Sites[i] != second.Sites[i] {
+					t.Fatalf("site %d differs across runs: %+v vs %+v", i, first.Sites[i], second.Sites[i])
+				}
+			}
+		}
+	})
+}
+
+// checkInfo asserts the structural invariants allocbound relies on.
+func checkInfo(t *testing.T, n *callgraph.Node, info *Info) {
+	t.Helper()
+	if info == nil {
+		t.Fatal("Analyze returned nil")
+	}
+	if n.Body == nil {
+		if len(info.Sites) != 0 {
+			t.Fatalf("bodyless node reported sites: %+v", info.Sites)
+		}
+		return
+	}
+	for i, s := range info.Sites {
+		if !s.Pos.IsValid() {
+			t.Fatalf("site %d has invalid position: %+v", i, s)
+		}
+		if s.Pos < n.Body.Pos() || s.Pos > n.Body.End() {
+			t.Fatalf("site %d outside analyzed body: %+v", i, s)
+		}
+		if s.Kind < KindNew || s.Kind > KindVariadic {
+			t.Fatalf("site %d has out-of-range kind %d", i, s.Kind)
+		}
+		if s.What == "" {
+			t.Fatalf("site %d has empty What", i)
+		}
+		if i > 0 && s.Pos < info.Sites[i-1].Pos {
+			t.Fatalf("sites out of source order at %d: %+v", i, info.Sites)
+		}
+	}
+}

@@ -47,16 +47,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	files := make([]*ast.File, 0, len(pass.Files))
-	for _, f := range pass.Files {
-		if !pass.InTestFile(f.Pos()) {
-			files = append(files, f)
-		}
-	}
-	if len(files) == 0 {
+	if len(pass.NonTestFiles()) == 0 {
 		return nil
 	}
-	g := callgraph.New(files, pass.TypesInfo, pass.Pkg)
+	g := pass.CallGraph()
 	a := &analyzer{pass: pass, graph: g}
 
 	// Interprocedural summaries: does a function (transitively through
@@ -298,7 +292,7 @@ func (a *analyzer) checkAbandonedSends(parent *callgraph.Node, gs *ast.GoStmt, l
 	if len(sent) == 0 {
 		return
 	}
-	g := cfg.New(parent.Body)
+	g := a.pass.FuncCFG(parent.Body)
 	for _, ch := range sent {
 		if a.parentMayAbandon(g, gs, ch) {
 			a.pass.Reportf(gs.Pos(), "goroutine sends on %s, but the launching function can return without receiving from it; the send blocks forever (or an unread buffer swallows the result) — receive on every path or annotate the abandonment contract", ch.Name())

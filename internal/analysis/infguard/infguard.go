@@ -110,7 +110,7 @@ type analyzer struct {
 }
 
 func (a *analyzer) analyzeFunc(body *ast.BlockStmt) {
-	g := cfg.New(body)
+	g := a.pass.FuncCFG(body)
 	res := dataflow.Forward(g, infLattice{}, a.transfer, a.refine)
 	for _, b := range g.Blocks {
 		res.FactAt(b, func(s ast.Stmt, before dataflow.Fact) {

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+)
+
+// Infra caches the shared per-package infrastructure the interprocedural
+// analyzers all rebuild from the same inputs: the non-test file subset,
+// the CHA call graph over it, and per-function CFGs. One Infra is shared
+// by every Pass in a RunPackage call, so the first analyzer to ask pays
+// the construction cost once and the rest hit the cache — and -timing
+// can prime it up front to attribute that cost to "infra" rather than to
+// whichever analyzer happens to run first.
+//
+// Summaries (dataflow.Summaries) stay per-analyzer: each analyzer's
+// summary lattice answers a different question over the same graph, so
+// there is nothing shareable below the graph itself.
+//
+// Infra is not safe for concurrent use; drivers run analyzers
+// sequentially per package.
+type Infra struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+
+	nonTest      []*ast.File
+	nonTestBuilt bool
+	graph        *callgraph.Graph
+	cfgs         map[*ast.BlockStmt]*cfg.Graph
+}
+
+// NewInfra returns an empty cache over one type-checked package.
+func NewInfra(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Infra {
+	return &Infra{fset: fset, files: files, pkg: pkg, info: info}
+}
+
+// NonTestFiles returns the package's non-test files. The bouquetvet
+// analyzers enforce production invariants on production code; keeping
+// test files out of the call graph means test helpers can't create
+// phantom interprocedural paths.
+func (in *Infra) NonTestFiles() []*ast.File {
+	if !in.nonTestBuilt {
+		in.nonTestBuilt = true
+		for _, f := range in.files {
+			name := in.fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "_test.go") {
+				in.nonTest = append(in.nonTest, f)
+			}
+		}
+	}
+	return in.nonTest
+}
+
+// CallGraph returns the package's CHA call graph over its non-test
+// files, building it on first use.
+func (in *Infra) CallGraph() *callgraph.Graph {
+	if in.graph == nil {
+		in.graph = callgraph.New(in.NonTestFiles(), in.info, in.pkg)
+	}
+	return in.graph
+}
+
+// FuncCFG returns the control-flow graph for one function body,
+// building it on first use. Analyzers that walk the same bodies
+// (lockheld, poollife, goleak, ...) share the result.
+func (in *Infra) FuncCFG(body *ast.BlockStmt) *cfg.Graph {
+	if body == nil {
+		return nil
+	}
+	if g, ok := in.cfgs[body]; ok {
+		return g
+	}
+	if in.cfgs == nil {
+		in.cfgs = map[*ast.BlockStmt]*cfg.Graph{}
+	}
+	g := cfg.New(body)
+	in.cfgs[body] = g
+	return g
+}
+
+// Prime eagerly builds everything the cache can hold: the call graph
+// and a CFG for every node body. Used by -timing to measure shared
+// infrastructure cost on its own row.
+func (in *Infra) Prime() {
+	for _, n := range in.CallGraph().Nodes() {
+		in.FuncCFG(n.Body)
+	}
+}
+
+// NonTestFiles returns the package's non-test files via the pass's
+// shared cache.
+func (p *Pass) NonTestFiles() []*ast.File { return p.infra().NonTestFiles() }
+
+// CallGraph returns the package's CHA call graph (non-test files) via
+// the pass's shared cache.
+func (p *Pass) CallGraph() *callgraph.Graph { return p.infra().CallGraph() }
+
+// FuncCFG returns the memoized control-flow graph for body via the
+// pass's shared cache.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *cfg.Graph { return p.infra().FuncCFG(body) }
+
+// infra returns the pass's cache, creating a private one for passes
+// constructed without RunPackage (tests, single-analyzer drivers).
+func (p *Pass) infra() *Infra {
+	if p.shared == nil {
+		p.shared = NewInfra(p.Fset, p.Files, p.Pkg, p.TypesInfo)
+	}
+	return p.shared
+}

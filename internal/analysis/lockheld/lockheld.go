@@ -38,7 +38,6 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/callgraph"
-	"repro/internal/analysis/cfg"
 	"repro/internal/analysis/dataflow"
 )
 
@@ -50,16 +49,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	files := make([]*ast.File, 0, len(pass.Files))
-	for _, f := range pass.Files {
-		if !pass.InTestFile(f.Pos()) {
-			files = append(files, f)
-		}
-	}
-	if len(files) == 0 {
+	if len(pass.NonTestFiles()) == 0 {
 		return nil
 	}
-	g := callgraph.New(files, pass.TypesInfo, pass.Pkg)
+	g := pass.CallGraph()
 	a := &analyzer{pass: pass, graph: g}
 
 	// Interprocedural may-block summaries: a function may block when its
@@ -142,7 +135,7 @@ func (a *analyzer) checkNode(n *callgraph.Node) {
 	if n.Body == nil {
 		return
 	}
-	g := cfg.New(n.Body)
+	g := a.pass.FuncCFG(n.Body)
 	res := dataflow.Forward(g, lockLattice{}, a.transfer, nil)
 	nonBlockingComms := a.defaultedCommStmts(n)
 	for _, b := range g.Blocks {

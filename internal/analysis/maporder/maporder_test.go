@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,124 @@
+// Package a is the maporder fixture: map iteration feeding ordered
+// output. The clean section mirrors the repository's collect-then-sort
+// idiom (plan fingerprints, registry enumeration) and genuinely
+// order-insensitive accumulation; the positives are the nondeterminism
+// bugs Go's randomized iteration order exists to flush out.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// --- clean: the collect-then-sort idiom and order-insensitive uses ---
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedBySlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func localTemp(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		line := []int{}
+		line = append(line, vs...)
+		n += len(line)
+	}
+	return n
+}
+
+// --- positives: iteration order reaching ordered output ---
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order reaches ordered output \(appends to keys with no later sort\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func printed(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches ordered output \(emits via fmt\.Printf\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func built(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order reaches ordered output \(writes to a strings\.Builder in iteration order\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func buffered(m map[string]int) []byte {
+	var b bytes.Buffer
+	for k := range m { // want `map iteration order reaches ordered output \(writes to a bytes\.Buffer in iteration order\)`
+		b.WriteString(k)
+	}
+	return b.Bytes()
+}
+
+func concatenated(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order reaches ordered output \(concatenates onto s in iteration order\)`
+		s += k
+	}
+	return s
+}
+
+func sent(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order reaches ordered output \(sends on a channel in iteration order\)`
+		ch <- k
+	}
+}
+
+// sortedTooEarly sorts before collecting, which fixes nothing.
+func sortedTooEarly(m map[string]int) []string {
+	var keys []string
+	sort.Strings(keys)
+	for k := range m { // want `map iteration order reaches ordered output \(appends to keys with no later sort\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// --- suppression: a deliberate, documented exception ---
+
+func unorderedByDesign(m map[string]int, sink chan string) {
+	//bouquet:allow maporder: consumers treat the stream as a set; order is immaterial by contract
+	for k := range m {
+		sink <- k
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
-	"repro/internal/analysis/cfg"
 	"repro/internal/analysis/dataflow"
 )
 
@@ -127,7 +126,7 @@ func (a *analyzer) analyzeFunc(body *ast.BlockStmt) {
 	a.deferredPut = map[*types.Var]bool{}
 	a.collectAliases(body)
 
-	g := cfg.New(body)
+	g := a.pass.FuncCFG(body)
 	res := dataflow.Forward(g, poolLattice{}, a.transfer, nil)
 	for _, b := range g.Blocks {
 		res.FactAt(b, func(s ast.Stmt, before dataflow.Fact) {

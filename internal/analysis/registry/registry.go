@@ -5,6 +5,7 @@ package registry
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocbound"
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/errflow"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/infguard"
 	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/panicdoc"
 	"repro/internal/analysis/pkgdoc"
 	"repro/internal/analysis/poollife"
@@ -24,6 +26,7 @@ import (
 // All returns the full bouquetvet suite in diagnostic-name order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		allocbound.Analyzer,
 		atomicmix.Analyzer,
 		ctxflow.Analyzer,
 		errflow.Analyzer,
@@ -31,6 +34,7 @@ func All() []*analysis.Analyzer {
 		goleak.Analyzer,
 		infguard.Analyzer,
 		lockheld.Analyzer,
+		maporder.Analyzer,
 		panicdoc.Analyzer,
 		pkgdoc.Analyzer,
 		poollife.Analyzer,

@@ -12,8 +12,8 @@ import (
 // callers re-sorting.
 func TestSuiteShape(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("suite has %d analyzers, want 14 (update this count and the docs together)", len(all))
+	if len(all) != 16 {
+		t.Fatalf("suite has %d analyzers, want 16 (update this count and the docs together)", len(all))
 	}
 	nameRE := regexp.MustCompile(`^[a-z]+$`)
 	seen := map[string]bool{}

@@ -40,7 +40,6 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
-	"repro/internal/analysis/cfg"
 	"repro/internal/analysis/dataflow"
 )
 
@@ -122,7 +121,7 @@ type analyzer struct {
 }
 
 func (a *analyzer) analyzeFunc(body *ast.BlockStmt) {
-	g := cfg.New(body)
+	g := a.pass.FuncCFG(body)
 	res := dataflow.Forward(g, unitLattice{}, a.transfer, nil)
 	a.reported = map[ast.Node]bool{}
 	for _, b := range g.Blocks {

@@ -66,6 +66,8 @@ func (l Ladder) Inflate(lambda cost.Ratio) Ladder {
 // StepFor returns the 1-based index k of the first step with budget ≥ c,
 // or m+1 if c exceeds the last step. Steps form an increasing progression,
 // so the lookup binary-searches rather than scanning the ladder.
+//
+//bouquet:allocfree pinned dynamically by TestStepForAllocFree
 func (l Ladder) StepFor(c cost.Cost) int {
 	return sort.Search(len(l.Steps), func(i int) bool { return c <= l.Steps[i] }) + 1
 }

@@ -117,6 +117,20 @@ func TestStepFor(t *testing.T) {
 	}
 }
 
+// TestStepForAllocFree is the dynamic half of StepFor's
+// //bouquet:allocfree directive: the bouquet executor calls it per
+// budget check, so the closure handed to sort.Search must stay on the
+// stack.
+func TestStepForAllocFree(t *testing.T) {
+	l, err := NewLadder(10, 1e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() { l.StepFor(12345) }); got > 0 {
+		t.Errorf("StepFor allocates %.0f/call, want 0", got)
+	}
+}
+
 func TestStepForBoundaries(t *testing.T) {
 	l, _ := NewLadder(10, 100, 2) // steps 10 20 40 80 160
 	// Below the first step: costs under IC1 still land on step 1.

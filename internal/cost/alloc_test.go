@@ -27,6 +27,18 @@ func TestPriceStepAllocFree(t *testing.T) {
 	}
 }
 
+func TestPriceSpecAllocFree(t *testing.T) {
+	fx := newFixture(t, Postgres())
+	sels := DefaultSels(fx.q)
+	root := fx.plans[0]
+	left := fx.coster.Price(root.Left, sels)
+	right := fx.coster.Price(root.Right, sels)
+	spec := OpSpec{Op: root.Op, Relation: root.Relation, IndexColumn: root.IndexColumn, Preds: root.Preds}
+	if got := testing.AllocsPerRun(50, func() { fx.coster.PriceSpec(spec, left, right, sels) }); got > 0 {
+		t.Errorf("PriceSpec allocates %.0f/call, want 0", got)
+	}
+}
+
 func TestPriceAgreesWithDetail(t *testing.T) {
 	fx := newFixture(t, Postgres())
 	sels := DefaultSels(fx.q)

@@ -1,0 +1,55 @@
+package exec
+
+import "testing"
+
+// The vectorized engine's per-batch kernels carry //bouquet:allocfree
+// directives: after one warm-up batch sizes the per-worker scratch
+// buffers, every subsequent batch must run without touching the heap.
+// These tests are the dynamic half of that contract — the static half
+// is the allocbound analyzer walking the same functions.
+
+func TestFilterBatchAllocFree(t *testing.T) {
+	const n = 1024
+	col := make([]int64, n)
+	for i := range col {
+		col[i] = int64(i)
+	}
+	cols := [][]int64{col}
+	preds := []scanPred{{id: 0, off: 0, bound: n / 2}}
+	st := &NodeStats{}
+	ws := &wslot{}
+	// Warm-up batch: sizes the failure bitmap, the selection vector, and
+	// the lazy pass-count map.
+	filterBatch(st, ws, preds, cols, 0, n)
+	if got := testing.AllocsPerRun(100, func() { filterBatch(st, ws, preds, cols, 0, n) }); got > 0 {
+		t.Errorf("filterBatch allocates %.0f/batch warm, want 0", got)
+	}
+}
+
+func TestGatherAllocFree(t *testing.T) {
+	const buildN, probeN = 256, 512
+	build := make([]int64, buildN)
+	for i := range build {
+		build[i] = int64(i % 64) // duplicate keys exercise the next chains
+	}
+	jt := newJoinTable(build)
+	mat := [][]int64{build}
+	probe := make([]int64, probeN)
+	for i := range probe {
+		probe[i] = int64(i % 128) // half the probe keys miss
+	}
+	b := &vbatch{cols: [][]int64{probe}, n: probeN}
+	ws := &wslot{}
+	run := func(resid []joinKey) {
+		lidx, ridx, _ := jt.gather(b, b.cols[0], resid, mat, ws.idxa[:0], ws.idxb[:0])
+		ws.idxa, ws.idxb = lidx, ridx
+	}
+	run(nil) // warm-up: grows idxa/idxb to the match high-water mark
+	if got := testing.AllocsPerRun(100, func() { run(nil) }); got > 0 {
+		t.Errorf("gather (no residual keys) allocates %.0f/batch warm, want 0", got)
+	}
+	resid := []joinKey{{id: 1, leftOff: 0, rightOff: 0}}
+	if got := testing.AllocsPerRun(100, func() { run(resid) }); got > 0 {
+		t.Errorf("gather (residual keys) allocates %.0f/batch warm, want 0", got)
+	}
+}

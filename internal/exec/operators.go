@@ -1027,12 +1027,14 @@ func pageBreaks(lo, hi, rpp int) int {
 // filterBatch evaluates every predicate independently over the batch
 // (no short-circuit, matching the cost model and the Volcano scan),
 // accumulates per-predicate pass counts, and fills the slot's selection
-// vector with the surviving rows. vals maps a predicate offset to the
-// column vector the batch rows index into with base+i.
-func filterBatch(st *NodeStats, ws *wslot, preds []scanPred, vals func(off int) []int64, base, nrows int) []int32 {
+// vector with the surviving rows. cols[sp.off] is the column vector the
+// batch rows index into with base+i.
+//
+//bouquet:allocfree pinned dynamically by TestFilterBatchAllocFree
+func filterBatch(st *NodeStats, ws *wslot, preds []scanPred, cols [][]int64, base, nrows int) []int32 {
 	fail := ws.failbuf(nrows)
 	for _, sp := range preds {
-		col := vals(sp.off)
+		col := cols[sp.off]
 		var passed int64
 		for i := 0; i < nrows; i++ {
 			if sp.eval(col[base+i]) {
@@ -1046,12 +1048,12 @@ func filterBatch(st *NodeStats, ws *wslot, preds []scanPred, vals func(off int) 
 	if ws.sel == nil {
 		// A nil selection vector means "all rows live", so the empty
 		// result of an all-fail batch must still be non-nil.
-		ws.sel = make([]int32, 0, nrows)
+		ws.sel = make([]int32, 0, nrows) //bouquet:allow allocbound: one-time slot initialization; every later batch reuses the buffer
 	}
 	sel := ws.sel[:0]
 	for i := 0; i < nrows; i++ {
 		if !fail[i] {
-			sel = append(sel, int32(i))
+			sel = append(sel, int32(i)) //bouquet:allow allocbound: refills a reused per-worker buffer capped at batch size; warm path pinned by TestFilterBatchAllocFree
 		}
 	}
 	ws.sel = sel
@@ -1094,7 +1096,7 @@ func (v *vecEngine) streamSeqScan(n *plan.Node, sink vecSink) error {
 			b.n = nrows
 			b.sel = nil
 			if len(preds) > 0 {
-				b.sel = filterBatch(st, ws, preds, func(off int) []int64 { return cols[off] }, s, nrows)
+				b.sel = filterBatch(st, ws, preds, cols, s, nrows)
 			}
 			live := b.live()
 			st.Out += int64(live)
@@ -1193,7 +1195,7 @@ func (v *vecEngine) streamIndexScan(n *plan.Node, sink vecSink) error {
 			b.n = nrows
 			b.sel = nil
 			if len(resid) > 0 {
-				b.sel = filterBatch(st, ws, resid, func(off int) []int64 { return b.cols[off] }, 0, nrows)
+				b.sel = filterBatch(st, ws, resid, b.cols, 0, nrows)
 			}
 			live := b.live()
 			st.Out += int64(live)
@@ -1322,6 +1324,48 @@ func (t *joinTable) lookup(k int64) int32 {
 	}
 }
 
+// gather probes the table with keyCol for each live row of b and appends
+// the matching (probe row, build row) index pairs to lidx/ridx, checking
+// any residual equi-join keys against the materialized build columns in
+// mat. It returns the filled buffers plus the residual comparison count
+// (charged as CPU by the caller). Match discovery is split from output
+// construction so this loop stays branch-light and the caller's column
+// copies become sequential gathers.
+//
+//bouquet:allocfree pinned dynamically by TestGatherAllocFree
+func (t *joinTable) gather(b *vbatch, keyCol []int64, resid []joinKey, mat [][]int64, lidx, ridx []int32) ([]int32, []int32, int) {
+	nl := b.live()
+	residCmps := 0
+	if len(resid) == 0 {
+		for k := 0; k < nl; k++ {
+			ri := b.row(k)
+			for mi := t.lookup(keyCol[ri]); mi >= 0; mi = t.next[mi] {
+				lidx = append(lidx, ri) //bouquet:allow allocbound: refills reused per-worker scratch whose capacity amortizes to the match high-water mark; warm path pinned by TestGatherAllocFree
+				ridx = append(ridx, mi) //bouquet:allow allocbound: same reused scratch as lidx
+			}
+		}
+		return lidx, ridx, residCmps
+	}
+	for k := 0; k < nl; k++ {
+		ri := b.row(k)
+		for mi := t.lookup(keyCol[ri]); mi >= 0; mi = t.next[mi] {
+			ok := true
+			for _, kk := range resid {
+				residCmps++
+				if b.cols[kk.leftOff][ri] != mat[kk.rightOff][mi] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				lidx = append(lidx, ri) //bouquet:allow allocbound: refills reused per-worker scratch whose capacity amortizes to the match high-water mark; warm path pinned by TestGatherAllocFree
+				ridx = append(ridx, mi) //bouquet:allow allocbound: same reused scratch as lidx
+			}
+		}
+	}
+	return lidx, ridx, residCmps
+}
+
 // streamHashJoin is the vectorized hash join: the right child drains into
 // per-worker build partitions (merged before probe), then a probe
 // transform streams over the left pipeline.
@@ -1423,39 +1467,7 @@ func (v *vecEngine) streamHashJoin(n *plan.Node, sink vecSink) error {
 			st.InTuples += int64(nl)
 			ws := w.slot(oslot, ow)
 			ws.owned(ow, v.batch)
-			// Gather match index pairs first, then copy column-major:
-			// the split keeps the lookup loop branch-light and turns the
-			// output construction into sequential per-column gathers.
-			lidx, ridx := ws.idxa[:0], ws.idxb[:0]
-			keyCol := b.cols[lkey]
-			residCmps := 0
-			if len(resid) == 0 {
-				for k := 0; k < nl; k++ {
-					ri := b.row(k)
-					for mi := jt.lookup(keyCol[ri]); mi >= 0; mi = jt.next[mi] {
-						lidx = append(lidx, int32(ri))
-						ridx = append(ridx, mi)
-					}
-				}
-			} else {
-				for k := 0; k < nl; k++ {
-					ri := b.row(k)
-					for mi := jt.lookup(keyCol[ri]); mi >= 0; mi = jt.next[mi] {
-						ok := true
-						for _, kk := range resid {
-							residCmps++
-							if b.cols[kk.leftOff][ri] != mat[kk.rightOff][mi] {
-								ok = false
-								break
-							}
-						}
-						if ok {
-							lidx = append(lidx, int32(ri))
-							ridx = append(ridx, mi)
-						}
-					}
-				}
-			}
+			lidx, ridx, residCmps := jt.gather(b, b.cols[lkey], resid, mat, ws.idxa[:0], ws.idxb[:0])
 			ws.idxa, ws.idxb = lidx, ridx
 			matches := len(lidx)
 			w.pending += charge*f +

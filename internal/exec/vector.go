@@ -110,7 +110,7 @@ type wslot struct {
 // failbuf returns the slot's per-row failure bitmap, zeroed, sized n.
 func (ws *wslot) failbuf(n int) []bool {
 	if cap(ws.fail) < n {
-		ws.fail = make([]bool, n)
+		ws.fail = make([]bool, n) //bouquet:allow allocbound: cold growth path; the bitmap reaches batch capacity once per worker and is reused after
 	} else {
 		ws.fail = ws.fail[:n]
 		clear(ws.fail)
@@ -124,7 +124,7 @@ func (w *vecWorker) st(i int) *NodeStats { return &w.stats[i] }
 // stats start without maps so untouched nodes cost nothing to merge).
 func (s *NodeStats) pass(id int, n int64) {
 	if s.PassBy == nil {
-		s.PassBy = make(map[int]int64)
+		s.PassBy = make(map[int]int64) //bouquet:allow allocbound: one-time lazy map per (worker, node); untouched nodes cost nothing to merge
 	}
 	s.PassBy[id] += n
 }

@@ -1,0 +1,14 @@
+package query
+
+import "testing"
+
+// TestPredicateAllocFree pins the dynamic half of the allocbound
+// analyzer's trust: Query.Predicate is on the cost kernel's
+// //bouquet:allocfree allowlist (internal/analysis/allocbound), so its
+// allocation-freedom must hold empirically.
+func TestPredicateAllocFree(t *testing.T) {
+	q := chainQuery(t)
+	if got := testing.AllocsPerRun(100, func() { q.Predicate(0) }); got > 0 {
+		t.Errorf("Predicate allocates %.0f/call, want 0", got)
+	}
+}

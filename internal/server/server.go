@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -372,9 +373,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 
-	out := make([]bouquetSummary, 0, len(bs))
-	for id, b := range bs {
-		out = append(out, s.summarize(id, b))
+	ids := make([]string, 0, len(bs))
+	for id := range bs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]bouquetSummary, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.summarize(id, bs[id]))
 	}
 	writeJSON(w, out)
 }
