@@ -83,7 +83,8 @@ bench-compile:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimizeChain3$$|BenchmarkOptimizeBranch8$$|BenchmarkAbstractCost$$' \
 		-benchmem -count 3 ./internal/optimizer | tee -a $(BIN)/bench_compile.txt
 	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
-	$(BIN)/benchjson -baseline bench/compile_seed.txt -o BENCH_compile.json < $(BIN)/bench_compile.txt
+	$(BIN)/benchjson -baseline bench/compile_seed.txt -o BENCH_compile.json \
+		-note "compile-path benchmarks; ns_per_op/bytes/allocs are best-of-N" < $(BIN)/bench_compile.txt
 	@echo "wrote BENCH_compile.json"
 
 # bench-compile-smoke is the CI variant: single short iterations, no JSON
@@ -95,27 +96,34 @@ bench-compile-smoke:
 
 # bench-exec measures executor throughput — the Volcano engine against
 # the vectorized engine at 1 and 8 morsel workers on a 400k-row
-# three-way join (plus the aggregate pipeline) — and converts the raw
+# three-way join (plus the aggregate pipeline), and the whole-bouquet
+# run with operator-state reuse on and off — and converts the raw
 # output into BENCH_exec.json with speedups against the checked-in seed
-# baseline (bench/exec_seed.txt).
+# baselines (bench/exec_seed.txt + bench/bouquet_seed.txt).
 bench-exec:
 	@mkdir -p $(BIN)
 	$(GO) test -run '^$$' -bench 'BenchmarkExecJoin|BenchmarkExecAggregate' \
 		-benchmem -count 3 -timeout 30m ./internal/exec | tee $(BIN)/bench_exec.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkBouquetRun$$' \
+		-benchmem -count 3 -timeout 30m ./internal/core | tee -a $(BIN)/bench_exec.txt
 	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
-	$(BIN)/benchjson -baseline bench/exec_seed.txt -o BENCH_exec.json < $(BIN)/bench_exec.txt
+	@cat bench/exec_seed.txt bench/bouquet_seed.txt > $(BIN)/exec_baseline.txt
+	$(BIN)/benchjson -baseline $(BIN)/exec_baseline.txt -o BENCH_exec.json \
+		-note "executor and bouquet-run benchmarks; ns_per_op/bytes/allocs are best-of-N" < $(BIN)/bench_exec.txt
 	@echo "wrote BENCH_exec.json"
 
 # bench-exec-smoke is the CI variant: single short iterations on both
-# engines, so a benchmark that no longer compiles or crashes fails fast.
+# engines plus the multi-step bouquet run, so a benchmark that no longer
+# compiles or crashes fails fast.
 bench-exec-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecJoinVolcano$$|BenchmarkExecJoinVector8$$' \
 		-benchtime 1x -benchmem ./internal/exec
+	$(GO) test -run '^$$' -bench 'BenchmarkBouquetRun$$' -benchtime 1x -benchmem ./internal/core
 
-# bench-check is the CI regression gate: re-measure the seeded compile
-# and executor benchmarks (3 repetitions, best-of-N) and fail when any
-# of them regressed beyond 2x ns/op against the checked-in seed
-# baselines.
+# bench-check is the CI regression gate: re-measure the seeded compile,
+# executor, and bouquet-run benchmarks (3 repetitions, best-of-N) and
+# fail when any of them regressed beyond 2x ns/op against the checked-in
+# seed baselines.
 bench-check:
 	@mkdir -p $(BIN)
 	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
@@ -126,6 +134,9 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkExecJoinVector8$$|BenchmarkExecJoinVolcano$$' \
 		-benchmem -count 3 -timeout 30m ./internal/exec > $(BIN)/bench_check_exec.txt
 	$(BIN)/benchjson -check -max-regress 2.0 -baseline bench/exec_seed.txt < $(BIN)/bench_check_exec.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkBouquetRun$$' \
+		-benchmem -count 3 -timeout 30m ./internal/core > $(BIN)/bench_check_bouquet.txt
+	$(BIN)/benchjson -check -max-regress 2.0 -baseline bench/bouquet_seed.txt < $(BIN)/bench_check_bouquet.txt
 
 # cover writes an atomic-mode coverage profile for the whole repo and
 # fails when total statement coverage drops below COVER_FLOOR. CI uploads

@@ -46,6 +46,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	grace := flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGTERM")
 	execWorkers := flag.Int("exec-workers", 0, "default worker count for concrete /run executions (0 = tuple-at-a-time engine, n>0 = vectorized with n morsel workers)")
+	execReuse := flag.Bool("exec-reuse", true, "salvage completed operator state (hash builds, sorted runs) across the steps of a concrete /run (per-request \"reuse\" overrides)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	runHistory := flag.Int("run-history", server.DefaultRunHistory, "traced runs retained for /runs/{id}/trace")
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		CompileTimeout: *compileTimeout,
 		ExecWorkers:    *execWorkers,
+		ExecReuse:      *execReuse,
 		EnablePprof:    *enablePprof,
 		RunHistory:     *runHistory,
 		Logf:           log.Printf,

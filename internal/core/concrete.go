@@ -20,6 +20,12 @@ type ConcreteStep struct {
 	Wall time.Duration
 	// Rows is the number of rows the driven node produced.
 	Rows int64
+	// ReuseHits counts operator-state reuse-cache hits this execution
+	// took (always 0 when the runner's cache is disabled).
+	ReuseHits int
+	// Salvaged is the model cost those hits charged without re-executing
+	// the work — included in Spent, saved on the wall clock.
+	Salvaged cost.Cost
 }
 
 // ConcreteExecution is the outcome of a bouquet run on real data.
@@ -36,6 +42,12 @@ type ConcreteExecution struct {
 	ResultRows int64
 	// Learned is the discovered q_run at completion, per ESS dimension.
 	Learned []float64
+	// ReuseHits and SalvagedCost total the per-step reuse figures: how
+	// many operator states were served from the run's cache and how much
+	// charged model cost they covered. TotalCost is unaffected — the
+	// budget meter charges reused subtrees in full.
+	ReuseHits    int
+	SalvagedCost cost.Cost
 }
 
 // NumExecs returns the number of plan executions.
@@ -62,6 +74,21 @@ type ConcreteRunner struct {
 	// Volcano engine. Both engines report identical tuple counters, so
 	// selectivity learning is unaffected.
 	Parallelism int
+	// Reuse, when true, gives each run a fresh operator-state cache so
+	// executions salvage completed join builds, sorted merge inputs, and
+	// anti-join inner sets from earlier steps of the same run. Step
+	// outcomes, charged costs, and learned selectivities are unchanged
+	// (the cache lump-charges reused state in full); only wall-clock and
+	// allocations improve.
+	Reuse bool
+}
+
+// newReuseCache returns the per-run cache, or nil when reuse is off.
+func (r *ConcreteRunner) newReuseCache() *exec.ReuseCache {
+	if !r.Reuse {
+		return nil
+	}
+	return exec.NewReuseCache()
 }
 
 // recordConcreteStep emits the exec span for one real engine execution,
@@ -76,17 +103,50 @@ func (r *ConcreteRunner) recordConcreteStep(s ConcreteStep, res exec.Result, pre
 		Budget: trace.SafeCost(s.Budget.F()), Spent: trace.SafeCost(s.Spent.F()),
 		Rows: s.Rows, Completed: s.Completed, WallNanos: s.Wall.Nanoseconds(),
 		Batches: res.Batches, Workers: res.Workers,
+		ReuseHits: s.ReuseHits, SalvagedCost: trace.SafeCost(s.Salvaged.F()),
 		Nodes: res.TraceNodes(r.B.Diagram.Plan(s.PlanID)),
 	})
+}
+
+// concreteStep assembles the ConcreteStep for one engine execution.
+func concreteStep(contour, pid, dim int, budget cost.Cost, completed bool, res exec.Result, wall time.Duration) ConcreteStep {
+	return ConcreteStep{
+		Step: Step{Contour: contour, PlanID: pid, Dim: dim, Budget: budget, Spent: res.CostUsed, Completed: completed},
+		Wall: wall, Rows: res.RowsOut, ReuseHits: res.ReuseHits, Salvaged: res.SalvagedCost,
+	}
+}
+
+// appendStep folds one engine execution into the run: the step list, the
+// cost/wall/reuse totals, and the exec trace span.
+func (r *ConcreteRunner) appendStep(out *ConcreteExecution, step ConcreteStep, res exec.Result, pred int) {
+	out.Steps = append(out.Steps, step)
+	out.TotalCost += step.Spent
+	out.Wall += step.Wall
+	out.ReuseHits += step.ReuseHits
+	out.SalvagedCost += step.Salvaged
+	r.recordConcreteStep(step, res, pred)
+}
+
+// runTerminal is the defensive beyond-terminus execution both algorithms
+// share: when realized data selectivities exceed the space's terminus,
+// every contour is exhausted without completing, so the chosen plan runs
+// unbudgeted (and necessarily completes).
+func (r *ConcreteRunner) runTerminal(out *ConcreteExecution, contour, pid int, cache *exec.ReuseCache) {
+	res, wall := r.timedRun(contour, pid, exec.Options{Budget: cost.Cost(math.Inf(1)), Reuse: cache})
+	step := concreteStep(contour, pid, -1, cost.Cost(math.Inf(1)), true, res, wall)
+	r.appendStep(out, step, res, -1)
+	out.Completed = true
+	out.ResultRows = res.RowsOut
 }
 
 // RunBasic executes the basic algorithm (Fig. 7) on the engine.
 func (r *ConcreteRunner) RunBasic() ConcreteExecution {
 	var out ConcreteExecution
+	cache := r.newReuseCache()
 	for _, c := range r.B.Contours {
 		recordContour(r.Trace, c)
 		for _, pid := range c.PlanIDs {
-			if r.executeGeneric(&out, c, pid) {
+			if r.executeGeneric(&out, c, pid, cache) {
 				return out
 			}
 		}
@@ -95,18 +155,7 @@ func (r *ConcreteRunner) RunBasic() ConcreteExecution {
 	// only happen when realized data selectivities exceed the space's
 	// terminus): run the last contour's plans unbudgeted.
 	last := r.B.Contours[len(r.B.Contours)-1]
-	pid := last.PlanIDs[0]
-	res, wall := r.timedRun(last.K+1, pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
-	step := ConcreteStep{
-		Step: Step{Contour: last.K + 1, PlanID: pid, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: res.CostUsed, Completed: true},
-		Wall: wall, Rows: res.RowsOut,
-	}
-	out.Steps = append(out.Steps, step)
-	out.TotalCost += res.CostUsed
-	out.Wall += wall
-	out.Completed = true
-	out.ResultRows = res.RowsOut
-	r.recordConcreteStep(step, res, -1)
+	r.runTerminal(&out, last.K+1, last.PlanIDs[0], cache)
 	return out
 }
 
@@ -116,10 +165,11 @@ func (r *ConcreteRunner) RunBasic() ConcreteExecution {
 func (r *ConcreteRunner) RunOptimized() ConcreteExecution {
 	b := r.B
 	var out ConcreteExecution
+	cache := r.newReuseCache()
 	st := &runState{qrun: b.Space.Origin().Clone(), learned: make([]bool, b.Space.Dims())}
 
 	for _, c := range b.Contours {
-		if r.runContourConcrete(&out, c, st) {
+		if r.runContourConcrete(&out, c, st, cache) {
 			out.Learned = st.qrun
 			return out
 		}
@@ -127,22 +177,12 @@ func (r *ConcreteRunner) RunOptimized() ConcreteExecution {
 	// Beyond the last contour: finish unbudgeted with the cheapest
 	// surviving plan at q_run.
 	pid, _ := r.cheapestAt(b.Contours[len(b.Contours)-1].PlanIDs, st)
-	res, wall := r.timedRun(len(b.Contours)+1, pid, exec.Options{Budget: cost.Cost(math.Inf(1))})
-	step := ConcreteStep{
-		Step: Step{Contour: len(b.Contours) + 1, PlanID: pid, Dim: -1, Budget: cost.Cost(math.Inf(1)), Spent: res.CostUsed, Completed: true},
-		Wall: wall, Rows: res.RowsOut,
-	}
-	out.Steps = append(out.Steps, step)
-	out.TotalCost += res.CostUsed
-	out.Wall += wall
-	out.Completed = true
-	out.ResultRows = res.RowsOut
+	r.runTerminal(&out, len(b.Contours)+1, pid, cache)
 	out.Learned = st.qrun
-	r.recordConcreteStep(step, res, -1)
 	return out
 }
 
-func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, st *runState) bool {
+func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, st *runState, cache *exec.ReuseCache) bool {
 	b := r.B
 	recordContour(r.Trace, c)
 	remaining := make(map[int]bool, len(c.PlanIDs))
@@ -175,7 +215,7 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 			spilled[cand.planID] = true
 			dim := b.Query.DimOf(cand.learnID)
 			p := b.Diagram.Plan(cand.planID)
-			res, wall := r.timedRun(c.K, cand.planID, exec.Options{Budget: c.Budget, Spill: true, SpillPred: cand.learnID})
+			res, wall := r.timedRun(c.K, cand.planID, exec.Options{Budget: c.Budget, Spill: true, SpillPred: cand.learnID, Reuse: cache})
 			sel, exact := r.learnFromStats(cand.planID, cand.learnID, st, res)
 			if sel > st.qrun[dim] {
 				st.qrun[dim] = sel
@@ -185,14 +225,8 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 			} else {
 				delete(remaining, cand.planID)
 			}
-			step := ConcreteStep{
-				Step: Step{Contour: c.K, PlanID: cand.planID, Dim: dim, Budget: c.Budget, Spent: res.CostUsed, Completed: exact},
-				Wall: wall, Rows: res.RowsOut,
-			}
-			out.Steps = append(out.Steps, step)
-			out.TotalCost += res.CostUsed
-			out.Wall += wall
-			r.recordConcreteStep(step, res, cand.learnID)
+			step := concreteStep(c.K, cand.planID, dim, c.Budget, exact, res, wall)
+			r.appendStep(out, step, res, cand.learnID)
 			recordLearn(r.Trace, c.K, cand.planID, dim, cand.learnID, st.qrun[dim], exact)
 			if exact && spillNode(p, cand.learnID) == p {
 				// The error node is the plan root: the completed
@@ -208,7 +242,7 @@ func (r *ConcreteRunner) runContourConcrete(out *ConcreteExecution, c Contour, s
 		// Generic cost-limited execution, preferring the contour's
 		// covering plan near q_run.
 		pid := b.genericPick(c, st, remaining, qrunSels)
-		if r.executeGenericState(out, c, pid, st) {
+		if r.executeGeneric(out, c, pid, cache) {
 			return true
 		}
 		delete(remaining, pid)
@@ -235,28 +269,15 @@ func (r *ConcreteRunner) cheapestAt(ids []int, st *runState) (int, cost.Cost) {
 
 // executeGeneric runs plan pid cost-limited under contour c, appending the
 // step and reporting completion.
-func (r *ConcreteRunner) executeGeneric(out *ConcreteExecution, c Contour, pid int) bool {
-	res, wall := r.timedRun(c.K, pid, exec.Options{Budget: c.Budget})
-	step := ConcreteStep{
-		Step: Step{Contour: c.K, PlanID: pid, Dim: -1, Budget: c.Budget, Spent: res.CostUsed, Completed: res.Completed},
-		Wall: wall, Rows: res.RowsOut,
-	}
-	out.Steps = append(out.Steps, step)
-	out.TotalCost += res.CostUsed
-	out.Wall += wall
+func (r *ConcreteRunner) executeGeneric(out *ConcreteExecution, c Contour, pid int, cache *exec.ReuseCache) bool {
+	res, wall := r.timedRun(c.K, pid, exec.Options{Budget: c.Budget, Reuse: cache})
+	step := concreteStep(c.K, pid, -1, c.Budget, res.Completed, res, wall)
+	r.appendStep(out, step, res, -1)
 	if res.Completed {
 		out.Completed = true
 		out.ResultRows = res.RowsOut
 	}
-	r.recordConcreteStep(step, res, -1)
 	return res.Completed
-}
-
-// executeGenericState is executeGeneric for the optimized driver (q_run is
-// reported on completion but generic runs do not update it — only spilled
-// executions learn, keeping the first-quadrant invariant airtight).
-func (r *ConcreteRunner) executeGenericState(out *ConcreteExecution, c Contour, pid int, st *runState) bool {
-	return r.executeGeneric(out, c, pid)
 }
 
 func (r *ConcreteRunner) timedRun(contour, pid int, opts exec.Options) (exec.Result, time.Duration) {

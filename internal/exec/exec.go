@@ -55,6 +55,13 @@ type Result struct {
 	// Workers is the morsel worker count a vectorized run used (0 for
 	// Volcano runs).
 	Workers int
+	// ReuseHits counts operator-state reuse-cache hits the execution
+	// took (always 0 without Options.Reuse).
+	ReuseHits int
+	// SalvagedCost is the model cost the reuse hits charged without
+	// re-executing the underlying work — the budget meter still saw it,
+	// the hardware did not.
+	SalvagedCost cost.Cost
 }
 
 // Engine executes plans for one query over one database.
@@ -63,6 +70,7 @@ type Engine struct {
 	db       *data.Database
 	params   cost.Params
 	bindings map[int]int64 // selection predicate ID -> "col < bound" constant
+	bindSig  string        // canonical bindings rendering, part of every reuse-cache key
 }
 
 // NewEngine builds an engine. bindings must supply the comparison constant
@@ -75,7 +83,21 @@ func NewEngine(q *query.Query, db *data.Database, model cost.Model, bindings map
 			}
 		}
 	}
-	return &Engine{q: q, db: db, params: model.P, bindings: bindings}, nil
+	return &Engine{q: q, db: db, params: model.P, bindings: bindings, bindSig: bindingsSignature(q, bindings)}, nil
+}
+
+// bindingsSignature renders the selection constants in ascending
+// predicate-ID order. Two engines with equal signatures over the same
+// database materialize bit-identical operator state for equal-fingerprint
+// subtrees, which is what makes reuse-cache keys sound.
+func bindingsSignature(q *query.Query, bindings map[int]int64) string {
+	sig := ""
+	for _, p := range q.Predicates() {
+		if p.Kind == query.Selection {
+			sig += fmt.Sprintf("%d=%d;", p.ID, bindings[p.ID])
+		}
+	}
+	return sig
 }
 
 // Run executes root under opts. It returns an error when the options are
@@ -115,7 +137,10 @@ func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
 		}
 	}
 
-	b := &builder{e: e, m: m, stats: res.Stats, perturb: opts.Perturb}
+	b := &builder{e: e, m: m, stats: res.Stats, perturb: opts.Perturb, tally: &reuseTally{}}
+	if opts.Perturb == nil {
+		b.reuse = opts.Reuse
+	}
 	it, _, err := b.build(driven)
 	if err != nil {
 		return Result{}, err
@@ -144,6 +169,8 @@ func (e *Engine) Run(root *plan.Node, opts Options) (Result, error) {
 	res.CostUsed = cost.Cost(m.used)
 	res.RowsOut = res.Stats[driven].Out
 	res.Completed = err == nil
+	res.ReuseHits = b.tally.hits
+	res.SalvagedCost = cost.Cost(b.tally.salvaged)
 	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
 		return res, err
 	}
@@ -229,6 +256,15 @@ func (m *meter) charge(c float64) error {
 	return nil
 }
 
+// fits reports whether a lump charge of c would stay within budget — the
+// reuse-hit eligibility test. Charges are non-negative, so if the total
+// fits, no prefix of the equivalent from-scratch charges could have
+// tripped the meter either: taking the hit reproduces the from-scratch
+// outcome exactly.
+func (m *meter) fits(c float64) bool {
+	return m.used+c <= m.budget
+}
+
 // row is an executed tuple: values aligned with a schema.
 type row []int64
 
@@ -257,6 +293,8 @@ type builder struct {
 	m       *meter
 	stats   map[*plan.Node]*NodeStats
 	perturb func(*plan.Node) float64
+	reuse   *ReuseCache // nil unless Options.Reuse is set (and Perturb is not)
+	tally   *reuseTally
 }
 
 func (b *builder) statsFor(n *plan.Node) *NodeStats {

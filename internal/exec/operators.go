@@ -486,6 +486,22 @@ func (j *hashJoin) open() error {
 	if err := j.left.open(); err != nil {
 		return err
 	}
+	// Reuse: the whole build phase (child open, drain, table insert
+	// charges) is one contiguous charge window. A cache hit installs the
+	// finished table and lump-charges the window's cost; a completed,
+	// unspilled build stores its table for later executions.
+	key := ""
+	if j.b.reuse != nil {
+		key = reuseKey("hj", j.keys[0].rightOff, -1, j.b.e.bindSig, j.n.Right.Fingerprint())
+		if e := j.b.reuse.lookup(key); e != nil && j.b.m.fits(e.cost) {
+			st := e.state.(*hjBuildState)
+			j.table, j.builtRows = st.table, st.builtRows
+			graftStats(j.b.stats, e.stats, j.n.Right)
+			j.b.tally.hit(e.cost)
+			return j.b.m.charge(e.cost)
+		}
+	}
+	buildStart := j.b.m.used
 	if err := j.right.open(); err != nil {
 		return err
 	}
@@ -517,6 +533,13 @@ func (j *hashJoin) open() error {
 			return err
 		}
 		j.spillCharged = true
+	}
+	if key != "" && !j.spillCharged {
+		j.b.reuse.store(key, &reuseEntry{
+			cost:  j.b.m.used - buildStart,
+			stats: snapshotStats(j.b.stats, j.n.Right),
+			state: &hjBuildState{table: j.table, builtRows: j.builtRows},
+		})
 	}
 	return nil
 }
@@ -627,15 +650,16 @@ func (b *builder) buildMergeJoin(n *plan.Node) (iterator, schema, error) {
 // comparison costs plus external-sort spill I/O, mirroring Coster.sortCost.
 // Charges accrue incrementally per drained row (Σ log2(i) ≈ n·log2 n), so a
 // budget abort fires promptly rather than after a lump-sum sort charge.
-func (j *mergeJoin) drainSorted(it iterator, key int, width int) ([]row, error) {
+func (j *mergeJoin) drainSorted(it iterator, key int, width int) ([]row, bool, error) {
 	p := j.b.e.params
 	rowBytes := 8 * float64(width)
 	pageRows := float64(j.b.e.q.Catalog.PageSize) / rowBytes
+	spilled := false
 	var rows []row
 	for {
 		r, ok, err := it.next()
 		if err != nil {
-			return nil, err
+			return nil, spilled, err
 		}
 		if !ok {
 			break
@@ -649,28 +673,53 @@ func (j *mergeJoin) drainSorted(it iterator, key int, width int) ([]row, error) 
 			// current pass count.
 			passes := math.Ceil(math.Log2(bytes/p.WorkMemBytes)) + 1
 			charge += passes * p.SpillPageCost / pageRows
+			spilled = true
 		}
 		if err := j.b.m.charge(charge * j.f); err != nil {
-			return nil, err
+			return nil, spilled, err
 		}
 	}
 	sort.SliceStable(rows, func(a, b int) bool { return rows[a][key] < rows[b][key] })
-	return rows, nil
+	return rows, spilled, nil
 }
 
 func (j *mergeJoin) open() error {
+	// Reuse: both sorted inputs are cached as one whole-node entry —
+	// open() is a single contiguous charge window (left open+drain
+	// charges interleave with right's in a fixed order), so caching the
+	// node wholesale preserves the from-scratch charge sequence exactly.
+	key := ""
+	if j.b.reuse != nil {
+		key = reuseKey("mj", j.keys[0].leftOff, j.keys[0].rightOff, j.b.e.bindSig, j.n.Fingerprint())
+		if e := j.b.reuse.lookup(key); e != nil && j.b.m.fits(e.cost) {
+			st := e.state.(*mjSortState)
+			j.lrows, j.rrows = st.lrows, st.rrows
+			graftStats(j.b.stats, e.stats, j.n.Left, j.n.Right)
+			j.b.tally.hit(e.cost)
+			return j.b.m.charge(e.cost)
+		}
+	}
+	sortStart := j.b.m.used
 	if err := j.left.open(); err != nil {
 		return err
 	}
 	if err := j.right.open(); err != nil {
 		return err
 	}
+	var lspill, rspill bool
 	var err error
-	if j.lrows, err = j.drainSorted(j.left, j.keys[0].leftOff, len(j.leftSch)); err != nil {
+	if j.lrows, lspill, err = j.drainSorted(j.left, j.keys[0].leftOff, len(j.leftSch)); err != nil {
 		return err
 	}
-	if j.rrows, err = j.drainSorted(j.right, j.keys[0].rightOff, len(j.rightSch)); err != nil {
+	if j.rrows, rspill, err = j.drainSorted(j.right, j.keys[0].rightOff, len(j.rightSch)); err != nil {
 		return err
+	}
+	if key != "" && !lspill && !rspill {
+		j.b.reuse.store(key, &reuseEntry{
+			cost:  j.b.m.used - sortStart,
+			stats: snapshotStats(j.b.stats, j.n.Left, j.n.Right),
+			state: &mjSortState{lrows: j.lrows, rrows: j.rrows},
+		})
 	}
 	return nil
 }
@@ -839,6 +888,7 @@ type antiJoin struct {
 	innerN   int
 	pred     int
 	built    bool
+	reused   bool
 }
 
 func (b *builder) buildAntiJoin(n *plan.Node) (iterator, schema, error) {
@@ -856,10 +906,27 @@ func (b *builder) buildAntiJoin(n *plan.Node) (iterator, schema, error) {
 		innerN:   tbl.NumRows(),
 		pred:     n.Preds[0],
 	}
-	vals := tbl.Column(n.IndexColumn)
-	j.innerSet = make(map[int64]bool, len(vals))
-	for _, v := range vals {
-		j.innerSet[v] = true
+	// Reuse: the inner set depends only on the base relation, so both
+	// engines share one unmetered entry per (relation, column). The
+	// open-time build charge below is levied either way — reuse skips
+	// the hashing work, never the charge.
+	key := ""
+	if b.reuse != nil {
+		key = "anti|" + n.Relation + "|" + n.IndexColumn
+		if e := b.reuse.lookup(key); e != nil {
+			j.innerSet = e.state.(map[int64]bool)
+			j.reused = true
+		}
+	}
+	if j.innerSet == nil {
+		vals := tbl.Column(n.IndexColumn)
+		j.innerSet = make(map[int64]bool, len(vals))
+		for _, v := range vals {
+			j.innerSet[v] = true
+		}
+		if key != "" {
+			b.reuse.store(key, &reuseEntry{state: j.innerSet})
+		}
 	}
 	return j, outerSch, nil
 }
@@ -871,7 +938,11 @@ func (j *antiJoin) open() error {
 	// Build-phase charge for hashing the inner relation.
 	p := j.b.e.params
 	j.built = true
-	return j.b.m.charge(float64(j.innerN) * (p.CPUOperatorCost + p.CPUTupleCost) * j.f)
+	c := float64(j.innerN) * (p.CPUOperatorCost + p.CPUTupleCost) * j.f
+	if j.reused {
+		j.b.tally.hit(c)
+	}
+	return j.b.m.charge(c)
 }
 
 func (j *antiJoin) next() (row, bool, error) {
@@ -1381,63 +1452,95 @@ func (v *vecEngine) streamHashJoin(n *plan.Node, sink vecSink) error {
 	leftPageRows := ps / (8 * float64(len(leftSch)))
 	rightPageRows := ps / (8 * float64(len(rightSch)))
 
-	// Build phase.
-	bslot := v.newSlot()
-	var pmu sync.Mutex
-	var parts []*hashPart
 	rw := len(rightSch)
 	rkey := keys[0].rightOff
-	buildCharge := (pr.CPUOperatorCost + pr.CPUTupleCost) * f
-	collector := vecSink{
-		emit: func(w *vecWorker, b *vbatch) error {
-			part := sharedPart[hashPart](w, bslot, &pmu, &parts)
-			if part.cols == nil {
-				part.cols = make([][]int64, rw)
-			}
-			nl := b.live()
-			w.pending += buildCharge * float64(nl)
-			for k := 0; k < nl; k++ {
-				ri := b.row(k)
-				for c := 0; c < rw; c++ {
-					part.cols[c] = append(part.cols[c], b.cols[c][ri])
-				}
-				part.n++
-			}
-			return nil
-		},
-		done: func(w *vecWorker) error { return nil },
-	}
-	if err := v.stream(n.Right, collector); err != nil {
-		return err
-	}
 
-	// Merge the per-worker partitions into the probe table.
+	// Reuse: the build phase — right pipeline, partition merge, probe
+	// table — is one contiguous charge window (every pipeline charge is
+	// flushed before its stream call returns). A hit installs the
+	// finished table and lump-charges the window's cost.
+	key := ""
+	var mat [][]int64
+	var jt *joinTable
 	built := 0
-	for _, p := range parts {
-		built += p.n
-	}
-	mat := make([][]int64, rw)
-	for c := range mat {
-		mat[c] = make([]int64, 0, built)
-	}
-	for _, p := range parts {
-		for c := 0; c < rw; c++ {
-			mat[c] = append(mat[c], p.cols[c]...)
-		}
-	}
-	jt := newJoinTable(mat[rkey])
-
-	// Grace-join spill charge, as the Volcano open.
 	spilled := false
-	if float64(built)*8*float64(rw) > pr.WorkMemBytes {
-		pages := math.Ceil(float64(built) / rightPageRows)
-		if pages < 1 {
-			pages = 1
+	hit := false
+	if v.reuse != nil {
+		key = reuseKey("vhj", rkey, -1, v.e.bindSig, n.Right.Fingerprint())
+		if e := v.reuse.lookup(key); e != nil && v.m.fits(e.cost) {
+			st := e.state.(*vecHJState)
+			mat, jt, built = st.mat, st.jt, st.built
+			graftStats(v.stats, e.stats, n.Right)
+			v.tally.hit(e.cost)
+			if err := v.m.add(e.cost); err != nil {
+				return err
+			}
+			hit = true
 		}
-		if err := v.m.add(pages * pr.SpillPageCost * f); err != nil {
+	}
+	if !hit {
+		// Build phase.
+		buildStart := v.m.used()
+		bslot := v.newSlot()
+		var pmu sync.Mutex
+		var parts []*hashPart
+		buildCharge := (pr.CPUOperatorCost + pr.CPUTupleCost) * f
+		collector := vecSink{
+			emit: func(w *vecWorker, b *vbatch) error {
+				part := sharedPart[hashPart](w, bslot, &pmu, &parts)
+				if part.cols == nil {
+					part.cols = make([][]int64, rw)
+				}
+				nl := b.live()
+				w.pending += buildCharge * float64(nl)
+				for k := 0; k < nl; k++ {
+					ri := b.row(k)
+					for c := 0; c < rw; c++ {
+						part.cols[c] = append(part.cols[c], b.cols[c][ri])
+					}
+					part.n++
+				}
+				return nil
+			},
+			done: func(w *vecWorker) error { return nil },
+		}
+		if err := v.stream(n.Right, collector); err != nil {
 			return err
 		}
-		spilled = true
+
+		// Merge the per-worker partitions into the probe table.
+		for _, p := range parts {
+			built += p.n
+		}
+		mat = make([][]int64, rw)
+		for c := range mat {
+			mat[c] = make([]int64, 0, built)
+		}
+		for _, p := range parts {
+			for c := 0; c < rw; c++ {
+				mat[c] = append(mat[c], p.cols[c]...)
+			}
+		}
+		jt = newJoinTable(mat[rkey])
+
+		// Grace-join spill charge, as the Volcano open.
+		if float64(built)*8*float64(rw) > pr.WorkMemBytes {
+			pages := math.Ceil(float64(built) / rightPageRows)
+			if pages < 1 {
+				pages = 1
+			}
+			if err := v.m.add(pages * pr.SpillPageCost * f); err != nil {
+				return err
+			}
+			spilled = true
+		}
+		if key != "" && !spilled {
+			v.reuse.store(key, &reuseEntry{
+				cost:  v.m.used() - buildStart,
+				stats: snapshotStats(v.stats, n.Right),
+				state: &vecHJState{mat: mat, jt: jt, built: built},
+			})
+		}
 	}
 
 	// Probe phase: transform over the left pipeline.
@@ -1654,15 +1757,37 @@ func (v *vecEngine) streamAntiJoin(n *plan.Node, sink vecSink) error {
 	p0 := v.e.q.Predicate(n.Preds[0])
 	tbl := v.e.db.Table(n.Relation)
 	off := outerSch.offset(p0.Left.Relation, p0.Left.Column)
-	vals := tbl.Column(n.IndexColumn)
-	innerSet := make(map[int64]bool, len(vals))
-	for _, val := range vals {
-		innerSet[val] = true
+	// Reuse: the inner set depends only on the base relation; the entry
+	// (unmetered — the build charge below is levied either way) is
+	// shared with the Volcano engine.
+	key := ""
+	var innerSet map[int64]bool
+	reused := false
+	if v.reuse != nil {
+		key = "anti|" + n.Relation + "|" + n.IndexColumn
+		if e := v.reuse.lookup(key); e != nil {
+			innerSet = e.state.(map[int64]bool)
+			reused = true
+		}
+	}
+	if innerSet == nil {
+		vals := tbl.Column(n.IndexColumn)
+		innerSet = make(map[int64]bool, len(vals))
+		for _, val := range vals {
+			innerSet[val] = true
+		}
+		if key != "" {
+			v.reuse.store(key, &reuseEntry{state: innerSet})
+		}
 	}
 	f := v.factor(n)
 	pr := v.e.params
 	// Build-phase charge for hashing the inner relation (Volcano open).
-	if err := v.m.add(float64(tbl.NumRows()) * (pr.CPUOperatorCost + pr.CPUTupleCost) * f); err != nil {
+	buildCharge := float64(tbl.NumRows()) * (pr.CPUOperatorCost + pr.CPUTupleCost) * f
+	if reused {
+		v.tally.hit(buildCharge)
+	}
+	if err := v.m.add(buildCharge); err != nil {
 		return err
 	}
 	pred := n.Preds[0]
@@ -1796,27 +1921,60 @@ func (v *vecEngine) streamMergeJoin(n *plan.Node, sink vecSink) error {
 	keys := v.vb.bindJoinKeys(joins, leftSch, rightSch)
 	f := v.factor(n)
 	pr := v.e.params
-	lrows, err := v.collectRows(n.Left, len(leftSch))
-	if err != nil {
-		return err
-	}
-	if err := v.chargeSortDrain(len(lrows), len(leftSch), f); err != nil {
-		return err
-	}
-	rrows, err := v.collectRows(n.Right, len(rightSch))
-	if err != nil {
-		return err
-	}
-	if err := v.chargeSortDrain(len(rrows), len(rightSch), f); err != nil {
-		return err
-	}
 	lk, rk := keys[0].leftOff, keys[0].rightOff
-	sort.SliceStable(lrows, func(a, b int) bool { return lrows[a][lk] < lrows[b][lk] })
-	sort.SliceStable(rrows, func(a, b int) bool { return rrows[a][rk] < rrows[b][rk] })
+
+	// Reuse: both materialized, sorted inputs are cached as one
+	// whole-node entry — collect and sort charges form one contiguous
+	// window, so a hit lump-charges the window and skips both pipelines.
+	key := ""
+	var lrows, rrows [][]int64
+	hit := false
+	if v.reuse != nil {
+		key = reuseKey("vmj", lk, rk, v.e.bindSig, n.Fingerprint())
+		if e := v.reuse.lookup(key); e != nil && v.m.fits(e.cost) {
+			st := e.state.(*vecMJState)
+			lrows, rrows = st.lrows, st.rrows
+			graftStats(v.stats, e.stats, n.Left, n.Right)
+			v.tally.hit(e.cost)
+			if err := v.m.add(e.cost); err != nil {
+				return err
+			}
+			hit = true
+		}
+	}
+	if !hit {
+		sortStart := v.m.used()
+		var err error
+		lrows, err = v.collectRows(n.Left, len(leftSch))
+		if err != nil {
+			return err
+		}
+		if err := v.chargeSortDrain(len(lrows), len(leftSch), f); err != nil {
+			return err
+		}
+		rrows, err = v.collectRows(n.Right, len(rightSch))
+		if err != nil {
+			return err
+		}
+		if err := v.chargeSortDrain(len(rrows), len(rightSch), f); err != nil {
+			return err
+		}
+		sort.SliceStable(lrows, func(a, b int) bool { return lrows[a][lk] < lrows[b][lk] })
+		sort.SliceStable(rrows, func(a, b int) bool { return rrows[a][rk] < rrows[b][rk] })
+		lspill := float64(len(lrows))*8*float64(len(leftSch)) > pr.WorkMemBytes
+		rspill := float64(len(rrows))*8*float64(len(rightSch)) > pr.WorkMemBytes
+		if key != "" && !lspill && !rspill {
+			v.reuse.store(key, &reuseEntry{
+				cost:  v.m.used() - sortStart,
+				stats: snapshotStats(v.stats, n.Left, n.Right),
+				state: &vecMJState{lrows: lrows, rrows: rrows},
+			})
+		}
+	}
 	lw, rw := len(leftSch), len(rightSch)
 	ow := lw + rw
 	oslot := v.newSlot()
-	err = v.serial(func(sw *vecWorker) error {
+	err := v.serial(func(sw *vecWorker) error {
 		st := sw.st(id)
 		ws := sw.slot(oslot, ow)
 		ws.owned(ow, v.batch)

@@ -63,6 +63,15 @@ type Options struct {
 	// node emits. The engine serializes calls, but parallel vectorized
 	// runs deliver rows in a nondeterministic order.
 	Collect func(row []int64)
+
+	// Reuse, when non-nil, lets the execution salvage completed operator
+	// state (join build tables, sorted merge inputs, anti-join inner
+	// sets) cached by earlier executions of the same bouquet run, and
+	// contribute its own completed state back. Budget accounting is
+	// unchanged — reused subtrees are lump-charged their full model cost
+	// — so step outcomes match a no-reuse run; see reuse.go. Ignored
+	// when Perturb is set (perturbed charges would poison the cache).
+	Reuse *ReuseCache
 }
 
 // validate rejects option combinations Run must not silently reinterpret:

@@ -1,0 +1,199 @@
+package exec
+
+// Cross-execution operator-state reuse (the bouquet protocol's answer to
+// its own robustness tax): a bouquet run re-executes the same plans — and
+// plans sharing subtrees — dozens of times under growing budgets,
+// rebuilding identical join hash tables, sorted runs, and anti-join inner
+// sets from scratch at every step. The ReuseCache salvages that state
+// across executions within one run.
+//
+// The contract that keeps the protocol's accounting honest: reuse never
+// changes what the budget meter sees. A cache hit lump-charges exactly
+// the model cost the state's construction accrued when it was first
+// built, and is only taken when that whole charge fits under the step's
+// remaining budget — the same condition under which the from-scratch
+// build would have completed (charges are non-negative, so no prefix of
+// them could have tripped the meter earlier). Executions that would have
+// aborted mid-build therefore abort mid-build, identically. The step
+// sequence, learned selectivities, tuple counters, and result rows of a
+// bouquet run are unchanged by reuse; only wall-clock time and
+// allocations shrink. (Charged costs agree up to float summation
+// association, the same ≤1e-9 relative tolerance the two engines already
+// share.)
+//
+// What is cacheable: fully-completed, read-only materialized state —
+// hash-join build tables, merge-join sorted inputs, anti-join inner
+// sets. What is never cached: partial or in-flight state (a build the
+// budget interrupted), spill-tainted state (a build or sort that
+// overflowed work memory and charged spill I/O — its charge profile is
+// entangled with the probe phase), and anything produced under a
+// perturbed (§3.4) cost model. State completed *before* a later budget
+// abort is salvaged: the entry is stored the moment the build finishes,
+// so an execution that aborts during its probe phase still seeds the
+// next step's hit.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// ReuseCache is a per-run cache of completed operator state, keyed by the
+// producing subtree's memoized plan fingerprint plus the engine's binding
+// signature. Create one per bouquet run (core.ConcreteRunner does) and
+// pass it to every execution of that run via Options.Reuse.
+//
+// Entries are only ever read after insertion (first store wins), and the
+// engines consult the cache from the orchestration goroutine — pipeline
+// composition in the vectorized engine, iterator open in the Volcano
+// engine — never from morsel workers. The mutex makes the cache safe for
+// unanticipated callers anyway; it is uncontended in practice.
+type ReuseCache struct {
+	mu      sync.Mutex
+	entries map[string]*reuseEntry
+}
+
+// NewReuseCache builds an empty cache.
+func NewReuseCache() *ReuseCache {
+	return &ReuseCache{entries: make(map[string]*reuseEntry)}
+}
+
+// Len reports the number of cached entries (diagnostics and tests).
+func (c *ReuseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// reuseEntry is one piece of salvaged operator state.
+type reuseEntry struct {
+	// cost is the meter charge the state's construction accrued when it
+	// was built — lump-charged on every hit so budget accounting is
+	// unchanged. Zero for state whose construction is never metered
+	// (the anti-join inner set, charged at open regardless).
+	cost float64
+	// stats is the pre-order counter snapshot of the producing
+	// subtree(s), grafted onto the consuming execution so selectivity
+	// learning sees exactly the counters a from-scratch build would
+	// have produced.
+	stats []NodeStats
+	// state is the engine-specific materialized state. All variants are
+	// read-only after construction and safe to share across executions:
+	//   *hjBuildState   Volcano hash-join build table
+	//   *mjSortState    Volcano merge-join sorted inputs (both sides)
+	//   *vecHJState     vectorized hash-join merged build + joinTable
+	//   *vecMJState     vectorized merge-join sorted inputs (both sides)
+	//   map[int64]bool  anti-join inner set (shared by both engines)
+	state any
+}
+
+// hjBuildState is a Volcano hash join's completed build phase.
+type hjBuildState struct {
+	table     map[int64][]row
+	builtRows int64
+}
+
+// mjSortState is a Volcano merge join's materialized, sorted inputs.
+type mjSortState struct {
+	lrows, rrows []row
+}
+
+// vecHJState is a vectorized hash join's merged build partitions and the
+// flat probe table over them.
+type vecHJState struct {
+	mat   [][]int64
+	jt    *joinTable
+	built int
+}
+
+// vecMJState is a vectorized merge join's materialized, sorted inputs.
+type vecMJState struct {
+	lrows, rrows [][]int64
+}
+
+// lookup returns the entry stored under key, or nil.
+func (c *ReuseCache) lookup(key string) *reuseEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[key]
+}
+
+// store inserts an entry; the first store for a key wins (identical state
+// would be rebuilt identically, so later stores add nothing).
+func (c *ReuseCache) store(key string, e *reuseEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = e
+	}
+}
+
+// reuseKey builds a cache key: a state-kind tag, the join-key offsets the
+// state is organized by (-1 when not applicable), the engine's binding
+// signature, and the producing subtree's canonical fingerprint. Equal
+// fingerprints guarantee structurally identical subtrees, and equal
+// binding signatures guarantee identical selection constants, so equal
+// keys guarantee bit-identical state.
+func reuseKey(kind string, off1, off2 int, bindSig, fp string) string {
+	return fmt.Sprintf("%s|%d|%d|%s|%s", kind, off1, off2, bindSig, fp)
+}
+
+// reuseTally accumulates one execution's reuse observations, surfaced on
+// Result (and from there on concrete steps, trace spans, and metrics).
+type reuseTally struct {
+	hits     int
+	salvaged float64
+}
+
+func (t *reuseTally) hit(c float64) {
+	t.hits++
+	t.salvaged += c
+}
+
+// snapshotStats deep-copies the counters of the given subtrees in
+// pre-order walk order — taken at the moment a build completes, so every
+// counter in the snapshot is final.
+func snapshotStats(stats map[*plan.Node]*NodeStats, roots ...*plan.Node) []NodeStats {
+	var out []NodeStats
+	for _, root := range roots {
+		root.Walk(func(n *plan.Node) {
+			cp := *stats[n]
+			cp.PassBy = make(map[int]int64, len(stats[n].PassBy))
+			for id, v := range stats[n].PassBy {
+				cp.PassBy[id] = v
+			}
+			out = append(out, cp)
+		})
+	}
+	return out
+}
+
+// graftStats installs a snapshot onto the consuming execution's counters,
+// aligning by pre-order walk — sound because entries are keyed by
+// fingerprint, and equal fingerprints imply identical tree structure.
+// Maps are copied so executions never share mutable counter state.
+func graftStats(stats map[*plan.Node]*NodeStats, snap []NodeStats, roots ...*plan.Node) {
+	i := 0
+	for _, root := range roots {
+		root.Walk(func(n *plan.Node) {
+			cp := snap[i]
+			i++
+			pb := make(map[int]int64, len(cp.PassBy))
+			for id, v := range cp.PassBy {
+				pb[id] = v
+			}
+			cp.PassBy = pb
+			*stats[n] = cp
+		})
+	}
+	if i != len(snap) {
+		panic("exec: reuse snapshot does not align with consuming subtree — fingerprint collision or engine bug")
+	}
+}

@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/data"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Tests for cross-execution operator-state reuse (reuse.go): cache hits
+// must never change an execution's observable outcome — result multiset,
+// tuple counters, completion, charged cost (up to float summation order)
+// — only its wall-clock and allocation profile.
+
+// engineConfigs enumerates the option sets the reuse contract covers:
+// the Volcano interpreter and the vectorized engine serially and with
+// more workers than there is work.
+func engineConfigs() map[string]Options {
+	return map[string]Options{
+		"volcano": {},
+		"vec-w1":  vopts(1),
+		"vec-w8":  vopts(8),
+	}
+}
+
+// withReuse returns opts with the cache attached.
+func withReuse(opts Options, c *ReuseCache) Options {
+	opts.Reuse = c
+	return opts
+}
+
+// TestReuseWarmRunsIdentical: a cold cached run matches a cache-free run,
+// and a warm run (same cache) takes hits on every join-build plan while
+// remaining counter-identical and cost-identical (to summation order).
+func TestReuseWarmRunsIdentical(t *testing.T) {
+	fx := newFixture(t)
+	for cfg, base := range engineConfigs() {
+		for name, p := range fx.plans {
+			plain := runCollected(t, fx.eng, p, base)
+			cache := NewReuseCache()
+			cold := runCollected(t, fx.eng, p, withReuse(base, cache))
+			if cold.res.ReuseHits != 0 {
+				t.Fatalf("%s/%s: cold run reported %d hits", cfg, name, cold.res.ReuseHits)
+			}
+			assertParity(t, fmt.Sprintf("%s/%s cold", cfg, name), plain, cold)
+
+			warm := runCollected(t, fx.eng, p, withReuse(base, cache))
+			assertParity(t, fmt.Sprintf("%s/%s warm", cfg, name), plain, warm)
+			switch name {
+			case "hj", "mj":
+				// hj salvages both build sides; mj takes one root hit whose
+				// whole-node entry subsumes the inner join's (it never opens).
+				want := 2
+				if name == "mj" {
+					want = 1
+				}
+				if warm.res.ReuseHits != want {
+					t.Errorf("%s/%s: warm run took %d hits, want %d", cfg, name, warm.res.ReuseHits, want)
+				}
+				if !(warm.res.SalvagedCost > 0) {
+					t.Errorf("%s/%s: warm hits salvaged no cost", cfg, name)
+				}
+				if !(warm.res.SalvagedCost < warm.res.CostUsed) {
+					t.Errorf("%s/%s: salvaged %g not below total %g", cfg, name, warm.res.SalvagedCost, warm.res.CostUsed)
+				}
+			default:
+				// Index NL joins pipeline through the index — nothing to cache.
+				if warm.res.ReuseHits != 0 || cache.Len() != 0 {
+					t.Errorf("%s/%s: pipelined plan cached state (hits=%d, entries=%d)",
+						cfg, name, warm.res.ReuseHits, cache.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestReuseSalvageAcrossBudgetAbort pins the headline salvage path: an
+// execution that aborts during its probe phase still contributes the
+// build state it completed, and the next step reuses it.
+func TestReuseSalvageAcrossBudgetAbort(t *testing.T) {
+	fx := newFixture(t)
+	for cfg, base := range engineConfigs() {
+		for _, name := range []string{"hj", "mj"} {
+			p := fx.plans[name]
+			full := runCollected(t, fx.eng, p, base)
+
+			cache := NewReuseCache()
+			under := base
+			under.Budget = cost.Cost(math.Nextafter(full.res.CostUsed.F(), 0))
+			under.Reuse = cache
+			aborted, err := fx.eng.Run(p, under)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aborted.Completed {
+				t.Fatalf("%s/%s: completed one ULP under full cost", cfg, name)
+			}
+			if cache.Len() == 0 {
+				t.Fatalf("%s/%s: abort salvaged no completed build state", cfg, name)
+			}
+
+			warm := runCollected(t, fx.eng, p, withReuse(base, cache))
+			if warm.res.ReuseHits == 0 {
+				t.Fatalf("%s/%s: no hits on state salvaged across the abort", cfg, name)
+			}
+			assertParity(t, fmt.Sprintf("%s/%s salvaged", cfg, name), full, warm)
+		}
+	}
+}
+
+// TestReuseBudgetSweepOutcomesUnchanged is the abort-equivalence
+// invariant: at every budget, a warm-cache run completes or aborts
+// exactly as the cache-free run does, with the same rows and the same
+// charged cost (hits lump-charge the full build cost and are only taken
+// when the whole charge fits — the condition under which the rebuild
+// would have completed too).
+func TestReuseBudgetSweepOutcomesUnchanged(t *testing.T) {
+	fx := newFixture(t)
+	for cfg, base := range engineConfigs() {
+		for _, name := range []string{"hj", "mj"} {
+			p := fx.plans[name]
+			full := fx.eng.MustRun(p, base)
+			cache := NewReuseCache()
+			fx.eng.MustRun(p, withReuse(base, cache)) // warm every entry
+
+			for _, frac := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0} {
+				opts := base
+				opts.Budget = full.CostUsed * cost.Cost(frac)
+				plain := fx.eng.MustRun(p, opts)
+				warm := fx.eng.MustRun(p, withReuse(opts, cache))
+				label := fmt.Sprintf("%s/%s@%.2f", cfg, name, frac)
+				if warm.Completed != plain.Completed {
+					t.Fatalf("%s: completed %v with cache, %v without", label, warm.Completed, plain.Completed)
+				}
+				cw, cp := warm.CostUsed.F(), plain.CostUsed.F()
+				if math.Abs(cw-cp) > 1e-9*math.Max(1, math.Abs(cp)) {
+					t.Fatalf("%s: cost %g with cache, %g without", label, cw, cp)
+				}
+				// Abort points are charge-deterministic on the serial
+				// engines; parallel aborted rows depend on interleaving.
+				if (cfg != "vec-w8" || plain.Completed) && warm.RowsOut != plain.RowsOut {
+					t.Fatalf("%s: rows %d with cache, %d without", label, warm.RowsOut, plain.RowsOut)
+				}
+			}
+		}
+	}
+}
+
+// TestReuseSpillTaintedStateNeverCached: builds and sorts that overflow
+// work memory charge spill I/O entangled with the probe phase, so their
+// state must never enter the cache.
+func TestReuseSpillTaintedStateNeverCached(t *testing.T) {
+	fx := newFixture(t)
+	tiny := cost.Postgres()
+	tiny.P.WorkMemBytes = 1
+	eng, err := NewEngine(fx.q, fx.db, tiny, fx.bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cfg, base := range engineConfigs() {
+		for _, name := range []string{"hj", "mj"} {
+			p := fx.plans[name]
+			plain := runCollected(t, eng, p, base)
+			cache := NewReuseCache()
+			cold := runCollected(t, eng, p, withReuse(base, cache))
+			if cache.Len() != 0 {
+				t.Fatalf("%s/%s: %d spill-tainted entries cached", cfg, name, cache.Len())
+			}
+			warm := runCollected(t, eng, p, withReuse(base, cache))
+			if warm.res.ReuseHits != 0 {
+				t.Fatalf("%s/%s: %d hits on spill-tainted state", cfg, name, warm.res.ReuseHits)
+			}
+			assertParity(t, fmt.Sprintf("%s/%s spill cold", cfg, name), plain, cold)
+			assertParity(t, fmt.Sprintf("%s/%s spill warm", cfg, name), plain, warm)
+		}
+	}
+}
+
+// TestReusePerturbedRunsBypassCache: §3.4 perturbed executions neither
+// consult nor populate the cache (their charges would poison it).
+func TestReusePerturbedRunsBypassCache(t *testing.T) {
+	fx := newFixture(t)
+	p := fx.plans["hj"]
+	for cfg, base := range engineConfigs() {
+		cache := NewReuseCache()
+		fx.eng.MustRun(p, withReuse(base, cache)) // legitimate warm entries
+		warmed := cache.Len()
+		if warmed == 0 {
+			t.Fatalf("%s: warm run cached nothing", cfg)
+		}
+		opts := withReuse(base, cache)
+		opts.Perturb = func(*plan.Node) float64 { return 1.05 }
+		res := fx.eng.MustRun(p, opts)
+		if res.ReuseHits != 0 {
+			t.Fatalf("%s: perturbed run took %d cache hits", cfg, res.ReuseHits)
+		}
+		if cache.Len() != warmed {
+			t.Fatalf("%s: perturbed run mutated the cache (%d -> %d entries)", cfg, warmed, cache.Len())
+		}
+	}
+}
+
+// TestReuseAntiJoinInnerSet: the NOT EXISTS inner set depends only on the
+// base relation, is shared across both engines under one key, and its
+// open-time charge is levied identically whether built or reused.
+func TestReuseAntiJoinInnerSet(t *testing.T) {
+	cat := catalog.NewCatalog()
+	cat.AddRelation(&catalog.Relation{
+		Name: "o", Card: 800, TupleWidth: 16,
+		Columns: []catalog.Column{
+			{Name: "o_id", Type: catalog.TypeKey, DistinctCount: 800},
+			{Name: "o_c", Type: catalog.TypeInt, DistinctCount: 100},
+		},
+	})
+	cat.AddRelation(&catalog.Relation{
+		Name: "blk", Card: 60, TupleWidth: 8,
+		Columns: []catalog.Column{{Name: "b_c", Type: catalog.TypeInt, DistinctCount: 100}},
+	})
+	cat.IndexAllColumns()
+	db := data.Generate(cat, nil, nil, 3)
+	q := query.NewBuilder("antireuse", cat).
+		Relation("o").Relation("blk").
+		AntiJoinPred("o", "o_c", "blk", "b_c", 0.5, true).
+		MustBuild()
+	eng, err := NewEngine(q, db, cost.Postgres(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plan.NewAntiJoin(plan.NewSeqScan("o", nil), "blk", "b_c", 0)
+
+	cache := NewReuseCache()
+	for cfg, base := range engineConfigs() {
+		plain := runCollected(t, eng, p, base)
+		warm := runCollected(t, eng, p, withReuse(base, cache))
+		assertParity(t, fmt.Sprintf("anti/%s", cfg), plain, warm)
+	}
+	// One shared entry; every run after the first (across engines) hit it.
+	if cache.Len() != 1 {
+		t.Fatalf("anti-join inner set cached as %d entries, want 1", cache.Len())
+	}
+	res := eng.MustRun(p, withReuse(Options{}, cache))
+	if res.ReuseHits != 1 || !(res.SalvagedCost > 0) {
+		t.Fatalf("warm anti-join run: hits=%d salvaged=%g", res.ReuseHits, res.SalvagedCost)
+	}
+}

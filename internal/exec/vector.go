@@ -80,6 +80,13 @@ func (m *atomicMeter) add(c float64) error {
 
 func (m *atomicMeter) used() float64 { return math.Float64frombits(m.bits.Load()) }
 
+// fits reports whether a lump charge of c would stay within budget — the
+// reuse-hit eligibility test (see meter.fits). Called only between
+// pipelines, when no worker is concurrently charging.
+func (m *atomicMeter) fits(c float64) bool {
+	return m.used()+c <= m.budget
+}
+
 // vecWorker is one morsel worker's private state: per-node counters
 // (merged into the shared stats after the pipeline joins), the pending
 // charge accumulated since the last meter flush, and per-slot scratch
@@ -185,6 +192,12 @@ type vecEngine struct {
 	nslots  int
 	stop    atomic.Bool
 	batches atomic.Int64
+
+	// reuse is the operator-state cache (nil unless Options.Reuse is set
+	// and Perturb is not); tally counts this execution's hits. Both are
+	// touched only between pipelines, on the composing goroutine.
+	reuse *ReuseCache
+	tally reuseTally
 
 	collectMu sync.Mutex
 }
@@ -463,6 +476,9 @@ func (e *Engine) runVectorized(root *plan.Node, opts Options) (Result, error) {
 		batch:   opts.BatchSize,
 		workers: opts.Parallelism,
 	}
+	if opts.Perturb == nil {
+		v.reuse = opts.Reuse
+	}
 	if err := v.validate(driven); err != nil {
 		return Result{}, err
 	}
@@ -475,9 +491,11 @@ func (e *Engine) runVectorized(root *plan.Node, opts Options) (Result, error) {
 	err := v.stream(driven, v.rootSink())
 
 	res := Result{
-		Stats:   v.stats,
-		Batches: v.batches.Load(),
-		Workers: v.workers,
+		Stats:        v.stats,
+		Batches:      v.batches.Load(),
+		Workers:      v.workers,
+		ReuseHits:    v.tally.hits,
+		SalvagedCost: cost.Cost(v.tally.salvaged),
 	}
 	res.CostUsed = cost.Cost(v.m.used())
 	res.RowsOut = v.stats[driven].Out

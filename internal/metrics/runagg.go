@@ -33,6 +33,15 @@ type RunAggregate struct {
 	// Rows is the final result cardinality (the last completed exec
 	// span's row count).
 	Rows int64 `json:"rows"`
+	// ReuseHits counts operator-state reuse-cache hits across exec
+	// steps; SalvagedCost is the charged model cost those hits covered
+	// without re-executing the work. DiscardedCost refines WastedCost:
+	// the portion of jettisoned charges whose work actually ran on the
+	// hardware (WastedCost minus the salvaged share of aborted steps) —
+	// the true robustness tax after reuse.
+	ReuseHits     int     `json:"reuseHits"`
+	SalvagedCost  float64 `json:"salvagedCost"`
+	DiscardedCost float64 `json:"discardedCost"`
 }
 
 // WastedRatio returns WastedCost / (UsefulCost + WastedCost), the
@@ -57,6 +66,8 @@ func Aggregate(spans []trace.Span) RunAggregate {
 			if s.WallNanos > a.MaxStepWallNanos {
 				a.MaxStepWallNanos = s.WallNanos
 			}
+			a.ReuseHits += s.ReuseHits
+			a.SalvagedCost += s.SalvagedCost
 			if s.Completed {
 				a.Completed++
 				a.UsefulCost += s.Spent
@@ -65,6 +76,9 @@ func Aggregate(spans []trace.Span) RunAggregate {
 				}
 			} else {
 				a.WastedCost += s.Spent
+				if d := s.Spent - s.SalvagedCost; d > 0 {
+					a.DiscardedCost += d
+				}
 			}
 		case trace.KindSpill:
 			a.Spills++

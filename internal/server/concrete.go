@@ -113,6 +113,10 @@ func (s *Server) handleRunConcrete(w http.ResponseWriter, req runRequest, b *cor
 		jsonError(w, http.StatusBadRequest, "parallelism %d must be >= 0", workers)
 		return
 	}
+	reuse := s.cfg.ExecReuse
+	if req.Reuse != nil {
+		reuse = *req.Reuse
+	}
 	seed := req.DataSeed
 	if seed == 0 {
 		seed = 1
@@ -127,7 +131,7 @@ func (s *Server) handleRunConcrete(w http.ResponseWriter, req runRequest, b *cor
 	if req.Trace {
 		rec = trace.New(0)
 	}
-	runner := &core.ConcreteRunner{B: b, Engine: entry.eng, Trace: rec, Parallelism: workers}
+	runner := &core.ConcreteRunner{B: b, Engine: entry.eng, Trace: rec, Parallelism: workers, Reuse: reuse}
 	entry.mu.Lock()
 	var e core.ConcreteExecution
 	if req.Optimized {
@@ -142,13 +146,18 @@ func (s *Server) handleRunConcrete(w http.ResponseWriter, req runRequest, b *cor
 	s.metrics.runsTotal.Add(1)
 	s.metrics.runSteps.Add(int64(e.NumExecs()))
 	s.metrics.lastRunCost.Set(e.TotalCost.F())
+	s.metrics.reuseHits.Add(int64(e.ReuseHits))
+	s.metrics.lastSalvagedCost.Set(e.SalvagedCost.F())
 
 	out := runResponse{
-		TotalCost:  e.TotalCost.F(),
-		Execs:      e.NumExecs(),
-		ResultRows: e.ResultRows,
-		Workers:    workers,
-		Concrete:   true,
+		TotalCost:    e.TotalCost.F(),
+		Execs:        e.NumExecs(),
+		ResultRows:   e.ResultRows,
+		Workers:      workers,
+		Concrete:     true,
+		Reuse:        reuse,
+		ReuseHits:    e.ReuseHits,
+		SalvagedCost: e.SalvagedCost.F(),
 	}
 	for _, st := range e.Steps {
 		out.Steps = append(out.Steps, runStep{

@@ -121,6 +121,9 @@ type serverMetrics struct {
 	lastRunOptCost gauge   // oracle OptCost of the most recent run
 	runSubOpt      *histogram
 
+	reuseHits        counter // operator-state reuse-cache hits across concrete runs
+	lastSalvagedCost gauge   // salvaged model cost of the most recent concrete run
+
 	tracedRuns      counter    // /run requests that recorded a trace
 	traceExecSteps  counter    // exec spans across all traced runs
 	traceAborts     counter    // budget-abort spans across all traced runs
@@ -270,6 +273,10 @@ func (m *serverMetrics) render(w io.Writer, cache CacheStats, bouquets int, optC
 	writeHeader(w, "bouquetd_last_run_opt_cost", "Oracle (optimal) cost of the most recent run.", "gauge")
 	fmt.Fprintf(w, "bouquetd_last_run_opt_cost %g\n", m.lastRunOptCost.Value())
 	m.runSubOpt.write(w, "bouquetd_run_subopt", "Distribution of per-run SubOpt values.")
+	writeHeader(w, "bouquetd_reuse_hits_total", "Operator states served from the per-run reuse cache across concrete runs.", "counter")
+	fmt.Fprintf(w, "bouquetd_reuse_hits_total %d\n", m.reuseHits.Value())
+	writeHeader(w, "bouquetd_last_run_salvaged_cost", "Model cost the most recent concrete run charged for reused operator state instead of re-executing it.", "gauge")
+	fmt.Fprintf(w, "bouquetd_last_run_salvaged_cost %g\n", m.lastSalvagedCost.Value())
 
 	writeHeader(w, "bouquetd_traced_runs_total", "Runs that recorded a structured execution trace.", "counter")
 	fmt.Fprintf(w, "bouquetd_traced_runs_total %d\n", m.tracedRuns.Value())

@@ -67,6 +67,12 @@ type Config struct {
 	// vectorized engine with n morsel workers. A request's parallelism
 	// field overrides it per run.
 	ExecWorkers int
+	// ExecReuse enables the per-run operator-state reuse cache for
+	// concrete /run executions by default (bouquetd's -exec-reuse). A
+	// request's reuse field overrides it per run. Reuse changes only
+	// wall-clock time — charged costs, step sequences, and learned
+	// selectivities are identical either way.
+	ExecReuse bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// RunHistory bounds how many traced runs are retained for
@@ -471,6 +477,11 @@ type runRequest struct {
 	// the vectorized engine with n morsel workers. Rejected on
 	// simulated (non-concrete) runs.
 	Parallelism *int `json:"parallelism,omitempty"`
+	// Reuse overrides the server's -exec-reuse default for a concrete
+	// run: whether executions salvage completed operator state (join
+	// builds, sorted inputs) across the run's steps. Accounting is
+	// unchanged; only wall-clock improves. Rejected on simulated runs.
+	Reuse *bool `json:"reuse,omitempty"`
 }
 
 type runStep struct {
@@ -497,6 +508,13 @@ type runResponse struct {
 	Concrete   bool  `json:"concrete,omitempty"`
 	ResultRows int64 `json:"resultRows,omitempty"`
 	Workers    int   `json:"workers,omitempty"`
+	// Reuse reports whether the concrete run used the operator-state
+	// reuse cache; ReuseHits counts the states served from it and
+	// SalvagedCost the charged model cost they covered without
+	// re-executing the work.
+	Reuse        bool    `json:"reuse,omitempty"`
+	ReuseHits    int     `json:"reuseHits,omitempty"`
+	SalvagedCost float64 `json:"salvagedCost,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -516,6 +534,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Parallelism != nil {
 		jsonError(w, http.StatusBadRequest, "parallelism applies to concrete runs only")
+		return
+	}
+	if req.Reuse != nil {
+		jsonError(w, http.StatusBadRequest, "reuse applies to concrete runs only")
 		return
 	}
 	if len(req.QA) != b.Space.Dims() {

@@ -134,6 +134,12 @@ type Span struct {
 	// Workers is the morsel worker count of a vectorized execution (0
 	// for tuple-at-a-time runs).
 	Workers int `json:"workers,omitempty"`
+	// ReuseHits counts operator-state reuse-cache hits inside an
+	// executed step (0 when the cache is disabled or cold).
+	ReuseHits int `json:"reuseHits,omitempty"`
+	// SalvagedCost is the model cost those hits charged without
+	// re-executing the work — part of Spent, saved on the wall clock.
+	SalvagedCost float64 `json:"salvagedCost,omitempty"`
 	// Nodes carries per-operator counters for executed steps.
 	Nodes []NodeStat `json:"nodes,omitempty"`
 }
