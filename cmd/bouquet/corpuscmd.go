@@ -1,0 +1,123 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+)
+
+// DefaultCorpusSeed seeds the checked-in corpus: the paper's publication
+// date. Recorded in the manifest, so `check` and `bless` never need it.
+const DefaultCorpusSeed = 20140622
+
+// DefaultCorpusCount is the checked-in corpus size (the ISSUE's ≥500
+// target).
+const DefaultCorpusCount = 500
+
+// corpusMain dispatches `bouquet corpus <gen|check|bless|stats>` with its
+// own flag set: the corpus verb has a different seed default and knobs
+// than the experiment commands.
+func corpusMain(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("corpus needs a subcommand: gen, check, bless, or stats")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("corpus "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "testdata/corpus", "corpus directory")
+	seed := fs.Int64("seed", DefaultCorpusSeed, "corpus master seed (gen only)")
+	count := fs.Int("count", DefaultCorpusCount, "number of generated queries (gen only)")
+	sample := fs.Int("sample", 0, "check only N evenly-spaced queries (0 = full corpus)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "also write the classified diff report to this file (check only)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	switch sub {
+	case "gen":
+		return corpusGen(*dir, corpus.Config{Seed: *seed, Count: *count}, *workers)
+	case "check":
+		return corpusCheck(*dir, *sample, *workers, *out)
+	case "bless":
+		m, err := corpus.LoadManifest(*dir)
+		if err != nil {
+			return fmt.Errorf("bless regenerates from the existing manifest; none found: %w", err)
+		}
+		return corpusGen(*dir, corpus.Config{Seed: m.Seed, Count: m.Count}, *workers)
+	case "stats":
+		return corpusStats(*dir)
+	default:
+		return fmt.Errorf("unknown corpus subcommand %q (want gen, check, bless, or stats)", sub)
+	}
+}
+
+// corpusGen generates the corpus from scratch and writes it under dir.
+func corpusGen(dir string, cfg corpus.Config, workers int) error {
+	baselines, err := corpus.Generate(cfg, workers, nil)
+	if err != nil {
+		return err
+	}
+	if err := corpus.Save(dir, cfg, baselines); err != nil {
+		return err
+	}
+	fmt.Printf("corpus: wrote %d baselines (seed %d) to %s\n", len(baselines), cfg.Seed, dir)
+	return nil
+}
+
+// corpusCheck regenerates the corpus (or an evenly-spaced sample of it)
+// from the manifest seed and semantically diffs it against the golden
+// baselines, printing one matcher-parseable line per drift.
+func corpusCheck(dir string, sample, workers int, out string) error {
+	m, golden, err := corpus.Load(dir)
+	if err != nil {
+		return err
+	}
+	idx := corpus.SampleIndices(m.Count, sample)
+	candidate, err := corpus.Generate(corpus.Config{Seed: m.Seed, Count: m.Count}, workers, idx)
+	if err != nil {
+		return err
+	}
+	subset := make([]corpus.Baseline, 0, len(idx))
+	for _, i := range idx {
+		subset = append(subset, golden[i])
+	}
+	drifts := corpus.Diff(subset, candidate)
+	if len(drifts) == 0 {
+		fmt.Printf("corpus: %d/%d queries checked, no drift\n", len(idx), m.Count)
+		if out != "" {
+			return os.WriteFile(out, nil, 0o644)
+		}
+		return nil
+	}
+	report := corpus.Report(filepath.ToSlash(dir), drifts)
+	fmt.Print(report)
+	if out != "" {
+		if werr := os.WriteFile(out, []byte(report), 0o644); werr != nil {
+			return werr
+		}
+	}
+	return fmt.Errorf("%d of %d checked queries drifted from the golden baselines (intentional change? run `make corpus-bless`)",
+		len(drifts), len(idx))
+}
+
+// corpusStats prints the composition table and MSO distribution the
+// EXPERIMENTS.md corpus section is built from.
+func corpusStats(dir string) error {
+	m, baselines, err := corpus.Load(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d queries, seed %d, %d shards\n\n", m.Count, m.Seed,
+		(m.Count+m.ShardSize-1)/m.ShardSize)
+	fmt.Printf("%-8s %4s %-10s %5s\n", "geometry", "dims", "model", "count")
+	for _, row := range corpus.Composition(baselines) {
+		fmt.Printf("%-8s %4d %-10s %5d\n", row.Geometry, row.Dims, row.Model, row.Count)
+	}
+	q := corpus.MSOQuantiles(baselines)
+	fmt.Printf("\nMSO bound distribution: min %.2f  p25 %.2f  median %.2f  p75 %.2f  max %.2f\n",
+		q[0], q[1], q[2], q[3], q[4])
+	return nil
+}

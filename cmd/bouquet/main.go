@@ -15,6 +15,7 @@
 //	bouquet explain <workload>           compile and describe a bouquet
 //	bouquet run <workload> -qa s1,s2,…   trace one bouquet execution
 //	bouquet list                         list available workloads
+//	bouquet corpus <gen|check|bless|stats>  plan-regression corpus gate
 package main
 
 import (
@@ -44,6 +45,15 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "corpus" {
+		// The corpus verb carries its own flag set (different seed default,
+		// -dir/-sample/-out knobs), so dispatch before the generic parse.
+		if err := corpusMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bouquet:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	res := fs.Int("res", 0, "grid resolution per dimension (0 = per-dimensionality default)")
 	lambda := fs.Float64("lambda", anorexic.DefaultLambda.F(), "anorexic reduction threshold")
@@ -90,6 +100,11 @@ commands:
                                 (-nodes: per-operator stats; -concrete:
                                  real engine run of HQ8a)
   list                          list available workloads
+  corpus gen|check|bless|stats  plan-regression corpus: generate golden
+                                baselines, semantically diff against them,
+                                re-bless after intentional changes, or
+                                print composition stats
+                                (-dir D -seed N -count N -sample N -out F)
 
 flags: -res N -lambda F -workers N -seed N -optimized=BOOL -concrete -nodes`)
 }

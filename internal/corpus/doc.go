@@ -1,0 +1,21 @@
+// Package corpus implements the plan-regression corpus: a deterministic,
+// seeded generator of SQL workloads over synthetic catalogs, golden
+// behavioral baselines for each generated query (plan fingerprints per
+// isocost contour, POSP size, ladder budgets, MSO/ASO numbers, and
+// abstract-driver trace aggregates), a sharded on-disk JSON format under
+// testdata/corpus/, and a semantic differ that classifies drift instead of
+// byte-diffing.
+//
+// The corpus pins the bouquet's whole value proposition — behavioral
+// invariance of the compiled plan ladders and their MSO guarantees across
+// refactors. Every query is compiled through the real front door
+// (sqlparse → query → ess → optimizer → core.Compile), so a change
+// anywhere in that stack that shifts plan shapes, contour structure, or
+// the robustness numbers surfaces as a classified diff in `bouquet corpus
+// check` (CI's corpus job, `make corpus-check`).
+//
+// Generation is byte-reproducible: the manifest records the seed and
+// count, and regenerating from them yields byte-identical shards. Golden
+// baselines are re-blessed with `bouquet corpus bless` / `make
+// corpus-bless` after an intentional behavioral change.
+package corpus

@@ -1,0 +1,50 @@
+package corpus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPerturbedFixtureFailsCheck is the negative gate test: the checked-in
+// fixture under testdata/perturbed is a real 3-query corpus whose golden
+// baselines were deliberately perturbed one way each, and running the same
+// load → regenerate → diff pipeline `bouquet corpus check` uses must fail
+// with exactly those drift classes. If this test starts passing with zero
+// drifts, the corpus gate has gone blind.
+func TestPerturbedFixtureFailsCheck(t *testing.T) {
+	dir := filepath.Join("testdata", "perturbed")
+	m, golden, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidate, err := Generate(Config{Seed: m.Seed, Count: m.Count}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifts := Diff(golden, candidate)
+	if len(drifts) != 3 {
+		t.Fatalf("want 3 classified drifts, got %d: %v", len(drifts), drifts)
+	}
+	want := map[string]DriftClass{
+		"q0000": ClassMSORegression,
+		"q0001": ClassPlanShape,
+		"q0002": ClassCostOnly,
+	}
+	for _, d := range drifts {
+		if want[d.ID] != d.Class {
+			t.Errorf("%s classified as %s, want %s (%s)", d.ID, d.Class, want[d.ID], d.Detail)
+		}
+	}
+
+	report := Report("internal/corpus/testdata/perturbed", drifts)
+	for _, line := range []string{
+		"internal/corpus/testdata/perturbed/shard-000.json: q0000: [mso-",
+		"q0001: [plan-shape]",
+		"q0002: [cost-only]",
+	} {
+		if !strings.Contains(report, line) {
+			t.Errorf("report missing %q:\n%s", line, report)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// Config identifies a corpus: regenerating with the same Config is
+// byte-reproducible, which is what `corpus check` relies on.
+type Config struct {
+	// Seed is the corpus master seed; query i derives its own stream from
+	// (Seed, i).
+	Seed int64 `json:"seed"`
+	// Count is the number of generated queries.
+	Count int `json:"count"`
+}
+
+// Spec is one generated workload before compilation: a synthetic catalog
+// plus the SQL text of a query over it, with every generation decision
+// derived from the corpus seed.
+type Spec struct {
+	// ID is the stable query identifier ("q0000" …).
+	ID string
+	// Index is the query's position in the corpus.
+	Index int
+	// Geometry is the intended join-graph family (chain, star, branch,
+	// cycle); the compiled baseline records the exact shape string.
+	Geometry string
+	// Dims is the number of error-prone predicates (ESS dimensionality).
+	Dims int
+	// Model names the cost model ("postgres" or "commercial").
+	Model string
+	// Res is the per-dimension ESS grid resolution used for compilation.
+	Res int
+	// Catalog is the generated schema with statistics.
+	Catalog *catalog.Catalog
+	// CatalogSpec is a compact, reproducible description of the catalog
+	// (relation cards, widths, index policy) recorded in the baseline so
+	// generator drift is diagnosable.
+	CatalogSpec string
+	// SQL is the query text fed to sqlparse.
+	SQL string
+}
+
+// geometries are the join-graph families, cycled in index order so the
+// corpus composition is balanced by construction.
+var geometries = []string{"chain", "star", "branch", "cycle"}
+
+// resForDims maps ESS dimensionality to the per-dimension grid resolution:
+// coarse enough that 500+ exhaustive POSP generations stay CI-affordable,
+// fine enough that plan switches and multi-step ladders appear.
+func resForDims(d int) int {
+	switch d {
+	case 2:
+		return 10
+	case 3:
+		return 5
+	case 4:
+		return 4
+	case 5:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// edge is one undirected join edge between relation indices; child is the
+// FK side.
+type edge struct {
+	parent, child int
+}
+
+// GenerateSpec deterministically derives query i of the corpus seeded with
+// seed. The generated SQL exercises the full sqlparse grammar across the
+// corpus: '<' and '>=' selections, PK-FK joins with defaulted and explicit
+// SEL(f) selectivities, NOT EXISTS anti-joins, COUNT(*) aggregates, GROUP
+// BY, and '?' error-prone markers.
+func GenerateSpec(seed int64, i int) Spec { //bouquet:allow panicdoc: every intn bound is a static positive or len(preds)>=Dims by construction; the panic path is unreachable
+	r := newRNG(seed, i)
+	s := Spec{
+		ID:       fmt.Sprintf("q%04d", i),
+		Index:    i,
+		Geometry: geometries[i%len(geometries)],
+		Dims:     2 + i%5,
+		// Stride the model by i/4, not i: geometry has period 4, so an i%2
+		// stripe would pin each geometry to one model forever. With periods
+		// 4, 5, and 8 the full geometry × dims × model cross-product
+		// appears every lcm = 40 queries.
+		Model: []string{"postgres", "commercial"}[(i/4)%2],
+	}
+	s.Res = resForDims(s.Dims)
+
+	// Relation count per family; branch needs ≥5 relations to have an
+	// interior node of degree ≥3 that is not a star center.
+	var nrel int
+	switch s.Geometry {
+	case "chain":
+		nrel = 3 + r.intn(4)
+	case "star":
+		nrel = 4 + r.intn(3)
+	case "branch":
+		nrel = 5 + r.intn(2)
+	default: // cycle
+		nrel = 3 + r.intn(3)
+	}
+
+	names := make([]string, nrel)
+	cards := make([]int64, nrel)
+	for j := 0; j < nrel; j++ {
+		names[j] = fmt.Sprintf("r%d", j)
+		// Log-uniform row counts over ~2.3 decades: 1e3 … 2e5.
+		cards[j] = int64(1000 * pow10(r.float64()*2.3))
+	}
+
+	edges := genEdges(s.Geometry, nrel, r)
+
+	// The anti-join pendant attaches where it cannot change the intended
+	// family: a chain's end, a star's center, or anywhere on branch/cycle.
+	hasAnti := r.intn(4) == 0
+	antiOuter := 0
+	if s.Geometry == "chain" {
+		antiOuter = nrel - 1
+	}
+
+	// FK columns per relation, keyed by edge: the child side carries a
+	// foreign key referencing the parent's primary key.
+	fkCols := make([][]int, nrel) // fkCols[child] lists edge indices
+	for e, ed := range edges {
+		fkCols[ed.child] = append(fkCols[ed.child], e)
+	}
+
+	cat := catalog.NewCatalog()
+	var catSpec strings.Builder
+	widths := make([]int64, nrel)
+	for j := 0; j < nrel; j++ {
+		widths[j] = 64 + 8*int64(r.intn(17))
+		cols := []catalog.Column{
+			{Name: names[j] + "_id", Type: catalog.TypeKey, DistinctCount: cards[j]},
+			{Name: names[j] + "_a", Type: catalog.TypeInt, DistinctCount: max64(2, cards[j]/10)},
+			{Name: names[j] + "_b", Type: catalog.TypeInt, DistinctCount: 100},
+		}
+		for _, e := range fkCols[j] {
+			p := edges[e].parent
+			cols = append(cols, catalog.Column{
+				Name: fmt.Sprintf("%s_fk%s", names[j], names[p]),
+				Type: catalog.TypeForeignKey, Refs: names[p], DistinctCount: cards[p],
+			})
+		}
+		cat.AddRelation(&catalog.Relation{
+			Name: names[j], Card: cards[j], TupleWidth: widths[j], Columns: cols,
+		})
+	}
+
+	antiName := ""
+	var antiCard int64
+	if hasAnti {
+		antiName = fmt.Sprintf("r%dx", nrel)
+		antiCard = int64(1000 * pow10(r.float64()*2.0))
+		cat.AddRelation(&catalog.Relation{
+			Name: antiName, Card: antiCard, TupleWidth: 64 + 8*int64(r.intn(9)),
+			Columns: []catalog.Column{
+				{Name: antiName + "_id", Type: catalog.TypeKey, DistinctCount: antiCard},
+			},
+		})
+	}
+
+	// Index policy: mostly the paper's hard-nut all-columns configuration,
+	// sometimes keys-only for access-path diversity.
+	indexPolicy := "all"
+	if r.intn(4) == 0 {
+		indexPolicy = "keys"
+	}
+	if indexPolicy == "all" {
+		cat.IndexAllColumns()
+	} else {
+		for _, rel := range cat.Relations() {
+			for _, col := range rel.Columns {
+				if col.Type == catalog.TypeKey {
+					cat.AddIndex(catalog.Index{Relation: rel.Name, Column: col.Name, Clustered: true})
+				}
+			}
+		}
+	}
+	for j := 0; j < nrel; j++ {
+		fmt.Fprintf(&catSpec, "%s:%dx%d;", names[j], cards[j], widths[j])
+	}
+	if hasAnti {
+		fmt.Fprintf(&catSpec, "%s:%d;", antiName, antiCard)
+	}
+	fmt.Fprintf(&catSpec, "idx=%s", indexPolicy)
+	s.CatalogSpec = catSpec.String()
+	s.Catalog = cat
+
+	// Predicates, in SQL (and therefore predicate-ID) order: selections,
+	// then joins, then the anti-join.
+	numJoins := len(edges)
+	numAnti := 0
+	if hasAnti {
+		numAnti = 1
+	}
+	numSel := 1 + r.intn(3)
+	if need := s.Dims - numJoins - numAnti; numSel < need {
+		numSel = need
+	}
+
+	// Distinct (relation, attribute) pairs for selections; every relation
+	// offers two attribute columns, so 2·nrel ≥ 6 ≥ numSel always holds.
+	type selCol struct{ rel, col string }
+	var pool []selCol
+	for j := 0; j < nrel; j++ {
+		pool = append(pool, selCol{names[j], names[j] + "_a"}, selCol{names[j], names[j] + "_b"})
+	}
+	for j := len(pool) - 1; j > 0; j-- {
+		k := r.intn(j + 1)
+		pool[j], pool[k] = pool[k], pool[j]
+	}
+
+	var preds []string
+	for j := 0; j < numSel; j++ {
+		op := "<"
+		if r.intn(3) == 0 {
+			op = ">="
+		}
+		f := 0.0001 + float64(r.intn(8999))/10000.0 // 0.0001 … 0.9
+		preds = append(preds, fmt.Sprintf("%s.%s %s sel(%s)",
+			pool[j].rel, pool[j].col, op, strconv.FormatFloat(f, 'g', -1, 64)))
+	}
+	for _, ed := range edges {
+		child, parent := names[ed.child], names[ed.parent]
+		left := fmt.Sprintf("%s.%s_fk%s", child, child, parent)
+		right := fmt.Sprintf("%s.%s_id", parent, parent)
+		if r.intn(2) == 0 {
+			left, right = right, left
+		}
+		j := fmt.Sprintf("%s = %s", left, right)
+		// A third of the joins spell the PK-FK selectivity explicitly,
+		// covering the SEL-override grammar path.
+		if r.intn(3) == 0 {
+			j += fmt.Sprintf(" sel(%s)", strconv.FormatFloat(1/float64(cards[ed.parent]), 'g', -1, 64))
+		}
+		preds = append(preds, j)
+	}
+	if hasAnti {
+		f := 0.3 + float64(r.intn(60))/100.0 // 0.30 … 0.89
+		preds = append(preds, fmt.Sprintf("NOT EXISTS (%s.%s_a = %s.%s_id) sel(%s)",
+			names[antiOuter], names[antiOuter], antiName, antiName,
+			strconv.FormatFloat(f, 'g', -1, 64)))
+	}
+
+	// Mark Dims predicates error-prone via a partial Fisher-Yates over the
+	// predicate indices.
+	idx := make([]int, len(preds))
+	for j := range idx {
+		idx[j] = j
+	}
+	for j := 0; j < s.Dims; j++ {
+		k := j + r.intn(len(idx)-j)
+		idx[j], idx[k] = idx[k], idx[j]
+	}
+	for j := 0; j < s.Dims; j++ {
+		preds[idx[j]] += "?"
+	}
+
+	target := "*"
+	aggregate := i%3 == 0
+	groupBy := ""
+	if aggregate {
+		target = "COUNT(*)"
+	} else if i%7 == 3 {
+		groupBy = fmt.Sprintf("\nGROUP BY %s.%s_b", names[0], names[0])
+	}
+
+	from := make([]string, 0, nrel+1)
+	from = append(from, names...)
+	if hasAnti {
+		from = append(from, antiName)
+	}
+	s.SQL = fmt.Sprintf("SELECT %s FROM %s\nWHERE %s%s",
+		target, strings.Join(from, ", "), strings.Join(preds, "\n  AND "), groupBy)
+	return s
+}
+
+// genEdges builds the join edges for a geometry over nrel relations. Edge
+// direction (which side carries the foreign key) is randomized except for
+// cycles, where a fixed ring orientation guarantees one FK column per edge.
+func genEdges(geometry string, nrel int, r *rng) []edge {
+	var edges []edge
+	dir := func(a, b int) edge {
+		if r.intn(2) == 0 {
+			return edge{parent: a, child: b}
+		}
+		return edge{parent: b, child: a}
+	}
+	switch geometry {
+	case "chain":
+		for j := 0; j+1 < nrel; j++ {
+			edges = append(edges, dir(j, j+1))
+		}
+	case "star":
+		for j := 1; j < nrel; j++ {
+			edges = append(edges, dir(0, j))
+		}
+	case "branch":
+		// Spine r0–r1–r2 with the remaining relations attached
+		// alternately to r1 and r2: r1 reaches degree ≥3 while staying
+		// below nrel-1.
+		edges = append(edges, dir(0, 1), dir(1, 2))
+		for j := 3; j < nrel; j++ {
+			anchor := 1
+			if j%2 == 0 {
+				anchor = 2
+			}
+			edges = append(edges, dir(anchor, j))
+		}
+	default: // cycle: fixed orientation r_j → r_{j+1}
+		for j := 0; j < nrel; j++ {
+			edges = append(edges, edge{parent: (j + 1) % nrel, child: j})
+		}
+	}
+	return edges
+}
+
+// pow10 returns 10^x for the log-uniform statistics draws.
+func pow10(x float64) float64 {
+	return math.Exp(x * math.Ln10)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSeed matches the checked-in corpus seed so tests exercise the same
+// stream CI checks.
+const testSeed = 20140622
+
+func TestGenerateSpecDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a := GenerateSpec(testSeed, i)
+		b := GenerateSpec(testSeed, i)
+		if a.SQL != b.SQL {
+			t.Fatalf("query %d: SQL not deterministic:\n%s\nvs\n%s", i, a.SQL, b.SQL)
+		}
+		if a.CatalogSpec != b.CatalogSpec {
+			t.Fatalf("query %d: catalog spec not deterministic: %q vs %q", i, a.CatalogSpec, b.CatalogSpec)
+		}
+	}
+}
+
+func TestGenerateSpecSeedSensitive(t *testing.T) {
+	diff := 0
+	for i := 0; i < 20; i++ {
+		if GenerateSpec(testSeed, i).SQL != GenerateSpec(testSeed+1, i).SQL {
+			diff++
+		}
+	}
+	if diff < 15 {
+		t.Fatalf("only %d/20 queries changed under a different seed; streams too correlated", diff)
+	}
+}
+
+// TestGrammarCoverage asserts the corpus exercises every sqlparse grammar
+// production the tentpole promises: both comparison operators, explicit
+// join SEL overrides, anti-joins, aggregates, GROUP BY, error markers, and
+// all four join geometries.
+func TestGrammarCoverage(t *testing.T) {
+	const n = 100
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		s := GenerateSpec(testSeed, i)
+		sql := s.SQL
+		seen["lt"] = seen["lt"] || strings.Contains(sql, " < sel(")
+		seen["ge"] = seen["ge"] || strings.Contains(sql, " >= sel(")
+		seen["anti"] = seen["anti"] || strings.Contains(sql, "NOT EXISTS")
+		seen["agg"] = seen["agg"] || strings.Contains(sql, "COUNT(*)")
+		seen["group"] = seen["group"] || strings.Contains(sql, "GROUP BY")
+		seen["err"] = seen["err"] || strings.Contains(sql, "?")
+		seen["joinsel"] = seen["joinsel"] || strings.Contains(sql, "_id sel(") || strings.Contains(sql, "_id) sel(")
+		seen[s.Geometry] = true
+	}
+	for _, want := range []string{"lt", "ge", "anti", "agg", "group", "err", "joinsel",
+		"chain", "star", "branch", "cycle"} {
+		if !seen[want] {
+			t.Errorf("grammar/geometry feature %q absent from first %d queries", want, n)
+		}
+	}
+}
+
+// TestComputeFrontDoor compiles a sample through the real pipeline and
+// sanity-checks baseline invariants.
+func TestComputeFrontDoor(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		spec := GenerateSpec(testSeed, i)
+		b, err := Compute(spec)
+		if err != nil {
+			t.Fatalf("query %d: %v\nSQL:\n%s", i, err, spec.SQL)
+		}
+		if b.ID != spec.ID || b.Dims != spec.Dims || b.Model != spec.Model {
+			t.Fatalf("query %d: baseline identity mismatch: %+v", i, b)
+		}
+		if !strings.HasPrefix(b.Geometry, spec.Geometry) {
+			t.Errorf("query %d: geometry family drifted: spec %s, compiled %s", i, spec.Geometry, b.Geometry)
+		}
+		if b.POSPPlans < 1 || b.BouquetSize < 1 || len(b.Contours) < 1 {
+			t.Fatalf("query %d: degenerate baseline: posp=%d |B|=%d contours=%d",
+				i, b.POSPPlans, b.BouquetSize, len(b.Contours))
+		}
+		if b.MSO < 1 || b.ASO < 1 {
+			t.Errorf("query %d: sub-optimality below 1: mso=%g aso=%g", i, b.MSO, b.ASO)
+		}
+		if len(b.Runs) != 6 {
+			t.Fatalf("query %d: want 6 sampled runs (3 points × 2 drivers), got %d", i, len(b.Runs))
+		}
+		for _, c := range b.Contours {
+			if len(c.Plans) == 0 {
+				t.Fatalf("query %d: contour %d has empty plan set", i, c.K)
+			}
+			if !sortedStrings(c.Plans) {
+				t.Fatalf("query %d: contour %d plan fingerprints unsorted", i, c.K)
+			}
+		}
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateParallelMatchesSerial pins that worker parallelism cannot
+// perturb results: 1 worker and 4 workers produce identical baselines.
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	cfg := Config{Seed: testSeed, Count: 8}
+	serial, err := Generate(cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Generate(cfg, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel generation diverges from serial")
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	got := SampleIndices(500, 5)
+	want := []int{0, 100, 200, 300, 400}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SampleIndices(500, 5) = %v, want %v", got, want)
+	}
+	if got := SampleIndices(3, 10); len(got) != 3 {
+		t.Fatalf("oversampling should clamp to count, got %v", got)
+	}
+	if got := SampleIndices(4, 0); len(got) != 4 {
+		t.Fatalf("n<=0 should mean all, got %v", got)
+	}
+}

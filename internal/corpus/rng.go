@@ -1,0 +1,40 @@
+package corpus
+
+// rng is a splitmix64 PRNG. The generator carries its own tiny PRNG rather
+// than math/rand so the byte-reproducibility contract cannot be broken by a
+// Go release changing math/rand's stream (as Go 1.20 did): the corpus
+// manifest records only a seed, and regenerating from it must stay
+// byte-identical forever.
+type rng struct{ state uint64 }
+
+// newRNG derives an independent stream for query index i of a corpus seeded
+// with seed.
+func newRNG(seed int64, i int) *rng {
+	r := &rng{state: uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)}
+	// Warm the state so nearby (seed, i) pairs decorrelate immediately.
+	r.next()
+	r.next()
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). Panics if n <= 0 — generator parameters
+// are static, so a non-positive bound is a programming error.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("corpus: intn bound must be positive")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float64 returns a value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,203 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Version is the on-disk corpus format version; Load rejects other versions
+// so a format change cannot masquerade as behavioral drift.
+const Version = 1
+
+// ShardSize is the number of baselines per shard file. 25 keeps individual
+// shards reviewable (<~100KB) while 500 queries stay at 20 files.
+const ShardSize = 25
+
+// Manifest is testdata/corpus/manifest.json: everything needed to
+// regenerate the corpus byte-identically plus the shard inventory.
+type Manifest struct {
+	Version   int   `json:"version"`
+	Seed      int64 `json:"seed"`
+	Count     int   `json:"count"`
+	ShardSize int   `json:"shardSize"`
+}
+
+// shardName returns the file name of shard s.
+func shardName(s int) string {
+	return fmt.Sprintf("shard-%03d.json", s)
+}
+
+// ShardFor returns the shard file name holding query index i.
+func ShardFor(i int) string {
+	return shardName(i / ShardSize)
+}
+
+// Save writes the manifest and sharded baselines under dir, replacing any
+// existing corpus there. Baselines must be in index order.
+func Save(dir string, cfg Config, baselines []Baseline) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "shard-*.json"))
+	if err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			return fmt.Errorf("corpus: save: %w", err)
+		}
+	}
+	m := Manifest{Version: Version, Seed: cfg.Seed, Count: len(baselines), ShardSize: ShardSize}
+	if err := writeJSON(filepath.Join(dir, "manifest.json"), m); err != nil {
+		return err
+	}
+	for s := 0; s*ShardSize < len(baselines); s++ {
+		lo := s * ShardSize
+		hi := lo + ShardSize
+		if hi > len(baselines) {
+			hi = len(baselines)
+		}
+		if err := writeJSON(filepath.Join(dir, shardName(s)), baselines[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJSON writes v as indented JSON with a trailing newline.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("corpus: marshal %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("corpus: write: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads and validates dir's manifest.
+func LoadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("corpus: load manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("corpus: load manifest: %w", err)
+	}
+	if m.Version != Version {
+		return Manifest{}, fmt.Errorf("corpus: manifest version %d, this tool expects %d", m.Version, Version)
+	}
+	if m.Count <= 0 || m.ShardSize <= 0 {
+		return Manifest{}, fmt.Errorf("corpus: manifest has non-positive count (%d) or shard size (%d)", m.Count, m.ShardSize)
+	}
+	return m, nil
+}
+
+// Load reads every baseline under dir, in index order.
+func Load(dir string) (Manifest, []Baseline, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	var out []Baseline
+	for s := 0; s*m.ShardSize < m.Count; s++ {
+		shard, err := loadShard(filepath.Join(dir, shardName(s)))
+		if err != nil {
+			return Manifest{}, nil, err
+		}
+		out = append(out, shard...)
+	}
+	if len(out) != m.Count {
+		return Manifest{}, nil, fmt.Errorf("corpus: manifest says %d queries, shards hold %d", m.Count, len(out))
+	}
+	return m, out, nil
+}
+
+// loadShard reads one shard file.
+func loadShard(path string) ([]Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load shard: %w", err)
+	}
+	var shard []Baseline
+	if err := json.Unmarshal(data, &shard); err != nil {
+		return nil, fmt.Errorf("corpus: load %s: %w", filepath.Base(path), err)
+	}
+	return shard, nil
+}
+
+// CompositionRow is one line of the corpus composition summary.
+type CompositionRow struct {
+	Geometry string
+	Dims     int
+	Model    string
+	Count    int
+}
+
+// Composition tabulates baselines by (geometry family, dims, model),
+// sorted for stable rendering. The geometry family strips the relation
+// count: "chain(4)" → "chain".
+func Composition(baselines []Baseline) []CompositionRow {
+	type key struct {
+		geo   string
+		dims  int
+		model string
+	}
+	counts := make(map[key]int)
+	for _, b := range baselines {
+		geo := b.Geometry
+		if i := strings.IndexByte(geo, '('); i >= 0 {
+			geo = geo[:i]
+		}
+		counts[key{geo, b.Dims, b.Model}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].geo != keys[j].geo {
+			return keys[i].geo < keys[j].geo
+		}
+		if keys[i].dims != keys[j].dims {
+			return keys[i].dims < keys[j].dims
+		}
+		return keys[i].model < keys[j].model
+	})
+	out := make([]CompositionRow, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, CompositionRow{Geometry: k.geo, Dims: k.dims, Model: k.model, Count: counts[k]})
+	}
+	return out
+}
+
+// MSOQuantiles returns the {min, p25, p50, p75, max} of the baselines' MSO
+// bounds, for the EXPERIMENTS.md distribution summary.
+func MSOQuantiles(baselines []Baseline) [5]float64 {
+	var q [5]float64
+	if len(baselines) == 0 {
+		return q
+	}
+	msos := make([]float64, len(baselines))
+	for i, b := range baselines {
+		msos[i] = b.MSO
+	}
+	sort.Float64s(msos)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(msos)-1))
+		return msos[i]
+	}
+	q[0] = msos[0]
+	q[1] = at(0.25)
+	q[2] = at(0.50)
+	q[3] = at(0.75)
+	q[4] = msos[len(msos)-1]
+	return q
+}

@@ -1,0 +1,136 @@
+package corpus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	base := sampleBaselines(t, 6)
+	dir := t.TempDir()
+	cfg := Config{Seed: testSeed, Count: len(base)}
+	if err := Save(dir, cfg, base); err != nil {
+		t.Fatal(err)
+	}
+	m, loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != testSeed || m.Count != len(base) || m.Version != Version {
+		t.Fatalf("manifest round-trip mangled: %+v", m)
+	}
+	if !reflect.DeepEqual(base, loaded) {
+		t.Fatal("baselines did not survive the save/load round trip")
+	}
+}
+
+// TestSaveByteReproducible pins the acceptance criterion: regenerating from
+// the recorded seed and re-saving yields byte-identical files.
+func TestSaveByteReproducible(t *testing.T) {
+	cfg := Config{Seed: testSeed, Count: 6}
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		base, err := Generate(cfg, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(dir, cfg, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filesA, err := filepath.Glob(filepath.Join(dirs[0], "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filesA) < 2 {
+		t.Fatalf("expected manifest plus at least one shard, got %v", filesA)
+	}
+	for _, fa := range filesA {
+		a, err := os.ReadFile(fa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], filepath.Base(fa)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between two generations from the same seed", filepath.Base(fa))
+		}
+	}
+}
+
+// TestSaveRemovesStaleShards pins that shrinking the corpus cannot leave
+// orphan shard files behind to confuse Load.
+func TestSaveRemovesStaleShards(t *testing.T) {
+	base := sampleBaselines(t, 6)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "shard-099.json")
+	if err := os.WriteFile(stale, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, Config{Seed: testSeed, Count: len(base)}, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale shard survived Save")
+	}
+}
+
+func TestLoadRejectsBadManifests(t *testing.T) {
+	dir := t.TempDir()
+	write := func(s string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"version": 99, "seed": 1, "count": 1, "shardSize": 25}`)
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("future format version accepted")
+	}
+	write(`{"version": 1, "seed": 1, "count": 0, "shardSize": 25}`)
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	write(`not json`)
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestComposition(t *testing.T) {
+	base := sampleBaselines(t, 8)
+	rows := Composition(base)
+	total := 0
+	for _, r := range rows {
+		if r.Count <= 0 {
+			t.Fatalf("non-positive composition count: %+v", r)
+		}
+		switch r.Geometry {
+		case "chain", "star", "branch", "cycle":
+		default:
+			t.Fatalf("geometry family not stripped to its name: %+v", r)
+		}
+		total += r.Count
+	}
+	if total != len(base) {
+		t.Fatalf("composition counts sum to %d, want %d", total, len(base))
+	}
+}
+
+func TestMSOQuantiles(t *testing.T) {
+	base := sampleBaselines(t, 8)
+	q := MSOQuantiles(base)
+	for i := 1; i < len(q); i++ {
+		if q[i] < q[i-1] {
+			t.Fatalf("quantiles not monotone: %v", q)
+		}
+	}
+	if q[0] < 1 {
+		t.Fatalf("minimum MSO below 1: %v", q)
+	}
+}

@@ -1,0 +1,60 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// caretContext resolves byte offset pos in input to a 1-based line and
+// column plus a trimmed window of the offending line, so parse errors in
+// multi-line queries (the corpus generator emits one predicate per line)
+// point at the culprit instead of a bare byte offset. pos may equal
+// len(input) (the EOF token).
+func caretContext(input string, pos int) (line, col int, window string) {
+	if pos > len(input) {
+		pos = len(input)
+	}
+	start := 0
+	line = 1
+	for i := 0; i < pos; i++ {
+		if input[i] == '\n' {
+			line++
+			start = i + 1
+		}
+	}
+	end := len(input)
+	if i := strings.IndexByte(input[start:], '\n'); i >= 0 {
+		end = start + i
+	}
+	col = pos - start + 1
+	window = trimWindow(input[start:end], pos-start)
+	return line, col, window
+}
+
+// trimWindow returns at most ~40 bytes of text centered on offset off,
+// with ellipses marking truncation.
+func trimWindow(text string, off int) string {
+	const half = 20
+	lo, hi := 0, len(text)
+	pre, post := "", ""
+	if off-half > lo {
+		lo = off - half
+		pre = "…"
+	}
+	if off+half < hi {
+		hi = off + half
+		post = "…"
+	}
+	return pre + text[lo:hi] + post
+}
+
+// posErrf builds the shared error shape for lexer and parser diagnostics:
+// "sqlparse: line L:C: <message> (near "…")".
+func posErrf(input string, pos int, format string, args ...interface{}) error {
+	line, col, window := caretContext(input, pos)
+	msg := fmt.Sprintf(format, args...)
+	if window == "" {
+		return fmt.Errorf("sqlparse: line %d:%d: %s", line, col, msg)
+	}
+	return fmt.Errorf("sqlparse: line %d:%d: %s (near %q)", line, col, msg, window)
+}

@@ -1,0 +1,77 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// TestErrorsReportLineAndColumn pins the diagnostic upgrade the corpus
+// generator motivated: its queries are multi-line (one predicate per
+// line), so a bare byte offset was useless for locating the bad predicate.
+func TestErrorsReportLineAndColumn(t *testing.T) {
+	cat := catalog.TPCHLike(0.01)
+	cases := []struct {
+		name, input string
+		wantIn      []string
+	}{
+		{
+			name:   "parse error on second line",
+			input:  "SELECT * FROM part, lineitem\nWHERE part.p_partkey = = lineitem.l_partkey",
+			wantIn: []string{"line 2:24", "near"},
+		},
+		{
+			name:   "lex error locates the character",
+			input:  "SELECT * FROM part\nWHERE part.p_retailprice < sel(0.1)\n  AND part.p_size < #",
+			wantIn: []string{"line 3:21", "unexpected character", `near "  AND part.p_size < #"`},
+		},
+		{
+			name:   "bare greater-than",
+			input:  "SELECT * FROM part WHERE part.p_size > sel(0.1)",
+			wantIn: []string{"line 1:38", "'>' must be '>='"},
+		},
+		{
+			name:   "error at end of input",
+			input:  "SELECT * FROM part\nWHERE",
+			wantIn: []string{"line 2:6", "expected"},
+		},
+		{
+			name:   "long line is windowed",
+			input:  "SELECT * FROM part WHERE part.p_retailprice < sel(0.1) AND part.p_size < sel(0.2) AND part.p_partkey < sel(0.3) AND part.p_container < 7",
+			wantIn: []string{"line 1:136", "…"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("t", cat, tc.input)
+			if err == nil {
+				t.Fatal("parse unexpectedly succeeded")
+			}
+			for _, want := range tc.wantIn {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q should contain %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCaretContext(t *testing.T) {
+	input := "abc\ndefgh\nij"
+	line, col, window := caretContext(input, 6) // the 'f'
+	if line != 2 || col != 3 || window != "defgh" {
+		t.Fatalf("got line %d col %d window %q", line, col, window)
+	}
+	line, col, _ = caretContext(input, len(input)) // EOF
+	if line != 3 || col != 3 {
+		t.Fatalf("EOF resolved to line %d col %d", line, col)
+	}
+	// Past-the-end offsets clamp rather than panic.
+	if l, c, _ := caretContext(input, len(input)+5); l != 3 || c != 3 {
+		t.Fatalf("clamped offset resolved to line %d col %d", l, c)
+	}
+	if _, _, w := caretContext("", 0); w != "" {
+		t.Fatalf("empty input yielded window %q", w)
+	}
+}

@@ -114,7 +114,7 @@ func lex(input string) ([]token, error) {
 				out = append(out, token{tokGreaterEq, ">=", i})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("sqlparse: position %d: '>' must be '>=' (selections are range predicates)", i)
+				return nil, posErrf(input, i, "'>' must be '>=' (selections are range predicates)")
 			}
 		case unicode.IsDigit(c):
 			j := i
@@ -154,7 +154,7 @@ func lex(input string) ([]token, error) {
 			out = append(out, token{tokIdent, input[i:j], i})
 			i = j
 		default:
-			return nil, fmt.Errorf("sqlparse: position %d: unexpected character %q", i, c)
+			return nil, posErrf(input, i, "unexpected character %q", c)
 		}
 	}
 	out = append(out, token{tokEOF, "", len(input)})

@@ -1,7 +1,6 @@
 package sqlparse
 
 import (
-	"fmt"
 	"strconv"
 
 	"repro/internal/catalog"
@@ -29,7 +28,7 @@ func Parse(name string, cat *catalog.Catalog, input string) (*query.Query, error
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, cat: cat, b: query.NewBuilder(name, cat)}
+	p := &parser{toks: toks, input: input, cat: cat, b: query.NewBuilder(name, cat)}
 	if err := p.parse(); err != nil {
 		return nil, err
 	}
@@ -37,18 +36,19 @@ func Parse(name string, cat *catalog.Catalog, input string) (*query.Query, error
 }
 
 type parser struct {
-	toks []token
-	pos  int
-	cat  *catalog.Catalog
-	b    *query.Builder
-	rels map[string]bool
+	toks  []token
+	input string
+	pos   int
+	cat   *catalog.Catalog
+	b     *query.Builder
+	rels  map[string]bool
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
 func (p *parser) errf(t token, format string, args ...interface{}) error {
-	return fmt.Errorf("sqlparse: position %d: %s", t.pos, fmt.Sprintf(format, args...))
+	return posErrf(p.input, t.pos, format, args...)
 }
 
 func (p *parser) expect(kind tokenKind) (token, error) {
